@@ -1,0 +1,157 @@
+// Command dtexp regenerates the tables and figures of D'Hollander & Devis
+// (ICPP 1991):
+//
+//	dtexp -table1            program characteristics (Table 1)
+//	dtexp -table2            SA vs HLF speedups (Table 2)
+//	dtexp -fig1              annealing cost trajectories (Figure 1)
+//	dtexp -fig2              Newton-Euler Gantt chart (Figure 2)
+//	dtexp -packets           §6a packet statistics
+//	dtexp -anomaly           §6b Graham anomaly comparison
+//	dtexp -ablations         weight sweep, cooling, random graphs, static
+//	                         mapping, exact-optimum and policy-zoo studies
+//	dtexp -scaling           speedup-vs-processors curves
+//	dtexp -all               everything above
+//
+// All experiments are deterministic for a given -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+
+	"repro/internal/expt"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dtexp: ")
+
+	var (
+		table1    = flag.Bool("table1", false, "reproduce Table 1")
+		table2    = flag.Bool("table2", false, "reproduce Table 2")
+		fig1      = flag.Bool("fig1", false, "reproduce Figure 1")
+		fig1CSV   = flag.Bool("fig1-csv", false, "emit Figure 1 data as CSV")
+		fig2      = flag.Bool("fig2", false, "reproduce Figure 2")
+		packets   = flag.Bool("packets", false, "report §6a packet statistics")
+		anomaly   = flag.Bool("anomaly", false, "run the §6b Graham anomaly comparison")
+		ablations = flag.Bool("ablations", false, "run the ablation studies")
+		scaling   = flag.Bool("scaling", false, "run the processor-scaling study")
+		all       = flag.Bool("all", false, "run every experiment")
+		seed      = flag.Int64("seed", 1991, "random seed")
+		restarts  = flag.Int("restarts", 0, "SA restarts per Table 2 cell (0 = default of 3)")
+	)
+	flag.Parse()
+
+	if *all {
+		*table1, *table2, *fig1, *fig2, *packets, *anomaly, *ablations, *scaling = true, true, true, true, true, true, true, true
+	}
+	if !(*table1 || *table2 || *fig1 || *fig1CSV || *fig2 || *packets || *anomaly || *ablations || *scaling) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *table1 {
+		rows, err := expt.Table1()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(expt.FormatTable1(rows))
+	}
+	if *table2 {
+		rows, err := expt.Table2(expt.Table2Config{Seed: *seed, Restarts: *restarts, Workers: runtime.NumCPU()})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(expt.FormatTable2(rows))
+	}
+	if *fig1 || *fig1CSV {
+		fig, err := expt.Figure1(*seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *fig1CSV {
+			fmt.Print(fig.CSV())
+		} else {
+			fmt.Println(fig.Plot(100, 24))
+		}
+	}
+	if *fig2 {
+		chart, res, err := expt.Figure2(*seed, 0, 120)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(chart)
+		fmt.Printf("SA schedule: makespan %.2f µs, speedup %.2f, %d messages\n\n",
+			res.Makespan, res.Speedup, res.Messages)
+	}
+	if *packets {
+		ps, err := expt.Packets(*seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Packet statistics (§6a), Newton-Euler on the 8-node hypercube:\n")
+		fmt.Printf("  %d tasks assigned in %d annealing packets\n", ps.TasksTotal, ps.Packets)
+		fmt.Printf("  on average %.2f candidates for %.2f free processors\n",
+			ps.AvgCandidates, ps.AvgIdle)
+		fmt.Printf("  (the paper reports 95 tasks, 65 packets, 15 candidates, 1.46 processors)\n\n")
+	}
+	if *anomaly {
+		res, err := expt.Anomaly(*seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res)
+	}
+	if *ablations {
+		archs, err := expt.Architectures()
+		if err != nil {
+			log.Fatal(err)
+		}
+		pts, err := expt.AblationWeights("NE", archs[2], *seed, 0.1, 0.9, 9)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(expt.FormatWeights("NE", archs[2].Name, pts))
+		cool, err := expt.AblationCooling("NE", archs[0], *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(expt.FormatCooling("NE", archs[0].Name, cool))
+		for _, withComm := range []bool{false, true} {
+			study, err := expt.AblationRandomGraphs(archs[0], 40, withComm, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(study)
+		}
+		fmt.Println()
+		static, err := expt.AblationStatic(*seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(expt.FormatStatic(static))
+		optStudy, err := expt.AblationOptimal(60, 3, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(optStudy)
+		fmt.Println()
+		zoo, err := expt.PolicyComparison(*seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(expt.FormatPolicyComparison(zoo))
+	}
+	if *scaling {
+		for _, key := range []string{"NE", "MM"} {
+			pts, err := expt.Scaling(key, 4, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(expt.FormatScaling(key, pts))
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Command dtgen emits taskgraphs for use with dtsched or external tools:
+//
+//	dtgen -program NE                 the paper's Newton-Euler graph (JSON)
+//	dtgen -program MM -dot            Graphviz dot instead of JSON
+//	dtgen -random -layers 6 -width 8  a random layered DAG
+//
+// Output goes to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"repro/internal/cliutil"
+	"repro/internal/taskgraph"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dtgen: ")
+
+	var (
+		programKey = flag.String("program", "", "benchmark program: NE, GJ, FFT, MM or graham")
+		random     = flag.Bool("random", false, "generate a random layered DAG")
+		layers     = flag.Int("layers", 6, "random DAG: layers")
+		minWidth   = flag.Int("min-width", 2, "random DAG: minimum layer width")
+		maxWidth   = flag.Int("width", 8, "random DAG: maximum layer width")
+		minLoad    = flag.Float64("min-load", 5, "random DAG: minimum task duration (µs)")
+		maxLoad    = flag.Float64("max-load", 100, "random DAG: maximum task duration (µs)")
+		minBits    = flag.Float64("min-bits", 40, "random DAG: minimum edge volume (bits)")
+		maxBits    = flag.Float64("max-bits", 400, "random DAG: maximum edge volume (bits)")
+		edgeProb   = flag.Float64("edge-prob", 0.3, "random DAG: edge probability")
+		seed       = flag.Int64("seed", 1991, "random seed")
+		dot        = flag.Bool("dot", false, "emit Graphviz dot instead of JSON")
+		stats      = flag.Bool("stats", false, "print characteristics to stderr")
+	)
+	flag.Parse()
+
+	var g *taskgraph.Graph
+	var err error
+	switch {
+	case *programKey != "" && *random:
+		log.Fatal("use either -program or -random, not both")
+	case *programKey != "":
+		g, err = cliutil.BuildProgram(*programKey)
+	case *random:
+		cfg := taskgraph.LayeredConfig{
+			Layers:   *layers,
+			MinWidth: *minWidth,
+			MaxWidth: *maxWidth,
+			MinLoad:  *minLoad,
+			MaxLoad:  *maxLoad,
+			MinBits:  *minBits,
+			MaxBits:  *maxBits,
+			EdgeProb: *edgeProb,
+		}
+		g, err = taskgraph.Layered(fmt.Sprintf("layered-%d", *seed), cfg, rand.New(rand.NewSource(*seed)))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *stats {
+		st, err := g.ComputeStats(10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "%s: %d tasks, %d edges, avg duration %.2f µs, avg comm %.2f µs, max speedup %.2f\n",
+			g.Name(), st.Tasks, st.Edges, st.AvgLoad, st.AvgComm, st.MaxSpeedup)
+	}
+	if *dot {
+		fmt.Print(g.DOT())
+		return
+	}
+	if err := g.WriteJSON(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

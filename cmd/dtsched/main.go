@@ -1,0 +1,141 @@
+// Command dtsched schedules one taskgraph on one machine and reports the
+// simulated execution:
+//
+//	dtsched -program NE -topo hypercube:3 -policy sa -gantt
+//	dtsched -graph app.json -topo ring:9 -policy hlf -nocomm
+//
+// The taskgraph comes either from a benchmark generator (-program) or
+// from a JSON file written by dtgen or taskgraph.WriteJSON (-graph).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/gantt"
+	"repro/internal/machsim"
+	"repro/internal/schedule"
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dtsched: ")
+
+	var (
+		programKey = flag.String("program", "", "benchmark program: NE, GJ, FFT, MM or graham")
+		graphFile  = flag.String("graph", "", "taskgraph JSON file")
+		topoSpec   = flag.String("topo", "hypercube:3", "machine topology (kind:arg)")
+		policyName = flag.String("policy", "sa", "scheduling policy: sa, hlf, hlfcomm, etf, lpt, misf, fifo, random")
+		seed       = flag.Int64("seed", 1991, "random seed for stochastic policies")
+		noComm     = flag.Bool("nocomm", false, "disable communication costs")
+		wb         = flag.Float64("wb", 0.5, "SA balance weight (wc = 1 - wb)")
+		showGantt  = flag.Bool("gantt", false, "render a Gantt chart")
+		ganttWidth = flag.Int("gantt-width", 120, "Gantt chart width in columns")
+		showUtil   = flag.Bool("util", false, "report per-processor utilization")
+		showStats  = flag.Bool("stats", false, "report taskgraph characteristics")
+		exportPath = flag.String("export", "", "write the schedule as JSON to this file (verified first)")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*programKey, *graphFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	topo, err := cliutil.ParseTopology(*topoSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	comm := topology.DefaultCommParams()
+	if *noComm {
+		comm = comm.NoComm()
+	}
+
+	saOpt := core.DefaultOptions()
+	saOpt.Seed = *seed
+	saOpt.Wb = *wb
+	saOpt.Wc = 1 - *wb
+	policy, err := cliutil.ParsePolicy(*policyName, g, topo, comm, saOpt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *showStats {
+		st, err := g.ComputeStats(comm.Bandwidth)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %d tasks, %d edges, avg duration %.2f µs, avg comm %.2f µs, C/C %.1f%%, max speedup %.2f\n\n",
+			g.Name(), st.Tasks, st.Edges, st.AvgLoad, st.AvgComm, 100*st.CCRatio, st.MaxSpeedup)
+	}
+
+	res, err := machsim.Run(machsim.Model{Graph: g, Topo: topo, Comm: comm}, policy,
+		machsim.Options{RecordGantt: *showGantt})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s on %s with %s:\n", g.Name(), topo.Name(), res.Policy)
+	fmt.Printf("  makespan   %10.2f µs\n", res.Makespan)
+	fmt.Printf("  T1         %10.2f µs\n", res.SequentialTime)
+	fmt.Printf("  speedup    %10.2f\n", res.Speedup)
+	fmt.Printf("  messages   %7d (%.2f µs transfer, %.2f µs σ/τ overhead)\n",
+		res.Messages, res.TransferTime, res.OverheadTime)
+	fmt.Printf("  epochs     %7d (avg %.2f candidates for %.2f idle processors)\n",
+		len(res.Epochs), res.AvgReady(), res.AvgIdle())
+	fmt.Printf("  utilization %9.1f%%\n", 100*res.Utilization())
+
+	if *exportPath != "" {
+		sched, err := schedule.FromResult(res)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sched.Validate(g, topo, comm); err != nil {
+			log.Fatalf("schedule failed independent validation: %v", err)
+		}
+		f, err := os.Create(*exportPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sched.WriteJSON(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  schedule exported to %s (independently validated)\n", *exportPath)
+	}
+
+	if *showUtil {
+		fmt.Println()
+		fmt.Print(gantt.Utilization(res))
+	}
+	if *showGantt {
+		fmt.Println()
+		fmt.Print(gantt.Render(res, topo.N(), gantt.Config{Width: *ganttWidth, ShowLegend: true}))
+	}
+}
+
+func loadGraph(programKey, graphFile string) (*taskgraph.Graph, error) {
+	switch {
+	case programKey != "" && graphFile != "":
+		return nil, fmt.Errorf("use either -program or -graph, not both")
+	case programKey != "":
+		return cliutil.BuildProgram(programKey)
+	case graphFile != "":
+		f, err := os.Open(graphFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return taskgraph.ReadJSON(f)
+	default:
+		return nil, fmt.Errorf("no taskgraph: pass -program or -graph")
+	}
+}

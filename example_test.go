@@ -1,0 +1,86 @@
+package repro_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// ExampleScheduleSA schedules a fork-join workload on a 4-processor
+// hypercube with the paper's annealing scheduler.
+func ExampleScheduleSA() {
+	g := repro.NewGraph("forkjoin")
+	fork := g.AddTask("fork", 5)
+	join := g.AddTask("join", 5)
+	for i := 0; i < 4; i++ {
+		body := g.AddTask(fmt.Sprintf("body%d", i), 100)
+		g.MustAddEdge(fork, body, 40)
+		g.MustAddEdge(body, join, 40)
+	}
+	topo, err := repro.Hypercube(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := repro.DefaultSAOptions()
+	opt.Seed = 1
+	res, _, err := repro.ScheduleSA(g, topo, repro.DefaultCommParams(), opt, repro.SimOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("all %d tasks finished: %v\n", g.NumTasks(), res.Makespan > 0)
+	fmt.Printf("speedup > 1: %v\n", res.Speedup > 1)
+	// Output:
+	// all 6 tasks finished: true
+	// speedup > 1: true
+}
+
+// ExampleGraph_Levels shows the HLF priority computation on a diamond.
+func ExampleGraph_Levels() {
+	g := repro.NewGraph("diamond")
+	a := g.AddTask("A", 2)
+	b := g.AddTask("B", 3)
+	c := g.AddTask("C", 5)
+	d := g.AddTask("D", 1)
+	g.MustAddEdge(a, b, 40)
+	g.MustAddEdge(a, c, 40)
+	g.MustAddEdge(b, d, 40)
+	g.MustAddEdge(c, d, 40)
+	levels, err := g.Levels()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("level(A)=%g level(B)=%g level(C)=%g level(D)=%g\n",
+		levels[a], levels[b], levels[c], levels[d])
+	cp, _ := g.CriticalPathLength()
+	fmt.Printf("critical path: %g µs\n", cp)
+	// Output:
+	// level(A)=8 level(B)=4 level(C)=6 level(D)=1
+	// critical path: 8 µs
+}
+
+// ExampleCommParams_CommCost evaluates the paper's equation (4) with the
+// published hardware parameters.
+func ExampleCommParams_CommCost() {
+	p := repro.DefaultCommParams() // 10 Mb/s, σ = 7 µs, τ = 9 µs
+	fmt.Printf("same processor: %.0f µs\n", p.CommCost(0, 40))
+	fmt.Printf("neighbors:      %.0f µs\n", p.CommCost(1, 40))
+	fmt.Printf("two hops:       %.0f µs\n", p.CommCost(2, 40))
+	// Output:
+	// same processor: 0 µs
+	// neighbors:      11 µs
+	// two hops:       24 µs
+}
+
+// ExampleOptimalMakespan certifies a small schedule against the exact
+// optimum.
+func ExampleOptimalMakespan() {
+	g := repro.GrahamAnomaly()
+	exact, err := repro.OptimalMakespan(g, 3, repro.OptimalOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimal makespan: %.0f\n", exact.Makespan)
+	// Output:
+	// optimal makespan: 10
+}

@@ -1,0 +1,56 @@
+// Quickstart: build a small taskgraph by hand, schedule it on a
+// 4-processor hypercube with simulated annealing, and compare against the
+// Highest Level First baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// A toy image pipeline: load -> {filter0..filter3} -> combine.
+	// Loads in microseconds, edge volumes in bits.
+	g := repro.NewGraph("image-pipeline")
+	load := g.AddTask("load", 20)
+	combine := g.AddTask("combine", 15)
+	for i := 0; i < 4; i++ {
+		f := g.AddTask(fmt.Sprintf("filter%d", i), 150)
+		g.MustAddEdge(load, f, 240)    // a tile of the image
+		g.MustAddEdge(f, combine, 240) // the filtered tile
+	}
+	if err := g.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	topo, err := repro.Hypercube(2) // 4 processors
+	if err != nil {
+		log.Fatal(err)
+	}
+	comm := repro.DefaultCommParams() // 10 Mb/s, σ = 7 µs, τ = 9 µs
+
+	// Highest Level First baseline.
+	hlfRes, err := repro.ScheduleHLF(g, topo, comm, repro.SimOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Simulated annealing (the paper's scheduler).
+	opt := repro.DefaultSAOptions()
+	opt.Seed = 7
+	saRes, sched, err := repro.ScheduleSA(g, topo, comm, opt, repro.SimOptions{RecordGantt: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %s\n", g)
+	fmt.Printf("HLF: makespan %.1f µs, speedup %.2f, %d messages\n",
+		hlfRes.Makespan, hlfRes.Speedup, hlfRes.Messages)
+	fmt.Printf("SA:  makespan %.1f µs, speedup %.2f, %d messages (%d annealing packets)\n",
+		saRes.Makespan, saRes.Speedup, saRes.Messages, len(sched.Packets()))
+
+	fmt.Println()
+	fmt.Print(repro.RenderGantt(saRes, topo.N(), repro.GanttConfig{Width: 100, ShowLegend: true}))
+}

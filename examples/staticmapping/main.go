@@ -1,0 +1,59 @@
+// Static mapping: reproduce the paper's motivation (§3–§4.1) that the
+// balancing problem's assumptions break on directed taskgraphs. The
+// Gauss-Jordan benchmark is first mapped statically with the
+// balancing-problem annealer of Hwang & Xu (precedence ignored), then
+// scheduled with the paper's staged annealing algorithm; the simulated
+// executions show the staged scheduler adapting to the changing load and
+// communication patterns that the static mapping cannot follow.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	g := repro.GaussJordan()
+	topo, err := repro.Hypercube(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	comm := repro.DefaultCommParams()
+
+	// The balancing problem: one static assignment for the whole run,
+	// minimizing load deviation + distance-weighted traffic.
+	mapping, err := repro.SolveBalancing(g, topo, repro.BalancingOptions{Seed: 1991})
+	if err != nil {
+		log.Fatal(err)
+	}
+	staticPol, err := repro.NewStaticPolicy(g, mapping.ProcOf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	staticRes, err := repro.SchedulePolicy(g, topo, comm, staticPol, repro.SimOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The baseline list scheduler and the paper's staged SA scheduler.
+	hlfRes, err := repro.ScheduleHLF(g, topo, comm, repro.SimOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := repro.DefaultSAOptions()
+	opt.Seed = 1991
+	saRes, sched, err := repro.ScheduleSA(g, topo, comm, opt, repro.SimOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Gauss-Jordan (%d tasks) on %s, with communication:\n\n", g.NumTasks(), topo.Name())
+	fmt.Printf("%-34s %9s %9s\n", "scheduler", "speedup", "messages")
+	fmt.Printf("%-34s %9.2f %9d\n", "static balanced mapping (Hwang&Xu)", staticRes.Speedup, staticRes.Messages)
+	fmt.Printf("%-34s %9.2f %9d\n", "HLF list scheduler", hlfRes.Speedup, hlfRes.Messages)
+	fmt.Printf("%-34s %9.2f %9d\n", "staged annealing (this paper)", saRes.Speedup, saRes.Messages)
+	fmt.Printf("\nstaged SA used %d annealing packets (avg %.1f candidates per packet)\n",
+		len(sched.Packets()), sched.AvgCandidates())
+}

@@ -1,0 +1,69 @@
+// Topology sweep: schedule the FFT benchmark across machine sizes and
+// shapes to see where communication overhead eats the parallelism — the
+// kind of what-if study the library is built for. For each machine the
+// annealing scheduler and HLF are compared with communication enabled.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+type machine struct {
+	name string
+	topo *repro.Topology
+}
+
+func mustMachine(name string, topo *repro.Topology, err error) machine {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return machine{name: name, topo: topo}
+}
+
+func main() {
+	g := repro.FFT()
+	comm := repro.DefaultCommParams()
+
+	machines := []machine{}
+	add := func(name string, topo *repro.Topology, err error) {
+		machines = append(machines, mustMachine(name, topo, err))
+	}
+	hc2, err := repro.Hypercube(2)
+	add("hypercube-4", hc2, err)
+	hc3, err := repro.Hypercube(3)
+	add("hypercube-8", hc3, err)
+	hc4, err := repro.Hypercube(4)
+	add("hypercube-16", hc4, err)
+	mesh, err := repro.Mesh(4, 4)
+	add("mesh-4x4", mesh, err)
+	torus, err := repro.Torus(4, 4)
+	add("torus-4x4", torus, err)
+	ring, err := repro.Ring(16)
+	add("ring-16", ring, err)
+	bus, err := repro.Bus(16)
+	add("bus-16", bus, err)
+	full, err := repro.Complete(16)
+	add("complete-16", full, err)
+
+	fmt.Println("FFT (73 vector tasks) with communication, SA vs HLF:")
+	fmt.Printf("%-14s %6s %6s %9s %9s %8s %9s\n",
+		"machine", "procs", "diam", "SA", "HLF", "% gain", "messages")
+	for _, m := range machines {
+		hlfRes, err := repro.ScheduleHLF(g, m.topo, comm, repro.SimOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt := repro.DefaultSAOptions()
+		opt.Seed = 42
+		saRes, _, err := repro.ScheduleSA(g, m.topo, comm, opt, repro.SimOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		gain := 100 * (saRes.Speedup - hlfRes.Speedup) / hlfRes.Speedup
+		fmt.Printf("%-14s %6d %6d %9.2f %9.2f %8.1f %9d\n",
+			m.name, m.topo.N(), m.topo.Diameter(), saRes.Speedup, hlfRes.Speedup, gain, saRes.Messages)
+	}
+}

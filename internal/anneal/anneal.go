@@ -1,0 +1,225 @@
+// Package anneal implements the simulated-annealing minimizer used by the
+// packet scheduler of D'Hollander & Devis (ICPP 1991).
+//
+// The engine is deliberately generic: a Problem exposes its current cost
+// and a way to propose (and undo) random elementary moves; a Cooling
+// schedule produces the temperature sequence; Minimize runs the Glauber
+// acceptance dynamics of the paper's equation (1),
+//
+//	B(ΔF, T) = 1 / (1 + exp(ΔF/T)),
+//
+// which accepts improving moves with probability > ½ (not always!) and
+// worsening moves with probability < ½; at T → 0 it degenerates into
+// strict descent and at T → ∞ into a coin flip.
+package anneal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Problem is a mutable optimization state. Implementations carry their own
+// state; the engine never copies it (except through the optional
+// Snapshotter interface).
+type Problem interface {
+	// Cost returns the current total cost of the state.
+	Cost() float64
+	// Propose applies one random elementary move to the state and returns
+	// the resulting cost change together with a function that undoes the
+	// move. ok reports whether a move was possible at all; when ok is
+	// false the engine stops.
+	Propose(rng *rand.Rand) (delta float64, undo func(), ok bool)
+}
+
+// Snapshotter is an optional extension of Problem. When implemented, the
+// engine tracks the best state seen and restores it before returning, so a
+// late uphill wander cannot degrade the final answer.
+type Snapshotter interface {
+	// Snapshot returns an opaque copy of the current state.
+	Snapshot() any
+	// Restore replaces the current state with a previous snapshot.
+	Restore(snapshot any)
+}
+
+// MoveInfo describes one proposed move; it is passed to the OnMove
+// observer, which the packet scheduler uses to record the Figure 1 cost
+// trajectories.
+type MoveInfo struct {
+	Move     int     // global move index, 0-based
+	Stage    int     // temperature stage index, 0-based
+	Temp     float64 // temperature at which the move was proposed
+	Delta    float64 // proposed cost change
+	Accepted bool
+	Cost     float64 // cost after the accept/reject decision
+}
+
+// Options configures Minimize. The zero value is not usable; use
+// DefaultOptions as a starting point.
+type Options struct {
+	Cooling Cooling
+	// MovesPerStage is the number of elementary moves proposed at each
+	// temperature.
+	MovesPerStage int
+	// PlateauStages stops the search early once this many consecutive
+	// temperature stages end with an unchanged cost (the paper stops "when
+	// the cost function remains constant for five iterations"). Zero
+	// disables the plateau rule.
+	PlateauStages int
+	// PlateauEps is the cost tolerance of the plateau rule.
+	PlateauEps float64
+	// MaxMoves caps the total number of proposed moves ("a preset maximum
+	// number", §6a). Zero means no cap.
+	MaxMoves int
+	// RNG is the random source; if nil, a source seeded with Seed is used.
+	RNG  *rand.Rand
+	Seed int64
+	// OnMove, when non-nil, observes every proposed move.
+	OnMove func(MoveInfo)
+}
+
+// DefaultOptions returns the engine configuration used throughout the
+// reproduction: 60 geometric cooling stages from T0 = 1 with α = 0.9,
+// plateau patience of 5 stages, and a 20 000-move cap.
+func DefaultOptions() Options {
+	return Options{
+		Cooling:       Geometric{T0: 1, Alpha: 0.9, NumStages: 60},
+		MovesPerStage: 50,
+		PlateauStages: 5,
+		PlateauEps:    1e-12,
+		MaxMoves:      20000,
+	}
+}
+
+// Result reports what a Minimize run did.
+type Result struct {
+	// FinalCost is the cost of the state left in the Problem when
+	// Minimize returned (the best seen, if the Problem is a Snapshotter).
+	FinalCost float64
+	// BestCost is the lowest cost observed during the run.
+	BestCost float64
+	// InitialCost is the cost before the first move.
+	InitialCost float64
+	Moves       int  // proposed moves
+	Accepted    int  // accepted moves
+	Stages      int  // temperature stages executed
+	PlateauStop bool // true if the plateau rule ended the run
+	CapStop     bool // true if MaxMoves ended the run
+}
+
+// ErrNoCooling is returned when Options.Cooling is nil.
+var ErrNoCooling = errors.New("anneal: no cooling schedule")
+
+// AcceptProb evaluates the paper's equation (1), the probability of
+// accepting a move with cost change delta at temperature temp. Boundary
+// behaviour follows equation (2): at temp = 0 the move is accepted iff
+// delta < 0; at temp = +Inf the probability is ½.
+func AcceptProb(delta, temp float64) float64 {
+	if temp <= 0 {
+		if delta < 0 {
+			return 1
+		}
+		return 0
+	}
+	if math.IsInf(temp, 1) {
+		return 0.5
+	}
+	x := delta / temp
+	// Guard exp overflow for extreme ratios.
+	if x > 700 {
+		return 0
+	}
+	if x < -700 {
+		return 1
+	}
+	return 1 / (1 + math.Exp(x))
+}
+
+// Minimize runs simulated annealing on p and returns run statistics. The
+// Problem is left in its final (or best, for Snapshotters) state.
+func Minimize(p Problem, opt Options) (Result, error) {
+	if opt.Cooling == nil {
+		return Result{}, ErrNoCooling
+	}
+	if opt.MovesPerStage <= 0 {
+		return Result{}, fmt.Errorf("anneal: MovesPerStage = %d, want > 0", opt.MovesPerStage)
+	}
+	rng := opt.RNG
+	if rng == nil {
+		rng = rand.New(rand.NewSource(opt.Seed))
+	}
+
+	res := Result{InitialCost: p.Cost()}
+	cost := res.InitialCost
+	res.BestCost = cost
+
+	snapper, canSnapshot := p.(Snapshotter)
+	var best any
+	if canSnapshot {
+		best = snapper.Snapshot()
+	}
+
+	plateau := 0
+	prevStageCost := cost
+
+stages:
+	for stage := 0; stage < opt.Cooling.Stages(); stage++ {
+		temp := opt.Cooling.Temperature(stage)
+		res.Stages = stage + 1
+		for k := 0; k < opt.MovesPerStage; k++ {
+			if opt.MaxMoves > 0 && res.Moves >= opt.MaxMoves {
+				res.CapStop = true
+				break stages
+			}
+			delta, undo, ok := p.Propose(rng)
+			if !ok {
+				break stages
+			}
+			res.Moves++
+			accepted := rng.Float64() < AcceptProb(delta, temp)
+			if accepted {
+				res.Accepted++
+				cost += delta
+				if cost < res.BestCost {
+					res.BestCost = cost
+					if canSnapshot {
+						best = snapper.Snapshot()
+					}
+				}
+			} else {
+				undo()
+			}
+			if opt.OnMove != nil {
+				opt.OnMove(MoveInfo{
+					Move:     res.Moves - 1,
+					Stage:    stage,
+					Temp:     temp,
+					Delta:    delta,
+					Accepted: accepted,
+					Cost:     cost,
+				})
+			}
+		}
+		if opt.PlateauStages > 0 {
+			if math.Abs(cost-prevStageCost) <= opt.PlateauEps {
+				plateau++
+				if plateau >= opt.PlateauStages {
+					res.PlateauStop = true
+					res.Stages = stage + 1
+					break stages
+				}
+			} else {
+				plateau = 0
+			}
+			prevStageCost = cost
+		}
+	}
+
+	if canSnapshot && res.BestCost < cost {
+		snapper.Restore(best)
+		cost = res.BestCost
+	}
+	res.FinalCost = cost
+	return res, nil
+}

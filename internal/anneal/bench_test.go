@@ -1,0 +1,26 @@
+package anneal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkAcceptProb(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		AcceptProb(float64(i%7)-3, 0.5)
+	}
+}
+
+func BenchmarkMinimizeToyProblem(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		s := newTour(20, rng)
+		if _, err := Minimize(s, Options{
+			Cooling:       Geometric{T0: 2, Alpha: 0.9, NumStages: 40},
+			MovesPerStage: 100,
+			RNG:           rng,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package anneal
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// CalibrateT0 estimates an initial temperature at which the Glauber rule
+// (eq. 1) accepts roughly the target fraction of *worsening* moves. It
+// samples random moves from the problem's current state (undoing each),
+// takes the mean uphill cost change Δ⁺, and solves
+//
+//	target = 1 / (1 + exp(Δ⁺/T0))  ⇒  T0 = Δ⁺ / ln(1/target − 1)
+//
+// The classic recipe of Kirkpatrick et al. starts hot (target near ½, the
+// rule's supremum for uphill moves); the packet scheduler's default T0 = 1
+// works because its costs are normalized, but custom cost functions can
+// use this to stay scale-free. The problem state is left unchanged.
+func CalibrateT0(p Problem, samples int, target float64, rng *rand.Rand) (float64, error) {
+	if samples < 1 {
+		return 0, fmt.Errorf("anneal: CalibrateT0 needs >= 1 samples")
+	}
+	if target <= 0 || target >= 0.5 {
+		return 0, fmt.Errorf("anneal: acceptance target %g must be in (0, 0.5)", target)
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	var sum float64
+	var uphill int
+	for i := 0; i < samples; i++ {
+		delta, undo, ok := p.Propose(rng)
+		if !ok {
+			break
+		}
+		undo()
+		if delta > 0 {
+			sum += delta
+			uphill++
+		}
+	}
+	if uphill == 0 {
+		// No uphill moves seen: any temperature works; return a unit
+		// temperature so callers get a sane schedule.
+		return 1, nil
+	}
+	mean := sum / float64(uphill)
+	return mean / math.Log(1/target-1), nil
+}

@@ -1,0 +1,73 @@
+package anneal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCalibrateT0HitsTargetAcceptance(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	s := newTour(15, rng)
+	t0, err := CalibrateT0(s, 500, 0.4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t0 <= 0 {
+		t.Fatalf("T0 = %g", t0)
+	}
+	// Empirically check: at T0, uphill moves are accepted near the target
+	// rate.
+	var uphill, accepted int
+	for i := 0; i < 3000; i++ {
+		delta, undo, ok := s.Propose(rng)
+		if !ok {
+			t.Fatal("no move")
+		}
+		undo()
+		if delta > 0 {
+			uphill++
+			if rng.Float64() < AcceptProb(delta, t0) {
+				accepted++
+			}
+		}
+	}
+	rate := float64(accepted) / float64(uphill)
+	if math.Abs(rate-0.4) > 0.08 {
+		t.Errorf("uphill acceptance rate %.3f at calibrated T0, want ~0.40", rate)
+	}
+}
+
+func TestCalibrateT0LeavesStateUntouched(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	s := newTour(10, rng)
+	before := s.Cost()
+	if _, err := CalibrateT0(s, 200, 0.3, rng); err != nil {
+		t.Fatal(err)
+	}
+	if s.Cost() != before {
+		t.Errorf("calibration changed the state: %g -> %g", before, s.Cost())
+	}
+}
+
+func TestCalibrateT0Errors(t *testing.T) {
+	s := newTour(5, rand.New(rand.NewSource(23)))
+	if _, err := CalibrateT0(s, 0, 0.3, nil); err == nil {
+		t.Error("0 samples accepted")
+	}
+	if _, err := CalibrateT0(s, 10, 0.7, nil); err == nil {
+		t.Error("target 0.7 accepted")
+	}
+	if _, err := CalibrateT0(s, 10, 0, nil); err == nil {
+		t.Error("target 0 accepted")
+	}
+}
+
+func TestCalibrateT0NoUphillMoves(t *testing.T) {
+	// A single-element tour proposes no moves at all.
+	s := &tourState{perm: []int{0}}
+	t0, err := CalibrateT0(s, 10, 0.3, nil)
+	if err != nil || t0 != 1 {
+		t.Errorf("T0 = %g, %v; want fallback 1", t0, err)
+	}
+}

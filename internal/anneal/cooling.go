@@ -1,0 +1,102 @@
+package anneal
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cooling generates the temperature sequence Temp_k of the annealing
+// process (§2 of the paper: "The cooling function generates a sequence of
+// temperatures varying from ∞ (an arbitrary acceptance) to 0 (a
+// deterministic acceptance)").
+type Cooling interface {
+	// Name identifies the schedule (for reports and ablations).
+	Name() string
+	// Temperature returns Temp_k for stage k (0-based). Implementations
+	// must be non-increasing in k.
+	Temperature(stage int) float64
+	// Stages returns the number of stages in the schedule.
+	Stages() int
+}
+
+// Geometric is the classic exponential schedule Temp_k = T0 · α^k.
+type Geometric struct {
+	T0        float64 // initial temperature, > 0
+	Alpha     float64 // decay per stage, in (0,1)
+	NumStages int
+}
+
+// Name implements Cooling.
+func (g Geometric) Name() string { return fmt.Sprintf("geometric(T0=%g,α=%g)", g.T0, g.Alpha) }
+
+// Temperature implements Cooling.
+func (g Geometric) Temperature(stage int) float64 {
+	return g.T0 * math.Pow(g.Alpha, float64(stage))
+}
+
+// Stages implements Cooling.
+func (g Geometric) Stages() int { return g.NumStages }
+
+// Validate reports whether the schedule parameters are sane.
+func (g Geometric) Validate() error {
+	if g.T0 <= 0 || g.Alpha <= 0 || g.Alpha >= 1 || g.NumStages < 1 {
+		return fmt.Errorf("anneal: invalid geometric schedule %+v", g)
+	}
+	return nil
+}
+
+// Linear cools from T0 to 0 in equal decrements: Temp_k = T0·(1 − k/N).
+type Linear struct {
+	T0        float64
+	NumStages int
+}
+
+// Name implements Cooling.
+func (l Linear) Name() string { return fmt.Sprintf("linear(T0=%g)", l.T0) }
+
+// Temperature implements Cooling.
+func (l Linear) Temperature(stage int) float64 {
+	t := l.T0 * (1 - float64(stage)/float64(l.NumStages))
+	if t < 0 {
+		return 0
+	}
+	return t
+}
+
+// Stages implements Cooling.
+func (l Linear) Stages() int { return l.NumStages }
+
+// Logarithmic is the slow schedule Temp_k = C / ln(k+2) associated with
+// the classical convergence guarantees of Geman & Geman.
+type Logarithmic struct {
+	C         float64
+	NumStages int
+}
+
+// Name implements Cooling.
+func (l Logarithmic) Name() string { return fmt.Sprintf("logarithmic(C=%g)", l.C) }
+
+// Temperature implements Cooling.
+func (l Logarithmic) Temperature(stage int) float64 {
+	return l.C / math.Log(float64(stage)+2)
+}
+
+// Stages implements Cooling.
+func (l Logarithmic) Stages() int { return l.NumStages }
+
+// Constant holds the temperature fixed; Constant{T: 0} turns the engine
+// into a randomized strict-descent (greedy) search, a useful ablation
+// baseline.
+type Constant struct {
+	T         float64
+	NumStages int
+}
+
+// Name implements Cooling.
+func (c Constant) Name() string { return fmt.Sprintf("constant(T=%g)", c.T) }
+
+// Temperature implements Cooling.
+func (c Constant) Temperature(int) float64 { return c.T }
+
+// Stages implements Cooling.
+func (c Constant) Stages() int { return c.NumStages }

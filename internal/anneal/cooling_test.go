@@ -1,0 +1,113 @@
+package anneal
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometricSchedule(t *testing.T) {
+	g := Geometric{T0: 10, Alpha: 0.5, NumStages: 4}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{10, 5, 2.5, 1.25}
+	for i, w := range want {
+		if got := g.Temperature(i); got != w {
+			t.Errorf("T(%d) = %g, want %g", i, got, w)
+		}
+	}
+	if g.Stages() != 4 {
+		t.Errorf("Stages = %d", g.Stages())
+	}
+}
+
+func TestGeometricValidate(t *testing.T) {
+	bad := []Geometric{
+		{T0: 0, Alpha: 0.5, NumStages: 3},
+		{T0: 1, Alpha: 0, NumStages: 3},
+		{T0: 1, Alpha: 1, NumStages: 3},
+		{T0: 1, Alpha: 0.5, NumStages: 0},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("bad schedule %d accepted: %+v", i, g)
+		}
+	}
+}
+
+func TestLinearReachesZeroAndClamps(t *testing.T) {
+	l := Linear{T0: 8, NumStages: 4}
+	want := []float64{8, 6, 4, 2}
+	for i, w := range want {
+		if got := l.Temperature(i); got != w {
+			t.Errorf("T(%d) = %g, want %g", i, got, w)
+		}
+	}
+	if got := l.Temperature(100); got != 0 {
+		t.Errorf("overrun T = %g, want clamp to 0", got)
+	}
+}
+
+func TestLogarithmicDecreases(t *testing.T) {
+	l := Logarithmic{C: 2, NumStages: 50}
+	prev := l.Temperature(0)
+	for k := 1; k < 50; k++ {
+		cur := l.Temperature(k)
+		if cur >= prev {
+			t.Fatalf("T(%d) = %g >= T(%d) = %g", k, cur, k-1, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestConstant(t *testing.T) {
+	c := Constant{T: 3, NumStages: 7}
+	for k := 0; k < 7; k++ {
+		if c.Temperature(k) != 3 {
+			t.Fatalf("T(%d) = %g", k, c.Temperature(k))
+		}
+	}
+}
+
+func TestCoolingNames(t *testing.T) {
+	for _, cs := range []Cooling{
+		Geometric{T0: 1, Alpha: 0.9, NumStages: 5},
+		Linear{T0: 1, NumStages: 5},
+		Logarithmic{C: 1, NumStages: 5},
+		Constant{T: 1, NumStages: 5},
+	} {
+		if cs.Name() == "" || !strings.Contains(cs.Name(), "(") {
+			t.Errorf("uninformative name %q", cs.Name())
+		}
+	}
+}
+
+// Property: every schedule is non-increasing over its stages and
+// non-negative.
+func TestQuickSchedulesMonotone(t *testing.T) {
+	f := func(rawT0, rawAlpha uint8) bool {
+		t0 := float64(rawT0%100)/10 + 0.1
+		alpha := float64(rawAlpha%89+10) / 100 // 0.10 .. 0.98
+		schedules := []Cooling{
+			Geometric{T0: t0, Alpha: alpha, NumStages: 30},
+			Linear{T0: t0, NumStages: 30},
+			Logarithmic{C: t0, NumStages: 30},
+			Constant{T: t0, NumStages: 30},
+		}
+		for _, cs := range schedules {
+			prev := cs.Temperature(0)
+			for k := 1; k < cs.Stages(); k++ {
+				cur := cs.Temperature(k)
+				if cur < 0 || cur > prev+1e-12 {
+					return false
+				}
+				prev = cur
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+// Package cliutil holds the small parsing helpers shared by the command
+// line tools: topology specs, policy names, and program keys.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/list"
+	"repro/internal/machsim"
+	"repro/internal/programs"
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+)
+
+// ParseTopology builds a topology from a spec string such as
+// "hypercube:3", "bus:8", "ring:9", "star:8", "mesh:3x4", "torus:3x3",
+// "chain:4", "complete:6" or "tree:3".
+func ParseTopology(spec string) (*topology.Topology, error) {
+	kind, arg, found := strings.Cut(spec, ":")
+	if !found {
+		return nil, fmt.Errorf("topology spec %q: want kind:arg (e.g. hypercube:3)", spec)
+	}
+	atoi := func(s string) (int, error) {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return 0, fmt.Errorf("topology spec %q: bad number %q", spec, s)
+		}
+		return v, nil
+	}
+	switch kind {
+	case "hypercube", "hc":
+		d, err := atoi(arg)
+		if err != nil {
+			return nil, err
+		}
+		return topology.Hypercube(d)
+	case "bus":
+		n, err := atoi(arg)
+		if err != nil {
+			return nil, err
+		}
+		return topology.Bus(n)
+	case "star":
+		n, err := atoi(arg)
+		if err != nil {
+			return nil, err
+		}
+		return topology.Star(n)
+	case "ring":
+		n, err := atoi(arg)
+		if err != nil {
+			return nil, err
+		}
+		return topology.Ring(n)
+	case "chain":
+		n, err := atoi(arg)
+		if err != nil {
+			return nil, err
+		}
+		return topology.ChainTopo(n)
+	case "complete", "full":
+		n, err := atoi(arg)
+		if err != nil {
+			return nil, err
+		}
+		return topology.Complete(n)
+	case "tree":
+		n, err := atoi(arg)
+		if err != nil {
+			return nil, err
+		}
+		return topology.BinaryTree(n)
+	case "mesh", "torus":
+		rs, cs, ok := strings.Cut(arg, "x")
+		if !ok {
+			return nil, fmt.Errorf("topology spec %q: want %s:RxC", spec, kind)
+		}
+		r, err := atoi(rs)
+		if err != nil {
+			return nil, err
+		}
+		c, err := atoi(cs)
+		if err != nil {
+			return nil, err
+		}
+		if kind == "mesh" {
+			return topology.Mesh(r, c)
+		}
+		return topology.Torus(r, c)
+	default:
+		return nil, fmt.Errorf("topology spec %q: unknown kind %q", spec, kind)
+	}
+}
+
+// ParsePolicy builds a scheduling policy by name. SA policies receive the
+// given options.
+func ParsePolicy(name string, g *taskgraph.Graph, topo *topology.Topology,
+	comm topology.CommParams, saOpt core.Options) (machsim.Policy, error) {
+
+	switch strings.ToLower(name) {
+	case "sa", "anneal", "annealing":
+		return core.NewScheduler(g, topo, comm, saOpt)
+	case "hlf":
+		return list.NewHLF(g)
+	case "hlfcomm", "hlf+comm":
+		return list.NewCommAwareHLF(g, topo, comm)
+	case "etf":
+		return list.NewETF(g, topo, comm)
+	case "lpt":
+		return list.NewLPT(g), nil
+	case "misf":
+		return list.NewMISF(g)
+	case "fifo":
+		return list.NewFIFO(), nil
+	case "random":
+		return list.NewRandom(saOpt.Seed), nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q (want sa, hlf, hlfcomm, etf, lpt, misf, fifo or random)", name)
+	}
+}
+
+// BuildProgram returns a benchmark or synthetic graph by key: one of the
+// paper programs (NE, GJ, FFT, MM), "graham", or "" for nothing.
+func BuildProgram(key string) (*taskgraph.Graph, error) {
+	switch strings.ToUpper(key) {
+	case "NE", "GJ", "FFT", "MM":
+		p, err := programs.ByKey(strings.ToUpper(key))
+		if err != nil {
+			return nil, err
+		}
+		return p.Build(), nil
+	case "GRAHAM":
+		return programs.GrahamAnomaly(), nil
+	default:
+		return nil, fmt.Errorf("unknown program %q (want NE, GJ, FFT, MM or graham)", key)
+	}
+}

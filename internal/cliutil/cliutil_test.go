@@ -1,0 +1,88 @@
+package cliutil
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+func TestParseTopologyKinds(t *testing.T) {
+	cases := []struct {
+		spec string
+		n    int
+	}{
+		{"hypercube:3", 8},
+		{"hc:2", 4},
+		{"bus:8", 8},
+		{"star:8", 8},
+		{"ring:9", 9},
+		{"chain:4", 4},
+		{"complete:6", 6},
+		{"full:5", 5},
+		{"tree:3", 7},
+		{"mesh:3x4", 12},
+		{"torus:3x3", 9},
+	}
+	for _, tc := range cases {
+		topo, err := ParseTopology(tc.spec)
+		if err != nil {
+			t.Errorf("ParseTopology(%q): %v", tc.spec, err)
+			continue
+		}
+		if topo.N() != tc.n {
+			t.Errorf("ParseTopology(%q).N() = %d, want %d", tc.spec, topo.N(), tc.n)
+		}
+	}
+}
+
+func TestParseTopologyErrors(t *testing.T) {
+	for _, spec := range []string{
+		"", "hypercube", "hypercube:x", "mesh:3", "mesh:ax4", "warp:9", "ring:2", "mesh:3xq",
+	} {
+		if _, err := ParseTopology(spec); err == nil {
+			t.Errorf("ParseTopology(%q) accepted", spec)
+		}
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	g, err := BuildProgram("graham")
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := ParseTopology("complete:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm := topology.DefaultCommParams()
+	for _, name := range []string{"sa", "SA", "hlf", "hlfcomm", "etf", "lpt", "misf", "fifo", "random"} {
+		p, err := ParsePolicy(name, g, topo, comm, core.DefaultOptions())
+		if err != nil {
+			t.Errorf("ParsePolicy(%q): %v", name, err)
+			continue
+		}
+		if p.Name() == "" {
+			t.Errorf("policy %q has no name", name)
+		}
+	}
+	if _, err := ParsePolicy("magic", g, topo, comm, core.DefaultOptions()); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestBuildProgram(t *testing.T) {
+	for key, tasks := range map[string]int{"NE": 95, "gj": 111, "FFT": 73, "mm": 111, "graham": 9} {
+		g, err := BuildProgram(key)
+		if err != nil {
+			t.Errorf("BuildProgram(%q): %v", key, err)
+			continue
+		}
+		if g.NumTasks() != tasks {
+			t.Errorf("BuildProgram(%q) = %d tasks, want %d", key, g.NumTasks(), tasks)
+		}
+	}
+	if _, err := BuildProgram("nope"); err == nil {
+		t.Error("unknown program accepted")
+	}
+}

@@ -1,0 +1,316 @@
+// Package core implements the primary contribution of D'Hollander & Devis
+// (ICPP 1991): scheduling a directed taskgraph by simulated annealing.
+//
+// The scheduler operates in stages. At each assignment epoch an
+// *annealing packet* is formed from the ready tasks and the idle
+// processors (§4.1). A simulated annealing process then decides which
+// tasks are selected and where they run, minimizing the weighted,
+// per-packet-normalized sum (eq. 6) of
+//
+//   - the load-balancing cost Fb = −Σ nᵢ·s(i) (eq. 3), which pulls the
+//     highest-level tasks into the selection, and
+//   - the communication cost Fc = Σ cᵢⱼ (eq. 5) of shipping each selected
+//     task's inputs from the processors its predecessors ran on (eq. 4).
+//
+// Tasks that lose the competition stay in the pool for the next packet.
+package core
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/machsim"
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+)
+
+// packet is one annealing packet: the candidate tasks, the free
+// processors, and the precomputed cost tables of the placement problem.
+type packet struct {
+	tasks []taskgraph.TaskID // candidates (ready tasks)
+	procs []int              // idle processors
+	// level[i] is the task level of tasks[i].
+	level []float64
+	// commCost[i][j] is eq. 5 restricted to tasks[i] placed on procs[j]:
+	// the sum of eq. 4 over the task's finished predecessors.
+	commCost [][]float64
+	// dFb and dFc are the normalization ranges of §4.2c.
+	dFb, dFc float64
+	wb, wc   float64
+
+	// Mapping state mutated by the annealer. taskAt[j] is the candidate
+	// index on processor slot j (or -1); procOf[i] is the processor slot
+	// of candidate i (or -1).
+	taskAt []int
+	procOf []int
+
+	// Running raw component values, maintained incrementally.
+	rawFb float64
+	rawFc float64
+}
+
+// Locator reports the processor a finished task ran on (-1 if unknown);
+// the machine simulator's ProcOf satisfies it.
+type Locator func(taskgraph.TaskID) int
+
+// newPacket builds the packet cost tables for one epoch: the candidate
+// tasks, the free processors, and, via the locator, the communication
+// cost of every (task, processor) placement given where the predecessors
+// executed.
+func newPacket(ready []taskgraph.TaskID, idle []int, locate Locator, levels []float64,
+	topo *topology.Topology, comm topology.CommParams, g *taskgraph.Graph, wb, wc float64) *packet {
+
+	n, p := len(ready), len(idle)
+	pk := &packet{
+		tasks:    append([]taskgraph.TaskID(nil), ready...),
+		procs:    append([]int(nil), idle...),
+		level:    make([]float64, n),
+		commCost: make([][]float64, n),
+		wb:       wb,
+		wc:       wc,
+		taskAt:   make([]int, p),
+		procOf:   make([]int, n),
+	}
+	for j := range pk.taskAt {
+		pk.taskAt[j] = -1
+	}
+	for i := range pk.procOf {
+		pk.procOf[i] = -1
+	}
+	for i, t := range pk.tasks {
+		pk.level[i] = levels[t]
+		row := make([]float64, p)
+		for _, h := range g.Predecessors(t) {
+			src := locate(h.To)
+			if src < 0 {
+				continue // unreachable: ready tasks have finished predecessors
+			}
+			for j, proc := range pk.procs {
+				row[j] += comm.CommCost(topo.Dist(src, proc), h.Bits)
+			}
+		}
+		pk.commCost[i] = row
+	}
+	pk.dFb = pk.balanceRange()
+	pk.dFc = pk.commRange()
+	return pk
+}
+
+// nSelect returns how many tasks a full mapping places: min(#tasks, #procs).
+func (pk *packet) nSelect() int {
+	if len(pk.tasks) < len(pk.procs) {
+		return len(pk.tasks)
+	}
+	return len(pk.procs)
+}
+
+// balanceRange computes ΔFb = (Max − Min)/N_idle, where Max and Min are
+// the cumulative level values of the N_idle highest- and lowest-level
+// candidates (§4.2c). Degenerate packets get a range of 1 so the division
+// is always safe.
+func (pk *packet) balanceRange() float64 {
+	k := pk.nSelect()
+	if k == 0 {
+		return 1
+	}
+	sorted := append([]float64(nil), pk.level...)
+	sort.Float64s(sorted)
+	var lo, hi float64
+	for i := 0; i < k; i++ {
+		lo += sorted[i]
+		hi += sorted[len(sorted)-1-i]
+	}
+	r := (hi - lo) / float64(len(pk.procs))
+	if r <= 0 {
+		return 1
+	}
+	return r
+}
+
+// commRange estimates ΔFc by "placing the tasks with the highest
+// communication at the largest distance" (§4.2c): the sum, over the
+// N_idle candidates with the worst possible placement cost, of that worst
+// cost. Packets without any possible communication get a range of 1.
+func (pk *packet) commRange() float64 {
+	k := pk.nSelect()
+	if k == 0 {
+		return 1
+	}
+	worst := make([]float64, len(pk.tasks))
+	for i, row := range pk.commCost {
+		for _, c := range row {
+			if c > worst[i] {
+				worst[i] = c
+			}
+		}
+	}
+	sort.Float64s(worst)
+	var sum float64
+	for i := 0; i < k; i++ {
+		sum += worst[len(worst)-1-i]
+	}
+	if sum <= 0 {
+		return 1
+	}
+	return sum
+}
+
+// contribution returns the normalized cost contribution of candidate i
+// placed on processor slot j.
+func (pk *packet) contribution(i, j int) float64 {
+	return -pk.wb*pk.level[i]/pk.dFb + pk.wc*pk.commCost[i][j]/pk.dFc
+}
+
+// place assigns candidate i to processor slot j (both currently free) and
+// updates the running components.
+func (pk *packet) place(i, j int) {
+	pk.procOf[i] = j
+	pk.taskAt[j] = i
+	pk.rawFb -= pk.level[i]
+	pk.rawFc += pk.commCost[i][j]
+}
+
+// remove clears candidate i from its slot.
+func (pk *packet) remove(i int) {
+	j := pk.procOf[i]
+	pk.procOf[i] = -1
+	pk.taskAt[j] = -1
+	pk.rawFb += pk.level[i]
+	pk.rawFc -= pk.commCost[i][j]
+}
+
+// Cost implements anneal.Problem: eq. 6, F = wb·Fb/ΔFb + wc·Fc/ΔFc.
+func (pk *packet) Cost() float64 {
+	return pk.wb*pk.rawFb/pk.dFb + pk.wc*pk.rawFc/pk.dFc
+}
+
+// Fb returns the current raw load-balancing cost (eq. 3).
+func (pk *packet) Fb() float64 { return pk.rawFb }
+
+// Fc returns the current raw communication cost (eq. 5).
+func (pk *packet) Fc() float64 { return pk.rawFc }
+
+// Propose implements anneal.Problem with the paper's elementary moves
+// (§5.2a): pick a task tᵢ and a processor pⱼ ≠ m(tᵢ); if pⱼ is free,
+// (re)assign tᵢ to pⱼ, otherwise exchange tᵢ with the task occupying pⱼ.
+func (pk *packet) Propose(rng *rand.Rand) (float64, func(), bool) {
+	n, p := len(pk.tasks), len(pk.procs)
+	if n == 0 || p == 0 || (n == 1 && p == 1) {
+		return 0, nil, false // no alternative mapping exists
+	}
+	i := rng.Intn(n)
+	cur := pk.procOf[i]
+	if p == 1 && cur == 0 {
+		// The single slot already holds ti; a legal move must involve a
+		// different task (which then displaces the incumbent).
+		i = (i + 1 + rng.Intn(n-1)) % n
+		cur = pk.procOf[i]
+	}
+	j := rng.Intn(p)
+	if j == cur {
+		j = (j + 1 + rng.Intn(p-1)) % p // resample a slot different from m(ti); p > 1 here
+	}
+	other := pk.taskAt[j]
+
+	before := pk.componentCost(i, cur) + pk.componentCost(other, j)
+	// Apply the move: ti onto slot j; if j was occupied, its task takes
+	// ti's old slot (which may be "unassigned").
+	if cur >= 0 {
+		pk.remove(i)
+	}
+	if other >= 0 {
+		pk.remove(other)
+	}
+	pk.place(i, j)
+	if other >= 0 && cur >= 0 {
+		pk.place(other, cur)
+	}
+	after := pk.componentCost(i, pk.procOf[i])
+	if other >= 0 {
+		after += pk.componentCost(other, pk.procOf[other])
+	}
+	delta := after - before
+
+	undo := func() {
+		pk.remove(i)
+		if other >= 0 && cur >= 0 {
+			pk.remove(other)
+		}
+		if cur >= 0 {
+			pk.place(i, cur)
+		}
+		if other >= 0 {
+			pk.place(other, j)
+		}
+	}
+	return delta, undo, true
+}
+
+// componentCost returns candidate i's contribution when on slot j, or 0
+// when i or j denote "none" (negative).
+func (pk *packet) componentCost(i, j int) float64 {
+	if i < 0 || j < 0 {
+		return 0
+	}
+	return pk.contribution(i, j)
+}
+
+// Snapshot implements anneal.Snapshotter.
+func (pk *packet) Snapshot() any {
+	return packetSnapshot{
+		taskAt: append([]int(nil), pk.taskAt...),
+		procOf: append([]int(nil), pk.procOf...),
+		rawFb:  pk.rawFb,
+		rawFc:  pk.rawFc,
+	}
+}
+
+// Restore implements anneal.Snapshotter.
+func (pk *packet) Restore(s any) {
+	snap := s.(packetSnapshot)
+	copy(pk.taskAt, snap.taskAt)
+	copy(pk.procOf, snap.procOf)
+	pk.rawFb = snap.rawFb
+	pk.rawFc = snap.rawFc
+}
+
+type packetSnapshot struct {
+	taskAt []int
+	procOf []int
+	rawFb  float64
+	rawFc  float64
+}
+
+// initGreedy fills the processor slots with the highest-level candidates
+// in order (an HLF-like warm start).
+func (pk *packet) initGreedy() {
+	idx := make([]int, len(pk.tasks))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return pk.level[idx[a]] > pk.level[idx[b]] })
+	k := pk.nSelect()
+	for j := 0; j < k; j++ {
+		pk.place(idx[j], j)
+	}
+}
+
+// initRandom fills the processor slots with uniformly random candidates.
+func (pk *packet) initRandom(rng *rand.Rand) {
+	idx := rng.Perm(len(pk.tasks))
+	k := pk.nSelect()
+	for j := 0; j < k; j++ {
+		pk.place(idx[j], j)
+	}
+}
+
+// assignments converts the final mapping into simulator assignments.
+func (pk *packet) assignments() []machsim.Assignment {
+	var out []machsim.Assignment
+	for j, i := range pk.taskAt {
+		if i >= 0 {
+			out = append(out, machsim.Assignment{Task: pk.tasks[i], Proc: pk.procs[j]})
+		}
+	}
+	return out
+}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/anneal"
+	"repro/internal/machsim"
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+)
+
+// Options configures the simulated-annealing scheduler.
+type Options struct {
+	// Wb and Wc weight the load-balancing and communication terms of the
+	// cost function (eq. 6). The paper requires Wb + Wc = 1 and uses
+	// Wb = Wc = 0.5 for its Figure 1.
+	Wb, Wc float64
+	// Anneal configures the annealing engine per packet. Zero-valued
+	// fields are filled with packet-size-dependent defaults.
+	Anneal anneal.Options
+	// Seed drives all stochastic choices; equal seeds give equal schedules.
+	Seed int64
+	// GreedyInit starts each packet from the HLF mapping instead of a
+	// random one.
+	GreedyInit bool
+	// RecordTrace keeps the per-move cost trajectories (Fb, Fc, Ftot) of
+	// every packet, as plotted in the paper's Figure 1.
+	RecordTrace bool
+	// Restarts anneals each packet this many times from independent
+	// initial mappings and keeps the lowest-cost one. 0 or 1 means a
+	// single run. Restarts multiply per-packet work but smooth out the
+	// occasional bad packet on rugged cost surfaces.
+	Restarts int
+}
+
+// DefaultOptions returns the configuration used for the Table 2
+// reproduction: equal weights and the default annealing engine with a
+// packet-size-adaptive move budget (MovesPerStage is left zero so
+// fillAnnealDefaults scales it per packet).
+func DefaultOptions() Options {
+	opt := Options{Wb: 0.5, Wc: 0.5, Anneal: anneal.DefaultOptions()}
+	opt.Anneal.MovesPerStage = 0
+	return opt
+}
+
+// Validate reports whether the options are usable.
+func (o Options) Validate() error {
+	if o.Wb < 0 || o.Wc < 0 {
+		return fmt.Errorf("core: negative weights wb=%g wc=%g", o.Wb, o.Wc)
+	}
+	if s := o.Wb + o.Wc; s < 0.999 || s > 1.001 {
+		return fmt.Errorf("core: weights must satisfy wb+wc=1, got %g", s)
+	}
+	return nil
+}
+
+// TracePoint is one annealing iteration of one packet: the raw level cost
+// Fb (eq. 3), the raw communication cost Fc (eq. 5) and the weighted
+// normalized total Ftot (eq. 6). These are the three trajectories of the
+// paper's Figure 1.
+type TracePoint struct {
+	Iter int
+	Temp float64
+	Fb   float64
+	Fc   float64
+	Ftot float64
+}
+
+// PacketReport summarizes the annealing of one packet.
+type PacketReport struct {
+	Time        float64 // epoch time
+	Candidates  int     // ready tasks competing
+	Idle        int     // free processors
+	Assigned    int
+	Moves       int
+	Accepted    int
+	Stages      int
+	InitialCost float64
+	FinalCost   float64
+	PlateauStop bool
+	Trace       []TracePoint // nil unless Options.RecordTrace
+}
+
+// Scheduler is the paper's staged simulated-annealing scheduler. It
+// implements machsim.Policy. A Scheduler carries per-run state (its RNG
+// and packet reports); use a fresh Scheduler per simulation.
+type Scheduler struct {
+	g      *taskgraph.Graph
+	topo   *topology.Topology
+	comm   topology.CommParams
+	levels []float64
+	opt    Options
+	rng    *rand.Rand
+
+	packets []PacketReport
+}
+
+// NewScheduler builds an SA scheduling policy for one (graph, machine)
+// pair.
+func NewScheduler(g *taskgraph.Graph, topo *topology.Topology, comm topology.CommParams, opt Options) (*Scheduler, error) {
+	if topo == nil {
+		return nil, fmt.Errorf("core: nil topology")
+	}
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	levels, err := g.Levels()
+	if err != nil {
+		return nil, err
+	}
+	return &Scheduler{
+		g:      g,
+		topo:   topo,
+		comm:   comm,
+		levels: levels,
+		opt:    opt,
+		rng:    rand.New(rand.NewSource(opt.Seed)),
+	}, nil
+}
+
+// Name implements machsim.Policy.
+func (s *Scheduler) Name() string { return "SA" }
+
+// Packets returns the per-packet reports accumulated so far.
+func (s *Scheduler) Packets() []PacketReport { return s.packets }
+
+// Assign implements machsim.Policy: form the annealing packet, anneal the
+// mapping, return the selected placements.
+func (s *Scheduler) Assign(ep *machsim.Epoch) []machsim.Assignment {
+	if len(ep.Ready) == 0 || len(ep.Idle) == 0 {
+		return nil
+	}
+	pk := newPacket(ep.Ready, ep.Idle, ep.Sim.ProcOf, s.levels, s.topo, s.comm, s.g, s.opt.Wb, s.opt.Wc)
+	if s.opt.GreedyInit {
+		pk.initGreedy()
+	} else {
+		pk.initRandom(s.rng)
+	}
+
+	aopt := s.fillAnnealDefaults(len(pk.tasks), len(pk.procs))
+	aopt.RNG = s.rng
+	report := PacketReport{
+		Time:        ep.Time,
+		Candidates:  len(pk.tasks),
+		Idle:        len(pk.procs),
+		InitialCost: pk.Cost(),
+	}
+	if s.opt.RecordTrace {
+		aopt.OnMove = func(mi anneal.MoveInfo) {
+			report.Trace = append(report.Trace, TracePoint{
+				Iter: mi.Move,
+				Temp: mi.Temp,
+				Fb:   pk.Fb(),
+				Fc:   pk.Fc(),
+				Ftot: pk.Cost(),
+			})
+		}
+	}
+
+	restarts := s.opt.Restarts
+	if restarts < 1 {
+		restarts = 1
+	}
+	var bestSnap any
+	bestCost := 0.0
+	for r := 0; r < restarts; r++ {
+		if r > 0 {
+			// Fresh independent initial mapping for the retry.
+			for i := range pk.procOf {
+				if pk.procOf[i] >= 0 {
+					pk.remove(i)
+				}
+			}
+			if s.opt.GreedyInit {
+				pk.initGreedy()
+			} else {
+				pk.initRandom(s.rng)
+			}
+		}
+		res, err := anneal.Minimize(pk, aopt)
+		if err != nil {
+			// Configuration-only error path: keep the current mapping so
+			// scheduling still completes.
+			break
+		}
+		report.Moves += res.Moves
+		report.Accepted += res.Accepted
+		report.Stages += res.Stages
+		report.PlateauStop = res.PlateauStop
+		if bestSnap == nil || res.FinalCost < bestCost {
+			bestSnap = pk.Snapshot()
+			bestCost = res.FinalCost
+		}
+	}
+	if bestSnap != nil {
+		pk.Restore(bestSnap)
+		report.FinalCost = bestCost
+	}
+
+	out := pk.assignments()
+	report.Assigned = len(out)
+	s.packets = append(s.packets, report)
+	return out
+}
+
+// fillAnnealDefaults completes the annealing options with packet-scaled
+// values: the number of elementary moves per temperature grows with the
+// mapping's neighborhood size.
+func (s *Scheduler) fillAnnealDefaults(numTasks, numProcs int) anneal.Options {
+	aopt := s.opt.Anneal
+	if aopt.Cooling == nil {
+		aopt.Cooling = anneal.Geometric{T0: 1, Alpha: 0.9, NumStages: 60}
+	}
+	if aopt.MovesPerStage <= 0 {
+		moves := 2 * numTasks * numProcs
+		if moves < 20 {
+			moves = 20
+		}
+		if moves > 400 {
+			moves = 400
+		}
+		aopt.MovesPerStage = moves
+	}
+	if aopt.PlateauStages == 0 {
+		aopt.PlateauStages = 5
+	}
+	if aopt.MaxMoves == 0 {
+		aopt.MaxMoves = 20000
+	}
+	return aopt
+}
+
+// AvgCandidates returns the mean number of ready candidates per packet
+// (the paper reports ≈15 for Newton-Euler).
+func (s *Scheduler) AvgCandidates() float64 {
+	if len(s.packets) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range s.packets {
+		sum += float64(p.Candidates)
+	}
+	return sum / float64(len(s.packets))
+}
+
+// AvgIdle returns the mean number of free processors per packet (the
+// paper reports ≈1.46 for Newton-Euler).
+func (s *Scheduler) AvgIdle() float64 {
+	if len(s.packets) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range s.packets {
+		sum += float64(p.Idle)
+	}
+	return sum / float64(len(s.packets))
+}

@@ -1,0 +1,42 @@
+package expt
+
+import "testing"
+
+func TestAblationStaticShape(t *testing.T) {
+	rows, err := AblationStatic(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Static <= 0 || r.HLF <= 0 || r.SA <= 0 {
+			t.Errorf("%s: degenerate speedups %+v", r.Program, r)
+		}
+		// The paper's motivation: staged scheduling beats a static
+		// balanced mapping on directed taskgraphs.
+		if r.SA < r.Static {
+			t.Errorf("%s: staged SA (%.2f) lost to static mapping (%.2f)", r.Program, r.SA, r.Static)
+		}
+	}
+	t.Logf("\n%s", FormatStatic(rows))
+}
+
+func TestAblationOptimalShape(t *testing.T) {
+	study, err := AblationOptimal(15, 3, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if study.HLFRatio.Min < 1-1e-9 || study.SARatio.Min < 1-1e-9 {
+		t.Errorf("heuristic beat the exact optimum: %+v", study)
+	}
+	// The cited claim: HLF within 5%% of optimal in almost all cases.
+	if study.HLFWithin5Pct < study.Graphs*2/3 {
+		t.Errorf("HLF within 5%% only %d/%d", study.HLFWithin5Pct, study.Graphs)
+	}
+	t.Logf("\n%s", study)
+	if _, err := AblationOptimal(0, 3, 1); err == nil {
+		t.Error("0 graphs accepted")
+	}
+}

@@ -1,0 +1,84 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/list"
+	"repro/internal/machsim"
+	"repro/internal/programs"
+	"repro/internal/topology"
+)
+
+// AnomalyResult compares schedulers on Graham's anomaly instance
+// (§6b: "the SA algorithm is able to optimally solve the Graham list
+// scheduling anomalies").
+type AnomalyResult struct {
+	Procs      int
+	LowerBound float64 // critical-path bound; achieving it proves optimality
+	FIFO       float64 // makespan of the original-list scheduler
+	HLF        float64
+	SA         float64
+}
+
+// Anomaly runs the Graham anomaly instance (9 tasks, 3 processors,
+// communication disabled as in Graham's model) under the original task
+// list, HLF and simulated annealing.
+func Anomaly(seed int64) (*AnomalyResult, error) {
+	g := programs.GrahamAnomaly()
+	topo, err := topology.Complete(3)
+	if err != nil {
+		return nil, err
+	}
+	comm := topology.DefaultCommParams().NoComm()
+	model := machsim.Model{Graph: g, Topo: topo, Comm: comm}
+
+	lb, err := g.LowerBoundMakespan(topo.N())
+	if err != nil {
+		return nil, err
+	}
+	out := &AnomalyResult{Procs: topo.N(), LowerBound: lb}
+
+	fifoRes, err := machsim.Run(model, list.NewFIFO(), machsim.Options{})
+	if err != nil {
+		return nil, err
+	}
+	out.FIFO = fifoRes.Makespan
+
+	hlf, err := list.NewHLF(g)
+	if err != nil {
+		return nil, err
+	}
+	hlfRes, err := machsim.Run(model, hlf, machsim.Options{})
+	if err != nil {
+		return nil, err
+	}
+	out.HLF = hlfRes.Makespan
+
+	opt := core.DefaultOptions()
+	opt.Seed = seed
+	sched, err := core.NewScheduler(g, topo, comm, opt)
+	if err != nil {
+		return nil, err
+	}
+	saRes, err := machsim.Run(model, sched, machsim.Options{})
+	if err != nil {
+		return nil, err
+	}
+	out.SA = saRes.Makespan
+	return out, nil
+}
+
+// String renders the comparison.
+func (a *AnomalyResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Graham anomaly instance on %d processors (lower bound %.0f):\n", a.Procs, a.LowerBound)
+	fmt.Fprintf(&b, "  original list (FIFO): makespan %.0f\n", a.FIFO)
+	fmt.Fprintf(&b, "  HLF:                  makespan %.0f\n", a.HLF)
+	fmt.Fprintf(&b, "  simulated annealing:  makespan %.0f\n", a.SA)
+	if a.SA <= a.LowerBound {
+		b.WriteString("  SA reaches the critical-path bound: provably optimal.\n")
+	}
+	return b.String()
+}

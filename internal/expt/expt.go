@@ -1,0 +1,86 @@
+// Package expt regenerates every table and figure of the paper's
+// evaluation section (§6), plus the ablations called out in DESIGN.md:
+//
+//	Table 1   benchmark program characteristics
+//	Table 2   SA vs HLF speedups on three architectures, with/without comm
+//	Figure 1  cost trajectories of one annealing packet
+//	Figure 2  Gantt chart of the Newton-Euler program on the hypercube
+//	§6a       packet statistics (candidates per free processor)
+//	§6b       Graham anomaly: SA reaches the optimum a fixed list misses
+//
+// All experiments are deterministic given their seeds.
+package expt
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/machsim"
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+)
+
+// Arch is one evaluation architecture.
+type Arch struct {
+	Name string
+	Topo *topology.Topology
+}
+
+// Architectures returns the paper's three host configurations: an
+// 8-processor hypercube, an 8-processor bus (star), and a 9-processor
+// ring.
+func Architectures() ([]Arch, error) {
+	hc, err := topology.Hypercube(3)
+	if err != nil {
+		return nil, err
+	}
+	bus, err := topology.Bus(8)
+	if err != nil {
+		return nil, err
+	}
+	ring, err := topology.Ring(9)
+	if err != nil {
+		return nil, err
+	}
+	return []Arch{
+		{Name: "Hypercube (8p)", Topo: hc},
+		{Name: "Bus (8p)", Topo: bus},
+		{Name: "Ring (9p)", Topo: ring},
+	}, nil
+}
+
+// RunSA schedules g on topo with the annealing scheduler and returns the
+// simulation result together with the scheduler (whose packet reports the
+// figures use).
+func RunSA(g *taskgraph.Graph, topo *topology.Topology, comm topology.CommParams,
+	opt core.Options, simOpt machsim.Options) (*machsim.Result, *core.Scheduler, error) {
+
+	sched, err := core.NewScheduler(g, topo, comm, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := machsim.Run(machsim.Model{Graph: g, Topo: topo, Comm: comm}, sched, simOpt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, sched, nil
+}
+
+// RunPolicy schedules g on topo with an arbitrary policy.
+func RunPolicy(g *taskgraph.Graph, topo *topology.Topology, comm topology.CommParams,
+	p machsim.Policy, simOpt machsim.Options) (*machsim.Result, error) {
+
+	return machsim.Run(machsim.Model{Graph: g, Topo: topo, Comm: comm}, p, simOpt)
+}
+
+// Gain returns the percentage speedup improvement of a over b, the
+// "% gain" columns of Table 2.
+func Gain(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * (a - b) / b
+}
+
+// fmtPct formats a percentage with one decimal.
+func fmtPct(v float64) string { return fmt.Sprintf("%.1f", v) }

@@ -1,0 +1,235 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/gantt"
+	"repro/internal/machsim"
+	"repro/internal/programs"
+	"repro/internal/topology"
+)
+
+// Figure1Data holds the cost trajectories of one annealing packet: the
+// level cost Fb, the communication cost Fc and the weighted total Ftot as
+// functions of the iteration number (paper Figure 1, Newton-Euler packet
+// on an 8-node hypercube with wb = wc = 0.5).
+type Figure1Data struct {
+	Program    string
+	Arch       string
+	PacketTime float64
+	Candidates int
+	Idle       int
+	Trace      []core.TracePoint
+}
+
+// Figure1 schedules Newton-Euler on the hypercube with trace recording
+// and returns the trajectories of the packet with the richest mapping
+// problem (most candidates × free processors), which is the interesting
+// packet to plot.
+func Figure1(seed int64) (*Figure1Data, error) {
+	prog, err := programs.ByKey("NE")
+	if err != nil {
+		return nil, err
+	}
+	g := prog.Build()
+	topo, err := topology.Hypercube(3)
+	if err != nil {
+		return nil, err
+	}
+	opt := core.DefaultOptions()
+	opt.Seed = seed
+	opt.RecordTrace = true
+	_, sched, err := RunSA(g, topo, topology.DefaultCommParams(), opt, machsim.Options{})
+	if err != nil {
+		return nil, err
+	}
+	packets := sched.Packets()
+	if len(packets) == 0 {
+		return nil, fmt.Errorf("expt: no packets recorded")
+	}
+	// Pick the packet with the richest mapping problem among those whose
+	// candidates actually communicate (the initial packet holds only root
+	// tasks, whose communication cost is identically zero — not the
+	// interesting trajectory the paper plots).
+	hasComm := func(p core.PacketReport) bool {
+		for _, tp := range p.Trace {
+			if tp.Fc != 0 {
+				return true
+			}
+		}
+		return false
+	}
+	best := -1
+	for i, p := range packets {
+		if !hasComm(p) {
+			continue
+		}
+		if best < 0 || p.Candidates*p.Idle > packets[best].Candidates*packets[best].Idle {
+			best = i
+		}
+	}
+	if best < 0 {
+		best = 0
+	}
+	p := packets[best]
+	return &Figure1Data{
+		Program:    prog.Title,
+		Arch:       topo.Name(),
+		PacketTime: p.Time,
+		Candidates: p.Candidates,
+		Idle:       p.Idle,
+		Trace:      p.Trace,
+	}, nil
+}
+
+// CSV renders the trajectories as comma-separated values with a header,
+// ready for external plotting.
+func (f *Figure1Data) CSV() string {
+	var b strings.Builder
+	b.WriteString("iteration,temperature,level_cost,comm_cost,total_cost\n")
+	for _, tp := range f.Trace {
+		fmt.Fprintf(&b, "%d,%.6g,%.6g,%.6g,%.6g\n", tp.Iter, tp.Temp, tp.Fb, tp.Fc, tp.Ftot)
+	}
+	return b.String()
+}
+
+// Plot renders the three trajectories as an ASCII chart of the given size.
+func (f *Figure1Data) Plot(width, height int) string {
+	if width <= 10 {
+		width = 72
+	}
+	if height <= 4 {
+		height = 20
+	}
+	if len(f.Trace) == 0 {
+		return "(empty trace)\n"
+	}
+	// Series are plotted on a shared y scale like the paper's figure.
+	lo, hi := f.Trace[0].Fb, f.Trace[0].Fb
+	series := []func(core.TracePoint) float64{
+		func(tp core.TracePoint) float64 { return tp.Fc },
+		func(tp core.TracePoint) float64 { return tp.Fb },
+		func(tp core.TracePoint) float64 { return tp.Ftot },
+	}
+	marks := []byte{'c', 'b', '*'}
+	for _, tp := range f.Trace {
+		for _, fn := range series {
+			v := fn(tp)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = make([]byte, width)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	n := len(f.Trace)
+	for si, fn := range series {
+		for _, tp := range f.Trace {
+			c := tp.Iter * (width - 1) / max(1, n-1)
+			v := fn(tp)
+			r := int(float64(height-1) * (hi - v) / (hi - lo))
+			if r < 0 {
+				r = 0
+			}
+			if r >= height {
+				r = height - 1
+			}
+			grid[r][c] = marks[si]
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1: cost trajectories of a %s annealing packet on %s\n", f.Program, f.Arch)
+	fmt.Fprintf(&b, "packet at t=%.2fµs: %d candidates, %d free processors, %d iterations\n",
+		f.PacketTime, f.Candidates, f.Idle, len(f.Trace))
+	fmt.Fprintf(&b, "%8.2f ┤\n", hi)
+	for r := 0; r < height; r++ {
+		fmt.Fprintf(&b, "         │%s\n", string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%8.2f ┼%s\n", lo, strings.Repeat("─", width))
+	fmt.Fprintf(&b, "          0%*s\n", width-1, fmt.Sprintf("iterations %d", n))
+	b.WriteString("          legend: b = level cost Fb, c = comm cost Fc, * = total cost\n")
+	return b.String()
+}
+
+// Figure2 schedules Newton-Euler on the hypercube with Gantt recording and
+// renders the first part of the execution (the paper shows roughly the
+// first 0.3 ms).
+func Figure2(seed int64, window float64, width int) (string, *machsim.Result, error) {
+	prog, err := programs.ByKey("NE")
+	if err != nil {
+		return "", nil, err
+	}
+	g := prog.Build()
+	topo, err := topology.Hypercube(3)
+	if err != nil {
+		return "", nil, err
+	}
+	opt := core.DefaultOptions()
+	opt.Seed = seed
+	res, _, err := RunSA(g, topo, topology.DefaultCommParams(), opt, machsim.Options{RecordGantt: true})
+	if err != nil {
+		return "", nil, err
+	}
+	if window <= 0 {
+		window = res.Makespan * 0.6
+	}
+	chart := gantt.Render(res, topo.N(), gantt.Config{Width: width, To: window, ShowLegend: true})
+	return chart, res, nil
+}
+
+// PacketSummary reproduces the §6a observation: the number of annealing
+// packets and the average candidates and free processors per packet for
+// Newton-Euler on the hypercube (the paper reports 65 packets with on
+// average 15 candidates for 1.46 free processors).
+type PacketSummary struct {
+	Packets       int
+	AvgCandidates float64
+	AvgIdle       float64
+	TasksTotal    int
+}
+
+// Packets runs Newton-Euler on the hypercube and summarizes the annealing
+// packets.
+func Packets(seed int64) (*PacketSummary, error) {
+	prog, err := programs.ByKey("NE")
+	if err != nil {
+		return nil, err
+	}
+	g := prog.Build()
+	topo, err := topology.Hypercube(3)
+	if err != nil {
+		return nil, err
+	}
+	opt := core.DefaultOptions()
+	opt.Seed = seed
+	_, sched, err := RunSA(g, topo, topology.DefaultCommParams(), opt, machsim.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &PacketSummary{
+		Packets:       len(sched.Packets()),
+		AvgCandidates: sched.AvgCandidates(),
+		AvgIdle:       sched.AvgIdle(),
+		TasksTotal:    g.NumTasks(),
+	}, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,107 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/list"
+	"repro/internal/machsim"
+	"repro/internal/programs"
+	"repro/internal/topology"
+)
+
+// PolicyRow holds the speedups of every scheduler in the library on one
+// benchmark program (hypercube-8, communication enabled): the weakest to
+// strongest baselines bracketing the paper's annealing scheduler.
+type PolicyRow struct {
+	Program string
+	Random  float64
+	FIFO    float64
+	LPT     float64
+	MISF    float64
+	HLF     float64
+	ETF     float64
+	SA      float64
+}
+
+// PolicyComparison runs the whole policy zoo over the four benchmark
+// programs — the "how much does each level of sophistication buy"
+// experiment (Ablation F).
+func PolicyComparison(seed int64) ([]PolicyRow, error) {
+	topo, err := topology.Hypercube(3)
+	if err != nil {
+		return nil, err
+	}
+	comm := topology.DefaultCommParams()
+	var rows []PolicyRow
+	for _, prog := range programs.Catalog() {
+		g := prog.Build()
+		model := machsim.Model{Graph: g, Topo: topo, Comm: comm}
+		row := PolicyRow{Program: prog.Key}
+
+		run := func(p machsim.Policy) (float64, error) {
+			res, err := machsim.Run(model, p, machsim.Options{})
+			if err != nil {
+				return 0, err
+			}
+			return res.Speedup, nil
+		}
+
+		if row.Random, err = run(list.NewRandom(seed)); err != nil {
+			return nil, err
+		}
+		if row.FIFO, err = run(list.NewFIFO()); err != nil {
+			return nil, err
+		}
+		if row.LPT, err = run(list.NewLPT(g)); err != nil {
+			return nil, err
+		}
+		misf, err := list.NewMISF(g)
+		if err != nil {
+			return nil, err
+		}
+		if row.MISF, err = run(misf); err != nil {
+			return nil, err
+		}
+		hlf, err := list.NewHLF(g)
+		if err != nil {
+			return nil, err
+		}
+		if row.HLF, err = run(hlf); err != nil {
+			return nil, err
+		}
+		etf, err := list.NewETF(g, topo, comm)
+		if err != nil {
+			return nil, err
+		}
+		if row.ETF, err = run(etf); err != nil {
+			return nil, err
+		}
+		opt := core.DefaultOptions()
+		opt.Seed = seed
+		opt.Restarts = 2
+		sched, err := core.NewScheduler(g, topo, comm, opt)
+		if err != nil {
+			return nil, err
+		}
+		if row.SA, err = run(sched); err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatPolicyComparison renders the policy zoo table.
+func FormatPolicyComparison(rows []PolicyRow) string {
+	var b strings.Builder
+	b.WriteString("Ablation F: scheduling policies on hypercube-8 with communication (speedups)\n")
+	fmt.Fprintf(&b, "%-6s %8s %8s %8s %8s %8s %8s %8s\n",
+		"Prog", "Random", "FIFO", "LPT", "MISF", "HLF", "ETF", "SA")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6s %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f\n",
+			r.Program, r.Random, r.FIFO, r.LPT, r.MISF, r.HLF, r.ETF, r.SA)
+	}
+	return b.String()
+}

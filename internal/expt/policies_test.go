@@ -1,0 +1,29 @@
+package expt
+
+import "testing"
+
+func TestPolicyComparisonShape(t *testing.T) {
+	rows, err := PolicyComparison(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		for name, sp := range map[string]float64{
+			"Random": r.Random, "FIFO": r.FIFO, "LPT": r.LPT,
+			"MISF": r.MISF, "HLF": r.HLF, "ETF": r.ETF, "SA": r.SA,
+		} {
+			if sp <= 0 {
+				t.Errorf("%s %s: speedup %g", r.Program, name, sp)
+			}
+		}
+		// The paper's scheduler should not lose to the blind baselines.
+		if r.SA < r.Random-1e-9 || r.SA < r.FIFO-1e-9 {
+			t.Errorf("%s: SA (%.2f) lost to a blind baseline (random %.2f, fifo %.2f)",
+				r.Program, r.SA, r.Random, r.FIFO)
+		}
+	}
+	t.Logf("\n%s", FormatPolicyComparison(rows))
+}

@@ -1,0 +1,83 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/list"
+	"repro/internal/machsim"
+	"repro/internal/programs"
+	"repro/internal/topology"
+)
+
+// ScalingPoint is one machine size of the processor-scaling study.
+type ScalingPoint struct {
+	Procs    int
+	SA       float64
+	HLF      float64
+	Messages int // messages of the SA schedule
+}
+
+// Scaling sweeps hypercube sizes (1, 2, 4, ... processors) for one
+// benchmark program with communication enabled — the classic
+// speedup-versus-processors curve, showing where communication overhead
+// flattens the scaling. An extension beyond the paper's fixed 8/9
+// processor machines.
+func Scaling(progKey string, maxDim int, seed int64) ([]ScalingPoint, error) {
+	if maxDim < 0 || maxDim > 8 {
+		return nil, fmt.Errorf("expt: scaling maxDim %d out of range [0,8]", maxDim)
+	}
+	prog, err := programs.ByKey(progKey)
+	if err != nil {
+		return nil, err
+	}
+	g := prog.Build()
+	comm := topology.DefaultCommParams()
+	var out []ScalingPoint
+	for dim := 0; dim <= maxDim; dim++ {
+		topo, err := topology.Hypercube(dim)
+		if err != nil {
+			return nil, err
+		}
+		model := machsim.Model{Graph: g, Topo: topo, Comm: comm}
+
+		hlf, err := list.NewHLF(g)
+		if err != nil {
+			return nil, err
+		}
+		hlfRes, err := machsim.Run(model, hlf, machsim.Options{})
+		if err != nil {
+			return nil, err
+		}
+
+		opt := core.DefaultOptions()
+		opt.Seed = seed
+		sched, err := core.NewScheduler(g, topo, comm, opt)
+		if err != nil {
+			return nil, err
+		}
+		saRes, err := machsim.Run(model, sched, machsim.Options{})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ScalingPoint{
+			Procs:    topo.N(),
+			SA:       saRes.Speedup,
+			HLF:      hlfRes.Speedup,
+			Messages: saRes.Messages,
+		})
+	}
+	return out, nil
+}
+
+// FormatScaling renders the scaling curve.
+func FormatScaling(progKey string, pts []ScalingPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scaling study: %s on hypercubes (with communication)\n", progKey)
+	fmt.Fprintf(&b, "%6s %9s %9s %9s\n", "procs", "SA", "HLF", "messages")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%6d %9.2f %9.2f %9d\n", p.Procs, p.SA, p.HLF, p.Messages)
+	}
+	return b.String()
+}

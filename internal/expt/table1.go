@@ -1,0 +1,65 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/programs"
+)
+
+// Table1Row pairs the measured characteristics of one generated benchmark
+// graph with the paper's published values.
+type Table1Row struct {
+	Program    string
+	Tasks      int
+	AvgDur     float64
+	AvgComm    float64
+	CCRatio    float64
+	MaxSpeedup float64
+	Paper      programs.Table1Row
+}
+
+// Table1 generates the four benchmark graphs and computes their
+// characteristics at the paper's 10 Mb/s bandwidth.
+func Table1() ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, p := range programs.Catalog() {
+		g := p.Build()
+		if err := g.Validate(); err != nil {
+			return nil, fmt.Errorf("expt: %s: %w", p.Key, err)
+		}
+		st, err := g.ComputeStats(programs.PaperBandwidth)
+		if err != nil {
+			return nil, fmt.Errorf("expt: %s: %w", p.Key, err)
+		}
+		rows = append(rows, Table1Row{
+			Program:    p.Title,
+			Tasks:      st.Tasks,
+			AvgDur:     st.AvgLoad,
+			AvgComm:    st.AvgComm,
+			CCRatio:    st.CCRatio,
+			MaxSpeedup: st.MaxSpeedup,
+			Paper:      p.Paper,
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable1 renders the rows in the paper's Table 1 layout, with the
+// published values alongside for comparison.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	b.WriteString("Table 1: Principal program characteristics (measured | paper). Times in µs.\n")
+	fmt.Fprintf(&b, "%-28s %8s %18s %18s %16s %18s\n",
+		"Program", "Tasks", "Avg Duration", "Avg Commun.", "C/C Ratio", "Max. Speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-28s %3d|%3d %9.2f|%7.2f %9.2f|%7.2f %7.1f%%|%5.1f%% %9.2f|%7.2f\n",
+			r.Program,
+			r.Tasks, r.Paper.Tasks,
+			r.AvgDur, r.Paper.AvgDur,
+			r.AvgComm, r.Paper.AvgComm,
+			100*r.CCRatio, 100*r.Paper.CCRatio,
+			r.MaxSpeedup, r.Paper.MaxSpeedup)
+	}
+	return b.String()
+}

@@ -1,0 +1,258 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/list"
+	"repro/internal/machsim"
+	"repro/internal/programs"
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+)
+
+// Table2Cell holds the SA and HLF speedups of one (program, architecture,
+// communication) configuration.
+type Table2Cell struct {
+	SA   float64
+	HLF  float64
+	Gain float64 // % improvement of SA over HLF
+}
+
+// Table2Row is one program × architecture line: speedups without and with
+// communication.
+type Table2Row struct {
+	Program string
+	Arch    string
+	NoComm  Table2Cell
+	Comm    Table2Cell
+	// PaperNoComm and PaperComm carry the published cells when available.
+	PaperNoComm, PaperComm Table2Cell
+}
+
+// Table2Config parameterizes the speedup study.
+type Table2Config struct {
+	// Seed drives the annealing scheduler.
+	Seed int64
+	// Restarts runs SA this many times with derived seeds and keeps the
+	// best speedup, emulating the tuning freedom the paper's weight
+	// factors provide ("tuned to optimize the allocation for the highest
+	// speed-up", §4.2c). 0 means the default of 3; use a negative value
+	// for a single run.
+	Restarts int
+	// Options for the SA scheduler. Zero value uses core.DefaultOptions.
+	SA core.Options
+	// Programs restricts the study to the given keys; empty means all.
+	Programs []string
+	// Workers runs the independent (program, architecture, communication)
+	// cells concurrently on this many goroutines; 0 or 1 means sequential.
+	// Results are deterministic either way: every cell derives its seeds
+	// from Seed alone.
+	Workers int
+}
+
+// paperTable2 holds the published Table 2 numbers, keyed by program key
+// and architecture index (hypercube, bus, ring).
+var paperTable2 = map[string][3][2]Table2Cell{
+	//        w/o comm                          with comm
+	"NE": {
+		{{SA: 7.20, HLF: 6.90, Gain: 4.4}, {SA: 5.6, HLF: 4.9, Gain: 14.3}},
+		{{SA: 7.20, HLF: 6.90, Gain: 4.4}, {SA: 6.2, HLF: 5.2, Gain: 11.5}},
+		{{SA: 8.00, HLF: 8.00, Gain: 0.0}, {SA: 5.5, HLF: 3.6, Gain: 52.8}},
+	},
+	"GJ": {
+		{{SA: 6.67, HLF: 6.67, Gain: 0.0}, {SA: 4.80, HLF: 4.64, Gain: 3.5}},
+		{{SA: 6.76, HLF: 6.67, Gain: 1.4}, {SA: 4.93, HLF: 4.74, Gain: 3.9}},
+		{{SA: 8.25, HLF: 8.25, Gain: 0.0}, {SA: 5.02, HLF: 4.77, Gain: 5.0}},
+	},
+	"MM": {
+		{{SA: 7.75, HLF: 7.75, Gain: 0.0}, {SA: 6.11, HLF: 5.19, Gain: 17.7}},
+		{{SA: 7.75, HLF: 7.75, Gain: 0.0}, {SA: 6.34, HLF: 5.71, Gain: 11.0}},
+		{{SA: 8.38, HLF: 8.38, Gain: 0.0}, {SA: 6.04, HLF: 4.96, Gain: 21.8}},
+	},
+	"FFT": {
+		{{SA: 7.38, HLF: 7.38, Gain: 0.0}, {SA: 6.23, HLF: 4.93, Gain: 26.3}},
+		{{SA: 7.48, HLF: 7.38, Gain: 1.4}, {SA: 6.27, HLF: 5.58, Gain: 12.3}},
+		{{SA: 8.43, HLF: 8.43, Gain: 0.0}, {SA: 5.97, HLF: 5.10, Gain: 17.0}},
+	},
+}
+
+// PaperTable2 returns the published cell for a program key and
+// architecture index (0 hypercube, 1 bus, 2 ring).
+func PaperTable2(key string, arch int, withComm bool) Table2Cell {
+	rows, ok := paperTable2[key]
+	if !ok || arch < 0 || arch > 2 {
+		return Table2Cell{}
+	}
+	if withComm {
+		return rows[arch][1]
+	}
+	return rows[arch][0]
+}
+
+// Table2 reproduces the paper's speedup study: every benchmark program on
+// every architecture, scheduled by SA and by HLF, with and without
+// communication.
+func Table2(cfg Table2Config) ([]Table2Row, error) {
+	archs, err := Architectures()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.SA.Wb == 0 && cfg.SA.Wc == 0 {
+		cfg.SA = core.DefaultOptions()
+	}
+	keys := cfg.Programs
+	if len(keys) == 0 {
+		keys = []string{"NE", "GJ", "MM", "FFT"}
+	}
+	// Build the work list up front; every cell is independent, so the
+	// rows can be computed concurrently.
+	type job struct {
+		rowIdx   int
+		withComm bool
+		g        *taskgraph.Graph
+		arch     Arch
+	}
+	var jobs []job
+	rows := make([]Table2Row, 0, len(keys)*len(archs))
+	for _, key := range keys {
+		prog, err := programs.ByKey(key)
+		if err != nil {
+			return nil, err
+		}
+		for ai, arch := range archs {
+			rows = append(rows, Table2Row{
+				Program:     prog.Key,
+				Arch:        arch.Name,
+				PaperNoComm: PaperTable2(prog.Key, ai, false),
+				PaperComm:   PaperTable2(prog.Key, ai, true),
+			})
+			for _, withComm := range []bool{false, true} {
+				jobs = append(jobs, job{
+					rowIdx:   len(rows) - 1,
+					withComm: withComm,
+					// Each job gets its own graph: simulations share
+					// nothing, so the study parallelizes trivially.
+					g:    prog.Build(),
+					arch: arch,
+				})
+			}
+		}
+	}
+
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan job)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range next {
+				comm := topology.DefaultCommParams()
+				if !j.withComm {
+					comm = comm.NoComm()
+				}
+				cell, err := table2Cell(cfg, j.g, j.arch, comm)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("expt: row %d: %w", j.rowIdx, err)
+				}
+				if j.withComm {
+					rows[j.rowIdx].Comm = cell
+				} else {
+					rows[j.rowIdx].NoComm = cell
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, j := range jobs {
+		next <- j
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return rows, nil
+}
+
+// table2Cell runs HLF and SA (with optional restarts) for one
+// configuration and returns the speedup cell.
+func table2Cell(cfg Table2Config, g *taskgraph.Graph, arch Arch, comm topology.CommParams) (Table2Cell, error) {
+	hlf, err := list.NewHLF(g)
+	if err != nil {
+		return Table2Cell{}, err
+	}
+	model := machsim.Model{Graph: g, Topo: arch.Topo, Comm: comm}
+	hlfRes, err := machsim.Run(model, hlf, machsim.Options{})
+	if err != nil {
+		return Table2Cell{}, err
+	}
+
+	restarts := cfg.Restarts
+	switch {
+	case restarts == 0:
+		restarts = 3
+	case restarts < 0:
+		restarts = 1
+	}
+	bestSA := 0.0
+	for r := 0; r < restarts; r++ {
+		opt := cfg.SA
+		opt.Seed = cfg.Seed + int64(r)*1_000_003
+		sched, err := core.NewScheduler(g, arch.Topo, comm, opt)
+		if err != nil {
+			return Table2Cell{}, err
+		}
+		res, err := machsim.Run(model, sched, machsim.Options{})
+		if err != nil {
+			return Table2Cell{}, err
+		}
+		if res.Speedup > bestSA {
+			bestSA = res.Speedup
+		}
+	}
+	return Table2Cell{
+		SA:   bestSA,
+		HLF:  hlfRes.Speedup,
+		Gain: Gain(bestSA, hlfRes.Speedup),
+	}, nil
+}
+
+// FormatTable2 renders the rows in the paper's Table 2 layout; each cell
+// shows the measured value with the published value in parentheses.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	b.WriteString("Table 2: Speedups, Simulated Annealing vs HLF (measured, paper in parentheses).\n")
+	fmt.Fprintf(&b, "%-5s %-15s | %-30s | %-30s\n", "", "", "w/o Comm.", "with Comm.")
+	fmt.Fprintf(&b, "%-5s %-15s | %9s %9s %9s | %9s %9s %9s\n",
+		"Prog", "Architecture", "(Sp)SA", "(Sp)HLF", "% gain", "(Sp)SA", "(Sp)HLF", "% gain")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-5s %-15s | %9s %9s %9s | %9s %9s %9s\n",
+			r.Program, r.Arch,
+			cellStr(r.NoComm.SA, r.PaperNoComm.SA),
+			cellStr(r.NoComm.HLF, r.PaperNoComm.HLF),
+			cellStr(r.NoComm.Gain, r.PaperNoComm.Gain),
+			cellStr(r.Comm.SA, r.PaperComm.SA),
+			cellStr(r.Comm.HLF, r.PaperComm.HLF),
+			cellStr(r.Comm.Gain, r.PaperComm.Gain))
+	}
+	return b.String()
+}
+
+func cellStr(measured, paper float64) string {
+	return fmt.Sprintf("%.2f(%.1f)", measured, paper)
+}

@@ -1,0 +1,153 @@
+// Package gantt renders machine-simulator traces as text Gantt charts in
+// the style of the paper's Figure 2: per-processor timelines with task
+// blocks, and message-handling marks above the compute row (sends) and
+// below it (receives and routing).
+package gantt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/machsim"
+)
+
+// Config controls chart rendering.
+type Config struct {
+	// Width is the number of timeline columns (default 100).
+	Width int
+	// From and To bound the rendered time window; To = 0 means the full
+	// trace (the paper's Figure 2 shows only the start of the program).
+	From, To float64
+	// ShowLegend appends the block legend.
+	ShowLegend bool
+}
+
+// Render draws the intervals of a simulation result. Processors are shown
+// top to bottom; each processor occupies three text rows: sends, compute,
+// receives/routes.
+func Render(res *machsim.Result, nprocs int, cfg Config) string {
+	if cfg.Width <= 0 {
+		cfg.Width = 100
+	}
+	to := cfg.To
+	if to <= 0 {
+		to = res.Makespan
+	}
+	from := cfg.From
+	if to <= from {
+		to = from + 1
+	}
+	span := to - from
+	col := func(t float64) int {
+		c := int(float64(cfg.Width) * (t - from) / span)
+		if c < 0 {
+			c = 0
+		}
+		if c > cfg.Width {
+			c = cfg.Width
+		}
+		return c
+	}
+
+	byProc := make([][]machsim.Interval, nprocs)
+	for _, iv := range res.Gantt {
+		if iv.End < from || iv.Start > to || iv.Proc < 0 || iv.Proc >= nprocs {
+			continue
+		}
+		byProc[iv.Proc] = append(byProc[iv.Proc], iv)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Gantt chart: %s, t = %.2f .. %.2f µs (makespan %.2f µs, speedup %.2f)\n",
+		res.Policy, from, to, res.Makespan, res.Speedup)
+	for p := 0; p < nprocs; p++ {
+		send := blankRow(cfg.Width)
+		cpu := blankRow(cfg.Width)
+		recv := blankRow(cfg.Width)
+		sort.SliceStable(byProc[p], func(i, j int) bool { return byProc[p][i].Start < byProc[p][j].Start })
+		for _, iv := range byProc[p] {
+			lo, hi := col(iv.Start), col(iv.End)
+			if hi <= lo {
+				hi = lo + 1
+				if hi > cfg.Width {
+					lo, hi = cfg.Width-1, cfg.Width
+				}
+			}
+			switch iv.Kind {
+			case machsim.KindCompute:
+				label := fmt.Sprintf("%d", iv.Task)
+				fillBlock(cpu[lo:hi], label)
+			case machsim.KindSend:
+				fillMarks(send[lo:hi], 's')
+			case machsim.KindReceive:
+				fillMarks(recv[lo:hi], 'r')
+			case machsim.KindRoute:
+				fillMarks(recv[lo:hi], 'x')
+			}
+		}
+		fmt.Fprintf(&b, "     %s\n", string(send))
+		fmt.Fprintf(&b, "P%-3d %s\n", p, string(cpu))
+		fmt.Fprintf(&b, "     %s\n", string(recv))
+	}
+	// Time axis.
+	axis := blankRow(cfg.Width)
+	for i := 0; i <= 4; i++ {
+		c := i * cfg.Width / 4
+		if c >= cfg.Width {
+			c = cfg.Width - 1
+		}
+		axis[c] = '+'
+	}
+	fmt.Fprintf(&b, "     %s\n", string(axis))
+	fmt.Fprintf(&b, "     %-*s%*.2f\n", cfg.Width/2, fmt.Sprintf("%.2f", from), cfg.Width-cfg.Width/2, to)
+	if cfg.ShowLegend {
+		b.WriteString("     legend: [=n=] task n computing, s send (σ), r receive (τ), x route (τ)\n")
+	}
+	return b.String()
+}
+
+func blankRow(w int) []byte {
+	row := make([]byte, w)
+	for i := range row {
+		row[i] = ' '
+	}
+	return row
+}
+
+// fillBlock draws [==label==] clipped to the cell range.
+func fillBlock(cells []byte, label string) {
+	for i := range cells {
+		cells[i] = '='
+	}
+	if len(cells) >= 2 {
+		cells[0] = '['
+		cells[len(cells)-1] = ']'
+	}
+	if len(label) <= len(cells)-2 {
+		off := (len(cells) - len(label)) / 2
+		copy(cells[off:], label)
+	} else if len(label) <= len(cells) {
+		copy(cells, label)
+	}
+}
+
+func fillMarks(cells []byte, mark byte) {
+	for i := range cells {
+		cells[i] = mark
+	}
+}
+
+// Utilization renders a one-line utilization summary per processor.
+func Utilization(res *machsim.Result) string {
+	var b strings.Builder
+	for i, ps := range res.Procs {
+		util := 0.0
+		if res.Makespan > 0 {
+			util = ps.ComputeTime / res.Makespan
+		}
+		fmt.Fprintf(&b, "P%-3d compute %8.2f µs  overhead %8.2f µs  tasks %3d  util %5.1f%%\n",
+			i, ps.ComputeTime, ps.OverheadTime, ps.TasksRun, 100*util)
+	}
+	return b.String()
+}

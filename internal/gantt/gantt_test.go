@@ -1,0 +1,93 @@
+package gantt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/machsim"
+)
+
+func sampleResult() *machsim.Result {
+	return &machsim.Result{
+		Policy:   "SA",
+		Makespan: 100,
+		Speedup:  2.5,
+		Gantt: []machsim.Interval{
+			{Proc: 0, Kind: machsim.KindCompute, Task: 3, Start: 0, End: 40},
+			{Proc: 0, Kind: machsim.KindSend, Task: 5, From: 3, Start: 40, End: 47},
+			{Proc: 1, Kind: machsim.KindReceive, Task: 5, From: 3, Start: 51, End: 60},
+			{Proc: 1, Kind: machsim.KindCompute, Task: 5, Start: 60, End: 100},
+		},
+		Procs: []machsim.ProcStat{
+			{ComputeTime: 40, OverheadTime: 7, TasksRun: 1},
+			{ComputeTime: 40, OverheadTime: 9, TasksRun: 1},
+		},
+	}
+}
+
+func TestRenderBasics(t *testing.T) {
+	out := Render(sampleResult(), 2, Config{Width: 80, ShowLegend: true})
+	for _, want := range []string{"P0", "P1", "SA", "legend", "makespan 100.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "sss") || !strings.Contains(out, "rrr") {
+		t.Error("chart missing send/receive mark runs")
+	}
+	if !strings.Contains(out, "[") {
+		t.Error("chart missing compute blocks")
+	}
+}
+
+func TestRenderTaskLabelsAppear(t *testing.T) {
+	out := Render(sampleResult(), 2, Config{Width: 120})
+	if !strings.Contains(out, "3") || !strings.Contains(out, "5") {
+		t.Errorf("task IDs missing:\n%s", out)
+	}
+}
+
+func TestRenderWindowClips(t *testing.T) {
+	out := Render(sampleResult(), 2, Config{Width: 60, To: 45})
+	// The receive at [51,60] lies outside the window and must not appear.
+	if strings.Contains(out, "rrr") {
+		t.Errorf("clipped interval rendered:\n%s", out)
+	}
+}
+
+func TestRenderDefaultsSane(t *testing.T) {
+	out := Render(sampleResult(), 2, Config{})
+	if len(out) == 0 {
+		t.Fatal("empty chart")
+	}
+	lines := strings.Split(out, "\n")
+	// 2 procs × 3 rows + header + axis rows.
+	if len(lines) < 8 {
+		t.Errorf("chart too short: %d lines", len(lines))
+	}
+}
+
+func TestRenderZeroWidthIntervalsVisible(t *testing.T) {
+	res := &machsim.Result{
+		Policy:   "x",
+		Makespan: 1000,
+		Gantt: []machsim.Interval{
+			{Proc: 0, Kind: machsim.KindRoute, Task: 1, Start: 500, End: 500.01},
+		},
+		Procs: []machsim.ProcStat{{}},
+	}
+	out := Render(res, 1, Config{Width: 40})
+	if !strings.Contains(out, "x") {
+		t.Errorf("sub-pixel route block lost:\n%s", out)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	out := Utilization(sampleResult())
+	if !strings.Contains(out, "P0") || !strings.Contains(out, "40.0%") {
+		t.Errorf("utilization output:\n%s", out)
+	}
+	if !strings.Contains(out, "overhead") {
+		t.Error("missing overhead column")
+	}
+}

@@ -1,0 +1,170 @@
+package list
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/machsim"
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+)
+
+// ETF is an Earliest Task First scheduler in the spirit of Hwang et al.:
+// at every epoch it repeatedly commits the (ready task, idle processor)
+// pair with the smallest estimated start time, where the estimate charges
+// the equation-4 communication cost of every input message on top of the
+// epoch time. Task levels break ties, so ETF degenerates to HLF when
+// communication is free. ETF is the strongest deterministic competitor to
+// the annealing scheduler in this repository.
+type ETF struct {
+	levels []float64
+	topo   *topology.Topology
+	comm   topology.CommParams
+	g      *taskgraph.Graph
+}
+
+// NewETF builds the policy.
+func NewETF(g *taskgraph.Graph, topo *topology.Topology, comm topology.CommParams) (*ETF, error) {
+	if topo == nil {
+		return nil, fmt.Errorf("list: nil topology")
+	}
+	levels, err := g.Levels()
+	if err != nil {
+		return nil, err
+	}
+	return &ETF{levels: levels, topo: topo, comm: comm, g: g}, nil
+}
+
+// Name implements machsim.Policy.
+func (e *ETF) Name() string { return "ETF" }
+
+// Assign implements machsim.Policy.
+func (e *ETF) Assign(ep *machsim.Epoch) []machsim.Assignment {
+	tasks := append([]taskgraph.TaskID(nil), ep.Ready...)
+	procs := append([]int(nil), ep.Idle...)
+	var out []machsim.Assignment
+	for len(tasks) > 0 && len(procs) > 0 {
+		bestT, bestP := -1, -1
+		bestCost := 0.0
+		bestLevel := 0.0
+		for ti, t := range tasks {
+			for pi, p := range procs {
+				cost := e.inputDelay(ep.Sim, t, p)
+				better := false
+				switch {
+				case bestT < 0:
+					better = true
+				case cost < bestCost-1e-12:
+					better = true
+				case cost <= bestCost+1e-12 && e.levels[t] > bestLevel:
+					better = true
+				}
+				if better {
+					bestT, bestP = ti, pi
+					bestCost = cost
+					bestLevel = e.levels[t]
+				}
+			}
+		}
+		out = append(out, machsim.Assignment{Task: tasks[bestT], Proc: procs[bestP]})
+		tasks = append(tasks[:bestT], tasks[bestT+1:]...)
+		procs = append(procs[:bestP], procs[bestP+1:]...)
+	}
+	return out
+}
+
+// inputDelay estimates how long the task's inputs take to reach proc: the
+// worst single message by equation (4). (Messages overlap in flight, so
+// the max is a closer estimate than the sum.)
+func (e *ETF) inputDelay(sim *machsim.Simulator, t taskgraph.TaskID, proc int) float64 {
+	worst := 0.0
+	for _, h := range e.g.Predecessors(t) {
+		src := sim.ProcOf(h.To)
+		if src < 0 {
+			continue
+		}
+		if c := e.comm.CommCost(e.topo.Dist(src, proc), h.Bits); c > worst {
+			worst = c
+		}
+	}
+	return worst
+}
+
+// LPT schedules the ready task with the Longest Processing Time first —
+// the classic Graham bin-packing heuristic, blind to both levels and
+// communication. It serves as a mid-strength baseline.
+type LPT struct {
+	g *taskgraph.Graph
+}
+
+// NewLPT builds the policy.
+func NewLPT(g *taskgraph.Graph) *LPT { return &LPT{g: g} }
+
+// Name implements machsim.Policy.
+func (l *LPT) Name() string { return "LPT" }
+
+// Assign implements machsim.Policy.
+func (l *LPT) Assign(ep *machsim.Epoch) []machsim.Assignment {
+	order := append([]taskgraph.TaskID(nil), ep.Ready...)
+	sort.SliceStable(order, func(i, j int) bool {
+		li, lj := l.g.Load(order[i]), l.g.Load(order[j])
+		if li != lj {
+			return li > lj
+		}
+		return order[i] < order[j]
+	})
+	n := len(order)
+	if n > len(ep.Idle) {
+		n = len(ep.Idle)
+	}
+	out := make([]machsim.Assignment, 0, n)
+	for k := 0; k < n; k++ {
+		out = append(out, machsim.Assignment{Task: order[k], Proc: ep.Idle[k]})
+	}
+	return out
+}
+
+// MISF prioritizes ready tasks by Most Immediate Successors First
+// (Kasahara & Narita's secondary key), a classic alternative to pure
+// levels: unlocking many successors keeps the ready pool full.
+type MISF struct {
+	levels []float64
+	g      *taskgraph.Graph
+}
+
+// NewMISF builds the policy.
+func NewMISF(g *taskgraph.Graph) (*MISF, error) {
+	levels, err := g.Levels()
+	if err != nil {
+		return nil, err
+	}
+	return &MISF{levels: levels, g: g}, nil
+}
+
+// Name implements machsim.Policy.
+func (m *MISF) Name() string { return "MISF" }
+
+// Assign implements machsim.Policy.
+func (m *MISF) Assign(ep *machsim.Epoch) []machsim.Assignment {
+	order := append([]taskgraph.TaskID(nil), ep.Ready...)
+	sort.SliceStable(order, func(i, j int) bool {
+		si, sj := m.g.OutDegree(order[i]), m.g.OutDegree(order[j])
+		if si != sj {
+			return si > sj
+		}
+		li, lj := m.levels[order[i]], m.levels[order[j]]
+		if li != lj {
+			return li > lj
+		}
+		return order[i] < order[j]
+	})
+	n := len(order)
+	if n > len(ep.Idle) {
+		n = len(ep.Idle)
+	}
+	out := make([]machsim.Assignment, 0, n)
+	for k := 0; k < n; k++ {
+		out = append(out, machsim.Assignment{Task: order[k], Proc: ep.Idle[k]})
+	}
+	return out
+}

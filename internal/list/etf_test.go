@@ -1,0 +1,189 @@
+package list
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/machsim"
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+)
+
+func TestETFKeepsHeavyChainsLocal(t *testing.T) {
+	g := taskgraph.New("chain")
+	a := g.AddTask("a", 10)
+	b := g.AddTask("b", 10)
+	g.MustAddEdge(a, b, 4000)
+	topo, err := topology.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm := topology.DefaultCommParams()
+	etf, err := NewETF(g, topo, comm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := machsim.Run(machsim.Model{Graph: g, Topo: topo, Comm: comm}, etf, machsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != 0 {
+		t.Errorf("ETF produced %d messages on a chain, want 0", res.Messages)
+	}
+	if math.Abs(res.Makespan-20) > 1e-9 {
+		t.Errorf("makespan = %g, want 20", res.Makespan)
+	}
+}
+
+func TestETFFallsBackToLevelsWithoutComm(t *testing.T) {
+	// Without communication ETF must pick the same selection as HLF: the
+	// highest-level tasks. Reuse the two-chain workload: long chain first.
+	g := taskgraph.New("two")
+	c1 := g.AddTask("c1", 10)
+	c2 := g.AddTask("c2", 10)
+	c3 := g.AddTask("c3", 10)
+	g.MustAddEdge(c1, c2, 40)
+	g.MustAddEdge(c2, c3, 40)
+	g.AddTask("s1", 1)
+	g.AddTask("s2", 1)
+	topo, err := topology.ChainTopo(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm := topology.DefaultCommParams().NoComm()
+	etf, err := NewETF(g, topo, comm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := machsim.Run(machsim.Model{Graph: g, Topo: topo, Comm: comm}, etf, machsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Makespan-30) > 1e-9 {
+		t.Errorf("makespan = %g, want 30 (HLF-equivalent)", res.Makespan)
+	}
+}
+
+func TestETFBeatsHLFUnderCommunication(t *testing.T) {
+	// Two parallel heavy chains on two processors: plain HLF ping-pongs,
+	// ETF keeps each chain home.
+	g := taskgraph.New("pp")
+	prev := []taskgraph.TaskID{g.AddTask("a0", 10), g.AddTask("b0", 10)}
+	for k := 1; k < 5; k++ {
+		cur := []taskgraph.TaskID{g.AddTask("a", 10), g.AddTask("b", 10)}
+		g.MustAddEdge(prev[0], cur[0], 2000)
+		g.MustAddEdge(prev[1], cur[1], 2000)
+		prev = cur
+	}
+	topo, err := topology.ChainTopo(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm := topology.DefaultCommParams()
+	m := machsim.Model{Graph: g, Topo: topo, Comm: comm}
+
+	hlf, err := NewHLF(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := machsim.Run(m, hlf, machsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	etf, err := NewETF(g, topo, comm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smart, err := machsim.Run(m, etf, machsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smart.Makespan > plain.Makespan {
+		t.Errorf("ETF (%g) worse than HLF (%g)", smart.Makespan, plain.Makespan)
+	}
+	if smart.Messages != 0 {
+		t.Errorf("ETF left %d messages", smart.Messages)
+	}
+}
+
+func TestNewETFErrors(t *testing.T) {
+	g := taskgraph.New("g")
+	g.AddTask("a", 1)
+	if _, err := NewETF(g, nil, topology.DefaultCommParams()); err == nil {
+		t.Error("nil topology accepted")
+	}
+}
+
+func TestLPTOrdersByLoad(t *testing.T) {
+	g := taskgraph.New("ind")
+	g.AddTask("short", 1)
+	g.AddTask("long", 9)
+	g.AddTask("mid", 5)
+	lpt := NewLPT(g)
+	ep := &machsim.Epoch{Ready: []taskgraph.TaskID{0, 1, 2}, Idle: []int{0, 1}}
+	as := lpt.Assign(ep)
+	if len(as) != 2 || as[0].Task != 1 || as[1].Task != 2 {
+		t.Fatalf("LPT assignments = %+v, want long then mid", as)
+	}
+}
+
+func TestMISFPrefersFanout(t *testing.T) {
+	// Task f unlocks 3 successors; task g unlocks none. Same levels are
+	// impossible here, so craft loads so levels tie: f(1) -> 3 × leaf(1);
+	// s(2) standalone has level 2 = f's level.
+	g := taskgraph.New("fan")
+	f := g.AddTask("f", 1)
+	for i := 0; i < 3; i++ {
+		leaf := g.AddTask("leaf", 1)
+		g.MustAddEdge(f, leaf, 0)
+	}
+	g.AddTask("s", 2) // level 2 == level(f)
+	m, err := NewMISF(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := &machsim.Epoch{Ready: []taskgraph.TaskID{f, 4}, Idle: []int{0}}
+	as := m.Assign(ep)
+	if len(as) != 1 || as[0].Task != f {
+		t.Fatalf("MISF picked %+v, want the fan-out task", as)
+	}
+}
+
+func TestMISFCompletesBenchmarks(t *testing.T) {
+	g, err := taskgraph.ForkJoin("fj", 6, 5, 1, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := topology.Hypercube(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMISF(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := machsim.Run(machsim.Model{Graph: g, Topo: topo, Comm: topology.DefaultCommParams()}, m, machsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Forced != 0 || res.Makespan <= 0 {
+		t.Errorf("MISF run: %+v", res)
+	}
+}
+
+func TestNewPolicyNamesETF(t *testing.T) {
+	g := taskgraph.New("g")
+	g.AddTask("a", 1)
+	topo, _ := topology.Complete(2)
+	etf, err := NewETF(g, topo, topology.DefaultCommParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if etf.Name() != "ETF" || NewLPT(g).Name() != "LPT" {
+		t.Error("policy names wrong")
+	}
+	misf, _ := NewMISF(g)
+	if misf.Name() != "MISF" {
+		t.Error("MISF name wrong")
+	}
+}

@@ -1,0 +1,188 @@
+// Package list implements list-scheduling policies for the machine
+// simulator, foremost the Highest Level First (HLF) algorithm the paper
+// uses as its baseline (Hu 1961; Adam, Chandy & Dickinson 1974; Kaufman
+// 1974).
+//
+// A list scheduler keeps the ready tasks ordered by a priority and, at
+// every assignment epoch, greedily fills the idle processors in that
+// order. HLF's priority is the task level: the accumulated CPU time of
+// the longest chain from the task to a leaf. HLF places tasks on
+// processors arbitrarily ("the arbitrary placement of the HLF-tasks",
+// §6b) — the communication-aware variants in this package are extensions
+// used by the ablation experiments.
+package list
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/machsim"
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+)
+
+// HLF is the Highest Level First list scheduler: ready tasks sorted by
+// descending level, placed onto idle processors in index order.
+type HLF struct {
+	levels []float64
+}
+
+// NewHLF builds an HLF policy for the given graph.
+func NewHLF(g *taskgraph.Graph) (*HLF, error) {
+	levels, err := g.Levels()
+	if err != nil {
+		return nil, err
+	}
+	return &HLF{levels: levels}, nil
+}
+
+// Name implements machsim.Policy.
+func (h *HLF) Name() string { return "HLF" }
+
+// Assign implements machsim.Policy.
+func (h *HLF) Assign(ep *machsim.Epoch) []machsim.Assignment {
+	order := append([]taskgraph.TaskID(nil), ep.Ready...)
+	sort.SliceStable(order, func(i, j int) bool {
+		li, lj := h.levels[order[i]], h.levels[order[j]]
+		if li != lj {
+			return li > lj
+		}
+		return order[i] < order[j]
+	})
+	n := len(order)
+	if n > len(ep.Idle) {
+		n = len(ep.Idle)
+	}
+	out := make([]machsim.Assignment, 0, n)
+	for k := 0; k < n; k++ {
+		out = append(out, machsim.Assignment{Task: order[k], Proc: ep.Idle[k]})
+	}
+	return out
+}
+
+// Levels exposes the priority table (used by reports and tests).
+func (h *HLF) Levels() []float64 { return h.levels }
+
+// FIFO schedules ready tasks in task-ID order, which for programmatically
+// built graphs is the order the tasks were created in — the "given list"
+// of Graham's anomaly analysis.
+type FIFO struct{}
+
+// NewFIFO returns the FIFO policy.
+func NewFIFO() *FIFO { return &FIFO{} }
+
+// Name implements machsim.Policy.
+func (f *FIFO) Name() string { return "FIFO" }
+
+// Assign implements machsim.Policy.
+func (f *FIFO) Assign(ep *machsim.Epoch) []machsim.Assignment {
+	n := len(ep.Ready)
+	if n > len(ep.Idle) {
+		n = len(ep.Idle)
+	}
+	out := make([]machsim.Assignment, 0, n)
+	for k := 0; k < n; k++ {
+		out = append(out, machsim.Assignment{Task: ep.Ready[k], Proc: ep.Idle[k]})
+	}
+	return out
+}
+
+// Random schedules ready tasks in uniformly random order on random idle
+// processors; it is the weakest sensible baseline.
+type Random struct {
+	rng *rand.Rand
+}
+
+// NewRandom returns a Random policy with its own deterministic stream.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements machsim.Policy.
+func (r *Random) Name() string { return "Random" }
+
+// Assign implements machsim.Policy.
+func (r *Random) Assign(ep *machsim.Epoch) []machsim.Assignment {
+	tasks := append([]taskgraph.TaskID(nil), ep.Ready...)
+	procs := append([]int(nil), ep.Idle...)
+	r.rng.Shuffle(len(tasks), func(i, j int) { tasks[i], tasks[j] = tasks[j], tasks[i] })
+	r.rng.Shuffle(len(procs), func(i, j int) { procs[i], procs[j] = procs[j], procs[i] })
+	n := len(tasks)
+	if n > len(procs) {
+		n = len(procs)
+	}
+	out := make([]machsim.Assignment, 0, n)
+	for k := 0; k < n; k++ {
+		out = append(out, machsim.Assignment{Task: tasks[k], Proc: procs[k]})
+	}
+	return out
+}
+
+// CommAwareHLF is a greedy extension of HLF: tasks are still selected in
+// descending level order, but each is placed on the idle processor that
+// minimizes the equation-(4) communication cost from its finished
+// predecessors. It is a deterministic middle ground between HLF and the
+// paper's annealing scheduler, used in ablations.
+type CommAwareHLF struct {
+	levels []float64
+	topo   *topology.Topology
+	comm   topology.CommParams
+	g      *taskgraph.Graph
+}
+
+// NewCommAwareHLF builds the policy.
+func NewCommAwareHLF(g *taskgraph.Graph, topo *topology.Topology, comm topology.CommParams) (*CommAwareHLF, error) {
+	if topo == nil {
+		return nil, fmt.Errorf("list: nil topology")
+	}
+	levels, err := g.Levels()
+	if err != nil {
+		return nil, err
+	}
+	return &CommAwareHLF{levels: levels, topo: topo, comm: comm, g: g}, nil
+}
+
+// Name implements machsim.Policy.
+func (c *CommAwareHLF) Name() string { return "HLF+comm" }
+
+// Assign implements machsim.Policy.
+func (c *CommAwareHLF) Assign(ep *machsim.Epoch) []machsim.Assignment {
+	order := append([]taskgraph.TaskID(nil), ep.Ready...)
+	sort.SliceStable(order, func(i, j int) bool {
+		li, lj := c.levels[order[i]], c.levels[order[j]]
+		if li != lj {
+			return li > lj
+		}
+		return order[i] < order[j]
+	})
+	free := append([]int(nil), ep.Idle...)
+	var out []machsim.Assignment
+	for _, t := range order {
+		if len(free) == 0 {
+			break
+		}
+		bestIdx, bestCost := 0, c.placementCost(ep.Sim, t, free[0])
+		for k := 1; k < len(free); k++ {
+			if cost := c.placementCost(ep.Sim, t, free[k]); cost < bestCost {
+				bestIdx, bestCost = k, cost
+			}
+		}
+		out = append(out, machsim.Assignment{Task: t, Proc: free[bestIdx]})
+		free = append(free[:bestIdx], free[bestIdx+1:]...)
+	}
+	return out
+}
+
+// placementCost sums equation (4) over the task's finished predecessors.
+func (c *CommAwareHLF) placementCost(sim *machsim.Simulator, t taskgraph.TaskID, proc int) float64 {
+	var sum float64
+	for _, h := range c.g.Predecessors(t) {
+		src := sim.ProcOf(h.To)
+		if src < 0 {
+			continue
+		}
+		sum += c.comm.CommCost(c.topo.Dist(src, proc), h.Bits)
+	}
+	return sum
+}

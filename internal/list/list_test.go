@@ -1,0 +1,280 @@
+package list
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/machsim"
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+)
+
+func model(t *testing.T, g *taskgraph.Graph, nprocs int, withComm bool) machsim.Model {
+	t.Helper()
+	topo, err := topology.Complete(nprocs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm := topology.DefaultCommParams()
+	if !withComm {
+		comm = comm.NoComm()
+	}
+	return machsim.Model{Graph: g, Topo: topo, Comm: comm}
+}
+
+// grahamReduced is the Graham anomaly instance with reduced times: 9
+// tasks, T1=2, T2..T4=1, T5..T8=3, T9=8, T1<T9, T4<T5..T8.
+func grahamReduced(t *testing.T) *taskgraph.Graph {
+	t.Helper()
+	g := taskgraph.New("graham")
+	durs := []float64{2, 1, 1, 1, 3, 3, 3, 3, 8}
+	ids := make([]taskgraph.TaskID, len(durs))
+	for i, d := range durs {
+		ids[i] = g.AddTask("", d)
+	}
+	g.MustAddEdge(ids[0], ids[8], 0)
+	for _, s := range []int{4, 5, 6, 7} {
+		g.MustAddEdge(ids[3], ids[s], 0)
+	}
+	return g
+}
+
+func TestHLFOrdersByLevel(t *testing.T) {
+	// Diamond with distinct levels: A(2)->B(3),C(5)->D(1). Levels: A=8,
+	// C=6, B=4, D=1. With one processor, HLF runs A, C, B, D.
+	g := taskgraph.New("d")
+	a := g.AddTask("A", 2)
+	b := g.AddTask("B", 3)
+	c := g.AddTask("C", 5)
+	d := g.AddTask("D", 1)
+	g.MustAddEdge(a, b, 0)
+	g.MustAddEdge(a, c, 0)
+	g.MustAddEdge(b, d, 0)
+	g.MustAddEdge(c, d, 0)
+	hlf, err := NewHLF(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := machsim.Run(model(t, g, 1, false), hlf, machsim.Options{RecordGantt: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []taskgraph.TaskID
+	for _, iv := range res.Gantt {
+		if iv.Kind == machsim.KindCompute {
+			order = append(order, iv.Task)
+		}
+	}
+	want := []taskgraph.TaskID{a, c, b, d}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("execution order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestHLFTieBreaksByID(t *testing.T) {
+	g := taskgraph.New("tie")
+	g.AddTask("a", 5)
+	g.AddTask("b", 5)
+	g.AddTask("c", 5)
+	hlf, err := NewHLF(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := &machsim.Epoch{
+		Ready: []taskgraph.TaskID{0, 1, 2},
+		Idle:  []int{0, 1},
+	}
+	as := hlf.Assign(ep)
+	if len(as) != 2 || as[0].Task != 0 || as[1].Task != 1 {
+		t.Fatalf("assignments = %+v", as)
+	}
+}
+
+func TestHLFLevelsExposed(t *testing.T) {
+	g, _ := taskgraph.Chain("c", 3, 2, 0)
+	hlf, err := NewHLF(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := hlf.Levels()
+	if len(levels) != 3 || levels[0] != 6 || levels[2] != 2 {
+		t.Fatalf("levels = %v", levels)
+	}
+}
+
+func TestNewHLFRejectsCycles(t *testing.T) {
+	g := taskgraph.New("cyc")
+	a := g.AddTask("a", 1)
+	b := g.AddTask("b", 1)
+	g.MustAddEdge(a, b, 0)
+	g.MustAddEdge(b, a, 0)
+	if _, err := NewHLF(g); err == nil {
+		t.Error("cycle accepted")
+	}
+}
+
+func TestFIFOFollowsListOrder(t *testing.T) {
+	// On the reduced Graham instance, the original-list scheduler produces
+	// the anomalous makespan 13 on 3 processors (optimum is 10).
+	g := grahamReduced(t)
+	res, err := machsim.Run(model(t, g, 3, false), NewFIFO(), machsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Makespan-13) > 1e-9 {
+		t.Fatalf("FIFO makespan = %g, want 13 (Graham anomaly)", res.Makespan)
+	}
+}
+
+func TestHLFSolvesGrahamInstance(t *testing.T) {
+	g := grahamReduced(t)
+	hlf, err := NewHLF(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := machsim.Run(model(t, g, 3, false), hlf, machsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, _ := g.LowerBoundMakespan(3)
+	if math.Abs(res.Makespan-lb) > 1e-9 {
+		t.Fatalf("HLF makespan = %g, want optimum %g", res.Makespan, lb)
+	}
+}
+
+func TestRandomPolicyIsDeterministicPerSeed(t *testing.T) {
+	g, err := taskgraph.ForkJoin("fj", 10, 5, 1, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(seed int64) float64 {
+		res, err := machsim.Run(model(t, g, 4, true), NewRandom(seed), machsim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	if run(5) != run(5) {
+		t.Error("same seed differs")
+	}
+}
+
+func TestRandomPolicyCompletesAllTasks(t *testing.T) {
+	g, err := taskgraph.ForkJoin("fj", 7, 5, 1, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := machsim.Run(model(t, g, 3, true), NewRandom(9), machsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, f := range res.Finish {
+		if f < 0 {
+			t.Fatalf("task %d unfinished", id)
+		}
+	}
+}
+
+func TestCommAwareHLFPrefersPredecessorProcessor(t *testing.T) {
+	// Chain a->b with a heavy edge: the comm-aware variant must place b on
+	// a's processor, plain HLF places it on the first idle one.
+	g := taskgraph.New("c")
+	a := g.AddTask("a", 10)
+	b := g.AddTask("b", 10)
+	g.MustAddEdge(a, b, 4000)
+	topo, err := topology.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm := topology.DefaultCommParams()
+
+	ca, err := NewCommAwareHLF(g, topo, comm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := machsim.Run(machsim.Model{Graph: g, Topo: topo, Comm: comm}, ca, machsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != 0 {
+		t.Errorf("comm-aware HLF produced %d messages, want 0", res.Messages)
+	}
+	if res.Proc[a] != res.Proc[b] {
+		t.Errorf("b placed on %d, a on %d", res.Proc[b], res.Proc[a])
+	}
+}
+
+func TestCommAwareHLFBeatsPlainHLFOnPingPong(t *testing.T) {
+	// Two parallel chains with heavy edges on a 2-processor machine:
+	// plain HLF ping-pongs the chains across processors, the comm-aware
+	// variant keeps each chain local.
+	g := taskgraph.New("pp")
+	prev := []taskgraph.TaskID{g.AddTask("a0", 10), g.AddTask("b0", 10)}
+	for k := 1; k < 4; k++ {
+		cur := []taskgraph.TaskID{
+			g.AddTask("a", 10),
+			g.AddTask("b", 10),
+		}
+		g.MustAddEdge(prev[0], cur[0], 2000)
+		g.MustAddEdge(prev[1], cur[1], 2000)
+		prev = cur
+	}
+	topo, err := topology.ChainTopo(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm := topology.DefaultCommParams()
+	m := machsim.Model{Graph: g, Topo: topo, Comm: comm}
+
+	hlf, err := NewHLF(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := machsim.Run(m, hlf, machsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := NewCommAwareHLF(g, topo, comm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware, err := machsim.Run(m, ca, machsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aware.Makespan > plain.Makespan {
+		t.Errorf("comm-aware (%g) worse than plain (%g)", aware.Makespan, plain.Makespan)
+	}
+	if aware.Messages != 0 {
+		t.Errorf("comm-aware produced %d messages", aware.Messages)
+	}
+}
+
+func TestNewCommAwareHLFErrors(t *testing.T) {
+	g := taskgraph.New("g")
+	g.AddTask("a", 1)
+	if _, err := NewCommAwareHLF(g, nil, topology.DefaultCommParams()); err == nil {
+		t.Error("nil topology accepted")
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	g := taskgraph.New("g")
+	g.AddTask("a", 1)
+	topo, _ := topology.Complete(2)
+	hlf, _ := NewHLF(g)
+	ca, _ := NewCommAwareHLF(g, topo, topology.DefaultCommParams())
+	names := map[string]machsim.Policy{
+		"HLF":      hlf,
+		"FIFO":     NewFIFO(),
+		"Random":   NewRandom(1),
+		"HLF+comm": ca,
+	}
+	for want, p := range names {
+		if p.Name() != want {
+			t.Errorf("Name = %q, want %q", p.Name(), want)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package machsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+)
+
+func benchGraph(b *testing.B, layers, width int) *taskgraph.Graph {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	g, err := taskgraph.Layered("bench", taskgraph.LayeredConfig{
+		Layers: layers, MinWidth: width, MaxWidth: width,
+		MinLoad: 5, MaxLoad: 50, MinBits: 40, MaxBits: 400, EdgeProb: 0.3,
+	}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkSimulateSmallGraph(b *testing.B) {
+	g := benchGraph(b, 5, 8)
+	topo, err := topology.Hypercube(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := Model{Graph: g, Topo: topo, Comm: topology.DefaultCommParams()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(m, greedyPolicy{}, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulateLargeGraph(b *testing.B) {
+	g := benchGraph(b, 40, 25) // 1000 tasks
+	topo, err := topology.Hypercube(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := Model{Graph: g, Topo: topo, Comm: topology.DefaultCommParams()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(m, greedyPolicy{}, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulateNoCommLargeGraph(b *testing.B) {
+	g := benchGraph(b, 40, 25)
+	topo, err := topology.Hypercube(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := Model{Graph: g, Topo: topo, Comm: topology.DefaultCommParams().NoComm()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(m, greedyPolicy{}, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulateWithGantt(b *testing.B) {
+	g := benchGraph(b, 10, 10)
+	topo, err := topology.Ring(9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := Model{Graph: g, Topo: topo, Comm: topology.DefaultCommParams()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(m, greedyPolicy{}, Options{RecordGantt: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

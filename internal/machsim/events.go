@@ -1,0 +1,92 @@
+package machsim
+
+import "repro/internal/taskgraph"
+
+// evKind discriminates simulator events.
+type evKind int
+
+const (
+	// evFinish: a task completes on a processor (subject to seq check,
+	// because preemption overheads postpone finishes).
+	evFinish evKind = iota
+	// evMsgReady: a message has been handed to the network layer at its
+	// current node and wants the next link.
+	evMsgReady
+	// evMsgArrive: a message's transmission over one link completed; it is
+	// now at the next node awaiting routing or receive handling.
+	evMsgArrive
+)
+
+// event is one entry of the simulation heap. Events are ordered by time,
+// ties broken by sequence number, which makes runs fully deterministic.
+type event struct {
+	time float64
+	seq  int64
+	kind evKind
+	proc int              // evFinish: the processor
+	task taskgraph.TaskID // evFinish: the task
+	msg  *message
+}
+
+// message is an in-flight inter-processor data transfer for one edge of
+// the taskgraph, following the canonical shortest path hop by hop.
+type message struct {
+	from taskgraph.TaskID // producer task
+	to   taskgraph.TaskID // consumer task
+	path []int            // processors, source first, destination last
+	hop  int              // index into path of the node currently holding the message
+	xfer float64          // per-hop transfer time w = L/BW (already scaled)
+}
+
+// eventHeap is a binary min-heap over (time, seq).
+type eventHeap struct {
+	a []event
+}
+
+func (h *eventHeap) len() int { return len(h.a) }
+
+func (h *eventHeap) less(i, j int) bool {
+	if h.a[i].time != h.a[j].time {
+		return h.a[i].time < h.a[j].time
+	}
+	return h.a[i].seq < h.a[j].seq
+}
+
+func (h *eventHeap) push(e event) {
+	h.a = append(h.a, e)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+func (h *eventHeap) peek() event { return h.a[0] }
+
+func (h *eventHeap) pop() event {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && h.less(l, small) {
+			small = l
+		}
+		if r < last && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.a[i], h.a[small] = h.a[small], h.a[i]
+		i = small
+	}
+	return top
+}

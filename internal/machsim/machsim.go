@@ -1,0 +1,227 @@
+// Package machsim is an event-driven execution simulator for directed
+// taskgraphs on multicomputers, reproducing the machine semantics of
+// D'Hollander & Devis (ICPP 1991):
+//
+//   - processors execute one task at a time;
+//   - bidirectional point-to-point links carry one message at a time with
+//     bandwidth BW; a message of L bits takes L/BW per link hop
+//     (store-and-forward along the canonical shortest path);
+//   - sending a message costs σ on the source processor, routing costs τ on
+//     every intermediate processor and receiving costs τ on the destination;
+//     "it is assumed that incoming messages preempt an active processor"
+//     (§2), so these overheads stretch whatever task is running;
+//   - scheduling proceeds in assignment epochs: the first at time zero,
+//     later ones whenever one or more processors become idle (§4.1). At
+//     each epoch a pluggable Policy maps ready tasks onto idle processors.
+//
+// The simulator records makespan, speedup, per-processor utilization,
+// per-epoch packet statistics and, optionally, a Gantt trace in the style
+// of the paper's Figure 2.
+package machsim
+
+import (
+	"fmt"
+
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+)
+
+// Model bundles the immutable inputs of a simulation run.
+type Model struct {
+	Graph *taskgraph.Graph
+	Topo  *topology.Topology
+	Comm  topology.CommParams
+}
+
+// Validate checks that the model is complete and well-formed.
+func (m Model) Validate() error {
+	if m.Graph == nil {
+		return fmt.Errorf("machsim: nil taskgraph")
+	}
+	if m.Topo == nil {
+		return fmt.Errorf("machsim: nil topology")
+	}
+	if m.Graph.NumTasks() == 0 {
+		return fmt.Errorf("machsim: empty taskgraph")
+	}
+	if err := m.Graph.Validate(); err != nil {
+		return err
+	}
+	return m.Comm.Validate()
+}
+
+// Assignment maps one ready task onto one idle processor.
+type Assignment struct {
+	Task taskgraph.TaskID
+	Proc int
+}
+
+// Epoch is the information a Policy sees at an assignment epoch: the
+// current time, the ready (unassigned) tasks, the idle processors, and a
+// read-only view of the simulator for querying task placement history.
+type Epoch struct {
+	Time  float64
+	Ready []taskgraph.TaskID // ascending ID order
+	Idle  []int              // ascending processor order
+	Sim   *Simulator
+}
+
+// Policy decides, at every assignment epoch, which ready tasks start on
+// which idle processors. A policy may assign at most one task per idle
+// processor; tasks and processors it leaves out simply wait for a later
+// epoch. Policies must not retain the Epoch or its slices.
+type Policy interface {
+	// Name identifies the policy in reports ("SA", "HLF", ...).
+	Name() string
+	// Assign returns the epoch's assignments.
+	Assign(ep *Epoch) []Assignment
+}
+
+// Options configures a simulation run.
+type Options struct {
+	// RecordGantt enables interval recording for Gantt rendering.
+	RecordGantt bool
+	// MaxEvents aborts runaway simulations; 0 means the default of 50
+	// million processed events.
+	MaxEvents int
+	// DisableReceiveOverhead drops the τ charge at the destination
+	// processor. Equation (4) of the paper counts routing τ only for
+	// intermediate hops; the simulator charges the receive τ as well by
+	// default because the paper's Figure 2 Gantt chart shows explicit
+	// receive blocks. This knob exists for ablations.
+	DisableReceiveOverhead bool
+}
+
+// IntervalKind classifies Gantt intervals.
+type IntervalKind int
+
+// Interval kinds, mirroring the block types of the paper's Figure 2:
+// full-height compute blocks, half-height send and receive blocks, and
+// quarter-height route blocks.
+const (
+	KindCompute IntervalKind = iota
+	KindSend
+	KindReceive
+	KindRoute
+)
+
+// String returns the kind name.
+func (k IntervalKind) String() string {
+	switch k {
+	case KindCompute:
+		return "compute"
+	case KindSend:
+		return "send"
+	case KindReceive:
+		return "receive"
+	case KindRoute:
+		return "route"
+	default:
+		return fmt.Sprintf("IntervalKind(%d)", int(k))
+	}
+}
+
+// Interval is one block of processor activity.
+type Interval struct {
+	Proc  int
+	Kind  IntervalKind
+	Task  taskgraph.TaskID // computing task; for message kinds, the consumer
+	From  taskgraph.TaskID // message producer (message kinds only)
+	Start float64
+	End   float64
+}
+
+// EpochStat records one assignment epoch, backing the paper's §6a
+// observation ("on the average there are 15 candidates for 1.46 free
+// processors").
+type EpochStat struct {
+	Time     float64
+	Ready    int // candidate tasks in the packet
+	Idle     int // free processors in the packet
+	Assigned int
+}
+
+// ProcStat aggregates one processor's activity.
+type ProcStat struct {
+	ComputeTime  float64 // pure task execution time (sum of loads)
+	OverheadTime float64 // σ/τ message handling time
+	TasksRun     int
+}
+
+// Result reports a completed simulation.
+type Result struct {
+	Policy         string
+	Makespan       float64
+	SequentialTime float64 // T1 = Σ load
+	Speedup        float64 // T1 / Makespan
+	Messages       int     // inter-processor messages
+	TransferTime   float64 // Σ per-hop link occupancy
+	OverheadTime   float64 // Σ σ/τ charges across processors
+	Epochs         []EpochStat
+	Procs          []ProcStat
+	Gantt          []Interval // nil unless Options.RecordGantt
+	// Forced counts liveness fallbacks: epochs where the policy declined
+	// to assign anything while the simulator had no pending events, forcing
+	// the highest-level ready task onto the first idle processor. A correct
+	// policy never triggers this.
+	Forced int
+	// Start holds each task's computation start time (after its input
+	// messages arrived).
+	Start []float64
+	// Finish holds each task's completion time.
+	Finish []float64
+	// Proc holds each task's processor.
+	Proc []int
+	// LinkBusy holds the total transfer time carried by each link,
+	// keyed by canonical (low, high) processor pairs; on a bus topology
+	// the single shared medium is keyed {-1, -1}.
+	LinkBusy map[[2]int]float64
+}
+
+// MaxLinkBusy returns the busiest link's total transfer time (0 when no
+// messages flowed).
+func (r *Result) MaxLinkBusy() float64 {
+	best := 0.0
+	for _, v := range r.LinkBusy {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// AvgReady returns the mean packet candidate count over all epochs.
+func (r *Result) AvgReady() float64 {
+	if len(r.Epochs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, e := range r.Epochs {
+		sum += float64(e.Ready)
+	}
+	return sum / float64(len(r.Epochs))
+}
+
+// AvgIdle returns the mean free-processor count over all epochs.
+func (r *Result) AvgIdle() float64 {
+	if len(r.Epochs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, e := range r.Epochs {
+		sum += float64(e.Idle)
+	}
+	return sum / float64(len(r.Epochs))
+}
+
+// Utilization returns mean processor compute utilization over the run.
+func (r *Result) Utilization() float64 {
+	if r.Makespan <= 0 || len(r.Procs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range r.Procs {
+		sum += p.ComputeTime
+	}
+	return sum / (r.Makespan * float64(len(r.Procs)))
+}

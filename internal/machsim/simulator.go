@@ -1,0 +1,490 @@
+package machsim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+)
+
+const defaultMaxEvents = 50_000_000
+
+// Simulator executes one taskgraph on one machine under one policy. Use
+// Run for the common case; NewSimulator + Simulate give the same behaviour
+// with the pieces exposed for tests.
+type Simulator struct {
+	model Model
+	opts  Options
+
+	now     float64
+	seq     int64
+	queue   eventHeap
+	tracker *taskgraph.ReadyTracker
+
+	procs    []procState
+	linkFree map[[2]int]float64
+	linkBusy map[[2]int]float64
+
+	procOf   []int     // processor of each assigned task, -1 before assignment
+	startAt  []float64 // computation start time of each task, -1 before start
+	finishAt []float64 // completion time of each task, -1 before completion
+
+	epochs   []EpochStat
+	gantt    []Interval
+	messages int
+	xferTime float64
+	ovhTime  float64
+	forced   int
+	events   int
+
+	levels []float64 // for the forced-assignment fallback
+}
+
+// procState tracks one processor.
+type procState struct {
+	idle bool
+	// ovhBusyUntil is the time until which the processor is occupied by
+	// message-handling overheads (σ/τ). Overheads serialize.
+	ovhBusyUntil float64
+	assigned     taskgraph.TaskID // task held by this processor, None if idle
+	scheduled    bool             // start/finish computed (all input messages delivered)
+	runStart     float64
+	runFinish    float64
+	runLoad      float64
+	finishSeq    int64
+	pendingMsgs  int
+	stat         ProcStat
+}
+
+// NewSimulator validates the model and prepares a simulator.
+func NewSimulator(m Model, opts Options) (*Simulator, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	levels, err := m.Graph.Levels()
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		model:    m,
+		opts:     opts,
+		tracker:  taskgraph.NewReadyTracker(m.Graph),
+		procs:    make([]procState, m.Topo.N()),
+		linkFree: make(map[[2]int]float64),
+		linkBusy: make(map[[2]int]float64),
+		procOf:   make([]int, m.Graph.NumTasks()),
+		startAt:  make([]float64, m.Graph.NumTasks()),
+		finishAt: make([]float64, m.Graph.NumTasks()),
+		levels:   levels,
+	}
+	for i := range s.procs {
+		s.procs[i].idle = true
+		s.procs[i].assigned = taskgraph.None
+	}
+	for i := range s.procOf {
+		s.procOf[i] = -1
+		s.startAt[i] = -1
+		s.finishAt[i] = -1
+	}
+	if s.opts.MaxEvents == 0 {
+		s.opts.MaxEvents = defaultMaxEvents
+	}
+	return s, nil
+}
+
+// Run simulates the execution of model.Graph on model.Topo under policy p.
+func Run(m Model, p Policy, opts Options) (*Result, error) {
+	s, err := NewSimulator(m, opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.Simulate(p)
+}
+
+// Graph returns the taskgraph being executed.
+func (s *Simulator) Graph() *taskgraph.Graph { return s.model.Graph }
+
+// Topo returns the machine topology.
+func (s *Simulator) Topo() *topology.Topology { return s.model.Topo }
+
+// Comm returns the communication parameters.
+func (s *Simulator) Comm() topology.CommParams { return s.model.Comm }
+
+// Now returns the current simulation time.
+func (s *Simulator) Now() float64 { return s.now }
+
+// ProcOf returns the processor a task was assigned to, or -1 if the task
+// has not been assigned yet. Policies use this to locate the outputs of
+// finished predecessors.
+func (s *Simulator) ProcOf(t taskgraph.TaskID) int { return s.procOf[t] }
+
+// FinishTime returns a task's completion time, or -1 if it has not
+// completed.
+func (s *Simulator) FinishTime(t taskgraph.TaskID) float64 { return s.finishAt[t] }
+
+// IsDone reports whether the task has completed.
+func (s *Simulator) IsDone(t taskgraph.TaskID) bool { return s.finishAt[t] >= 0 }
+
+// Simulate drives the event loop to completion and returns the result.
+func (s *Simulator) Simulate(p Policy) (*Result, error) {
+	if p == nil {
+		return nil, fmt.Errorf("machsim: nil policy")
+	}
+	for !s.tracker.AllDone() {
+		if s.queue.len() == 0 {
+			// Nothing in flight: the policy must make progress now.
+			if err := s.epoch(p, true); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		t := s.queue.peek().time
+		if t < s.now {
+			return nil, fmt.Errorf("machsim: time went backwards (%.6f < %.6f)", t, s.now)
+		}
+		s.now = t
+		// Drain the full batch of simultaneous events; processing may add
+		// new events at the same instant (zero-duration hops), which join
+		// the batch.
+		for s.queue.len() > 0 && s.queue.peek().time <= t {
+			ev := s.queue.pop()
+			s.events++
+			if s.events > s.opts.MaxEvents {
+				return nil, fmt.Errorf("machsim: event cap %d exceeded", s.opts.MaxEvents)
+			}
+			s.handle(ev)
+		}
+		if err := s.epoch(p, false); err != nil {
+			return nil, err
+		}
+	}
+	return s.result(p), nil
+}
+
+func (s *Simulator) handle(ev event) {
+	switch ev.kind {
+	case evFinish:
+		ps := &s.procs[ev.proc]
+		if ps.finishSeq != ev.seq || ps.assigned != ev.task {
+			return // postponed by a preemption; a newer event is queued
+		}
+		s.finishTask(ev.proc)
+	case evMsgReady:
+		s.sendHop(ev.msg)
+	case evMsgArrive:
+		s.arrive(ev.msg)
+	}
+}
+
+// finishTask completes the scheduled task on proc at the current time.
+func (s *Simulator) finishTask(proc int) {
+	ps := &s.procs[proc]
+	task := ps.assigned
+	if s.opts.RecordGantt {
+		s.gantt = append(s.gantt, Interval{
+			Proc: proc, Kind: KindCompute, Task: task,
+			Start: ps.runStart, End: ps.runFinish,
+		})
+	}
+	ps.stat.ComputeTime += ps.runLoad
+	ps.stat.TasksRun++
+	s.startAt[task] = ps.runStart
+	s.finishAt[task] = ps.runFinish
+	ps.idle = true
+	ps.assigned = taskgraph.None
+	ps.scheduled = false
+	ps.pendingMsgs = 0
+	if _, err := s.tracker.Complete(task); err != nil {
+		// Internal invariant: tasks finish exactly once.
+		panic(fmt.Sprintf("machsim: %v", err))
+	}
+}
+
+// epoch forms an assignment epoch at the current time and applies the
+// policy's assignments. When force is true and the policy assigns nothing
+// while work remains, the highest-level ready task is placed on the first
+// idle processor so the simulation cannot stall.
+func (s *Simulator) epoch(p Policy, force bool) error {
+	ready := s.tracker.Ready()
+	idle := s.idleProcs()
+	if len(ready) == 0 || len(idle) == 0 {
+		if force && s.queue.len() == 0 && !s.tracker.AllDone() {
+			return fmt.Errorf("machsim: stuck at t=%.3f: %d ready, %d idle, nothing in flight",
+				s.now, len(ready), len(idle))
+		}
+		return nil
+	}
+	ep := &Epoch{Time: s.now, Ready: ready, Idle: idle, Sim: s}
+	assignments := p.Assign(ep)
+	if err := s.checkAssignments(assignments, ready, idle); err != nil {
+		return err
+	}
+	if len(assignments) == 0 && force {
+		// Liveness fallback; counted so tests can assert it never happens
+		// with well-behaved policies.
+		best := ready[0]
+		for _, t := range ready[1:] {
+			if s.levels[t] > s.levels[best] {
+				best = t
+			}
+		}
+		assignments = []Assignment{{Task: best, Proc: idle[0]}}
+		s.forced++
+	}
+	s.epochs = append(s.epochs, EpochStat{
+		Time: s.now, Ready: len(ready), Idle: len(idle), Assigned: len(assignments),
+	})
+	for _, a := range assignments {
+		if err := s.assign(a.Task, a.Proc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Simulator) idleProcs() []int {
+	var idle []int
+	for i := range s.procs {
+		if s.procs[i].idle {
+			idle = append(idle, i)
+		}
+	}
+	return idle
+}
+
+func (s *Simulator) checkAssignments(as []Assignment, ready []taskgraph.TaskID, idle []int) error {
+	readySet := make(map[taskgraph.TaskID]bool, len(ready))
+	for _, t := range ready {
+		readySet[t] = true
+	}
+	idleSet := make(map[int]bool, len(idle))
+	for _, p := range idle {
+		idleSet[p] = true
+	}
+	seenT := make(map[taskgraph.TaskID]bool)
+	seenP := make(map[int]bool)
+	for _, a := range as {
+		switch {
+		case !readySet[a.Task]:
+			return fmt.Errorf("machsim: policy assigned non-ready task %d", a.Task)
+		case !idleSet[a.Proc]:
+			return fmt.Errorf("machsim: policy assigned to non-idle processor %d", a.Proc)
+		case seenT[a.Task]:
+			return fmt.Errorf("machsim: policy assigned task %d twice", a.Task)
+		case seenP[a.Proc]:
+			return fmt.Errorf("machsim: policy assigned two tasks to processor %d", a.Proc)
+		}
+		seenT[a.Task] = true
+		seenP[a.Proc] = true
+	}
+	return nil
+}
+
+// assign places a ready task on an idle processor at the current time and
+// launches the input messages from remotely-located predecessors.
+func (s *Simulator) assign(task taskgraph.TaskID, proc int) error {
+	if err := s.tracker.Claim(task); err != nil {
+		return err
+	}
+	ps := &s.procs[proc]
+	ps.idle = false
+	ps.assigned = task
+	ps.scheduled = false
+	ps.runLoad = s.model.Graph.Load(task)
+	s.procOf[task] = proc
+
+	// Launch one message per remote predecessor.
+	pending := 0
+	for _, h := range s.model.Graph.Predecessors(task) {
+		src := s.procOf[h.To]
+		if src < 0 {
+			return fmt.Errorf("machsim: task %d assigned before predecessor %d", task, h.To)
+		}
+		if src == proc {
+			continue // same processor: no message, no cost (δ term of eq. 4)
+		}
+		pending++
+		m := &message{
+			from: h.To,
+			to:   task,
+			path: s.model.Topo.Path(src, proc),
+			xfer: s.model.Comm.TransferTime(h.Bits),
+		}
+		s.messages++
+		// σ send overhead on the source processor, then the message enters
+		// the network.
+		end := s.charge(src, s.now, s.model.Comm.EffSigma(), KindSend, m)
+		s.push(event{time: end, kind: evMsgReady, msg: m})
+	}
+	ps.pendingMsgs = pending
+	if pending == 0 {
+		s.startRun(proc, s.now)
+	}
+	return nil
+}
+
+// startRun computes the start/finish of the task held by proc, given that
+// its inputs are complete at time ready.
+func (s *Simulator) startRun(proc int, ready float64) {
+	ps := &s.procs[proc]
+	start := ready
+	if ps.ovhBusyUntil > start {
+		start = ps.ovhBusyUntil
+	}
+	ps.scheduled = true
+	ps.runStart = start
+	ps.runFinish = start + ps.runLoad
+	s.pushFinish(proc)
+}
+
+// pushFinish (re)schedules the finish event of proc's task. The sequence
+// number doubles as a version: stale finish events still in the queue are
+// ignored when popped.
+func (s *Simulator) pushFinish(proc int) {
+	ps := &s.procs[proc]
+	s.seq++
+	ps.finishSeq = s.seq
+	s.queue.push(event{time: ps.runFinish, seq: ps.finishSeq, kind: evFinish, proc: proc, task: ps.assigned})
+}
+
+// push enqueues an event with a fresh sequence number.
+func (s *Simulator) push(e event) {
+	s.seq++
+	e.seq = s.seq
+	s.queue.push(e)
+}
+
+// charge books a message-handling overhead of the given duration on a
+// processor starting no earlier than now, and returns the time the
+// overhead completes. Overheads serialize on the processor; if a task is
+// executing there, its completion is postponed by the overhead duration
+// ("incoming messages preempt an active processor"); if a task has been
+// scheduled but not started, its start is pushed back as needed.
+func (s *Simulator) charge(proc int, now, dur float64, kind IntervalKind, m *message) float64 {
+	ps := &s.procs[proc]
+	start := now
+	if ps.ovhBusyUntil > start {
+		start = ps.ovhBusyUntil
+	}
+	end := start + dur
+	ps.ovhBusyUntil = end
+	if dur > 0 {
+		ps.stat.OverheadTime += dur
+		s.ovhTime += dur
+		if s.opts.RecordGantt {
+			s.gantt = append(s.gantt, Interval{
+				Proc: proc, Kind: kind, Task: m.to, From: m.from, Start: start, End: end,
+			})
+		}
+		if ps.scheduled {
+			if start >= ps.runStart {
+				// Preempts the executing task.
+				ps.runFinish += dur
+				s.pushFinish(proc)
+			} else if end > ps.runStart {
+				// Delays a task that has not started yet.
+				ps.runStart = end
+				ps.runFinish = end + ps.runLoad
+				s.pushFinish(proc)
+			}
+		}
+	}
+	return end
+}
+
+// sharedMediumKey is the link-resource key used for all transfers on a
+// bus topology, where the whole medium carries one message at a time.
+var sharedMediumKey = [2]int{-1, -1}
+
+// sendHop moves a message onto the next link of its path, waiting for the
+// link to be free (one message at a time per link; on a bus, one message
+// at a time on the whole medium).
+func (s *Simulator) sendHop(m *message) {
+	u, v := m.path[m.hop], m.path[m.hop+1]
+	key := topology.CanonicalLink(u, v)
+	if s.model.Topo.SharedMedium() {
+		key = sharedMediumKey
+	}
+	start := s.now
+	if free := s.linkFree[key]; free > start {
+		start = free
+	}
+	end := start + m.xfer
+	s.linkFree[key] = end
+	s.xferTime += m.xfer
+	s.linkBusy[key] += m.xfer
+	s.push(event{time: end, kind: evMsgArrive, msg: m})
+}
+
+// arrive handles a message reaching the node at the far end of its current
+// link: route onward (τ at the intermediate node) or deliver (τ at the
+// destination).
+func (s *Simulator) arrive(m *message) {
+	m.hop++
+	node := m.path[m.hop]
+	dst := m.path[len(m.path)-1]
+	if node != dst {
+		end := s.charge(node, s.now, s.model.Comm.EffTau(), KindRoute, m)
+		s.push(event{time: end, kind: evMsgReady, msg: m})
+		return
+	}
+	tau := s.model.Comm.EffTau()
+	if s.opts.DisableReceiveOverhead {
+		tau = 0
+	}
+	end := s.charge(node, s.now, tau, KindReceive, m)
+	ps := &s.procs[node]
+	if ps.assigned != m.to {
+		panic(fmt.Sprintf("machsim: message for task %d delivered to processor %d holding task %d",
+			m.to, node, ps.assigned))
+	}
+	ps.pendingMsgs--
+	if ps.pendingMsgs == 0 {
+		s.startRun(node, end)
+	}
+}
+
+func (s *Simulator) result(p Policy) *Result {
+	makespan := 0.0
+	for _, f := range s.finishAt {
+		if f > makespan {
+			makespan = f
+		}
+	}
+	t1 := s.model.Graph.TotalLoad()
+	res := &Result{
+		Policy:         p.Name(),
+		Makespan:       makespan,
+		SequentialTime: t1,
+		Messages:       s.messages,
+		TransferTime:   s.xferTime,
+		OverheadTime:   s.ovhTime,
+		Epochs:         s.epochs,
+		Forced:         s.forced,
+		Start:          append([]float64(nil), s.startAt...),
+		Finish:         append([]float64(nil), s.finishAt...),
+		Proc:           append([]int(nil), s.procOf...),
+		LinkBusy:       s.linkBusy,
+	}
+	if makespan > 0 {
+		res.Speedup = t1 / makespan
+	}
+	res.Procs = make([]ProcStat, len(s.procs))
+	for i := range s.procs {
+		res.Procs[i] = s.procs[i].stat
+	}
+	if s.opts.RecordGantt {
+		sort.Slice(s.gantt, func(i, j int) bool {
+			if s.gantt[i].Proc != s.gantt[j].Proc {
+				return s.gantt[i].Proc < s.gantt[j].Proc
+			}
+			if s.gantt[i].Start != s.gantt[j].Start {
+				return s.gantt[i].Start < s.gantt[j].Start
+			}
+			return s.gantt[i].End < s.gantt[j].End
+		})
+		res.Gantt = s.gantt
+	}
+	return res
+}

@@ -1,0 +1,722 @@
+package machsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+)
+
+// fixedPolicy assigns tasks to processors according to a fixed task->proc
+// map, as soon as both are available.
+type fixedPolicy struct {
+	place map[taskgraph.TaskID]int
+}
+
+func (f *fixedPolicy) Name() string { return "fixed" }
+
+func (f *fixedPolicy) Assign(ep *Epoch) []Assignment {
+	idle := make(map[int]bool, len(ep.Idle))
+	for _, p := range ep.Idle {
+		idle[p] = true
+	}
+	var out []Assignment
+	for _, t := range ep.Ready {
+		p, ok := f.place[t]
+		if ok && idle[p] {
+			out = append(out, Assignment{Task: t, Proc: p})
+			idle[p] = false
+		}
+	}
+	return out
+}
+
+// greedyPolicy fills idle processors with ready tasks in ID order.
+type greedyPolicy struct{}
+
+func (greedyPolicy) Name() string { return "greedy" }
+
+func (greedyPolicy) Assign(ep *Epoch) []Assignment {
+	n := len(ep.Ready)
+	if n > len(ep.Idle) {
+		n = len(ep.Idle)
+	}
+	out := make([]Assignment, 0, n)
+	for k := 0; k < n; k++ {
+		out = append(out, Assignment{Task: ep.Ready[k], Proc: ep.Idle[k]})
+	}
+	return out
+}
+
+func solo(t *testing.T) *topology.Topology {
+	t.Helper()
+	tp, err := topology.FromLinks("solo", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+func pair(t *testing.T) *topology.Topology {
+	t.Helper()
+	tp, err := topology.FromLinks("pair", 2, [][2]int{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+func triChain(t *testing.T) *topology.Topology {
+	t.Helper()
+	tp, err := topology.ChainTopo(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+func comm() topology.CommParams { return topology.DefaultCommParams() }
+
+func TestModelValidate(t *testing.T) {
+	g := taskgraph.New("g")
+	g.AddTask("t", 1)
+	good := Model{Graph: g, Topo: solo(t), Comm: comm()}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Model{Topo: solo(t), Comm: comm()}).Validate(); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if err := (Model{Graph: g, Comm: comm()}).Validate(); err == nil {
+		t.Error("nil topology accepted")
+	}
+	empty := taskgraph.New("empty")
+	if err := (Model{Graph: empty, Topo: solo(t), Comm: comm()}).Validate(); err == nil {
+		t.Error("empty graph accepted")
+	}
+	bad := comm()
+	bad.Bandwidth = 0
+	if err := (Model{Graph: g, Topo: solo(t), Comm: bad}).Validate(); err == nil {
+		t.Error("bad comm accepted")
+	}
+}
+
+func TestSingleProcessorSequential(t *testing.T) {
+	g := taskgraph.New("seq")
+	a := g.AddTask("a", 3)
+	b := g.AddTask("b", 4)
+	c := g.AddTask("c", 5)
+	g.MustAddEdge(a, b, 40)
+	g.MustAddEdge(b, c, 40)
+	res, err := Run(Model{Graph: g, Topo: solo(t), Comm: comm()}, greedyPolicy{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All on one processor: no messages, makespan = T1 = 12.
+	if res.Makespan != 12 || res.Messages != 0 || res.Speedup != 1 {
+		t.Fatalf("res = makespan %g, %d msgs, speedup %g", res.Makespan, res.Messages, res.Speedup)
+	}
+	if res.Forced != 0 {
+		t.Errorf("forced = %d", res.Forced)
+	}
+}
+
+func TestTwoIndependentTasksRunInParallel(t *testing.T) {
+	g := taskgraph.New("par")
+	g.AddTask("a", 10)
+	g.AddTask("b", 10)
+	res, err := Run(Model{Graph: g, Topo: pair(t), Comm: comm()}, greedyPolicy{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 10 {
+		t.Fatalf("makespan = %g, want 10", res.Makespan)
+	}
+	if res.Speedup != 2 {
+		t.Fatalf("speedup = %g, want 2", res.Speedup)
+	}
+}
+
+func TestLocalChainHasNoCommunication(t *testing.T) {
+	g := taskgraph.New("chain")
+	a := g.AddTask("a", 10)
+	b := g.AddTask("b", 10)
+	g.MustAddEdge(a, b, 400)
+	place := &fixedPolicy{place: map[taskgraph.TaskID]int{a: 0, b: 0}}
+	res, err := Run(Model{Graph: g, Topo: pair(t), Comm: comm()}, place, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 20 || res.Messages != 0 {
+		t.Fatalf("local chain: makespan %g, %d msgs; want 20, 0", res.Makespan, res.Messages)
+	}
+}
+
+func TestRemoteChainTiming(t *testing.T) {
+	// a on P0, b on P1, 40 bits: b is assigned when a finishes (t=10);
+	// σ = 7 on P0 (10..17), transfer w = 4 (17..21), receive τ = 9 on P1
+	// (21..30), b runs 30..40.
+	g := taskgraph.New("chain")
+	a := g.AddTask("a", 10)
+	b := g.AddTask("b", 10)
+	g.MustAddEdge(a, b, 40)
+	place := &fixedPolicy{place: map[taskgraph.TaskID]int{a: 0, b: 1}}
+	res, err := Run(Model{Graph: g, Topo: pair(t), Comm: comm()}, place, Options{RecordGantt: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Makespan-40) > 1e-9 {
+		t.Fatalf("makespan = %g, want 40", res.Makespan)
+	}
+	if res.Messages != 1 {
+		t.Fatalf("messages = %d, want 1", res.Messages)
+	}
+	if math.Abs(res.TransferTime-4) > 1e-9 {
+		t.Errorf("transfer = %g, want 4", res.TransferTime)
+	}
+	if math.Abs(res.OverheadTime-16) > 1e-9 {
+		t.Errorf("overhead = %g, want σ+τ = 16", res.OverheadTime)
+	}
+	// Gantt must contain the send on P0 at [10,17] and receive on P1 at
+	// [21,30].
+	var sawSend, sawRecv bool
+	for _, iv := range res.Gantt {
+		if iv.Kind == KindSend && iv.Proc == 0 && iv.Start == 10 && iv.End == 17 {
+			sawSend = true
+		}
+		if iv.Kind == KindReceive && iv.Proc == 1 && iv.Start == 21 && iv.End == 30 {
+			sawRecv = true
+		}
+	}
+	if !sawSend || !sawRecv {
+		t.Errorf("gantt missing send/recv blocks: %+v", res.Gantt)
+	}
+}
+
+func TestRoutedMessageChargesIntermediate(t *testing.T) {
+	// Chain topology P0-P1-P2; a on P0, b on P2 (distance 2).
+	// t=10: σ on P0 (10..17); hop P0->P1 (17..21); route τ on P1 (21..30);
+	// hop P1->P2 (30..34); receive τ on P2 (34..43); b runs 43..53.
+	g := taskgraph.New("routed")
+	a := g.AddTask("a", 10)
+	b := g.AddTask("b", 10)
+	g.MustAddEdge(a, b, 40)
+	place := &fixedPolicy{place: map[taskgraph.TaskID]int{a: 0, b: 2}}
+	res, err := Run(Model{Graph: g, Topo: triChain(t), Comm: comm()}, place, Options{RecordGantt: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Makespan-53) > 1e-9 {
+		t.Fatalf("makespan = %g, want 53", res.Makespan)
+	}
+	var sawRoute bool
+	for _, iv := range res.Gantt {
+		if iv.Kind == KindRoute && iv.Proc == 1 && iv.Start == 21 && iv.End == 30 {
+			sawRoute = true
+		}
+	}
+	if !sawRoute {
+		t.Errorf("no route block on intermediate processor: %+v", res.Gantt)
+	}
+	if res.Procs[1].OverheadTime != 9 {
+		t.Errorf("P1 overhead = %g, want 9", res.Procs[1].OverheadTime)
+	}
+}
+
+func TestDisableReceiveOverhead(t *testing.T) {
+	g := taskgraph.New("chain")
+	a := g.AddTask("a", 10)
+	b := g.AddTask("b", 10)
+	g.MustAddEdge(a, b, 40)
+	place := &fixedPolicy{place: map[taskgraph.TaskID]int{a: 0, b: 1}}
+	res, err := Run(Model{Graph: g, Topo: pair(t), Comm: comm()}, place, Options{DisableReceiveOverhead: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without the receive τ, b starts at 10+7+4 = 21 and ends at 31.
+	if math.Abs(res.Makespan-31) > 1e-9 {
+		t.Fatalf("makespan = %g, want 31", res.Makespan)
+	}
+}
+
+func TestNoCommModeIsFree(t *testing.T) {
+	g := taskgraph.New("chain")
+	a := g.AddTask("a", 10)
+	b := g.AddTask("b", 10)
+	g.MustAddEdge(a, b, 4000)
+	place := &fixedPolicy{place: map[taskgraph.TaskID]int{a: 0, b: 1}}
+	res, err := Run(Model{Graph: g, Topo: pair(t), Comm: comm().NoComm()}, place, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 20 {
+		t.Fatalf("makespan = %g, want 20 (free communication)", res.Makespan)
+	}
+	if res.OverheadTime != 0 || res.TransferTime != 0 {
+		t.Errorf("free comm charged: ovh %g xfer %g", res.OverheadTime, res.TransferTime)
+	}
+}
+
+func TestPreemptionStretchesRunningTask(t *testing.T) {
+	// P1 runs a long task c (0..100). a on P0 finishes at 10 and sends to
+	// b, placed on P2 via... use pair: make the message destination P1
+	// itself impossible (P1 busy). Instead: route through P1.
+	// Chain P0-P1-P2: c runs on P1 [0..100]; a on P0 [0..10]; b on P2
+	// needs a's output routed through P1. The route τ at t=21 preempts c,
+	// whose finish slips to 109.
+	g := taskgraph.New("preempt")
+	a := g.AddTask("a", 10)
+	b := g.AddTask("b", 10)
+	c := g.AddTask("c", 100)
+	g.MustAddEdge(a, b, 40)
+	place := &fixedPolicy{place: map[taskgraph.TaskID]int{a: 0, b: 2, c: 1}}
+	res, err := Run(Model{Graph: g, Topo: triChain(t), Comm: comm()}, place, Options{RecordGantt: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Finish[c]-109) > 1e-9 {
+		t.Fatalf("preempted task finished at %g, want 109", res.Finish[c])
+	}
+	// b's timeline is unchanged by the preemption of c: 43..53.
+	if math.Abs(res.Finish[b]-53) > 1e-9 {
+		t.Fatalf("b finished at %g, want 53", res.Finish[b])
+	}
+}
+
+func TestLinkContentionSerializesTransfers(t *testing.T) {
+	// Two producers on P0 finish at the same time; both consumers on P1.
+	// The two transfers share link (0,1) and must serialize.
+	g := taskgraph.New("contend")
+	a1 := g.AddTask("a1", 10)
+	b1 := g.AddTask("b1", 1)
+	b2 := g.AddTask("b2", 1)
+	g.MustAddEdge(a1, b1, 400) // w = 40µs each
+	g.MustAddEdge(a1, b2, 400)
+	// b1 on P1; b2 on P2, both fed from P0 over the shared first link of a
+	// chain P0-P1-P2? b2's path P0->P1->P2 shares link (0,1) with b1.
+	place := &fixedPolicy{place: map[taskgraph.TaskID]int{a1: 0, b1: 1, b2: 2}}
+	res, err := Run(Model{Graph: g, Topo: triChain(t), Comm: comm()}, place, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// σ for first message 10..17, second 17..24 (serialized on P0).
+	// Transfer 1 on link(0,1): 17..57. Transfer 2 waits: 57..97.
+	// So b2 cannot arrive at P1 before 57.
+	if res.TransferTime != 120 { // 40 + 40+40 (two hops for b2)
+		t.Errorf("transfer total = %g, want 120", res.TransferTime)
+	}
+	if res.Finish[b2] < 97 {
+		t.Errorf("b2 finished at %g; link contention not enforced", res.Finish[b2])
+	}
+}
+
+func TestSharedBusSerializesAllTransfers(t *testing.T) {
+	bus, err := topology.Bus(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two disjoint pairs communicate: on a point-to-point network the
+	// transfers overlap; on a bus they serialize.
+	g := taskgraph.New("bus")
+	a1 := g.AddTask("a1", 10)
+	b1 := g.AddTask("b1", 1)
+	a2 := g.AddTask("a2", 10)
+	b2 := g.AddTask("b2", 1)
+	g.MustAddEdge(a1, b1, 400)
+	g.MustAddEdge(a2, b2, 400)
+	place := &fixedPolicy{place: map[taskgraph.TaskID]int{a1: 0, a2: 1, b1: 2, b2: 3}}
+	res, err := Run(Model{Graph: g, Topo: bus, Comm: comm()}, place, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both messages: σ 10..17 (parallel on P0 and P1), transfers 40µs each
+	// on the single medium: first 17..57, second 57..97; receive τ 9, then
+	// 1µs task.
+	later := math.Max(res.Finish[b1], res.Finish[b2])
+	if math.Abs(later-107) > 1e-9 {
+		t.Fatalf("later consumer finished at %g, want 107 (serialized bus)", later)
+	}
+	// Same workload on a complete point-to-point network overlaps.
+	cg, err := topology.Complete(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Run(Model{Graph: g, Topo: cg, Comm: comm()}, place, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	both := math.Max(res2.Finish[b1], res2.Finish[b2])
+	if math.Abs(both-67) > 1e-9 {
+		t.Fatalf("point-to-point consumer finished at %g, want 67", both)
+	}
+}
+
+func TestPolicyValidationErrors(t *testing.T) {
+	g := taskgraph.New("v")
+	a := g.AddTask("a", 1)
+	b := g.AddTask("b", 1)
+	g.MustAddEdge(a, b, 0)
+
+	cases := []struct {
+		name string
+		as   []Assignment
+	}{
+		{"non-ready task", []Assignment{{Task: b, Proc: 0}}},
+		{"unknown processor", []Assignment{{Task: a, Proc: 5}}},
+		{"duplicate task", []Assignment{{Task: a, Proc: 0}, {Task: a, Proc: 1}}},
+	}
+	for _, tc := range cases {
+		p := &scriptedPolicy{assignments: tc.as}
+		if _, err := Run(Model{Graph: g, Topo: pair(t), Comm: comm()}, p, Options{}); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+}
+
+// scriptedPolicy returns a fixed assignment list on the first epoch and
+// nothing afterwards.
+type scriptedPolicy struct {
+	assignments []Assignment
+	called      bool
+}
+
+func (s *scriptedPolicy) Name() string { return "scripted" }
+
+func (s *scriptedPolicy) Assign(ep *Epoch) []Assignment {
+	if s.called {
+		return nil
+	}
+	s.called = true
+	return s.assignments
+}
+
+func TestForcedFallbackKeepsLiveness(t *testing.T) {
+	// A policy that never assigns anything: the simulator must still
+	// finish, counting forced assignments.
+	g := taskgraph.New("lazy")
+	g.AddTask("a", 1)
+	g.AddTask("b", 1)
+	p := &neverPolicy{}
+	res, err := Run(Model{Graph: g, Topo: pair(t), Comm: comm()}, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Forced != 2 {
+		t.Errorf("forced = %d, want 2", res.Forced)
+	}
+	if res.Makespan <= 0 {
+		t.Error("no makespan")
+	}
+}
+
+type neverPolicy struct{}
+
+func (neverPolicy) Name() string               { return "never" }
+func (neverPolicy) Assign(*Epoch) []Assignment { return nil }
+
+func TestEpochStatsRecorded(t *testing.T) {
+	g, err := taskgraph.ForkJoin("fj", 4, 5, 1, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Model{Graph: g, Topo: pair(t), Comm: comm().NoComm()}, greedyPolicy{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) == 0 {
+		t.Fatal("no epochs recorded")
+	}
+	first := res.Epochs[0]
+	if first.Time != 0 || first.Ready != 1 || first.Idle != 2 {
+		t.Errorf("first epoch = %+v", first)
+	}
+	if res.AvgReady() <= 0 || res.AvgIdle() <= 0 {
+		t.Error("epoch averages empty")
+	}
+}
+
+func TestGanttComputeIntervalsDisjointAndComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g, err := taskgraph.Layered("lay", taskgraph.LayeredConfig{
+		Layers: 5, MinWidth: 2, MaxWidth: 5, MinLoad: 1, MaxLoad: 20,
+		MinBits: 10, MaxBits: 200, EdgeProb: 0.4,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc, err := topology.Hypercube(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Model{Graph: g, Topo: hc, Comm: comm()}, greedyPolicy{}, Options{RecordGantt: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compute intervals per processor must not overlap and their loads
+	// must cover every task exactly once.
+	seen := make(map[taskgraph.TaskID]bool)
+	perProc := make(map[int][]Interval)
+	for _, iv := range res.Gantt {
+		if iv.Kind != KindCompute {
+			continue
+		}
+		if seen[iv.Task] {
+			t.Fatalf("task %d computed twice", iv.Task)
+		}
+		seen[iv.Task] = true
+		perProc[iv.Proc] = append(perProc[iv.Proc], iv)
+	}
+	if len(seen) != g.NumTasks() {
+		t.Fatalf("computed %d tasks, want %d", len(seen), g.NumTasks())
+	}
+	for proc, ivs := range perProc {
+		for i := 1; i < len(ivs); i++ {
+			if ivs[i].Start < ivs[i-1].End-1e-9 {
+				t.Fatalf("P%d compute intervals overlap: %+v then %+v", proc, ivs[i-1], ivs[i])
+			}
+		}
+	}
+	// Compute interval length >= load (preemption can only stretch it).
+	for _, iv := range res.Gantt {
+		if iv.Kind == KindCompute {
+			if iv.End-iv.Start < g.Load(iv.Task)-1e-9 {
+				t.Fatalf("task %d interval shorter than load", iv.Task)
+			}
+		}
+	}
+}
+
+// Property: for random graphs and the greedy policy, every task finishes,
+// the makespan is at least the critical-path bound with free
+// communication, and at least T1/P.
+func TestPropertyMakespanBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	hc, err := topology.Hypercube(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 30; trial++ {
+		g, err := taskgraph.GnpDAG("p", 1+rng.Intn(25), rng.Float64()*0.4, 1, 15, 0, 200, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(Model{Graph: g, Topo: hc, Comm: comm().NoComm()}, greedyPolicy{}, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for id, f := range res.Finish {
+			if f < 0 {
+				t.Fatalf("trial %d: task %d never finished", trial, id)
+			}
+		}
+		lb, err := g.LowerBoundMakespan(hc.N())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Makespan < lb-1e-9 {
+			t.Fatalf("trial %d: makespan %g below bound %g", trial, res.Makespan, lb)
+		}
+		if res.Forced != 0 {
+			t.Fatalf("trial %d: forced assignments", trial)
+		}
+	}
+}
+
+// Property: communication can only hurt — the makespan with communication
+// enabled is never smaller than without, for the same placement decisions.
+func TestPropertyCommNeverHelps(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	ring, err := topology.Ring(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		g, err := taskgraph.Layered("p", taskgraph.LayeredConfig{
+			Layers: 4, MinWidth: 2, MaxWidth: 4, MinLoad: 2, MaxLoad: 10,
+			MinBits: 10, MaxBits: 100, EdgeProb: 0.5,
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A deterministic placement shared by both runs.
+		place := make(map[taskgraph.TaskID]int)
+		for i := 0; i < g.NumTasks(); i++ {
+			place[taskgraph.TaskID(i)] = i % ring.N()
+		}
+		with, err := Run(Model{Graph: g, Topo: ring, Comm: comm()}, &fixedPolicy{place: place}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		without, err := Run(Model{Graph: g, Topo: ring, Comm: comm().NoComm()}, &fixedPolicy{place: place}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if with.Makespan < without.Makespan-1e-9 {
+			t.Fatalf("trial %d: comm helped (%g < %g)", trial, with.Makespan, without.Makespan)
+		}
+	}
+}
+
+func TestSimulatorQueriesDuringRun(t *testing.T) {
+	g := taskgraph.New("q")
+	a := g.AddTask("a", 5)
+	b := g.AddTask("b", 5)
+	g.MustAddEdge(a, b, 40)
+	var sawLocated bool
+	probe := &probePolicy{onEpoch: func(ep *Epoch) {
+		if len(ep.Ready) == 1 && ep.Ready[0] == b {
+			if ep.Sim.ProcOf(a) != 0 {
+				t.Errorf("ProcOf(a) = %d during b's epoch", ep.Sim.ProcOf(a))
+			}
+			if !ep.Sim.IsDone(a) || ep.Sim.FinishTime(a) != 5 {
+				t.Errorf("a not recorded done at 5")
+			}
+			sawLocated = true
+		}
+	}}
+	if _, err := Run(Model{Graph: g, Topo: solo(t), Comm: comm()}, probe, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !sawLocated {
+		t.Error("epoch for b never observed")
+	}
+}
+
+// probePolicy behaves like greedyPolicy but lets tests observe epochs.
+type probePolicy struct {
+	onEpoch func(*Epoch)
+}
+
+func (p *probePolicy) Name() string { return "probe" }
+
+func (p *probePolicy) Assign(ep *Epoch) []Assignment {
+	if p.onEpoch != nil {
+		p.onEpoch(ep)
+	}
+	return greedyPolicy{}.Assign(ep)
+}
+
+func TestZeroLoadTasks(t *testing.T) {
+	g := taskgraph.New("zero")
+	a := g.AddTask("a", 0)
+	b := g.AddTask("b", 0)
+	c := g.AddTask("c", 1)
+	g.MustAddEdge(a, b, 0)
+	g.MustAddEdge(b, c, 0)
+	res, err := Run(Model{Graph: g, Topo: solo(t), Comm: comm()}, greedyPolicy{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 1 {
+		t.Fatalf("makespan = %g, want 1", res.Makespan)
+	}
+}
+
+func TestIntervalKindString(t *testing.T) {
+	for kind, want := range map[IntervalKind]string{
+		KindCompute: "compute", KindSend: "send", KindReceive: "receive", KindRoute: "route",
+	} {
+		if kind.String() != want {
+			t.Errorf("%d.String() = %q", kind, kind.String())
+		}
+	}
+	if IntervalKind(99).String() == "" {
+		t.Error("unknown kind empty")
+	}
+}
+
+func TestUtilizationMetric(t *testing.T) {
+	g := taskgraph.New("u")
+	g.AddTask("a", 10)
+	g.AddTask("b", 10)
+	res, err := Run(Model{Graph: g, Topo: pair(t), Comm: comm()}, greedyPolicy{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Utilization()-1) > 1e-9 {
+		t.Errorf("utilization = %g, want 1", res.Utilization())
+	}
+}
+
+func TestLinkBusyAccounting(t *testing.T) {
+	// One message over two hops: both links carry the full transfer time.
+	g := taskgraph.New("lb")
+	a := g.AddTask("a", 10)
+	b := g.AddTask("b", 10)
+	g.MustAddEdge(a, b, 400) // w = 40µs per hop
+	place := &fixedPolicy{place: map[taskgraph.TaskID]int{a: 0, b: 2}}
+	res, err := Run(Model{Graph: g, Topo: triChain(t), Comm: comm()}, place, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.LinkBusy) != 2 {
+		t.Fatalf("LinkBusy = %v, want 2 links", res.LinkBusy)
+	}
+	for link, busy := range res.LinkBusy {
+		if math.Abs(busy-40) > 1e-9 {
+			t.Errorf("link %v busy %g, want 40", link, busy)
+		}
+	}
+	if math.Abs(res.MaxLinkBusy()-40) > 1e-9 {
+		t.Errorf("MaxLinkBusy = %g", res.MaxLinkBusy())
+	}
+}
+
+func TestLinkBusySharedMediumSingleKey(t *testing.T) {
+	bus, err := topology.Bus(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := taskgraph.New("b")
+	a1 := g.AddTask("a1", 10)
+	b1 := g.AddTask("b1", 1)
+	a2 := g.AddTask("a2", 10)
+	b2 := g.AddTask("b2", 1)
+	g.MustAddEdge(a1, b1, 400)
+	g.MustAddEdge(a2, b2, 400)
+	place := &fixedPolicy{place: map[taskgraph.TaskID]int{a1: 0, a2: 1, b1: 2, b2: 3}}
+	res, err := Run(Model{Graph: g, Topo: bus, Comm: comm()}, place, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.LinkBusy) != 1 {
+		t.Fatalf("bus LinkBusy = %v, want single medium key", res.LinkBusy)
+	}
+	if math.Abs(res.MaxLinkBusy()-80) > 1e-9 {
+		t.Errorf("bus medium busy = %g, want 80", res.MaxLinkBusy())
+	}
+}
+
+// Property: finish times always respect precedence: a consumer finishes
+// no earlier than its producer plus its own load.
+func TestPropertyPrecedenceRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	ring, err := topology.Ring(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 25; trial++ {
+		g, err := taskgraph.Layered("p", taskgraph.LayeredConfig{
+			Layers: 3 + rng.Intn(4), MinWidth: 1, MaxWidth: 5,
+			MinLoad: 1, MaxLoad: 20, MinBits: 0, MaxBits: 300, EdgeProb: 0.4,
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(Model{Graph: g, Topo: ring, Comm: comm()}, greedyPolicy{}, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := 0; i < g.NumTasks(); i++ {
+			id := taskgraph.TaskID(i)
+			for _, h := range g.Predecessors(id) {
+				if res.Finish[id] < res.Finish[h.To]+g.Load(id)-1e-9 {
+					t.Fatalf("trial %d: task %d (fin %g) ran before pred %d (fin %g) completed",
+						trial, id, res.Finish[id], h.To, res.Finish[h.To])
+				}
+			}
+		}
+	}
+}

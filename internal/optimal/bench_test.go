@@ -1,0 +1,22 @@
+package optimal
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/taskgraph"
+)
+
+func BenchmarkExactSolve8Tasks(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	g, err := taskgraph.GnpDAG("b", 8, 0.25, 1, 9, 0, 0, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Makespan(g, 3, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,307 @@
+// Package optimal computes exact minimum makespans for small scheduling
+// instances (identical processors, precedence constraints, free
+// communication — the classic P|prec|Cmax setting of Graham's analysis).
+//
+// The solver is a branch-and-bound over the serial schedule-generation
+// scheme: tasks are appended one at a time in every precedence-feasible
+// order, each on every distinct processor-availability slot, started as
+// early as possible. For a regular objective such as makespan this
+// enumeration contains an optimal (active) schedule. Pruning uses the
+// critical-path and area lower bounds plus the best schedule found so far.
+//
+// The package exists to *validate* the heuristics: the paper's §6 cites
+// Adam, Chandy & Dickinson (1974) for HLF staying within 5 % of the
+// optimum, and claims SA "optimally solves the Graham list scheduling
+// anomalies"; both claims are checked against this solver in the
+// experiment suite. It is exponential — keep instances at or below ~14
+// tasks.
+package optimal
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/taskgraph"
+)
+
+// Options bounds the search.
+type Options struct {
+	// MaxNodes aborts the search after this many branch nodes
+	// (0 = 20 million).
+	MaxNodes int64
+}
+
+// Result reports an exact solve.
+type Result struct {
+	Makespan float64
+	Nodes    int64 // branch nodes explored
+	// Start and Proc describe one optimal schedule.
+	Start []float64
+	Proc  []int
+}
+
+const defaultMaxNodes = 20_000_000
+
+// ErrTooLarge is wrapped in errors returned when the search exceeds its
+// node budget.
+var ErrTooLarge = fmt.Errorf("optimal: search exceeded node budget")
+
+// solver carries the branch-and-bound state.
+type solver struct {
+	g       *taskgraph.Graph
+	n       int
+	procs   int
+	loads   []float64
+	levels  []float64
+	preds   [][]taskgraph.TaskID
+	maxN    int64
+	nodes   int64
+	best    float64
+	bestSet bool
+
+	// Current partial schedule.
+	finish    []float64
+	proc      []int
+	start     []float64
+	scheduled []bool
+	remaining int
+	availPool []float64 // processor availability times
+
+	bestStart []float64
+	bestProc  []int
+}
+
+// Makespan returns the exact minimum makespan of g on the given number of
+// identical processors with free communication.
+func Makespan(g *taskgraph.Graph, procs int, opt Options) (*Result, error) {
+	if procs < 1 {
+		return nil, fmt.Errorf("optimal: %d processors", procs)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	n := g.NumTasks()
+	if n == 0 {
+		return nil, fmt.Errorf("optimal: empty graph")
+	}
+	levels, err := g.Levels()
+	if err != nil {
+		return nil, err
+	}
+	s := &solver{
+		g:         g,
+		n:         n,
+		procs:     procs,
+		loads:     make([]float64, n),
+		levels:    levels,
+		preds:     make([][]taskgraph.TaskID, n),
+		maxN:      opt.MaxNodes,
+		finish:    make([]float64, n),
+		proc:      make([]int, n),
+		start:     make([]float64, n),
+		scheduled: make([]bool, n),
+		remaining: n,
+		availPool: make([]float64, procs),
+		best:      math.Inf(1),
+	}
+	if s.maxN == 0 {
+		s.maxN = defaultMaxNodes
+	}
+	for i := 0; i < n; i++ {
+		id := taskgraph.TaskID(i)
+		s.loads[i] = g.Load(id)
+		for _, h := range g.Predecessors(id) {
+			s.preds[i] = append(s.preds[i], h.To)
+		}
+	}
+	// Seed the incumbent with a greedy HLF schedule so pruning bites
+	// immediately.
+	s.seedGreedy()
+	if err := s.search(0); err != nil {
+		return nil, err
+	}
+	if !s.bestSet {
+		return nil, fmt.Errorf("optimal: no schedule found (internal error)")
+	}
+	return &Result{
+		Makespan: s.best,
+		Nodes:    s.nodes,
+		Start:    s.bestStart,
+		Proc:     s.bestProc,
+	}, nil
+}
+
+// seedGreedy installs an HLF list schedule as the incumbent upper bound.
+func (s *solver) seedGreedy() {
+	order := make([]int, s.n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return s.levels[order[a]] > s.levels[order[b]] })
+
+	avail := make([]float64, s.procs)
+	finish := make([]float64, s.n)
+	start := make([]float64, s.n)
+	procOf := make([]int, s.n)
+	done := make([]bool, s.n)
+	makespan := 0.0
+	for left := s.n; left > 0; {
+		for _, i := range order {
+			if done[i] {
+				continue
+			}
+			ready := true
+			predMax := 0.0
+			for _, p := range s.preds[i] {
+				if !done[int(p)] {
+					ready = false
+					break
+				}
+				if finish[p] > predMax {
+					predMax = finish[p]
+				}
+			}
+			if !ready {
+				continue
+			}
+			bestP := 0
+			for p := 1; p < s.procs; p++ {
+				if avail[p] < avail[bestP] {
+					bestP = p
+				}
+			}
+			st := math.Max(avail[bestP], predMax)
+			start[i] = st
+			finish[i] = st + s.loads[i]
+			procOf[i] = bestP
+			avail[bestP] = finish[i]
+			if finish[i] > makespan {
+				makespan = finish[i]
+			}
+			done[i] = true
+			left--
+		}
+	}
+	s.best = makespan
+	s.bestSet = true
+	s.bestStart = start
+	s.bestProc = procOf
+}
+
+// lowerBound bounds the completion of the remaining work given the
+// current partial schedule.
+func (s *solver) lowerBound() float64 {
+	// Area bound: remaining load spread over all processors on top of the
+	// earliest availability; level bound: every unscheduled-but-eligible
+	// chain must still complete; scheduled tasks bound directly.
+	lb := 0.0
+	var remLoad float64
+	earliest := math.Inf(1)
+	for _, a := range s.availPool {
+		if a < earliest {
+			earliest = a
+		}
+	}
+	for i := 0; i < s.n; i++ {
+		if s.scheduled[i] {
+			if s.finish[i] > lb {
+				lb = s.finish[i]
+			}
+			continue
+		}
+		remLoad += s.loads[i]
+		// The task cannot start before its scheduled predecessors finish
+		// nor before a processor frees.
+		est := earliest
+		for _, p := range s.preds[i] {
+			if s.scheduled[p] && s.finish[p] > est {
+				est = s.finish[p]
+			}
+		}
+		if v := est + s.levels[i]; v > lb {
+			lb = v
+		}
+	}
+	var availSum float64
+	for _, a := range s.availPool {
+		availSum += a
+	}
+	if v := (availSum + remLoad) / float64(s.procs); v > lb {
+		lb = v
+	}
+	return lb
+}
+
+// search extends the partial schedule by one task in all feasible ways.
+func (s *solver) search(depth int) error {
+	s.nodes++
+	if s.nodes > s.maxN {
+		return fmt.Errorf("%w (%d nodes)", ErrTooLarge, s.maxN)
+	}
+	if s.remaining == 0 {
+		mk := 0.0
+		for i := 0; i < s.n; i++ {
+			if s.finish[i] > mk {
+				mk = s.finish[i]
+			}
+		}
+		if mk < s.best {
+			s.best = mk
+			s.bestSet = true
+			s.bestStart = append(s.bestStart[:0], s.start...)
+			s.bestProc = append(s.bestProc[:0], s.proc...)
+		}
+		return nil
+	}
+	if s.lowerBound() >= s.best-1e-12 {
+		return nil // cannot beat the incumbent
+	}
+
+	// Eligible tasks: unscheduled with all predecessors scheduled.
+	for i := 0; i < s.n; i++ {
+		if s.scheduled[i] {
+			continue
+		}
+		eligible := true
+		predMax := 0.0
+		for _, p := range s.preds[i] {
+			if !s.scheduled[p] {
+				eligible = false
+				break
+			}
+			if s.finish[p] > predMax {
+				predMax = s.finish[p]
+			}
+		}
+		if !eligible {
+			continue
+		}
+		// Branch over distinct availability values only; identical
+		// processors make equal slots symmetric.
+		tried := make(map[float64]bool, s.procs)
+		for p := 0; p < s.procs; p++ {
+			a := s.availPool[p]
+			if tried[a] {
+				continue
+			}
+			tried[a] = true
+			st := math.Max(a, predMax)
+			s.scheduled[i] = true
+			s.start[i] = st
+			s.finish[i] = st + s.loads[i]
+			s.proc[i] = p
+			s.availPool[p] = s.finish[i]
+			s.remaining--
+
+			if err := s.search(depth + 1); err != nil {
+				return err
+			}
+
+			s.remaining++
+			s.availPool[p] = a
+			s.scheduled[i] = false
+		}
+	}
+	return nil
+}

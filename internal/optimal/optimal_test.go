@@ -1,0 +1,185 @@
+package optimal
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/taskgraph"
+)
+
+func TestChainIsSequential(t *testing.T) {
+	g, err := taskgraph.Chain("c", 5, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Makespan(g, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 15 {
+		t.Fatalf("chain makespan = %g, want 15", res.Makespan)
+	}
+}
+
+func TestIndependentTasksPack(t *testing.T) {
+	// Loads 3,3,2,2,2 on 2 processors: optimum 6 ({3,3} and {2,2,2}).
+	g := taskgraph.New("ind")
+	for _, l := range []float64{3, 3, 2, 2, 2} {
+		g.AddTask("", l)
+	}
+	res, err := Makespan(g, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 6 {
+		t.Fatalf("makespan = %g, want 6", res.Makespan)
+	}
+}
+
+func TestGrahamInstanceOptimum(t *testing.T) {
+	// Graham's reduced-times anomaly instance has optimum 10 on 3
+	// processors.
+	g := taskgraph.New("graham")
+	durs := []float64{2, 1, 1, 1, 3, 3, 3, 3, 8}
+	ids := make([]taskgraph.TaskID, len(durs))
+	for i, d := range durs {
+		ids[i] = g.AddTask("", d)
+	}
+	g.MustAddEdge(ids[0], ids[8], 0)
+	for _, s := range []int{4, 5, 6, 7} {
+		g.MustAddEdge(ids[3], ids[s], 0)
+	}
+	res, err := Makespan(g, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Makespan-10) > 1e-9 {
+		t.Fatalf("makespan = %g, want 10", res.Makespan)
+	}
+}
+
+func TestDelayedStartBeatsGreedy(t *testing.T) {
+	// An instance where pure greedy (no idling consideration) can lose:
+	// two processors, tasks A(4), B(1)->C(6). Optimal: B then C on P0
+	// (finish 7), A on P1 (finish 4) => 7.
+	g := taskgraph.New("idle")
+	g.AddTask("A", 4)
+	b := g.AddTask("B", 1)
+	c := g.AddTask("C", 6)
+	g.MustAddEdge(b, c, 0)
+	res, err := Makespan(g, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Makespan-7) > 1e-9 {
+		t.Fatalf("makespan = %g, want 7", res.Makespan)
+	}
+}
+
+func TestScheduleFieldsConsistent(t *testing.T) {
+	g, err := taskgraph.ForkJoin("fj", 4, 3, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Makespan(g, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check the returned schedule is feasible and matches the makespan.
+	mk := 0.0
+	for i := 0; i < g.NumTasks(); i++ {
+		id := taskgraph.TaskID(i)
+		end := res.Start[i] + g.Load(id)
+		if end > mk {
+			mk = end
+		}
+		for _, h := range g.Predecessors(id) {
+			predEnd := res.Start[h.To] + g.Load(h.To)
+			if res.Start[i] < predEnd-1e-9 {
+				t.Fatalf("task %d starts before pred %d finishes", i, h.To)
+			}
+		}
+	}
+	if math.Abs(mk-res.Makespan) > 1e-9 {
+		t.Fatalf("schedule makespan %g != reported %g", mk, res.Makespan)
+	}
+	// No processor runs two tasks at once.
+	for i := 0; i < g.NumTasks(); i++ {
+		for j := i + 1; j < g.NumTasks(); j++ {
+			if res.Proc[i] != res.Proc[j] {
+				continue
+			}
+			iEnd := res.Start[i] + g.Load(taskgraph.TaskID(i))
+			jEnd := res.Start[j] + g.Load(taskgraph.TaskID(j))
+			if res.Start[i] < jEnd-1e-9 && res.Start[j] < iEnd-1e-9 {
+				t.Fatalf("tasks %d and %d overlap on processor %d", i, j, res.Proc[i])
+			}
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	g := taskgraph.New("g")
+	g.AddTask("a", 1)
+	if _, err := Makespan(g, 0, Options{}); err == nil {
+		t.Error("0 processors accepted")
+	}
+	if _, err := Makespan(taskgraph.New("empty"), 2, Options{}); err == nil {
+		t.Error("empty graph accepted")
+	}
+	cyc := taskgraph.New("cyc")
+	a := cyc.AddTask("a", 1)
+	b := cyc.AddTask("b", 1)
+	cyc.MustAddEdge(a, b, 0)
+	cyc.MustAddEdge(b, a, 0)
+	if _, err := Makespan(cyc, 2, Options{}); err == nil {
+		t.Error("cycle accepted")
+	}
+}
+
+func TestNodeBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g, err := taskgraph.GnpDAG("big", 12, 0.1, 1, 9, 0, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Makespan(g, 3, Options{MaxNodes: 10})
+	if err == nil || !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("tiny budget err = %v, want ErrTooLarge", err)
+	}
+}
+
+// Property: the exact optimum never exceeds the greedy HLF seed and never
+// goes below the critical-path/area lower bound.
+func TestPropertyOptimumWithinBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + rng.Intn(5)
+		g, err := taskgraph.GnpDAG("p", n, 0.3*rng.Float64(), 1, 9, 0, 0, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs := 2 + rng.Intn(2)
+		res, err := Makespan(g, procs, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, err := g.LowerBoundMakespan(procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Makespan < lb-1e-9 {
+			t.Fatalf("trial %d: optimum %g below bound %g", trial, res.Makespan, lb)
+		}
+		// Single processor: optimum is exactly T1.
+		solo, err := Makespan(g, 1, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(solo.Makespan-g.TotalLoad()) > 1e-9 {
+			t.Fatalf("trial %d: 1-proc optimum %g != T1 %g", trial, solo.Makespan, g.TotalLoad())
+		}
+	}
+}

@@ -1,0 +1,289 @@
+package schedule
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/list"
+	"repro/internal/machsim"
+	"repro/internal/programs"
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+)
+
+// greedy fills idle processors with ready tasks in ID order.
+type greedy struct{}
+
+func (greedy) Name() string { return "greedy" }
+
+func (greedy) Assign(ep *machsim.Epoch) []machsim.Assignment {
+	n := len(ep.Ready)
+	if n > len(ep.Idle) {
+		n = len(ep.Idle)
+	}
+	out := make([]machsim.Assignment, 0, n)
+	for k := 0; k < n; k++ {
+		out = append(out, machsim.Assignment{Task: ep.Ready[k], Proc: ep.Idle[k]})
+	}
+	return out
+}
+
+func simOnce(t *testing.T, g *taskgraph.Graph, topo *topology.Topology,
+	comm topology.CommParams, p machsim.Policy) (*Schedule, *machsim.Result) {
+	t.Helper()
+	res, err := machsim.Run(machsim.Model{Graph: g, Topo: topo, Comm: comm}, p, machsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := FromResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, res
+}
+
+func TestFromResultAndValidateSimpleChain(t *testing.T) {
+	g, err := taskgraph.Chain("c", 4, 5, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := topology.Hypercube(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm := topology.DefaultCommParams()
+	s, res := simOnce(t, g, topo, comm, greedy{})
+	if err := s.Validate(g, topo, comm); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	if s.Makespan != res.Makespan || s.Policy != "greedy" {
+		t.Errorf("schedule header = %+v", s)
+	}
+}
+
+// The central cross-validation: every simulator output for every policy on
+// every benchmark program must pass the independent checker.
+func TestSimulatorOutputsPassIndependentChecker(t *testing.T) {
+	topo, err := topology.Hypercube(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, prog := range programs.Catalog() {
+		g := prog.Build()
+		for _, withComm := range []bool{false, true} {
+			comm := topology.DefaultCommParams()
+			if !withComm {
+				comm = comm.NoComm()
+			}
+			policies := []machsim.Policy{greedy{}, list.NewFIFO()}
+			if hlf, err := list.NewHLF(g); err == nil {
+				policies = append(policies, hlf)
+			}
+			opt := core.DefaultOptions()
+			opt.Seed = 4
+			if sa, err := core.NewScheduler(g, topo, comm, opt); err == nil {
+				policies = append(policies, sa)
+			}
+			for _, p := range policies {
+				s, _ := simOnce(t, g, topo, comm, p)
+				if err := s.Validate(g, topo, comm); err != nil {
+					t.Errorf("%s/%s comm=%v: %v", prog.Key, p.Name(), withComm, err)
+				}
+			}
+		}
+	}
+}
+
+func TestValidateCatchesOverlap(t *testing.T) {
+	g := taskgraph.New("g")
+	g.AddTask("a", 10)
+	g.AddTask("b", 10)
+	topo, _ := topology.Hypercube(1)
+	s := &Schedule{
+		Policy:   "bad",
+		Makespan: 15,
+		Entries: []Entry{
+			{Task: 0, Proc: 0, Start: 0, Finish: 10},
+			{Task: 1, Proc: 0, Start: 5, Finish: 15}, // overlaps on P0
+		},
+	}
+	if err := s.Validate(g, topo, topology.DefaultCommParams()); err == nil {
+		t.Error("overlapping schedule accepted")
+	}
+}
+
+func TestValidateCatchesPrecedenceViolation(t *testing.T) {
+	g := taskgraph.New("g")
+	a := g.AddTask("a", 10)
+	b := g.AddTask("b", 10)
+	g.MustAddEdge(a, b, 40)
+	topo, _ := topology.Hypercube(1)
+	s := &Schedule{
+		Policy:   "bad",
+		Makespan: 20,
+		Entries: []Entry{
+			{Task: 0, Proc: 0, Start: 10, Finish: 20},
+			{Task: 1, Proc: 1, Start: 0, Finish: 10}, // starts before producer
+		},
+	}
+	// Use a 2-proc topology so placement is legal but timing is not.
+	topo2, _ := topology.Hypercube(1)
+	if err := s.Validate(g, topo2, topology.DefaultCommParams().NoComm()); err == nil {
+		t.Error("precedence violation accepted")
+	}
+	_ = topo
+}
+
+func TestValidateCatchesMissingCommLatency(t *testing.T) {
+	g := taskgraph.New("g")
+	a := g.AddTask("a", 10)
+	b := g.AddTask("b", 10)
+	g.MustAddEdge(a, b, 400) // w = 40 µs
+	topo, _ := topology.Hypercube(1)
+	comm := topology.DefaultCommParams()
+	s := &Schedule{
+		Policy:   "bad",
+		Makespan: 21,
+		Entries: []Entry{
+			{Task: 0, Proc: 0, Start: 0, Finish: 10},
+			// Remote consumer starting immediately: violates σ + w·d.
+			{Task: 1, Proc: 1, Start: 11, Finish: 21},
+		},
+	}
+	if err := s.Validate(g, topo, comm); err == nil {
+		t.Error("zero-latency remote edge accepted")
+	}
+	// The same schedule is fine when communication is free.
+	if err := s.Validate(g, topo, comm.NoComm()); err != nil {
+		t.Errorf("free-comm schedule rejected: %v", err)
+	}
+}
+
+func TestValidateCatchesShortDuration(t *testing.T) {
+	g := taskgraph.New("g")
+	g.AddTask("a", 10)
+	topo, _ := topology.Hypercube(0)
+	s := &Schedule{
+		Policy:   "bad",
+		Makespan: 5,
+		Entries:  []Entry{{Task: 0, Proc: 0, Start: 0, Finish: 5}},
+	}
+	if err := s.Validate(g, topo, topology.DefaultCommParams()); err == nil {
+		t.Error("too-short task accepted")
+	}
+}
+
+func TestValidateCatchesBadShape(t *testing.T) {
+	g := taskgraph.New("g")
+	g.AddTask("a", 1)
+	g.AddTask("b", 1)
+	topo, _ := topology.Hypercube(1)
+	comm := topology.DefaultCommParams()
+
+	short := &Schedule{Entries: []Entry{{Task: 0, Proc: 0, Finish: 1}}}
+	if err := short.Validate(g, topo, comm); err == nil {
+		t.Error("missing entry accepted")
+	}
+	badProc := &Schedule{
+		Makespan: 1,
+		Entries: []Entry{
+			{Task: 0, Proc: 9, Start: 0, Finish: 1},
+			{Task: 1, Proc: 0, Start: 0, Finish: 1},
+		},
+	}
+	if err := badProc.Validate(g, topo, comm); err == nil {
+		t.Error("unknown processor accepted")
+	}
+	badMakespan := &Schedule{
+		Makespan: 0.5,
+		Entries: []Entry{
+			{Task: 0, Proc: 0, Start: 0, Finish: 1},
+			{Task: 1, Proc: 1, Start: 0, Finish: 1},
+		},
+	}
+	if err := badMakespan.Validate(g, topo, comm); err == nil {
+		t.Error("understated makespan accepted")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g, err := taskgraph.ForkJoin("fj", 5, 10, 1, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := topology.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm := topology.DefaultCommParams()
+	s, _ := simOnce(t, g, topo, comm, greedy{})
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Makespan != s.Makespan || len(back.Entries) != len(s.Entries) {
+		t.Fatalf("round trip changed schedule: %+v", back)
+	}
+	if err := back.Validate(g, topo, comm); err != nil {
+		t.Fatalf("decoded schedule invalid: %v", err)
+	}
+	if _, err := ReadJSON(strings.NewReader("{")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestProcSpans(t *testing.T) {
+	s := &Schedule{Entries: []Entry{
+		{Task: 0, Proc: 0, Start: 0, Finish: 10},
+		{Task: 1, Proc: 1, Start: 0, Finish: 4},
+		{Task: 2, Proc: 0, Start: 10, Finish: 12},
+	}}
+	spans := s.ProcSpans(2)
+	if spans[0] != 12 || spans[1] != 4 {
+		t.Errorf("spans = %v", spans)
+	}
+}
+
+// Property: random-policy schedules on random graphs always validate.
+func TestPropertyRandomSchedulesValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	topo, err := topology.Mesh(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		g, err := taskgraph.Layered("p", taskgraph.LayeredConfig{
+			Layers: 2 + rng.Intn(5), MinWidth: 1, MaxWidth: 6,
+			MinLoad: 1, MaxLoad: 30, MinBits: 0, MaxBits: 400, EdgeProb: 0.5,
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comm := topology.DefaultCommParams()
+		s, _ := simOnce(t, g, topo, comm, list.NewRandom(rng.Int63()))
+		if err := s.Validate(g, topo, comm); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestFromResultErrors(t *testing.T) {
+	if _, err := FromResult(&machsim.Result{}); err == nil {
+		t.Error("empty result accepted")
+	}
+	bad := &machsim.Result{
+		Start:  []float64{0},
+		Finish: []float64{-1},
+		Proc:   []int{0},
+	}
+	if _, err := FromResult(bad); err == nil {
+		t.Error("unfinished task accepted")
+	}
+}

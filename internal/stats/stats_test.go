@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMeanSumVariance(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if !almost(Mean(xs), 2.5) {
+		t.Errorf("Mean = %g", Mean(xs))
+	}
+	if !almost(Sum(xs), 10) {
+		t.Errorf("Sum = %g", Sum(xs))
+	}
+	if !almost(Variance(xs), 1.25) {
+		t.Errorf("Variance = %g", Variance(xs))
+	}
+	if !almost(StdDev(xs), math.Sqrt(1.25)) {
+		t.Errorf("StdDev = %g", StdDev(xs))
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("empty/singleton defaults wrong")
+	}
+}
+
+func TestMinMaxMedian(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	if Min(xs) != 1 || Max(xs) != 5 || Median(xs) != 3 {
+		t.Errorf("min/max/median = %g/%g/%g", Min(xs), Max(xs), Median(xs))
+	}
+	even := []float64{4, 1, 3, 2}
+	if !almost(Median(even), 2.5) {
+		t.Errorf("even median = %g", Median(even))
+	}
+}
+
+func TestPanicsOnEmpty(t *testing.T) {
+	for name, f := range map[string]func(){
+		"Min":        func() { Min(nil) },
+		"Max":        func() { Max(nil) },
+		"Median":     func() { Median(nil) },
+		"Percentile": func() { Percentile(nil, 50) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s(nil) did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	if !almost(Percentile(xs, 0), 10) || !almost(Percentile(xs, 100), 50) {
+		t.Error("extreme percentiles wrong")
+	}
+	if !almost(Percentile(xs, 50), 30) {
+		t.Errorf("P50 = %g", Percentile(xs, 50))
+	}
+	if !almost(Percentile(xs, 25), 20) {
+		t.Errorf("P25 = %g", Percentile(xs, 25))
+	}
+	if !almost(Percentile(xs, 10), 14) { // interpolated
+		t.Errorf("P10 = %g", Percentile(xs, 10))
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	gm, err := GeoMean([]float64{1, 4, 16})
+	if err != nil || !almost(gm, 4) {
+		t.Errorf("GeoMean = %g, %v", gm, err)
+	}
+	if _, err := GeoMean([]float64{1, -2}); err == nil {
+		t.Error("negative sample accepted")
+	}
+	if _, err := GeoMean(nil); err == nil {
+		t.Error("empty accepted")
+	}
+}
+
+func TestSummarizeAndString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.N != 3 || !almost(s.Mean, 2) || !almost(s.Median, 2) {
+		t.Errorf("summary = %+v", s)
+	}
+	if !strings.Contains(s.String(), "n=3") {
+		t.Errorf("String = %q", s.String())
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Errorf("empty summary = %+v", z)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0.5, 1.5, 2.5, 2.6, -5, 99}
+	counts := Histogram(xs, 0, 3, 3)
+	if len(counts) != 3 {
+		t.Fatalf("bins = %v", counts)
+	}
+	// -5 clamps into bin 0; 99 into bin 2.
+	if counts[0] != 2 || counts[1] != 1 || counts[2] != 3 {
+		t.Errorf("counts = %v", counts)
+	}
+	if Histogram(xs, 3, 0, 3) != nil || Histogram(xs, 0, 1, 0) != nil {
+		t.Error("invalid ranges accepted")
+	}
+}
+
+func TestSparkLine(t *testing.T) {
+	if SparkLine(nil) != "" {
+		t.Error("empty sparkline not empty")
+	}
+	s := SparkLine([]int{0, 5, 10})
+	if len([]rune(s)) != 3 {
+		t.Errorf("sparkline runes = %q", s)
+	}
+	flat := SparkLine([]int{0, 0})
+	if len([]rune(flat)) != 2 {
+		t.Errorf("flat sparkline = %q", flat)
+	}
+}
+
+// Property: Min <= Median <= Max and Mean within [Min, Max].
+func TestQuickOrderInvariants(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			// Skip values whose sum could overflow: the mean of samples
+			// near ±MaxFloat64 is not finite arithmetic.
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e300 {
+				continue
+			}
+			xs = append(xs, v)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		lo, hi, med, mean := Min(xs), Max(xs), Median(xs), Mean(xs)
+		return lo <= med && med <= hi && lo-1e-9 <= mean && mean <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

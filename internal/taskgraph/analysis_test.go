@@ -1,0 +1,296 @@
+package taskgraph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTopologicalOrderDiamond(t *testing.T) {
+	g, ids := diamond(t)
+	order, err := g.TopologicalOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 4 {
+		t.Fatalf("order len = %d", len(order))
+	}
+	pos := make(map[TaskID]int)
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, e := range g.Edges() {
+		if pos[e.From] >= pos[e.To] {
+			t.Errorf("edge (%d,%d) violated by order %v", e.From, e.To, order)
+		}
+	}
+	if order[0] != ids[0] {
+		t.Errorf("order starts with %d, want root", order[0])
+	}
+}
+
+func TestTopologicalOrderCycleError(t *testing.T) {
+	g := New("c")
+	a := g.AddTask("a", 1)
+	b := g.AddTask("b", 1)
+	g.MustAddEdge(a, b, 0)
+	g.MustAddEdge(b, a, 0)
+	if _, err := g.TopologicalOrder(); err == nil {
+		t.Fatal("cycle not reported")
+	}
+}
+
+func TestLevelsDiamond(t *testing.T) {
+	// A=2 -> B=3, C=5 -> D=1. Levels (longest CPU path to a leaf, incl.
+	// self): D=1, B=4, C=6, A=8.
+	g, ids := diamond(t)
+	levels, err := g.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{8, 4, 6, 1}
+	for i, id := range ids {
+		if levels[id] != want[i] {
+			t.Errorf("level[%d] = %g, want %g", id, levels[id], want[i])
+		}
+	}
+}
+
+func TestCoLevelsDiamond(t *testing.T) {
+	// Co-levels (longest CPU path from a root, incl. self): A=2, B=5, C=7,
+	// D=8.
+	g, ids := diamond(t)
+	co, err := g.CoLevels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 5, 7, 8}
+	for i, id := range ids {
+		if co[id] != want[i] {
+			t.Errorf("colevel[%d] = %g, want %g", id, co[id], want[i])
+		}
+	}
+}
+
+func TestCriticalPathDiamond(t *testing.T) {
+	g, ids := diamond(t)
+	cp, err := g.CriticalPathLength()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp != 8 {
+		t.Errorf("CP length = %g, want 8", cp)
+	}
+	path, err := g.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TaskID{ids[0], ids[2], ids[3]} // A -> C -> D
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+}
+
+func TestMaxSpeedupDiamond(t *testing.T) {
+	g, _ := diamond(t)
+	ms, err := g.MaxSpeedup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ms-11.0/8.0) > 1e-12 {
+		t.Errorf("MaxSpeedup = %g, want 1.375", ms)
+	}
+}
+
+func TestDepth(t *testing.T) {
+	g, _ := diamond(t)
+	d, err := g.Depth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 3 {
+		t.Errorf("Depth = %d, want 3", d)
+	}
+	chain, _ := Chain("c", 7, 1, 0)
+	if d, _ = chain.Depth(); d != 7 {
+		t.Errorf("chain depth = %d, want 7", d)
+	}
+}
+
+func TestLowerBoundMakespan(t *testing.T) {
+	g, _ := diamond(t)
+	// CP = 8, T1 = 11. On 1 proc the area bound 11 dominates; on 4 the CP.
+	lb1, err := g.LowerBoundMakespan(1)
+	if err != nil || lb1 != 11 {
+		t.Errorf("LB(1) = %g, %v; want 11", lb1, err)
+	}
+	lb4, err := g.LowerBoundMakespan(4)
+	if err != nil || lb4 != 8 {
+		t.Errorf("LB(4) = %g, %v; want 8", lb4, err)
+	}
+	if _, err := g.LowerBoundMakespan(0); err == nil {
+		t.Error("LB(0) accepted")
+	}
+}
+
+func TestComputeStatsDiamond(t *testing.T) {
+	g, _ := diamond(t)
+	st, err := g.ComputeStats(10) // 10 bits/µs
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tasks != 4 || st.Edges != 4 {
+		t.Errorf("stats counts = %+v", st)
+	}
+	if math.Abs(st.AvgLoad-2.75) > 1e-12 {
+		t.Errorf("AvgLoad = %g, want 2.75", st.AvgLoad)
+	}
+	if math.Abs(st.AvgComm-4) > 1e-12 { // 40 bits / 10 bits/µs
+		t.Errorf("AvgComm = %g, want 4", st.AvgComm)
+	}
+	if math.Abs(st.CCRatio-4/2.75) > 1e-12 {
+		t.Errorf("CCRatio = %g", st.CCRatio)
+	}
+	if st.Depth != 3 {
+		t.Errorf("Depth = %d, want 3", st.Depth)
+	}
+	if _, err := g.ComputeStats(0); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+}
+
+func TestLevelsSingleTask(t *testing.T) {
+	g := New("one")
+	id := g.AddTask("t", 5)
+	levels, err := g.Levels()
+	if err != nil || levels[id] != 5 {
+		t.Fatalf("levels = %v, %v", levels, err)
+	}
+	ms, err := g.MaxSpeedup()
+	if err != nil || ms != 1 {
+		t.Fatalf("MaxSpeedup = %g, %v; want 1", ms, err)
+	}
+}
+
+func TestMaxSpeedupZeroCP(t *testing.T) {
+	g := New("zero")
+	g.AddTask("t", 0)
+	if _, err := g.MaxSpeedup(); err == nil {
+		t.Fatal("zero critical path accepted")
+	}
+}
+
+// Property: for any random DAG, the level of a task equals its load plus
+// the max successor level, levels are positive for positive loads, and the
+// critical path length equals the max level.
+func TestPropertyLevelRecurrence(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 60; trial++ {
+		g := randomDAG(rng, 1+rng.Intn(35), rng.Float64()*0.5)
+		levels, err := g.Levels()
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxLevel := 0.0
+		for i := 0; i < g.NumTasks(); i++ {
+			id := TaskID(i)
+			succBest := 0.0
+			for _, h := range g.Successors(id) {
+				if levels[h.To] > succBest {
+					succBest = levels[h.To]
+				}
+			}
+			want := g.Load(id) + succBest
+			if math.Abs(levels[id]-want) > 1e-9 {
+				t.Fatalf("trial %d: level[%d] = %g, want %g", trial, id, levels[id], want)
+			}
+			if levels[id] > maxLevel {
+				maxLevel = levels[id]
+			}
+		}
+		cp, err := g.CriticalPathLength()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(cp-maxLevel) > 1e-9 {
+			t.Fatalf("trial %d: CP %g != max level %g", trial, cp, maxLevel)
+		}
+	}
+}
+
+// Property: the critical path is a real path whose loads sum to the CP
+// length.
+func TestPropertyCriticalPathIsPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 60; trial++ {
+		g := randomDAG(rng, 2+rng.Intn(30), rng.Float64()*0.6)
+		path, err := g.CriticalPath()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp, _ := g.CriticalPathLength()
+		sum := 0.0
+		for i, id := range path {
+			sum += g.Load(id)
+			if i > 0 {
+				if _, ok := g.EdgeBits(path[i-1], id); !ok {
+					t.Fatalf("trial %d: %v not a path at %d", trial, path, i)
+				}
+			}
+		}
+		if math.Abs(sum-cp) > 1e-9 {
+			t.Fatalf("trial %d: path sum %g != CP %g", trial, sum, cp)
+		}
+	}
+}
+
+// Property (testing/quick): the depth of a chain equals its length and
+// max speedup of a chain is 1.
+func TestQuickChainInvariants(t *testing.T) {
+	f := func(raw uint8) bool {
+		n := int(raw%40) + 1
+		g, err := Chain("c", n, 2, 10)
+		if err != nil {
+			return false
+		}
+		d, err := g.Depth()
+		if err != nil || d != n {
+			return false
+		}
+		ms, err := g.MaxSpeedup()
+		return err == nil && math.Abs(ms-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (testing/quick): for a fork-join of any width, max speedup
+// approaches width for negligible end loads and depth is 3.
+func TestQuickForkJoinInvariants(t *testing.T) {
+	f := func(raw uint8) bool {
+		w := int(raw%30) + 1
+		g, err := ForkJoin("fj", w, 10, 0.001, 40)
+		if err != nil {
+			return false
+		}
+		d, err := g.Depth()
+		if err != nil || d != 3 {
+			return false
+		}
+		ms, err := g.MaxSpeedup()
+		if err != nil {
+			return false
+		}
+		return ms > float64(w)*0.99 && ms <= float64(w)+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

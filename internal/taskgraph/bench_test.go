@@ -1,0 +1,52 @@
+package taskgraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchDAG(b *testing.B, n int) *Graph {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	g, err := GnpDAG("bench", n, 0.05, 1, 50, 10, 400, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkLevels1000(b *testing.B) {
+	g := benchDAG(b, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Levels(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTopologicalOrder1000(b *testing.B) {
+	g := benchDAG(b, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.TopologicalOrder(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadyTrackerFullRun(b *testing.B) {
+	g := benchDAG(b, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt := NewReadyTracker(g)
+		for !rt.AllDone() {
+			ready := rt.Ready()
+			for _, id := range ready {
+				if _, err := rt.Complete(id); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}

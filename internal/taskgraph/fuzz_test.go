@@ -1,0 +1,35 @@
+package taskgraph
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzUnmarshalJSON checks that arbitrary input never panics the decoder
+// and that accepted graphs are valid DAGs.
+func FuzzUnmarshalJSON(f *testing.F) {
+	g, _ := ForkJoin("seed", 3, 5, 1, 40)
+	data, _ := json.Marshal(g)
+	f.Add(data)
+	f.Add([]byte(`{"name":"x","tasks":[{"id":0,"load":1}],"edges":[]}`))
+	f.Add([]byte(`{"name":"x","tasks":[{"id":0,"load":1},{"id":1,"load":2}],"edges":[{"from":0,"to":1,"bits":40}]}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var decoded Graph
+		if err := json.Unmarshal(data, &decoded); err != nil {
+			return // rejected input is fine
+		}
+		if err := decoded.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid graph: %v", err)
+		}
+		// Accepted graphs round-trip.
+		out, err := json.Marshal(&decoded)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		var again Graph
+		if err := json.Unmarshal(out, &again); err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}

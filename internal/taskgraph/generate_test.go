@@ -1,0 +1,189 @@
+package taskgraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLayeredConfigValidate(t *testing.T) {
+	good := LayeredConfig{Layers: 3, MinWidth: 1, MaxWidth: 4, MinLoad: 1, MaxLoad: 2, MinBits: 0, MaxBits: 10, EdgeProb: 0.5}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []LayeredConfig{
+		{Layers: 0, MinWidth: 1, MaxWidth: 1, EdgeProb: 0.5},
+		{Layers: 1, MinWidth: 0, MaxWidth: 1, EdgeProb: 0.5},
+		{Layers: 1, MinWidth: 2, MaxWidth: 1, EdgeProb: 0.5},
+		{Layers: 1, MinWidth: 1, MaxWidth: 1, MinLoad: 5, MaxLoad: 1, EdgeProb: 0.5},
+		{Layers: 1, MinWidth: 1, MaxWidth: 1, MinBits: 5, MaxBits: 1, EdgeProb: 0.5},
+		{Layers: 1, MinWidth: 1, MaxWidth: 1, EdgeProb: 1.5},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestLayeredStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cfg := LayeredConfig{
+		Layers: 6, MinWidth: 3, MaxWidth: 5,
+		MinLoad: 1, MaxLoad: 9, MinBits: 10, MaxBits: 20, EdgeProb: 0.4,
+	}
+	g, err := Layered("lay", cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := g.Depth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != cfg.Layers {
+		t.Errorf("depth = %d, want %d (every non-root layer gets a parent)", d, cfg.Layers)
+	}
+	if g.NumTasks() < cfg.Layers*cfg.MinWidth || g.NumTasks() > cfg.Layers*cfg.MaxWidth {
+		t.Errorf("tasks = %d outside [%d,%d]", g.NumTasks(), cfg.Layers*cfg.MinWidth, cfg.Layers*cfg.MaxWidth)
+	}
+	for i := 0; i < g.NumTasks(); i++ {
+		if l := g.Load(TaskID(i)); l < cfg.MinLoad || l > cfg.MaxLoad {
+			t.Errorf("task %d load %g outside range", i, l)
+		}
+	}
+}
+
+func TestLayeredDeterministicBySeed(t *testing.T) {
+	cfg := LayeredConfig{Layers: 4, MinWidth: 2, MaxWidth: 6, MinLoad: 1, MaxLoad: 5, MaxBits: 9, EdgeProb: 0.3}
+	g1, err := Layered("a", cfg, rand.New(rand.NewSource(77)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Layered("a", cfg, rand.New(rand.NewSource(77)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumTasks() != g2.NumTasks() || g1.NumEdges() != g2.NumEdges() {
+		t.Fatalf("same seed produced different graphs: %v vs %v", g1, g2)
+	}
+	e1, e2 := g1.Edges(), g2.Edges()
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, e1[i], e2[i])
+		}
+	}
+}
+
+func TestGnpDAGBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g, err := GnpDAG("gnp", 20, 0.3, 1, 2, 0, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != 20 {
+		t.Errorf("tasks = %d, want 20", g.NumTasks())
+	}
+	if g.NumEdges() > 20*19/2 {
+		t.Errorf("edges = %d exceed max", g.NumEdges())
+	}
+	if _, err := GnpDAG("bad", 0, 0.5, 0, 1, 0, 1, rng); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := GnpDAG("bad", 3, 1.5, 0, 1, 0, 1, rng); err == nil {
+		t.Error("p=1.5 accepted")
+	}
+	if _, err := GnpDAG("bad", 3, 0.5, 5, 1, 0, 1, rng); err == nil {
+		t.Error("inverted load range accepted")
+	}
+}
+
+func TestGnpDAGFullProbabilityIsTotalOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g, err := GnpDAG("full", 8, 1, 1, 1, 1, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 8*7/2 {
+		t.Errorf("edges = %d, want complete DAG", g.NumEdges())
+	}
+	d, _ := g.Depth()
+	if d != 8 {
+		t.Errorf("depth = %d, want 8", d)
+	}
+}
+
+func TestForkJoin(t *testing.T) {
+	g, err := ForkJoin("fj", 5, 10, 1, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != 7 || g.NumEdges() != 10 {
+		t.Fatalf("fork-join shape: %d tasks %d edges", g.NumTasks(), g.NumEdges())
+	}
+	if len(g.Roots()) != 1 || len(g.Leaves()) != 1 {
+		t.Fatalf("fork-join roots/leaves: %v %v", g.Roots(), g.Leaves())
+	}
+	if _, err := ForkJoin("fj", 0, 1, 1, 1); err == nil {
+		t.Error("width 0 accepted")
+	}
+}
+
+func TestChain(t *testing.T) {
+	g, err := Chain("c", 5, 3, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != 5 || g.NumEdges() != 4 {
+		t.Fatalf("chain shape: %d tasks %d edges", g.NumTasks(), g.NumEdges())
+	}
+	if _, err := Chain("c", 0, 1, 1); err == nil {
+		t.Error("length 0 accepted")
+	}
+}
+
+func TestIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g, err := Independent("ind", 12, 2, 7, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != 12 || g.NumEdges() != 0 {
+		t.Fatalf("independent shape: %d tasks %d edges", g.NumTasks(), g.NumEdges())
+	}
+	ms, err := g.MaxSpeedup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms < 12.0*2/7 {
+		t.Errorf("max speedup %g too low for 12 independent tasks", ms)
+	}
+	if _, err := Independent("ind", 0, 1, 2, rng); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestInTree(t *testing.T) {
+	g, err := InTree("tree", 2, 4, 1, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fan-in 2, depth 4: 1 + 2 + 4 + 8 = 15 nodes.
+	if g.NumTasks() != 15 {
+		t.Fatalf("tree tasks = %d, want 15", g.NumTasks())
+	}
+	if len(g.Leaves()) != 1 {
+		t.Fatalf("in-tree must reduce to one sink, leaves = %v", g.Leaves())
+	}
+	d, _ := g.Depth()
+	if d != 4 {
+		t.Errorf("depth = %d, want 4", d)
+	}
+	if _, err := InTree("t", 0, 2, 1, 1); err == nil {
+		t.Error("fan-in 0 accepted")
+	}
+}

@@ -1,0 +1,305 @@
+// Package taskgraph implements the directed taskgraph model of
+// D'Hollander & Devis (ICPP 1991): a program partitioned into tasks with
+// estimated CPU loads, communication volumes on the edges, and precedence
+// constraints.
+//
+// A taskgraph TG = {T, R, W, <*} consists of the set of tasks T, the load
+// requirements R (CPU time per task, microseconds), the communication
+// weights W (bits carried on each edge) and the precedence constraints <*.
+// An edge (i, j) means task j must start after task i has terminated and,
+// when the two tasks run on different processors, the data produced by i
+// must be shipped to j's processor first.
+//
+// All times in this package and its consumers are in microseconds; edge
+// weights are stored as bit volumes and converted to transfer times by a
+// machine's bandwidth (the paper uses 10 Mb/s links and 40-bit variables).
+package taskgraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TaskID identifies a task within a Graph. IDs are dense: the first task
+// added gets ID 0, the next ID 1, and so on.
+type TaskID int
+
+// None is the sentinel "no task" value.
+const None TaskID = -1
+
+// Task is a node of the taskgraph.
+type Task struct {
+	ID   TaskID
+	Name string
+	// Load is the estimated CPU time of the task in microseconds.
+	Load float64
+}
+
+// HalfEdge is one adjacency entry: the far endpoint and the communication
+// volume (bits) carried by the edge.
+type HalfEdge struct {
+	To   TaskID
+	Bits float64
+}
+
+// Edge is a full precedence edge with its communication volume in bits.
+type Edge struct {
+	From, To TaskID
+	Bits     float64
+}
+
+// Graph is a directed acyclic taskgraph. The zero value is not usable;
+// create graphs with New.
+//
+// Graph is not safe for concurrent mutation; concurrent reads are fine.
+type Graph struct {
+	name  string
+	tasks []Task
+	succ  [][]HalfEdge
+	pred  [][]HalfEdge
+	edges int
+}
+
+// New returns an empty taskgraph with the given name.
+func New(name string) *Graph {
+	return &Graph{name: name}
+}
+
+// Name returns the graph's name.
+func (g *Graph) Name() string { return g.name }
+
+// SetName renames the graph.
+func (g *Graph) SetName(name string) { g.name = name }
+
+// AddTask appends a task with the given name and CPU load (µs) and returns
+// its ID. Negative loads are clamped to zero.
+func (g *Graph) AddTask(name string, load float64) TaskID {
+	if load < 0 {
+		load = 0
+	}
+	id := TaskID(len(g.tasks))
+	g.tasks = append(g.tasks, Task{ID: id, Name: name, Load: load})
+	g.succ = append(g.succ, nil)
+	g.pred = append(g.pred, nil)
+	return id
+}
+
+// AddEdge adds the precedence edge from -> to carrying bits of data.
+// Adding an edge twice accumulates the volumes. Self-loops and unknown
+// endpoints are rejected.
+func (g *Graph) AddEdge(from, to TaskID, bits float64) error {
+	if !g.valid(from) || !g.valid(to) {
+		return fmt.Errorf("taskgraph: edge (%d,%d): unknown task", from, to)
+	}
+	if from == to {
+		return fmt.Errorf("taskgraph: self-loop on task %d", from)
+	}
+	if bits < 0 {
+		return fmt.Errorf("taskgraph: edge (%d,%d): negative volume %g", from, to, bits)
+	}
+	for i := range g.succ[from] {
+		if g.succ[from][i].To == to {
+			g.succ[from][i].Bits += bits
+			for j := range g.pred[to] {
+				if g.pred[to][j].To == from {
+					g.pred[to][j].Bits += bits
+				}
+			}
+			return nil
+		}
+	}
+	g.succ[from] = append(g.succ[from], HalfEdge{To: to, Bits: bits})
+	g.pred[to] = append(g.pred[to], HalfEdge{To: from, Bits: bits})
+	g.edges++
+	return nil
+}
+
+// MustAddEdge is AddEdge that panics on error; it is intended for
+// programmatic graph builders whose arguments are known to be valid.
+func (g *Graph) MustAddEdge(from, to TaskID, bits float64) {
+	if err := g.AddEdge(from, to, bits); err != nil {
+		panic(err)
+	}
+}
+
+func (g *Graph) valid(id TaskID) bool { return id >= 0 && int(id) < len(g.tasks) }
+
+// NumTasks returns the number of tasks.
+func (g *Graph) NumTasks() int { return len(g.tasks) }
+
+// NumEdges returns the number of distinct precedence edges.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// Task returns the task with the given ID. It panics on out-of-range IDs.
+func (g *Graph) Task(id TaskID) Task { return g.tasks[id] }
+
+// Load returns the CPU load (µs) of the task.
+func (g *Graph) Load(id TaskID) float64 { return g.tasks[id].Load }
+
+// SetLoad replaces the CPU load of a task; used by calibration code.
+func (g *Graph) SetLoad(id TaskID, load float64) {
+	if load < 0 {
+		load = 0
+	}
+	g.tasks[id].Load = load
+}
+
+// ScaleLoads multiplies every task load by f.
+func (g *Graph) ScaleLoads(f float64) {
+	for i := range g.tasks {
+		g.tasks[i].Load *= f
+	}
+}
+
+// ScaleBits multiplies every edge volume by f.
+func (g *Graph) ScaleBits(f float64) {
+	for i := range g.succ {
+		for j := range g.succ[i] {
+			g.succ[i][j].Bits *= f
+		}
+	}
+	for i := range g.pred {
+		for j := range g.pred[i] {
+			g.pred[i][j].Bits *= f
+		}
+	}
+}
+
+// Successors returns the outgoing adjacency of id. The returned slice is
+// owned by the graph and must not be modified.
+func (g *Graph) Successors(id TaskID) []HalfEdge { return g.succ[id] }
+
+// Predecessors returns the incoming adjacency of id. The returned slice is
+// owned by the graph and must not be modified.
+func (g *Graph) Predecessors(id TaskID) []HalfEdge { return g.pred[id] }
+
+// OutDegree returns the number of successors of id.
+func (g *Graph) OutDegree(id TaskID) int { return len(g.succ[id]) }
+
+// InDegree returns the number of predecessors of id.
+func (g *Graph) InDegree(id TaskID) int { return len(g.pred[id]) }
+
+// EdgeBits returns the communication volume on edge (from, to) and whether
+// the edge exists.
+func (g *Graph) EdgeBits(from, to TaskID) (float64, bool) {
+	if !g.valid(from) {
+		return 0, false
+	}
+	for _, h := range g.succ[from] {
+		if h.To == to {
+			return h.Bits, true
+		}
+	}
+	return 0, false
+}
+
+// Edges returns all edges sorted by (From, To).
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.edges)
+	for from := range g.succ {
+		for _, h := range g.succ[from] {
+			out = append(out, Edge{From: TaskID(from), To: h.To, Bits: h.Bits})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// Roots returns the tasks without predecessors, in ID order.
+func (g *Graph) Roots() []TaskID {
+	var out []TaskID
+	for i := range g.tasks {
+		if len(g.pred[i]) == 0 {
+			out = append(out, TaskID(i))
+		}
+	}
+	return out
+}
+
+// Leaves returns the tasks without successors, in ID order.
+func (g *Graph) Leaves() []TaskID {
+	var out []TaskID
+	for i := range g.tasks {
+		if len(g.succ[i]) == 0 {
+			out = append(out, TaskID(i))
+		}
+	}
+	return out
+}
+
+// TotalLoad returns the sum of all task loads: the sequential execution
+// time T1 of the program.
+func (g *Graph) TotalLoad() float64 {
+	var sum float64
+	for _, t := range g.tasks {
+		sum += t.Load
+	}
+	return sum
+}
+
+// TotalBits returns the sum of all edge volumes.
+func (g *Graph) TotalBits() float64 {
+	var sum float64
+	for from := range g.succ {
+		for _, h := range g.succ[from] {
+			sum += h.Bits
+		}
+	}
+	return sum
+}
+
+// Validate checks structural invariants: dense IDs, no negative loads or
+// volumes, and acyclicity. It returns nil for a well-formed DAG.
+func (g *Graph) Validate() error {
+	for i, t := range g.tasks {
+		if t.ID != TaskID(i) {
+			return fmt.Errorf("taskgraph %q: task %d has ID %d", g.name, i, t.ID)
+		}
+		if t.Load < 0 {
+			return fmt.Errorf("taskgraph %q: task %d has negative load %g", g.name, i, t.Load)
+		}
+	}
+	for from := range g.succ {
+		for _, h := range g.succ[from] {
+			if !g.valid(h.To) {
+				return fmt.Errorf("taskgraph %q: edge (%d,%d) has unknown head", g.name, from, h.To)
+			}
+			if h.Bits < 0 {
+				return fmt.Errorf("taskgraph %q: edge (%d,%d) has negative volume %g", g.name, from, h.To, h.Bits)
+			}
+		}
+	}
+	if _, err := g.TopologicalOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		name:  g.name,
+		tasks: append([]Task(nil), g.tasks...),
+		succ:  make([][]HalfEdge, len(g.succ)),
+		pred:  make([][]HalfEdge, len(g.pred)),
+		edges: g.edges,
+	}
+	for i := range g.succ {
+		c.succ[i] = append([]HalfEdge(nil), g.succ[i]...)
+	}
+	for i := range g.pred {
+		c.pred[i] = append([]HalfEdge(nil), g.pred[i]...)
+	}
+	return c
+}
+
+// String returns a short human-readable summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("taskgraph %q: %d tasks, %d edges, T1=%.2fµs",
+		g.name, g.NumTasks(), g.NumEdges(), g.TotalLoad())
+}

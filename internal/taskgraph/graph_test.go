@@ -1,0 +1,240 @@
+package taskgraph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// diamond builds the four-task diamond A -> {B, C} -> D used across the
+// unit tests. Loads: A=2, B=3, C=5, D=1; every edge carries 40 bits.
+func diamond(t *testing.T) (*Graph, []TaskID) {
+	t.Helper()
+	g := New("diamond")
+	a := g.AddTask("A", 2)
+	b := g.AddTask("B", 3)
+	c := g.AddTask("C", 5)
+	d := g.AddTask("D", 1)
+	for _, e := range [][2]TaskID{{a, b}, {a, c}, {b, d}, {c, d}} {
+		if err := g.AddEdge(e[0], e[1], 40); err != nil {
+			t.Fatalf("AddEdge(%v): %v", e, err)
+		}
+	}
+	return g, []TaskID{a, b, c, d}
+}
+
+func TestAddTaskAssignsDenseIDs(t *testing.T) {
+	g := New("g")
+	for i := 0; i < 5; i++ {
+		id := g.AddTask("t", float64(i))
+		if int(id) != i {
+			t.Fatalf("task %d got ID %d", i, id)
+		}
+	}
+	if g.NumTasks() != 5 {
+		t.Fatalf("NumTasks = %d, want 5", g.NumTasks())
+	}
+}
+
+func TestAddTaskClampsNegativeLoad(t *testing.T) {
+	g := New("g")
+	id := g.AddTask("t", -3)
+	if g.Load(id) != 0 {
+		t.Fatalf("negative load not clamped: %g", g.Load(id))
+	}
+}
+
+func TestAddEdgeRejectsBadEndpoints(t *testing.T) {
+	g := New("g")
+	a := g.AddTask("a", 1)
+	if err := g.AddEdge(a, TaskID(7), 1); err == nil {
+		t.Error("edge to unknown task accepted")
+	}
+	if err := g.AddEdge(TaskID(-1), a, 1); err == nil {
+		t.Error("edge from negative ID accepted")
+	}
+	if err := g.AddEdge(a, a, 1); err == nil {
+		t.Error("self-loop accepted")
+	}
+	b := g.AddTask("b", 1)
+	if err := g.AddEdge(a, b, -5); err == nil {
+		t.Error("negative volume accepted")
+	}
+}
+
+func TestAddEdgeAccumulatesDuplicateVolumes(t *testing.T) {
+	g := New("g")
+	a := g.AddTask("a", 1)
+	b := g.AddTask("b", 1)
+	g.MustAddEdge(a, b, 10)
+	g.MustAddEdge(a, b, 15)
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	bits, ok := g.EdgeBits(a, b)
+	if !ok || bits != 25 {
+		t.Fatalf("EdgeBits = %g, %v; want 25, true", bits, ok)
+	}
+	// The predecessor view must agree.
+	preds := g.Predecessors(b)
+	if len(preds) != 1 || preds[0].Bits != 25 {
+		t.Fatalf("predecessor volume = %+v, want 25", preds)
+	}
+}
+
+func TestDegreesAndAdjacency(t *testing.T) {
+	g, ids := diamond(t)
+	a, b, _, d := ids[0], ids[1], ids[2], ids[3]
+	if g.OutDegree(a) != 2 || g.InDegree(a) != 0 {
+		t.Errorf("A degrees = out %d in %d, want 2, 0", g.OutDegree(a), g.InDegree(a))
+	}
+	if g.OutDegree(d) != 0 || g.InDegree(d) != 2 {
+		t.Errorf("D degrees = out %d in %d, want 0, 2", g.OutDegree(d), g.InDegree(d))
+	}
+	if g.OutDegree(b) != 1 || g.InDegree(b) != 1 {
+		t.Errorf("B degrees = out %d in %d, want 1, 1", g.OutDegree(b), g.InDegree(b))
+	}
+}
+
+func TestRootsAndLeaves(t *testing.T) {
+	g, ids := diamond(t)
+	roots := g.Roots()
+	if len(roots) != 1 || roots[0] != ids[0] {
+		t.Errorf("Roots = %v, want [A]", roots)
+	}
+	leaves := g.Leaves()
+	if len(leaves) != 1 || leaves[0] != ids[3] {
+		t.Errorf("Leaves = %v, want [D]", leaves)
+	}
+}
+
+func TestTotals(t *testing.T) {
+	g, _ := diamond(t)
+	if got := g.TotalLoad(); got != 11 {
+		t.Errorf("TotalLoad = %g, want 11", got)
+	}
+	if got := g.TotalBits(); got != 160 {
+		t.Errorf("TotalBits = %g, want 160", got)
+	}
+	if g.NumEdges() != 4 {
+		t.Errorf("NumEdges = %d, want 4", g.NumEdges())
+	}
+}
+
+func TestEdgesSortedAndComplete(t *testing.T) {
+	g, _ := diamond(t)
+	edges := g.Edges()
+	if len(edges) != 4 {
+		t.Fatalf("Edges len = %d, want 4", len(edges))
+	}
+	for i := 1; i < len(edges); i++ {
+		prev, cur := edges[i-1], edges[i]
+		if prev.From > cur.From || (prev.From == cur.From && prev.To >= cur.To) {
+			t.Fatalf("edges not sorted: %+v before %+v", prev, cur)
+		}
+	}
+}
+
+func TestScaleLoadsAndBits(t *testing.T) {
+	g, _ := diamond(t)
+	g.ScaleLoads(2)
+	if got := g.TotalLoad(); got != 22 {
+		t.Errorf("TotalLoad after scale = %g, want 22", got)
+	}
+	g.ScaleBits(0.5)
+	if got := g.TotalBits(); got != 80 {
+		t.Errorf("TotalBits after scale = %g, want 80", got)
+	}
+	// Predecessor view must be scaled consistently with successor view.
+	for i := 0; i < g.NumTasks(); i++ {
+		for _, h := range g.Successors(TaskID(i)) {
+			back, ok := g.EdgeBits(TaskID(i), h.To)
+			if !ok || back != h.Bits {
+				t.Fatalf("edge (%d,%d) inconsistent after scaling", i, h.To)
+			}
+		}
+	}
+}
+
+func TestValidateAcceptsDAG(t *testing.T) {
+	g, _ := diamond(t)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateDetectsCycle(t *testing.T) {
+	g := New("cycle")
+	a := g.AddTask("a", 1)
+	b := g.AddTask("b", 1)
+	c := g.AddTask("c", 1)
+	g.MustAddEdge(a, b, 1)
+	g.MustAddEdge(b, c, 1)
+	g.MustAddEdge(c, a, 1)
+	if err := g.Validate(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g, ids := diamond(t)
+	c := g.Clone()
+	c.SetLoad(ids[0], 99)
+	c.MustAddEdge(ids[1], ids[2], 7)
+	if g.Load(ids[0]) == 99 {
+		t.Error("clone shares task storage")
+	}
+	if _, ok := g.EdgeBits(ids[1], ids[2]); ok {
+		t.Error("clone shares edge storage")
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("original damaged: %v", err)
+	}
+}
+
+func TestStringMentionsNameAndSize(t *testing.T) {
+	g, _ := diamond(t)
+	s := g.String()
+	if !strings.Contains(s, "diamond") || !strings.Contains(s, "4 tasks") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestMustAddEdgePanicsOnError(t *testing.T) {
+	g := New("g")
+	a := g.AddTask("a", 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAddEdge did not panic")
+		}
+	}()
+	g.MustAddEdge(a, TaskID(9), 1)
+}
+
+// randomDAG builds a random DAG for property tests.
+func randomDAG(rng *rand.Rand, n int, p float64) *Graph {
+	g, err := GnpDAG("prop", n, p, 1, 10, 0, 100, rng)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestPropertyRandomDAGsValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		g := randomDAG(rng, 1+rng.Intn(40), rng.Float64())
+		if err := g.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Successor/predecessor views are mirror images.
+		fwd, bwd := 0, 0
+		for i := 0; i < g.NumTasks(); i++ {
+			fwd += g.OutDegree(TaskID(i))
+			bwd += g.InDegree(TaskID(i))
+		}
+		if fwd != bwd || fwd != g.NumEdges() {
+			t.Fatalf("trial %d: degree sums fwd=%d bwd=%d edges=%d", trial, fwd, bwd, g.NumEdges())
+		}
+	}
+}

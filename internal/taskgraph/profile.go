@@ -1,0 +1,56 @@
+package taskgraph
+
+import "fmt"
+
+// ParallelismProfile describes how much concurrency a taskgraph exposes
+// over its execution: the width (number of runnable tasks) as a function
+// of progress assuming unlimited processors and free communication.
+type ParallelismProfile struct {
+	// MaxWidth is the largest number of simultaneously running tasks.
+	MaxWidth int
+	// AvgWidth is the time-weighted mean parallelism T1/CP.
+	AvgWidth float64
+	// WidthByDepth counts the tasks at each precedence depth (1-based
+	// depth, index 0 unused).
+	WidthByDepth []int
+}
+
+// Profile computes the parallelism profile.
+func (g *Graph) Profile() (*ParallelismProfile, error) {
+	order, err := g.TopologicalOrder()
+	if err != nil {
+		return nil, err
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("taskgraph %q: empty graph", g.name)
+	}
+	depth := make([]int, g.NumTasks())
+	maxDepth := 0
+	for _, id := range order {
+		d := 0
+		for _, h := range g.pred[id] {
+			if depth[h.To] > d {
+				d = depth[h.To]
+			}
+		}
+		depth[id] = d + 1
+		if depth[id] > maxDepth {
+			maxDepth = depth[id]
+		}
+	}
+	p := &ParallelismProfile{WidthByDepth: make([]int, maxDepth+1)}
+	for _, d := range depth {
+		p.WidthByDepth[d]++
+		if p.WidthByDepth[d] > p.MaxWidth {
+			p.MaxWidth = p.WidthByDepth[d]
+		}
+	}
+	cp, err := g.CriticalPathLength()
+	if err != nil {
+		return nil, err
+	}
+	if cp > 0 {
+		p.AvgWidth = g.TotalLoad() / cp
+	}
+	return p, nil
+}

@@ -1,0 +1,59 @@
+package taskgraph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestProfileDiamond(t *testing.T) {
+	g, _ := diamond(t)
+	p, err := g.Profile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Depths: A=1, B=C=2, D=3.
+	if p.MaxWidth != 2 {
+		t.Errorf("MaxWidth = %d, want 2", p.MaxWidth)
+	}
+	if p.WidthByDepth[1] != 1 || p.WidthByDepth[2] != 2 || p.WidthByDepth[3] != 1 {
+		t.Errorf("WidthByDepth = %v", p.WidthByDepth)
+	}
+	if math.Abs(p.AvgWidth-11.0/8.0) > 1e-12 {
+		t.Errorf("AvgWidth = %g, want T1/CP = 1.375", p.AvgWidth)
+	}
+}
+
+func TestProfileChainAndForkJoin(t *testing.T) {
+	chain, _ := Chain("c", 6, 2, 0)
+	p, err := chain.Profile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MaxWidth != 1 || math.Abs(p.AvgWidth-1) > 1e-12 {
+		t.Errorf("chain profile = %+v", p)
+	}
+	fj, _ := ForkJoin("fj", 7, 10, 0.001, 0)
+	p, err = fj.Profile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MaxWidth != 7 {
+		t.Errorf("fork-join MaxWidth = %d, want 7", p.MaxWidth)
+	}
+}
+
+func TestProfileEmptyGraphError(t *testing.T) {
+	if _, err := New("e").Profile(); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestProfileBenchmarkProgramsSane(t *testing.T) {
+	// The profile must agree with Depth() on depth count.
+	g, _ := Chain("c", 9, 1, 0)
+	p, _ := g.Profile()
+	d, _ := g.Depth()
+	if len(p.WidthByDepth)-1 != d {
+		t.Errorf("profile depth %d != Depth() %d", len(p.WidthByDepth)-1, d)
+	}
+}

@@ -1,0 +1,118 @@
+package taskgraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ReadyTracker maintains the set of ready tasks (tasks whose predecessors
+// have all completed) as execution progresses. It is the bookkeeping behind
+// the paper's annealing packets: "the ready tasks have no unfinished
+// predecessors" (§4.1).
+type ReadyTracker struct {
+	g         *Graph
+	remaining []int  // unfinished predecessor count per task
+	state     []byte // 0 = waiting, 1 = ready, 2 = claimed, 3 = done
+	ready     map[TaskID]struct{}
+	done      int
+}
+
+const (
+	stWaiting byte = iota
+	stReady
+	stClaimed
+	stDone
+)
+
+// NewReadyTracker returns a tracker with every root task ready.
+func NewReadyTracker(g *Graph) *ReadyTracker {
+	n := g.NumTasks()
+	rt := &ReadyTracker{
+		g:         g,
+		remaining: make([]int, n),
+		state:     make([]byte, n),
+		ready:     make(map[TaskID]struct{}),
+	}
+	for i := 0; i < n; i++ {
+		rt.remaining[i] = g.InDegree(TaskID(i))
+		if rt.remaining[i] == 0 {
+			rt.state[i] = stReady
+			rt.ready[TaskID(i)] = struct{}{}
+		}
+	}
+	return rt
+}
+
+// Ready returns the currently ready (and unclaimed) tasks in ascending ID
+// order.
+func (rt *ReadyTracker) Ready() []TaskID {
+	out := make([]TaskID, 0, len(rt.ready))
+	for id := range rt.ready {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumReady returns the number of ready, unclaimed tasks.
+func (rt *ReadyTracker) NumReady() int { return len(rt.ready) }
+
+// IsReady reports whether the task is ready and unclaimed.
+func (rt *ReadyTracker) IsReady(id TaskID) bool { return rt.state[id] == stReady }
+
+// Claim marks a ready task as assigned to a processor (it leaves the ready
+// pool but is not finished yet). It returns an error if the task is not
+// ready.
+func (rt *ReadyTracker) Claim(id TaskID) error {
+	if rt.state[id] != stReady {
+		return fmt.Errorf("taskgraph: claim of task %d in state %d", id, rt.state[id])
+	}
+	rt.state[id] = stClaimed
+	delete(rt.ready, id)
+	return nil
+}
+
+// Release returns a claimed task to the ready pool (used when an assignment
+// is rolled back).
+func (rt *ReadyTracker) Release(id TaskID) error {
+	if rt.state[id] != stClaimed {
+		return fmt.Errorf("taskgraph: release of task %d in state %d", id, rt.state[id])
+	}
+	rt.state[id] = stReady
+	rt.ready[id] = struct{}{}
+	return nil
+}
+
+// Complete marks a claimed (or ready) task as finished and returns the
+// newly ready successors in ascending ID order.
+func (rt *ReadyTracker) Complete(id TaskID) ([]TaskID, error) {
+	switch rt.state[id] {
+	case stClaimed:
+	case stReady:
+		delete(rt.ready, id)
+	default:
+		return nil, fmt.Errorf("taskgraph: completion of task %d in state %d", id, rt.state[id])
+	}
+	rt.state[id] = stDone
+	rt.done++
+	var newly []TaskID
+	for _, h := range rt.g.Successors(id) {
+		rt.remaining[h.To]--
+		if rt.remaining[h.To] == 0 {
+			rt.state[h.To] = stReady
+			rt.ready[h.To] = struct{}{}
+			newly = append(newly, h.To)
+		}
+	}
+	sort.Slice(newly, func(i, j int) bool { return newly[i] < newly[j] })
+	return newly, nil
+}
+
+// IsDone reports whether the task has completed.
+func (rt *ReadyTracker) IsDone(id TaskID) bool { return rt.state[id] == stDone }
+
+// AllDone reports whether every task has completed.
+func (rt *ReadyTracker) AllDone() bool { return rt.done == rt.g.NumTasks() }
+
+// NumDone returns the number of completed tasks.
+func (rt *ReadyTracker) NumDone() int { return rt.done }

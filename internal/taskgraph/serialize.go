@@ -1,0 +1,117 @@
+package taskgraph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// jsonGraph is the on-disk representation of a taskgraph.
+type jsonGraph struct {
+	Name  string     `json:"name"`
+	Tasks []jsonTask `json:"tasks"`
+	Edges []jsonEdge `json:"edges"`
+}
+
+type jsonTask struct {
+	ID   int     `json:"id"`
+	Name string  `json:"name,omitempty"`
+	Load float64 `json:"load"`
+}
+
+type jsonEdge struct {
+	From int     `json:"from"`
+	To   int     `json:"to"`
+	Bits float64 `json:"bits"`
+}
+
+// MarshalJSON encodes the graph as {name, tasks, edges}.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{Name: g.name}
+	for _, t := range g.tasks {
+		jg.Tasks = append(jg.Tasks, jsonTask{ID: int(t.ID), Name: t.Name, Load: t.Load})
+	}
+	for _, e := range g.Edges() {
+		jg.Edges = append(jg.Edges, jsonEdge{From: int(e.From), To: int(e.To), Bits: e.Bits})
+	}
+	return json.Marshal(jg)
+}
+
+// UnmarshalJSON decodes a graph previously encoded with MarshalJSON.
+// Task IDs must be dense 0..n-1 (in any order in the file).
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return fmt.Errorf("taskgraph: decode: %w", err)
+	}
+	sort.Slice(jg.Tasks, func(i, j int) bool { return jg.Tasks[i].ID < jg.Tasks[j].ID })
+	fresh := New(jg.Name)
+	for i, t := range jg.Tasks {
+		if t.ID != i {
+			return fmt.Errorf("taskgraph: decode: task IDs not dense (got %d at position %d)", t.ID, i)
+		}
+		fresh.AddTask(t.Name, t.Load)
+	}
+	for _, e := range jg.Edges {
+		if err := fresh.AddEdge(TaskID(e.From), TaskID(e.To), e.Bits); err != nil {
+			return fmt.Errorf("taskgraph: decode: %w", err)
+		}
+	}
+	if err := fresh.Validate(); err != nil {
+		return fmt.Errorf("taskgraph: decode: %w", err)
+	}
+	*g = *fresh
+	return nil
+}
+
+// WriteJSON writes the graph to w as indented JSON.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(g)
+}
+
+// ReadJSON reads a graph encoded by WriteJSON.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var g Graph
+	if err := json.NewDecoder(r).Decode(&g); err != nil {
+		return nil, err
+	}
+	return &g, nil
+}
+
+// DOT renders the graph in Graphviz dot syntax. Node labels show the task
+// name and load; edge labels show the volume in bits.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", sanitizeDotName(g.name))
+	b.WriteString("  rankdir=TB;\n  node [shape=box];\n")
+	for _, t := range g.tasks {
+		label := t.Name
+		if label == "" {
+			label = fmt.Sprintf("t%d", t.ID)
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\\n%.2fµs\"];\n", t.ID, label, t.Load)
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "  n%d -> n%d [label=\"%.0fb\"];\n", e.From, e.To, e.Bits)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func sanitizeDotName(s string) string {
+	if s == "" {
+		return "taskgraph"
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-', r == ' ':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}

@@ -1,0 +1,119 @@
+package taskgraph
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTripDiamond(t *testing.T) {
+	g, _ := diamond(t)
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsEqual(t, g, back)
+}
+
+func TestJSONRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 25; trial++ {
+		g := randomDAG(rng, 1+rng.Intn(25), rng.Float64()*0.5)
+		data, err := json.Marshal(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Graph
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		assertGraphsEqual(t, g, &back)
+	}
+}
+
+func assertGraphsEqual(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.Name() != b.Name() || a.NumTasks() != b.NumTasks() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("shape mismatch: %v vs %v", a, b)
+	}
+	for i := 0; i < a.NumTasks(); i++ {
+		ta, tb := a.Task(TaskID(i)), b.Task(TaskID(i))
+		if ta.Name != tb.Name || math.Abs(ta.Load-tb.Load) > 1e-9 {
+			t.Fatalf("task %d mismatch: %+v vs %+v", i, ta, tb)
+		}
+	}
+	ea, eb := a.Edges(), b.Edges()
+	for i := range ea {
+		if ea[i].From != eb[i].From || ea[i].To != eb[i].To || math.Abs(ea[i].Bits-eb[i].Bits) > 1e-9 {
+			t.Fatalf("edge %d mismatch: %+v vs %+v", i, ea[i], eb[i])
+		}
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	var g Graph
+	if err := json.Unmarshal([]byte(`{`), &g); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"name":"x","tasks":[{"id":5,"load":1}]}`), &g); err == nil {
+		t.Error("sparse IDs accepted")
+	}
+	cyclic := `{"name":"x","tasks":[{"id":0,"load":1},{"id":1,"load":1}],` +
+		`"edges":[{"from":0,"to":1,"bits":1},{"from":1,"to":0,"bits":1}]}`
+	if err := json.Unmarshal([]byte(cyclic), &g); err == nil {
+		t.Error("cyclic graph accepted")
+	}
+	badEdge := `{"name":"x","tasks":[{"id":0,"load":1}],"edges":[{"from":0,"to":9,"bits":1}]}`
+	if err := json.Unmarshal([]byte(badEdge), &g); err == nil {
+		t.Error("dangling edge accepted")
+	}
+}
+
+func TestUnmarshalLeavesGraphUsable(t *testing.T) {
+	g, _ := diamond(t)
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Graph
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the decoded graph must work (internal adjacency built).
+	id := back.AddTask("extra", 1)
+	if err := back.AddEdge(TaskID(0), id, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g, _ := diamond(t)
+	dot := g.DOT()
+	for _, want := range []string{"digraph", "n0", "n3", "->", "A", "2.00µs"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+	if !strings.HasSuffix(strings.TrimSpace(dot), "}") {
+		t.Error("DOT not closed")
+	}
+}
+
+func TestDOTSanitizesName(t *testing.T) {
+	g := New(`we"ird\name`)
+	g.AddTask("t", 1)
+	dot := g.DOT()
+	if strings.Contains(dot, `we"ird`) {
+		t.Errorf("name not sanitized:\n%s", dot)
+	}
+}

@@ -1,0 +1,185 @@
+package topology
+
+import "fmt"
+
+// Hypercube returns a binary d-cube with 2^d processors; processors are
+// linked iff their indices differ in exactly one bit. The paper's first
+// evaluation architecture is Hypercube(3) (8 processors).
+func Hypercube(dim int) (*Topology, error) {
+	if dim < 0 || dim > 20 {
+		return nil, fmt.Errorf("topology: hypercube dimension %d out of range [0,20]", dim)
+	}
+	n := 1 << uint(dim)
+	var links [][2]int
+	for i := 0; i < n; i++ {
+		for b := 0; b < dim; b++ {
+			j := i ^ (1 << uint(b))
+			if i < j {
+				links = append(links, [2]int{i, j})
+			}
+		}
+	}
+	return FromLinks(fmt.Sprintf("hypercube-%d", n), n, links)
+}
+
+// Star returns a star over n processors with processor 0 as the hub; every
+// other processor links only to the hub. Any two non-hub processors are
+// two hops apart and their traffic is routed through (and preempts) the
+// hub. This is the active-hub reading of a star network, used by the
+// ablation experiments; the paper's evaluation architecture is Bus.
+func Star(n int) (*Topology, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("topology: star size %d, want >= 1", n)
+	}
+	var links [][2]int
+	for i := 1; i < n; i++ {
+		links = append(links, [2]int{0, i})
+	}
+	return FromLinks(fmt.Sprintf("star-%d", n), n, links)
+}
+
+// Bus returns the paper's "bus (star)" architecture (§6): a passive shared
+// medium wired as a star. Every processor pair is one hop apart (no
+// intermediate routing, so equation (4) reduces to w + σ), but the medium
+// carries only one message at a time: all transfers serialize globally.
+func Bus(n int) (*Topology, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: bus size %d, want >= 2", n)
+	}
+	var links [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			links = append(links, [2]int{i, j})
+		}
+	}
+	t, err := FromLinks(fmt.Sprintf("bus-%d", n), n, links)
+	if err != nil {
+		return nil, err
+	}
+	t.sharedMedium = true
+	return t, nil
+}
+
+// Ring returns a cycle of n processors; processor i links to (i±1) mod n.
+// The paper's third evaluation architecture is Ring(9).
+func Ring(n int) (*Topology, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("topology: ring size %d, want >= 3", n)
+	}
+	var links [][2]int
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		links = append(links, [2]int{min(i, j), max(i, j)})
+	}
+	return FromLinks(fmt.Sprintf("ring-%d", n), n, links)
+}
+
+// ChainTopo returns a linear array of n processors (a ring with one link
+// removed).
+func ChainTopo(n int) (*Topology, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("topology: chain size %d, want >= 1", n)
+	}
+	var links [][2]int
+	for i := 0; i+1 < n; i++ {
+		links = append(links, [2]int{i, i + 1})
+	}
+	return FromLinks(fmt.Sprintf("chain-%d", n), n, links)
+}
+
+// Mesh returns a rows × cols 2-D mesh.
+func Mesh(rows, cols int) (*Topology, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("topology: mesh %dx%d, want >= 1x1", rows, cols)
+	}
+	var links [][2]int
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				links = append(links, [2]int{id(r, c), id(r, c+1)})
+			}
+			if r+1 < rows {
+				links = append(links, [2]int{id(r, c), id(r+1, c)})
+			}
+		}
+	}
+	return FromLinks(fmt.Sprintf("mesh-%dx%d", rows, cols), rows*cols, links)
+}
+
+// Torus returns a rows × cols 2-D torus (mesh with wraparound links).
+// Both dimensions must be >= 3 so that wraparound links are distinct.
+func Torus(rows, cols int) (*Topology, error) {
+	if rows < 3 || cols < 3 {
+		return nil, fmt.Errorf("topology: torus %dx%d, want >= 3x3", rows, cols)
+	}
+	seen := make(map[[2]int]bool)
+	var links [][2]int
+	id := func(r, c int) int { return (r%rows)*cols + (c % cols) }
+	add := func(a, b int) {
+		key := canonicalLink(a, b)
+		if !seen[key] {
+			seen[key] = true
+			links = append(links, key)
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			add(id(r, c), id(r, c+1))
+			add(id(r, c), id(r+1, c))
+		}
+	}
+	return FromLinks(fmt.Sprintf("torus-%dx%d", rows, cols), rows*cols, links)
+}
+
+// Complete returns the fully connected topology over n processors: every
+// pair is one hop apart and has a private link (no routing, no contention
+// between distinct pairs).
+func Complete(n int) (*Topology, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("topology: complete size %d, want >= 1", n)
+	}
+	var links [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			links = append(links, [2]int{i, j})
+		}
+	}
+	return FromLinks(fmt.Sprintf("complete-%d", n), n, links)
+}
+
+// BinaryTree returns a complete binary tree with the given number of
+// levels (levels=1 is a single processor). Processor 0 is the root;
+// processor i has children 2i+1 and 2i+2.
+func BinaryTree(levels int) (*Topology, error) {
+	if levels < 1 || levels > 20 {
+		return nil, fmt.Errorf("topology: tree levels %d out of range [1,20]", levels)
+	}
+	n := (1 << uint(levels)) - 1
+	var links [][2]int
+	for i := 0; ; i++ {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		links = append(links, [2]int{i, l})
+		if r < n {
+			links = append(links, [2]int{i, r})
+		}
+	}
+	return FromLinks(fmt.Sprintf("tree-%d", n), n, links)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

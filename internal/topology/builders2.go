@@ -1,0 +1,66 @@
+package topology
+
+import "fmt"
+
+// CubeConnectedCycles returns the CCC(d) network: each corner of a binary
+// d-cube is replaced by a cycle of d processors, so N = d·2^d. Processor
+// (c, i) — cycle position i at corner c — links to its cycle neighbors
+// and, across dimension i, to (c XOR 2^i, i). CCC networks were a popular
+// bounded-degree alternative to hypercubes in the multicomputer era the
+// paper targets.
+func CubeConnectedCycles(d int) (*Topology, error) {
+	if d < 3 || d > 8 {
+		return nil, fmt.Errorf("topology: CCC dimension %d out of range [3,8]", d)
+	}
+	corners := 1 << uint(d)
+	n := d * corners
+	id := func(corner, pos int) int { return corner*d + pos }
+	seen := make(map[[2]int]bool)
+	var links [][2]int
+	add := func(a, b int) {
+		key := canonicalLink(a, b)
+		if !seen[key] {
+			seen[key] = true
+			links = append(links, key)
+		}
+	}
+	for c := 0; c < corners; c++ {
+		for i := 0; i < d; i++ {
+			// Cycle links around the corner.
+			add(id(c, i), id(c, (i+1)%d))
+			// Dimension link across the cube.
+			add(id(c, i), id(c^(1<<uint(i)), i))
+		}
+	}
+	t, err := FromLinks(fmt.Sprintf("ccc-%d", n), n, links)
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// DeBruijn returns the binary de Bruijn network B(2, d) over 2^d
+// processors: node v links to (2v mod N) and (2v+1 mod N) — shuffle and
+// shuffle-exchange neighbors — giving diameter d with constant degree.
+// Links are undirected here (the paper's L is symmetric).
+func DeBruijn(d int) (*Topology, error) {
+	if d < 2 || d > 16 {
+		return nil, fmt.Errorf("topology: de Bruijn dimension %d out of range [2,16]", d)
+	}
+	n := 1 << uint(d)
+	seen := make(map[[2]int]bool)
+	var links [][2]int
+	for v := 0; v < n; v++ {
+		for _, w := range []int{(2 * v) % n, (2*v + 1) % n} {
+			if v == w {
+				continue // self-loops at 0 and N-1 are dropped
+			}
+			key := canonicalLink(v, w)
+			if !seen[key] {
+				seen[key] = true
+				links = append(links, key)
+			}
+		}
+	}
+	return FromLinks(fmt.Sprintf("debruijn-%d", n), n, links)
+}

@@ -1,0 +1,71 @@
+package topology
+
+import "testing"
+
+func TestCubeConnectedCycles(t *testing.T) {
+	ccc, err := CubeConnectedCycles(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ccc.N() != 24 {
+		t.Fatalf("CCC(3) N = %d, want 24", ccc.N())
+	}
+	// Every processor has degree exactly 3 (two cycle links, one cube
+	// link); d=3 cycles make the two cycle neighbors distinct.
+	for i := 0; i < ccc.N(); i++ {
+		if ccc.Degree(i) != 3 {
+			t.Errorf("CCC degree(%d) = %d, want 3", i, ccc.Degree(i))
+		}
+	}
+	if ccc.Diameter() < 3 {
+		t.Errorf("CCC(3) diameter = %d, suspiciously small", ccc.Diameter())
+	}
+	if _, err := CubeConnectedCycles(2); err == nil {
+		t.Error("CCC(2) accepted")
+	}
+}
+
+func TestDeBruijn(t *testing.T) {
+	db, err := DeBruijn(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.N() != 16 {
+		t.Fatalf("B(2,4) N = %d, want 16", db.N())
+	}
+	// The undirected de Bruijn graph reaches any node within d hops.
+	if db.Diameter() > 4 {
+		t.Errorf("B(2,4) diameter = %d, want <= 4", db.Diameter())
+	}
+	// Degree is bounded by 4 (shuffle in/out neighbors).
+	for i := 0; i < db.N(); i++ {
+		if db.Degree(i) > 4 || db.Degree(i) < 1 {
+			t.Errorf("de Bruijn degree(%d) = %d", i, db.Degree(i))
+		}
+	}
+	if _, err := DeBruijn(1); err == nil {
+		t.Error("B(2,1) accepted")
+	}
+}
+
+func TestNewTopologiesSchedule(t *testing.T) {
+	// The new networks must work end to end with the routing machinery:
+	// spot-check path validity.
+	for _, build := range []func() (*Topology, error){
+		func() (*Topology, error) { return CubeConnectedCycles(3) },
+		func() (*Topology, error) { return DeBruijn(3) },
+	} {
+		tp, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < tp.N(); i += 3 {
+			for j := 0; j < tp.N(); j += 5 {
+				path := tp.Path(i, j)
+				if len(path)-1 != tp.Dist(i, j) {
+					t.Fatalf("%s: path(%d,%d) inconsistent", tp.Name(), i, j)
+				}
+			}
+		}
+	}
+}

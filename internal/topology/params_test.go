@@ -1,0 +1,107 @@
+package topology
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultCommParamsMatchPaper(t *testing.T) {
+	p := DefaultCommParams()
+	if p.Sigma != 7 || p.Tau != 9 || p.Bandwidth != 10 || p.Scale != 1 {
+		t.Fatalf("defaults = %+v", p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamsFromHardware(t *testing.T) {
+	// O = 3µs, S = H = 2µs gives σ = 7µs, τ = 9µs (paper §4.2b).
+	p := ParamsFromHardware(10, 2, 3, 2)
+	if p.Sigma != 7 {
+		t.Errorf("σ = %g, want 7", p.Sigma)
+	}
+	if p.Tau != 9 {
+		t.Errorf("τ = %g, want 9", p.Tau)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	p := DefaultCommParams()
+	// One 40-bit variable over a 10 bits/µs link takes 4 µs.
+	if got := p.TransferTime(40); got != 4 {
+		t.Errorf("TransferTime(40) = %g, want 4", got)
+	}
+	if got := p.NoComm().TransferTime(40); got != 0 {
+		t.Errorf("NoComm TransferTime = %g, want 0", got)
+	}
+}
+
+func TestCommCostEquation4(t *testing.T) {
+	p := DefaultCommParams()
+	// Same processor: cost is identically zero.
+	if got := p.CommCost(0, 1000); got != 0 {
+		t.Errorf("same-proc cost = %g, want 0", got)
+	}
+	// Neighbors (d=1): w + σ = 4 + 7 = 11.
+	if got := p.CommCost(1, 40); math.Abs(got-11) > 1e-12 {
+		t.Errorf("d=1 cost = %g, want 11", got)
+	}
+	// Two hops (d=2): 2w + τ + σ = 8 + 9 + 7 = 24.
+	if got := p.CommCost(2, 40); math.Abs(got-24) > 1e-12 {
+		t.Errorf("d=2 cost = %g, want 24", got)
+	}
+	// Four hops (d=4): 4w + 3τ + σ = 16 + 27 + 7 = 50.
+	if got := p.CommCost(4, 40); math.Abs(got-50) > 1e-12 {
+		t.Errorf("d=4 cost = %g, want 50", got)
+	}
+}
+
+func TestCommCostScales(t *testing.T) {
+	p := DefaultCommParams()
+	p.Scale = 0.5
+	if got := p.CommCost(2, 40); math.Abs(got-12) > 1e-12 {
+		t.Errorf("scaled d=2 cost = %g, want 12", got)
+	}
+	if got := p.NoComm().CommCost(3, 4000); got != 0 {
+		t.Errorf("NoComm cost = %g, want 0", got)
+	}
+	if p.NoComm().WithComm().Scale != 1 {
+		t.Error("WithComm did not restore scale")
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	bad := []CommParams{
+		{Bandwidth: 0, Scale: 1},
+		{Bandwidth: 10, Sigma: -1, Scale: 1},
+		{Bandwidth: 10, Tau: -1, Scale: 1},
+		{Bandwidth: 10, Scale: -0.5},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d accepted: %+v", i, p)
+		}
+	}
+}
+
+// Property: eq. 4 cost is monotonically nondecreasing in distance and in
+// volume, and MaxCommCost at the diameter bounds any same-volume cost.
+func TestQuickCommCostMonotone(t *testing.T) {
+	p := DefaultCommParams()
+	f := func(rawD uint8, rawBits uint16) bool {
+		d := int(rawD % 10)
+		bits := float64(rawBits)
+		if p.CommCost(d, bits) > p.CommCost(d+1, bits) {
+			return false
+		}
+		if p.CommCost(d, bits) > p.CommCost(d, bits+1) {
+			return false
+		}
+		return p.CommCost(d, bits) <= p.MaxCommCost(10, bits)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,235 @@
+// Package topology models the host configuration HC = {P, L} of
+// D'Hollander & Devis (ICPP 1991): a set of processors and a symmetric
+// point-to-point interconnection network. The distance d(i,j) between two
+// processors is the number of links on the shortest path; links are
+// bidirectional and carry one message at a time.
+//
+// The package provides the paper's three evaluation architectures
+// (hypercube, bus/star, ring) plus several common extensions, all-pairs
+// hop distances, deterministic shortest-path routing, and the
+// communication parameters σ and τ of the paper's cost model.
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Topology is an undirected, connected processor interconnection graph
+// with precomputed distances and routing tables. Construct instances with
+// the builder functions or with FromLinks. Topology values are immutable
+// after construction and safe for concurrent use.
+type Topology struct {
+	name string
+	n    int
+	adj  [][]int // sorted neighbor lists
+	dist [][]int // hop distances
+	next [][]int // next[i][j]: neighbor of i on the canonical shortest path to j (next[i][i] = i)
+	// sharedMedium marks bus-like topologies: every processor pair is one
+	// hop apart but all transfers serialize on a single physical medium.
+	sharedMedium bool
+}
+
+// SharedMedium reports whether all links of the topology are one shared
+// physical medium (a bus): transfers then serialize globally instead of
+// per point-to-point link.
+func (t *Topology) SharedMedium() bool { return t.sharedMedium }
+
+// FromLinks builds a topology over n processors from an explicit link
+// list. Links are undirected; duplicates and self-links are rejected. The
+// graph must be connected.
+func FromLinks(name string, n int, links [][2]int) (*Topology, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("topology: %d processors, want >= 1", n)
+	}
+	adj := make([][]int, n)
+	seen := make(map[[2]int]bool)
+	for _, l := range links {
+		a, b := l[0], l[1]
+		if a < 0 || a >= n || b < 0 || b >= n {
+			return nil, fmt.Errorf("topology %q: link (%d,%d) out of range", name, a, b)
+		}
+		if a == b {
+			return nil, fmt.Errorf("topology %q: self-link on processor %d", name, a)
+		}
+		key := canonicalLink(a, b)
+		if seen[key] {
+			return nil, fmt.Errorf("topology %q: duplicate link (%d,%d)", name, a, b)
+		}
+		seen[key] = true
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+	for i := range adj {
+		sort.Ints(adj[i])
+	}
+	t := &Topology{name: name, n: n, adj: adj}
+	if err := t.computeRoutes(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// computeRoutes fills dist and next via BFS from every node. Neighbor
+// lists are sorted, so the routing is deterministic: among equally short
+// paths the one through the lowest-numbered neighbors wins.
+func (t *Topology) computeRoutes() error {
+	t.dist = make([][]int, t.n)
+	t.next = make([][]int, t.n)
+	for src := 0; src < t.n; src++ {
+		dist := make([]int, t.n)
+		parent := make([]int, t.n)
+		for i := range dist {
+			dist[i] = -1
+			parent[i] = -1
+		}
+		dist[src] = 0
+		queue := []int{src}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range t.adj[u] {
+				if dist[v] == -1 {
+					dist[v] = dist[u] + 1
+					parent[v] = u
+					queue = append(queue, v)
+				}
+			}
+		}
+		for i, d := range dist {
+			if d == -1 {
+				return fmt.Errorf("topology %q: processor %d unreachable from %d", t.name, i, src)
+			}
+		}
+		// next hop from src toward every destination: walk the BFS tree of
+		// the destination-rooted search. Easier: derive from parent pointers
+		// of a BFS rooted at src by walking back from dst.
+		nxt := make([]int, t.n)
+		for dst := 0; dst < t.n; dst++ {
+			if dst == src {
+				nxt[dst] = src
+				continue
+			}
+			v := dst
+			for parent[v] != src {
+				v = parent[v]
+			}
+			nxt[dst] = v
+		}
+		t.dist[src] = dist
+		t.next[src] = nxt
+	}
+	return nil
+}
+
+// Name returns the topology's name (e.g. "hypercube-8").
+func (t *Topology) Name() string { return t.name }
+
+// N returns the number of processors.
+func (t *Topology) N() int { return t.n }
+
+// Neighbors returns the sorted neighbor list of processor i. The slice is
+// owned by the topology and must not be modified.
+func (t *Topology) Neighbors(i int) []int { return t.adj[i] }
+
+// Degree returns the number of links at processor i.
+func (t *Topology) Degree(i int) int { return len(t.adj[i]) }
+
+// HasLink reports whether processors i and j share a direct link.
+func (t *Topology) HasLink(i, j int) bool {
+	if i == j {
+		return false
+	}
+	a := t.adj[i]
+	k := sort.SearchInts(a, j)
+	return k < len(a) && a[k] == j
+}
+
+// Dist returns the hop distance between processors i and j.
+func (t *Topology) Dist(i, j int) int { return t.dist[i][j] }
+
+// Path returns the canonical shortest path from i to j including both
+// endpoints; Path(i, i) is [i].
+func (t *Topology) Path(i, j int) []int {
+	path := []int{i}
+	for cur := i; cur != j; {
+		cur = t.next[cur][j]
+		path = append(path, cur)
+	}
+	return path
+}
+
+// NextHop returns the neighbor of i on the canonical shortest path to j.
+func (t *Topology) NextHop(i, j int) int { return t.next[i][j] }
+
+// Diameter returns the largest hop distance between any processor pair.
+func (t *Topology) Diameter() int {
+	best := 0
+	for i := 0; i < t.n; i++ {
+		for j := 0; j < t.n; j++ {
+			if t.dist[i][j] > best {
+				best = t.dist[i][j]
+			}
+		}
+	}
+	return best
+}
+
+// AvgDist returns the mean hop distance over ordered pairs of distinct
+// processors; it is 0 for a single processor.
+func (t *Topology) AvgDist() float64 {
+	if t.n < 2 {
+		return 0
+	}
+	sum := 0
+	for i := 0; i < t.n; i++ {
+		for j := 0; j < t.n; j++ {
+			if i != j {
+				sum += t.dist[i][j]
+			}
+		}
+	}
+	return float64(sum) / float64(t.n*(t.n-1))
+}
+
+// Links returns every undirected link once, as canonical (low, high) pairs
+// sorted lexicographically.
+func (t *Topology) Links() [][2]int {
+	var out [][2]int
+	for i := 0; i < t.n; i++ {
+		for _, j := range t.adj[i] {
+			if i < j {
+				out = append(out, [2]int{i, j})
+			}
+		}
+	}
+	return out
+}
+
+// NumLinks returns the number of undirected links.
+func (t *Topology) NumLinks() int {
+	sum := 0
+	for i := range t.adj {
+		sum += len(t.adj[i])
+	}
+	return sum / 2
+}
+
+// String returns a short human-readable summary.
+func (t *Topology) String() string {
+	return fmt.Sprintf("topology %q: %d processors, %d links, diameter %d",
+		t.name, t.n, t.NumLinks(), t.Diameter())
+}
+
+// canonicalLink orders a link's endpoints so each undirected link has one
+// map key.
+func canonicalLink(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// CanonicalLink is the exported form of canonicalLink for consumers that
+// key link resources (e.g. the machine simulator).
+func CanonicalLink(a, b int) [2]int { return canonicalLink(a, b) }

@@ -1,0 +1,314 @@
+package topology
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestFromLinksRejectsBadInput(t *testing.T) {
+	if _, err := FromLinks("x", 0, nil); err == nil {
+		t.Error("zero processors accepted")
+	}
+	if _, err := FromLinks("x", 2, [][2]int{{0, 2}}); err == nil {
+		t.Error("out-of-range link accepted")
+	}
+	if _, err := FromLinks("x", 2, [][2]int{{1, 1}}); err == nil {
+		t.Error("self-link accepted")
+	}
+	if _, err := FromLinks("x", 2, [][2]int{{0, 1}, {1, 0}}); err == nil {
+		t.Error("duplicate link accepted")
+	}
+	if _, err := FromLinks("x", 3, [][2]int{{0, 1}}); err == nil {
+		t.Error("disconnected graph accepted")
+	}
+}
+
+func TestSingleProcessor(t *testing.T) {
+	tp, err := FromLinks("solo", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.N() != 1 || tp.Diameter() != 0 || tp.Dist(0, 0) != 0 {
+		t.Fatalf("solo topology wrong: %v", tp)
+	}
+	path := tp.Path(0, 0)
+	if len(path) != 1 || path[0] != 0 {
+		t.Fatalf("Path(0,0) = %v", path)
+	}
+}
+
+func TestHypercubeShape(t *testing.T) {
+	for dim := 0; dim <= 4; dim++ {
+		hc, err := Hypercube(dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 1 << uint(dim)
+		if hc.N() != n {
+			t.Fatalf("dim %d: N = %d, want %d", dim, hc.N(), n)
+		}
+		if hc.NumLinks() != dim*n/2 {
+			t.Fatalf("dim %d: links = %d, want %d", dim, hc.NumLinks(), dim*n/2)
+		}
+		if hc.Diameter() != dim {
+			t.Fatalf("dim %d: diameter = %d, want %d", dim, hc.Diameter(), dim)
+		}
+		// Distance equals Hamming distance.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if hc.Dist(i, j) != popcount(i^j) {
+					t.Fatalf("dim %d: dist(%d,%d) = %d, want %d", dim, i, j, hc.Dist(i, j), popcount(i^j))
+				}
+			}
+		}
+	}
+	if _, err := Hypercube(-1); err == nil {
+		t.Error("negative dimension accepted")
+	}
+}
+
+func popcount(x int) int {
+	c := 0
+	for x != 0 {
+		c += x & 1
+		x >>= 1
+	}
+	return c
+}
+
+func TestRingShape(t *testing.T) {
+	r, err := Ring(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.N() != 9 || r.NumLinks() != 9 || r.Diameter() != 4 {
+		t.Fatalf("ring-9: %v", r)
+	}
+	if d := r.Dist(0, 5); d != 4 {
+		t.Errorf("ring dist(0,5) = %d, want 4", d)
+	}
+	if d := r.Dist(0, 4); d != 4 {
+		t.Errorf("ring dist(0,4) = %d, want 4", d)
+	}
+	for i := 0; i < 9; i++ {
+		if r.Degree(i) != 2 {
+			t.Errorf("ring degree(%d) = %d, want 2", i, r.Degree(i))
+		}
+	}
+	if _, err := Ring(2); err == nil {
+		t.Error("ring of 2 accepted")
+	}
+}
+
+func TestBusIsSharedMediumCompleteGraph(t *testing.T) {
+	b, err := Bus(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.SharedMedium() {
+		t.Error("bus not marked shared medium")
+	}
+	if b.Diameter() != 1 {
+		t.Errorf("bus diameter = %d, want 1", b.Diameter())
+	}
+	if b.NumLinks() != 8*7/2 {
+		t.Errorf("bus links = %d, want 28", b.NumLinks())
+	}
+	if _, err := Bus(1); err == nil {
+		t.Error("bus of 1 accepted")
+	}
+}
+
+func TestStarRoutesThroughHub(t *testing.T) {
+	s, err := Star(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SharedMedium() {
+		t.Error("star marked shared medium")
+	}
+	if s.Diameter() != 2 {
+		t.Errorf("star diameter = %d, want 2", s.Diameter())
+	}
+	path := s.Path(3, 5)
+	if len(path) != 3 || path[1] != 0 {
+		t.Errorf("star path(3,5) = %v, want via hub 0", path)
+	}
+}
+
+func TestMeshAndTorus(t *testing.T) {
+	m, err := Mesh(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 12 || m.Diameter() != 5 {
+		t.Fatalf("mesh 3x4: N=%d diam=%d", m.N(), m.Diameter())
+	}
+	tor, err := Torus(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tor.N() != 9 || tor.Diameter() != 2 {
+		t.Fatalf("torus 3x3: N=%d diam=%d", tor.N(), tor.Diameter())
+	}
+	if _, err := Torus(2, 3); err == nil {
+		t.Error("2-row torus accepted")
+	}
+	if _, err := Mesh(0, 3); err == nil {
+		t.Error("0-row mesh accepted")
+	}
+}
+
+func TestCompleteChainTree(t *testing.T) {
+	c, err := Complete(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Diameter() != 1 || c.NumLinks() != 10 {
+		t.Fatalf("complete-5: %v", c)
+	}
+	ch, err := ChainTopo(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.Diameter() != 5 {
+		t.Fatalf("chain-6 diameter = %d", ch.Diameter())
+	}
+	bt, err := BinaryTree(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt.N() != 7 || bt.Diameter() != 4 {
+		t.Fatalf("tree-7: N=%d diam=%d", bt.N(), bt.Diameter())
+	}
+}
+
+func TestPathsAreShortestAndValid(t *testing.T) {
+	topos := []*Topology{}
+	for _, build := range []func() (*Topology, error){
+		func() (*Topology, error) { return Hypercube(3) },
+		func() (*Topology, error) { return Ring(9) },
+		func() (*Topology, error) { return Star(8) },
+		func() (*Topology, error) { return Mesh(3, 3) },
+		func() (*Topology, error) { return BinaryTree(4) },
+	} {
+		tp, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		topos = append(topos, tp)
+	}
+	for _, tp := range topos {
+		for i := 0; i < tp.N(); i++ {
+			for j := 0; j < tp.N(); j++ {
+				path := tp.Path(i, j)
+				if len(path)-1 != tp.Dist(i, j) {
+					t.Fatalf("%s: path(%d,%d) len %d != dist %d", tp.Name(), i, j, len(path)-1, tp.Dist(i, j))
+				}
+				if path[0] != i || path[len(path)-1] != j {
+					t.Fatalf("%s: path(%d,%d) endpoints %v", tp.Name(), i, j, path)
+				}
+				for k := 1; k < len(path); k++ {
+					if !tp.HasLink(path[k-1], path[k]) {
+						t.Fatalf("%s: path(%d,%d) uses non-link (%d,%d)", tp.Name(), i, j, path[k-1], path[k])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDistSymmetricAndTriangle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	// Random connected graphs: a random spanning tree plus random extras.
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(12)
+		seen := map[[2]int]bool{}
+		var links [][2]int
+		for i := 1; i < n; i++ {
+			j := rng.Intn(i)
+			links = append(links, [2]int{j, i})
+			seen[[2]int{j, i}] = true
+		}
+		for k := 0; k < n; k++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a == b {
+				continue
+			}
+			key := canonicalLink(a, b)
+			if !seen[key] {
+				seen[key] = true
+				links = append(links, key)
+			}
+		}
+		tp, err := FromLinks("rand", n, links)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if tp.Dist(i, i) != 0 {
+				t.Fatalf("dist(%d,%d) != 0", i, i)
+			}
+			for j := 0; j < n; j++ {
+				if tp.Dist(i, j) != tp.Dist(j, i) {
+					t.Fatalf("asymmetric dist(%d,%d)", i, j)
+				}
+				for k := 0; k < n; k++ {
+					if tp.Dist(i, k) > tp.Dist(i, j)+tp.Dist(j, k) {
+						t.Fatalf("triangle violation %d,%d,%d", i, j, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAvgDistAndString(t *testing.T) {
+	r, _ := Ring(4)
+	// Ring of 4: distances 1,2,1 from each node; avg = 4/3.
+	if got := r.AvgDist(); got < 1.33 || got > 1.34 {
+		t.Errorf("AvgDist = %g, want 4/3", got)
+	}
+	if !strings.Contains(r.String(), "ring-4") {
+		t.Errorf("String = %q", r.String())
+	}
+	solo, _ := FromLinks("solo", 1, nil)
+	if solo.AvgDist() != 0 {
+		t.Error("solo AvgDist != 0")
+	}
+}
+
+func TestLinksCanonical(t *testing.T) {
+	hc, _ := Hypercube(2)
+	links := hc.Links()
+	if len(links) != 4 {
+		t.Fatalf("links = %v", links)
+	}
+	for _, l := range links {
+		if l[0] >= l[1] {
+			t.Errorf("non-canonical link %v", l)
+		}
+	}
+	if CanonicalLink(3, 1) != [2]int{1, 3} {
+		t.Error("CanonicalLink does not order")
+	}
+}
+
+func TestNextHopConsistentWithPath(t *testing.T) {
+	hc, _ := Hypercube(3)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if i == j {
+				if hc.NextHop(i, j) != i {
+					t.Fatalf("NextHop(%d,%d) != %d", i, j, i)
+				}
+				continue
+			}
+			path := hc.Path(i, j)
+			if hc.NextHop(i, j) != path[1] {
+				t.Fatalf("NextHop(%d,%d) = %d, path %v", i, j, hc.NextHop(i, j), path)
+			}
+		}
+	}
+}

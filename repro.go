@@ -1,0 +1,249 @@
+// Package repro is the public API of the reproduction of
+// D'Hollander & Devis, "Directed Taskgraph Scheduling Using Simulated
+// Annealing" (ICPP 1991).
+//
+// The package re-exports the pieces a downstream user needs to schedule
+// directed taskgraphs on multicomputer models:
+//
+//   - build or generate a taskgraph (NewGraph, the program generators, the
+//     random-DAG helpers);
+//   - pick a machine (Hypercube, Bus, Ring, Mesh, ... and CommParams);
+//   - schedule and simulate with simulated annealing (ScheduleSA) or a
+//     list policy (ScheduleHLF, SchedulePolicy);
+//   - inspect the result (speedup, Gantt chart, packet reports).
+//
+// The full implementation lives in the internal packages; see DESIGN.md
+// for the system inventory and EXPERIMENTS.md for the paper-vs-measured
+// record.
+package repro
+
+import (
+	"repro/internal/assign"
+	"repro/internal/core"
+	"repro/internal/gantt"
+	"repro/internal/list"
+	"repro/internal/machsim"
+	"repro/internal/optimal"
+	"repro/internal/programs"
+	"repro/internal/schedule"
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+)
+
+// Core model types.
+type (
+	// Graph is a directed taskgraph: tasks with CPU loads (µs),
+	// precedence edges with communication volumes (bits).
+	Graph = taskgraph.Graph
+	// TaskID identifies a task within a Graph.
+	TaskID = taskgraph.TaskID
+	// GraphStats summarizes a taskgraph (Table 1 characteristics).
+	GraphStats = taskgraph.Stats
+	// Topology is a processor interconnection network.
+	Topology = topology.Topology
+	// CommParams carries bandwidth and the σ/τ overheads of the paper's
+	// communication model.
+	CommParams = topology.CommParams
+	// Result reports a simulated execution.
+	Result = machsim.Result
+	// Policy decides assignments at every scheduling epoch.
+	Policy = machsim.Policy
+	// Assignment maps one ready task onto one idle processor.
+	Assignment = machsim.Assignment
+	// Epoch is the scheduling context a Policy sees.
+	Epoch = machsim.Epoch
+	// SimOptions configures the execution simulator.
+	SimOptions = machsim.Options
+	// SAOptions configures the simulated-annealing scheduler.
+	SAOptions = core.Options
+	// SAScheduler is the paper's staged annealing scheduler.
+	SAScheduler = core.Scheduler
+	// PacketReport summarizes the annealing of one packet.
+	PacketReport = core.PacketReport
+	// GanttConfig controls chart rendering.
+	GanttConfig = gantt.Config
+	// Program couples a benchmark graph builder with its published Table 1
+	// characteristics.
+	Program = programs.Program
+)
+
+// None is the sentinel "no task" value.
+const None = taskgraph.None
+
+// NewGraph returns an empty taskgraph with the given name.
+func NewGraph(name string) *Graph { return taskgraph.New(name) }
+
+// ReadGraphJSON decodes a taskgraph previously written with
+// (*Graph).WriteJSON.
+var ReadGraphJSON = taskgraph.ReadJSON
+
+// Machine builders.
+var (
+	// Hypercube returns a binary d-cube with 2^d processors.
+	Hypercube = topology.Hypercube
+	// Bus returns the paper's bus (star) topology: a passive shared medium,
+	// all pairs one hop apart, one message at a time globally.
+	Bus = topology.Bus
+	// Star returns the active-hub star (traffic routed through processor 0).
+	Star = topology.Star
+	// Ring returns a cycle of n processors.
+	Ring = topology.Ring
+	// Mesh returns a rows × cols 2-D mesh.
+	Mesh = topology.Mesh
+	// Torus returns a rows × cols 2-D torus.
+	Torus = topology.Torus
+	// Complete returns the fully connected topology.
+	Complete = topology.Complete
+	// ChainTopo returns a linear processor array.
+	ChainTopo = topology.ChainTopo
+	// BinaryTree returns a complete binary tree of processors.
+	BinaryTree = topology.BinaryTree
+	// CubeConnectedCycles returns the CCC(d) bounded-degree network.
+	CubeConnectedCycles = topology.CubeConnectedCycles
+	// DeBruijn returns the binary de Bruijn network over 2^d processors.
+	DeBruijn = topology.DeBruijn
+	// TopologyFromLinks builds a topology from an explicit link list.
+	TopologyFromLinks = topology.FromLinks
+)
+
+// DefaultCommParams returns the paper's communication parameters:
+// 10 Mb/s links, σ = 7 µs, τ = 9 µs.
+func DefaultCommParams() CommParams { return topology.DefaultCommParams() }
+
+// DefaultSAOptions returns the scheduler configuration used by the paper
+// reproduction: wb = wc = 0.5 and the default annealing engine.
+func DefaultSAOptions() SAOptions { return core.DefaultOptions() }
+
+// Benchmark program generators (paper §6, Table 1).
+var (
+	// NewtonEuler builds the 95-task robot-dynamics graph.
+	NewtonEuler = programs.NewtonEuler
+	// GaussJordan builds the 111-task linear-solver graph.
+	GaussJordan = programs.GaussJordan
+	// FFT builds the 73-task transform graph.
+	FFT = programs.FFT
+	// MatrixMultiply builds the 111-task matrix-product graph.
+	MatrixMultiply = programs.MatrixMultiply
+	// GrahamAnomaly builds Graham's classic anomaly instance.
+	GrahamAnomaly = programs.GrahamAnomaly
+	// Programs returns the four benchmark programs with their published
+	// characteristics.
+	Programs = programs.Catalog
+)
+
+// ScheduleSA schedules g on topo with the paper's simulated-annealing
+// scheduler and simulates the execution. It returns the simulation result
+// and the scheduler, whose Packets method exposes the per-packet annealing
+// reports.
+func ScheduleSA(g *Graph, topo *Topology, comm CommParams, opt SAOptions, simOpt SimOptions) (*Result, *SAScheduler, error) {
+	sched, err := core.NewScheduler(g, topo, comm, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := machsim.Run(machsim.Model{Graph: g, Topo: topo, Comm: comm}, sched, simOpt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, sched, nil
+}
+
+// ScheduleHLF schedules g with the Highest Level First baseline and
+// simulates the execution.
+func ScheduleHLF(g *Graph, topo *Topology, comm CommParams, simOpt SimOptions) (*Result, error) {
+	hlf, err := list.NewHLF(g)
+	if err != nil {
+		return nil, err
+	}
+	return machsim.Run(machsim.Model{Graph: g, Topo: topo, Comm: comm}, hlf, simOpt)
+}
+
+// SchedulePolicy schedules g with any custom policy and simulates the
+// execution.
+func SchedulePolicy(g *Graph, topo *Topology, comm CommParams, p Policy, simOpt SimOptions) (*Result, error) {
+	return machsim.Run(machsim.Model{Graph: g, Topo: topo, Comm: comm}, p, simOpt)
+}
+
+// NewHLFPolicy returns the Highest Level First policy for custom
+// simulation setups.
+func NewHLFPolicy(g *Graph) (Policy, error) { return list.NewHLF(g) }
+
+// NewETFPolicy returns the Earliest Task First policy, the strongest
+// deterministic, communication-aware list scheduler in the library.
+func NewETFPolicy(g *Graph, topo *Topology, comm CommParams) (Policy, error) {
+	return list.NewETF(g, topo, comm)
+}
+
+// NewFIFOPolicy returns the original-list (task ID order) policy.
+func NewFIFOPolicy() Policy { return list.NewFIFO() }
+
+// NewLPTPolicy returns the Longest Processing Time policy.
+func NewLPTPolicy(g *Graph) Policy { return list.NewLPT(g) }
+
+// NewMISFPolicy returns the Most Immediate Successors First policy.
+func NewMISFPolicy(g *Graph) (Policy, error) { return list.NewMISF(g) }
+
+// NewRandomPolicy returns the random list scheduler (weakest baseline).
+func NewRandomPolicy(seed int64) Policy { return list.NewRandom(seed) }
+
+// NewCommAwareHLFPolicy returns HLF with greedy communication-aware
+// placement.
+func NewCommAwareHLFPolicy(g *Graph, topo *Topology, comm CommParams) (Policy, error) {
+	return list.NewCommAwareHLF(g, topo, comm)
+}
+
+// NewSAPolicy returns the annealing scheduler as a reusable policy.
+func NewSAPolicy(g *Graph, topo *Topology, comm CommParams, opt SAOptions) (*SAScheduler, error) {
+	return core.NewScheduler(g, topo, comm, opt)
+}
+
+// RenderGantt draws a text Gantt chart of a result recorded with
+// SimOptions.RecordGantt.
+func RenderGantt(res *Result, nprocs int, cfg GanttConfig) string {
+	return gantt.Render(res, nprocs, cfg)
+}
+
+// Related assignment problems (paper §3) and exact solving.
+type (
+	// StaticMapping is a whole-execution task-to-processor assignment
+	// produced by the mapping or balancing solvers.
+	StaticMapping = assign.Mapping
+	// MappingOptions configures SolveMapping (Bollinger & Midkiff '88).
+	MappingOptions = assign.MappingOptions
+	// BalancingOptions configures SolveBalancing (Hwang & Xu '90).
+	BalancingOptions = assign.BalancingOptions
+	// OptimalOptions bounds the exact branch-and-bound solver.
+	OptimalOptions = optimal.Options
+	// OptimalResult reports an exact minimum-makespan solve.
+	OptimalResult = optimal.Result
+)
+
+// Schedule types: a standalone, serializable schedule representation with
+// an independent feasibility checker.
+type (
+	// Schedule is a placed, timed schedule extracted from a Result.
+	Schedule = schedule.Schedule
+	// ScheduleEntry is one task's placement and timing.
+	ScheduleEntry = schedule.Entry
+)
+
+// ExtractSchedule converts a simulation result into a Schedule; its
+// Validate method re-checks feasibility against the machine model without
+// reusing simulator code.
+var ExtractSchedule = schedule.FromResult
+
+// ReadScheduleJSON decodes a schedule written with (*Schedule).WriteJSON.
+var ReadScheduleJSON = schedule.ReadJSON
+
+var (
+	// SolveMapping solves the mapping problem: NT ≤ NP, one task per
+	// processor, minimize total traffic and worst link load.
+	SolveMapping = assign.SolveMapping
+	// SolveBalancing solves the balancing problem: NT > NP, minimize load
+	// deviation plus inter-processor traffic (precedence ignored).
+	SolveBalancing = assign.SolveBalancing
+	// NewStaticPolicy executes a directed taskgraph under a fixed mapping.
+	NewStaticPolicy = assign.NewStaticPolicy
+	// OptimalMakespan computes the exact minimum makespan of a small
+	// instance on identical processors with free communication.
+	OptimalMakespan = optimal.Makespan
+)
