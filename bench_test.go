@@ -15,6 +15,7 @@
 package repro_test
 
 import (
+	"runtime"
 	"testing"
 
 	"repro"
@@ -53,7 +54,10 @@ func shortName(title string) string {
 
 func benchmarkTable2Program(b *testing.B, key string) {
 	for i := 0; i < b.N; i++ {
-		rows, err := expt.Table2(expt.Table2Config{Seed: 1991, Restarts: -1, Programs: []string{key}})
+		rows, err := expt.Table2(expt.Table2Config{
+			Seed: 1991, Restarts: -1, Programs: []string{key},
+			Workers: runtime.GOMAXPROCS(0),
+		})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -23,24 +23,35 @@ import (
 // Problem is a mutable optimization state. Implementations carry their own
 // state; the engine never copies it (except through the optional
 // Snapshotter interface).
+//
+// The Propose/Undo contract is designed so the accept/reject loop performs
+// no heap allocations: a Problem records whatever it needs to revert the
+// last move in its own pre-allocated state instead of returning a closure.
 type Problem interface {
 	// Cost returns the current total cost of the state.
 	Cost() float64
 	// Propose applies one random elementary move to the state and returns
-	// the resulting cost change together with a function that undoes the
-	// move. ok reports whether a move was possible at all; when ok is
-	// false the engine stops.
-	Propose(rng *rand.Rand) (delta float64, undo func(), ok bool)
+	// the resulting cost change. ok reports whether a move was possible at
+	// all; when ok is false the engine stops.
+	Propose(rng *rand.Rand) (delta float64, ok bool)
+	// Undo reverts the move applied by the most recent Propose call.
+	// Callers invoke Undo at most once per proposed move, before the next
+	// Propose (the engine undoes rejected moves; CalibrateT0 undoes every
+	// probe).
+	Undo()
 }
 
 // Snapshotter is an optional extension of Problem. When implemented, the
 // engine tracks the best state seen and restores it before returning, so a
-// late uphill wander cannot degrade the final answer.
+// late uphill wander cannot degrade the final answer. Implementations keep
+// one reusable "best" buffer (a double buffer of the mutable state), so
+// tracking the best mapping costs copies, never allocations.
 type Snapshotter interface {
-	// Snapshot returns an opaque copy of the current state.
-	Snapshot() any
-	// Restore replaces the current state with a previous snapshot.
-	Restore(snapshot any)
+	// SaveBest records the current state as the best seen so far,
+	// overwriting the previous best.
+	SaveBest()
+	// RestoreBest replaces the current state with the last saved best.
+	RestoreBest()
 }
 
 // MoveInfo describes one proposed move; it is passed to the OnMove
@@ -155,9 +166,8 @@ func Minimize(p Problem, opt Options) (Result, error) {
 	res.BestCost = cost
 
 	snapper, canSnapshot := p.(Snapshotter)
-	var best any
 	if canSnapshot {
-		best = snapper.Snapshot()
+		snapper.SaveBest()
 	}
 
 	plateau := 0
@@ -172,7 +182,7 @@ stages:
 				res.CapStop = true
 				break stages
 			}
-			delta, undo, ok := p.Propose(rng)
+			delta, ok := p.Propose(rng)
 			if !ok {
 				break stages
 			}
@@ -184,11 +194,11 @@ stages:
 				if cost < res.BestCost {
 					res.BestCost = cost
 					if canSnapshot {
-						best = snapper.Snapshot()
+						snapper.SaveBest()
 					}
 				}
 			} else {
-				undo()
+				p.Undo()
 			}
 			if opt.OnMove != nil {
 				opt.OnMove(MoveInfo{
@@ -217,7 +227,7 @@ stages:
 	}
 
 	if canSnapshot && res.BestCost < cost {
-		snapper.Restore(best)
+		snapper.RestoreBest()
 		cost = res.BestCost
 	}
 	res.FinalCost = cost

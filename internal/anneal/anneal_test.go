@@ -62,9 +62,13 @@ func TestQuickAcceptProbRange(t *testing.T) {
 }
 
 // tourState is a toy problem: minimize the sum of absolute adjacent
-// differences of a permutation (sorted order is optimal).
+// differences of a permutation (sorted order is optimal). It follows the
+// zero-allocation contract: the last swap is remembered in two ints and
+// the best permutation lives in a reusable double buffer.
 type tourState struct {
-	perm []int
+	perm   []int
+	best   []int
+	ui, uj int // indices of the last swap, for Undo
 }
 
 func (s *tourState) Cost() float64 {
@@ -75,10 +79,10 @@ func (s *tourState) Cost() float64 {
 	return c
 }
 
-func (s *tourState) Propose(rng *rand.Rand) (float64, func(), bool) {
+func (s *tourState) Propose(rng *rand.Rand) (float64, bool) {
 	n := len(s.perm)
 	if n < 2 {
-		return 0, nil, false
+		return 0, false
 	}
 	i, j := rng.Intn(n), rng.Intn(n)
 	if i == j {
@@ -86,17 +90,18 @@ func (s *tourState) Propose(rng *rand.Rand) (float64, func(), bool) {
 	}
 	before := s.Cost()
 	s.perm[i], s.perm[j] = s.perm[j], s.perm[i]
-	delta := s.Cost() - before
-	return delta, func() { s.perm[i], s.perm[j] = s.perm[j], s.perm[i] }, true
+	s.ui, s.uj = i, j
+	return s.Cost() - before, true
 }
 
-func (s *tourState) Snapshot() any { return append([]int(nil), s.perm...) }
+func (s *tourState) Undo() { s.perm[s.ui], s.perm[s.uj] = s.perm[s.uj], s.perm[s.ui] }
 
-func (s *tourState) Restore(v any) { copy(s.perm, v.([]int)) }
+func (s *tourState) SaveBest() { copy(s.best, s.perm) }
+
+func (s *tourState) RestoreBest() { copy(s.perm, s.best) }
 
 func newTour(n int, rng *rand.Rand) *tourState {
-	s := &tourState{perm: rng.Perm(n)}
-	return s
+	return &tourState{perm: rng.Perm(n), best: make([]int, n)}
 }
 
 func TestMinimizeImprovesToyProblem(t *testing.T) {
@@ -248,6 +253,32 @@ func TestMinimizeDeterministicBySeed(t *testing.T) {
 	}
 	if run(99) != run(99) {
 		t.Error("same seed produced different results")
+	}
+}
+
+// The engine's accept/reject loop must not allocate: Propose/Undo return
+// no closures and best-tracking reuses the Snapshotter double buffer. A
+// whole Minimize run over a pre-allocated problem is therefore
+// allocation-free.
+func TestMinimizeZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	s := newTour(16, rng)
+	opt := Options{
+		Cooling:       Geometric{T0: 1, Alpha: 0.9, NumStages: 20},
+		MovesPerStage: 50,
+		RNG:           rng,
+	}
+	// Warm up once so lazy runtime initialization is not charged.
+	if _, err := Minimize(s, opt); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := Minimize(s, opt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Minimize allocated %.1f times per run, want 0", allocs)
 	}
 }
 

@@ -30,11 +30,11 @@ func CalibrateT0(p Problem, samples int, target float64, rng *rand.Rand) (float6
 	var sum float64
 	var uphill int
 	for i := 0; i < samples; i++ {
-		delta, undo, ok := p.Propose(rng)
+		delta, ok := p.Propose(rng)
 		if !ok {
 			break
 		}
-		undo()
+		p.Undo()
 		if delta > 0 {
 			sum += delta
 			uphill++

@@ -20,11 +20,11 @@ func TestCalibrateT0HitsTargetAcceptance(t *testing.T) {
 	// rate.
 	var uphill, accepted int
 	for i := 0; i < 3000; i++ {
-		delta, undo, ok := s.Propose(rng)
+		delta, ok := s.Propose(rng)
 		if !ok {
 			t.Fatal("no move")
 		}
-		undo()
+		s.Undo()
 		if delta > 0 {
 			uphill++
 			if rng.Float64() < AcceptProb(delta, t0) {

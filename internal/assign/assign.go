@@ -108,6 +108,11 @@ type mappingState struct {
 	opt    MappingOptions
 	procOf []int
 	taskAt []int
+	// Undo state of the last Propose.
+	undoI, undoCur, undoTarget, undoOther int
+	// Best-state double buffer for anneal.Snapshotter.
+	bestProcOf []int
+	bestTaskAt []int
 }
 
 // Cost implements anneal.Problem.
@@ -138,10 +143,10 @@ func (m *mappingState) Cost() float64 {
 
 // Propose implements anneal.Problem: move a task to a free processor or
 // exchange two tasks.
-func (m *mappingState) Propose(rng *rand.Rand) (float64, func(), bool) {
+func (m *mappingState) Propose(rng *rand.Rand) (float64, bool) {
 	n, p := len(m.procOf), len(m.taskAt)
 	if n == 0 || p < 2 {
-		return 0, nil, false
+		return 0, false
 	}
 	before := m.Cost()
 	i := rng.Intn(n)
@@ -157,28 +162,31 @@ func (m *mappingState) Propose(rng *rand.Rand) (float64, func(), bool) {
 	if other >= 0 {
 		m.procOf[other] = cur
 	}
-	delta := m.Cost() - before
-	undo := func() {
-		m.procOf[i] = cur
-		m.taskAt[cur] = i
-		m.taskAt[target] = other
-		if other >= 0 {
-			m.procOf[other] = target
-		}
+	m.undoI, m.undoCur, m.undoTarget, m.undoOther = i, cur, target, other
+	return m.Cost() - before, true
+}
+
+// Undo implements anneal.Problem: revert the last Propose.
+func (m *mappingState) Undo() {
+	i, cur, target, other := m.undoI, m.undoCur, m.undoTarget, m.undoOther
+	m.procOf[i] = cur
+	m.taskAt[cur] = i
+	m.taskAt[target] = other
+	if other >= 0 {
+		m.procOf[other] = target
 	}
-	return delta, undo, true
 }
 
-// Snapshot implements anneal.Snapshotter.
-func (m *mappingState) Snapshot() any {
-	return [2][]int{append([]int(nil), m.procOf...), append([]int(nil), m.taskAt...)}
+// SaveBest implements anneal.Snapshotter.
+func (m *mappingState) SaveBest() {
+	m.bestProcOf = append(m.bestProcOf[:0], m.procOf...)
+	m.bestTaskAt = append(m.bestTaskAt[:0], m.taskAt...)
 }
 
-// Restore implements anneal.Snapshotter.
-func (m *mappingState) Restore(s any) {
-	v := s.([2][]int)
-	copy(m.procOf, v[0])
-	copy(m.taskAt, v[1])
+// RestoreBest implements anneal.Snapshotter.
+func (m *mappingState) RestoreBest() {
+	copy(m.procOf, m.bestProcOf)
+	copy(m.taskAt, m.bestTaskAt)
 }
 
 // BalancingOptions configures SolveBalancing.
@@ -263,6 +271,13 @@ type balanceState struct {
 	avg     float64
 	loadDen float64
 	commDen float64
+	// Undo state of the last Propose.
+	undoTask         taskgraph.TaskID
+	undoCur, undoDst int
+	undoLoad         float64
+	// Best-state double buffer for anneal.Snapshotter.
+	bestProcOf []int
+	bestLoad   []float64
 }
 
 // Cost implements anneal.Problem.
@@ -293,10 +308,10 @@ func (b *balanceState) taskCommCost(i taskgraph.TaskID, proc int) float64 {
 
 // Propose implements anneal.Problem: move a random task to a random other
 // processor.
-func (b *balanceState) Propose(rng *rand.Rand) (float64, func(), bool) {
+func (b *balanceState) Propose(rng *rand.Rand) (float64, bool) {
 	n, p := len(b.procOf), len(b.load)
 	if n == 0 || p < 2 {
-		return 0, nil, false
+		return 0, false
 	}
 	i := taskgraph.TaskID(rng.Intn(n))
 	cur := b.procOf[i]
@@ -317,24 +332,27 @@ func (b *balanceState) Propose(rng *rand.Rand) (float64, func(), bool) {
 	commAfter := b.taskCommCost(i, target)
 
 	delta := b.opt.Wb*(devAfter-devBefore)/b.loadDen + b.opt.Wc*(commAfter-commBefore)/b.commDen
-	undo := func() {
-		b.load[cur] += li
-		b.load[target] -= li
-		b.procOf[i] = cur
-	}
-	return delta, undo, true
+	b.undoTask, b.undoCur, b.undoDst, b.undoLoad = i, cur, target, li
+	return delta, true
 }
 
-// Snapshot implements anneal.Snapshotter.
-func (b *balanceState) Snapshot() any {
-	return [2]any{append([]int(nil), b.procOf...), append([]float64(nil), b.load...)}
+// Undo implements anneal.Problem: revert the last Propose.
+func (b *balanceState) Undo() {
+	b.load[b.undoCur] += b.undoLoad
+	b.load[b.undoDst] -= b.undoLoad
+	b.procOf[b.undoTask] = b.undoCur
 }
 
-// Restore implements anneal.Snapshotter.
-func (b *balanceState) Restore(s any) {
-	v := s.([2]any)
-	copy(b.procOf, v[0].([]int))
-	copy(b.load, v[1].([]float64))
+// SaveBest implements anneal.Snapshotter.
+func (b *balanceState) SaveBest() {
+	b.bestProcOf = append(b.bestProcOf[:0], b.procOf...)
+	b.bestLoad = append(b.bestLoad[:0], b.load...)
+}
+
+// RestoreBest implements anneal.Snapshotter.
+func (b *balanceState) RestoreBest() {
+	copy(b.procOf, b.bestProcOf)
+	copy(b.load, b.bestLoad)
 }
 
 // StaticPolicy executes a directed taskgraph under a fixed mapping: each

@@ -155,7 +155,7 @@ func TestBalancingDeltaConsistency(t *testing.T) {
 	}
 	for move := 0; move < 300; move++ {
 		before := st.Cost()
-		delta, undo, ok := st.Propose(rng)
+		delta, ok := st.Propose(rng)
 		if !ok {
 			t.Fatal("no move")
 		}
@@ -163,7 +163,7 @@ func TestBalancingDeltaConsistency(t *testing.T) {
 			t.Fatalf("move %d: delta %g, recomputed %g", move, delta, st.Cost()-before)
 		}
 		if move%2 == 1 {
-			undo()
+			st.Undo()
 			if math.Abs(st.Cost()-before) > 1e-9 {
 				t.Fatalf("move %d: undo broke cost", move)
 			}

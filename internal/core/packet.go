@@ -26,14 +26,20 @@ import (
 
 // packet is one annealing packet: the candidate tasks, the free
 // processors, and the precomputed cost tables of the placement problem.
+//
+// All slices are reusable scratch owned by the packet; reset grows them as
+// needed and reuses them across epochs, so forming a packet allocates only
+// while the high-water mark of (tasks × procs) still grows.
 type packet struct {
 	tasks []taskgraph.TaskID // candidates (ready tasks)
 	procs []int              // idle processors
 	// level[i] is the task level of tasks[i].
 	level []float64
-	// commCost[i][j] is eq. 5 restricted to tasks[i] placed on procs[j]:
-	// the sum of eq. 4 over the task's finished predecessors.
-	commCost [][]float64
+	// commCost is the row-major n×p table of eq. 5 restricted to tasks[i]
+	// placed on procs[j]: the sum of eq. 4 over the task's finished
+	// predecessors. Entry (i, j) lives at commCost[i*np+j].
+	commCost []float64
+	np       int // row stride = len(procs)
 	// dFb and dFc are the normalization ranges of §4.2c.
 	dFb, dFc float64
 	wb, wc   float64
@@ -47,30 +53,67 @@ type packet struct {
 	// Running raw component values, maintained incrementally.
 	rawFb float64
 	rawFc float64
+
+	// Undo state of the last Propose: candidate, target slot, the
+	// candidate's previous slot, and the displaced incumbent (-1 if none).
+	undoI, undoJ, undoCur, undoOther int
+
+	// Best-state double buffer backing anneal.Snapshotter.
+	bestTaskAt []int
+	bestProcOf []int
+	bestFb     float64
+	bestFc     float64
+
+	// Scratch for the normalization ranges and greedy/random inits.
+	sortScratch []float64
+	idxScratch  []int
+	// Reusable output buffer for assignments.
+	out []machsim.Assignment
 }
 
 // Locator reports the processor a finished task ran on (-1 if unknown);
 // the machine simulator's ProcOf satisfies it.
 type Locator func(taskgraph.TaskID) int
 
-// newPacket builds the packet cost tables for one epoch: the candidate
-// tasks, the free processors, and, via the locator, the communication
-// cost of every (task, processor) placement given where the predecessors
-// executed.
+// grow returns s resized to n, reusing its backing array when large
+// enough. Contents are unspecified.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// newPacket builds a fresh packet for one epoch; the scheduler prefers
+// reset on a long-lived packet so buffers are reused across epochs.
 func newPacket(ready []taskgraph.TaskID, idle []int, locate Locator, levels []float64,
 	topo *topology.Topology, comm topology.CommParams, g *taskgraph.Graph, wb, wc float64) *packet {
 
+	pk := &packet{}
+	pk.reset(ready, idle, locate, levels, topo, comm, g, wb, wc)
+	return pk
+}
+
+// reset rebuilds the packet cost tables for one epoch in place: the
+// candidate tasks, the free processors, and, via the locator, the
+// communication cost of every (task, processor) placement given where the
+// predecessors executed.
+func (pk *packet) reset(ready []taskgraph.TaskID, idle []int, locate Locator, levels []float64,
+	topo *topology.Topology, comm topology.CommParams, g *taskgraph.Graph, wb, wc float64) {
+
 	n, p := len(ready), len(idle)
-	pk := &packet{
-		tasks:    append([]taskgraph.TaskID(nil), ready...),
-		procs:    append([]int(nil), idle...),
-		level:    make([]float64, n),
-		commCost: make([][]float64, n),
-		wb:       wb,
-		wc:       wc,
-		taskAt:   make([]int, p),
-		procOf:   make([]int, n),
-	}
+	pk.tasks = append(pk.tasks[:0], ready...)
+	pk.procs = append(pk.procs[:0], idle...)
+	pk.level = grow(pk.level, n)
+	pk.commCost = grow(pk.commCost, n*p)
+	pk.np = p
+	pk.wb, pk.wc = wb, wc
+	pk.taskAt = grow(pk.taskAt, p)
+	pk.procOf = grow(pk.procOf, n)
+	pk.bestTaskAt = grow(pk.bestTaskAt, p)
+	pk.bestProcOf = grow(pk.bestProcOf, n)
+	pk.rawFb, pk.rawFc = 0, 0
+
 	for j := range pk.taskAt {
 		pk.taskAt[j] = -1
 	}
@@ -79,7 +122,10 @@ func newPacket(ready []taskgraph.TaskID, idle []int, locate Locator, levels []fl
 	}
 	for i, t := range pk.tasks {
 		pk.level[i] = levels[t]
-		row := make([]float64, p)
+		row := pk.commCost[i*p : (i+1)*p]
+		for j := range row {
+			row[j] = 0
+		}
 		for _, h := range g.Predecessors(t) {
 			src := locate(h.To)
 			if src < 0 {
@@ -89,12 +135,50 @@ func newPacket(ready []taskgraph.TaskID, idle []int, locate Locator, levels []fl
 				row[j] += comm.CommCost(topo.Dist(src, proc), h.Bits)
 			}
 		}
-		pk.commCost[i] = row
 	}
 	pk.dFb = pk.balanceRange()
 	pk.dFc = pk.commRange()
-	return pk
 }
+
+// cloneFrom makes pk an independent copy of src for a concurrent restart:
+// the immutable cost tables (tasks, procs, level, commCost) are shared,
+// only the mutable mapping state is deep-copied into pk's own buffers.
+func (pk *packet) cloneFrom(src *packet) {
+	pk.tasks = src.tasks
+	pk.procs = src.procs
+	pk.level = src.level
+	pk.commCost = src.commCost
+	pk.np = src.np
+	pk.dFb, pk.dFc = src.dFb, src.dFc
+	pk.wb, pk.wc = src.wb, src.wc
+	pk.taskAt = append(pk.taskAt[:0], src.taskAt...)
+	pk.procOf = append(pk.procOf[:0], src.procOf...)
+	pk.bestTaskAt = grow(pk.bestTaskAt, len(src.taskAt))
+	pk.bestProcOf = grow(pk.bestProcOf, len(src.procOf))
+	pk.rawFb, pk.rawFc = src.rawFb, src.rawFc
+}
+
+// clearMapping empties every slot, ready for a fresh restart init.
+func (pk *packet) clearMapping() {
+	for j := range pk.taskAt {
+		pk.taskAt[j] = -1
+	}
+	for i := range pk.procOf {
+		pk.procOf[i] = -1
+	}
+	pk.rawFb, pk.rawFc = 0, 0
+}
+
+// adoptMapping copies the mapping state of src (a clone sharing pk's cost
+// tables) into pk.
+func (pk *packet) adoptMapping(src *packet) {
+	copy(pk.taskAt, src.taskAt)
+	copy(pk.procOf, src.procOf)
+	pk.rawFb, pk.rawFc = src.rawFb, src.rawFc
+}
+
+// comm returns the eq.-5 cost of candidate i on processor slot j.
+func (pk *packet) comm(i, j int) float64 { return pk.commCost[i*pk.np+j] }
 
 // nSelect returns how many tasks a full mapping places: min(#tasks, #procs).
 func (pk *packet) nSelect() int {
@@ -113,7 +197,8 @@ func (pk *packet) balanceRange() float64 {
 	if k == 0 {
 		return 1
 	}
-	sorted := append([]float64(nil), pk.level...)
+	sorted := append(pk.sortScratch[:0], pk.level...)
+	pk.sortScratch = sorted
 	sort.Float64s(sorted)
 	var lo, hi float64
 	for i := 0; i < k; i++ {
@@ -136,13 +221,16 @@ func (pk *packet) commRange() float64 {
 	if k == 0 {
 		return 1
 	}
-	worst := make([]float64, len(pk.tasks))
-	for i, row := range pk.commCost {
-		for _, c := range row {
-			if c > worst[i] {
-				worst[i] = c
+	worst := grow(pk.sortScratch, len(pk.tasks))
+	pk.sortScratch = worst
+	for i := range pk.tasks {
+		w := 0.0
+		for j := 0; j < pk.np; j++ {
+			if c := pk.comm(i, j); c > w {
+				w = c
 			}
 		}
+		worst[i] = w
 	}
 	sort.Float64s(worst)
 	var sum float64
@@ -158,7 +246,7 @@ func (pk *packet) commRange() float64 {
 // contribution returns the normalized cost contribution of candidate i
 // placed on processor slot j.
 func (pk *packet) contribution(i, j int) float64 {
-	return -pk.wb*pk.level[i]/pk.dFb + pk.wc*pk.commCost[i][j]/pk.dFc
+	return -pk.wb*pk.level[i]/pk.dFb + pk.wc*pk.comm(i, j)/pk.dFc
 }
 
 // place assigns candidate i to processor slot j (both currently free) and
@@ -167,7 +255,7 @@ func (pk *packet) place(i, j int) {
 	pk.procOf[i] = j
 	pk.taskAt[j] = i
 	pk.rawFb -= pk.level[i]
-	pk.rawFc += pk.commCost[i][j]
+	pk.rawFc += pk.comm(i, j)
 }
 
 // remove clears candidate i from its slot.
@@ -176,7 +264,7 @@ func (pk *packet) remove(i int) {
 	pk.procOf[i] = -1
 	pk.taskAt[j] = -1
 	pk.rawFb += pk.level[i]
-	pk.rawFc -= pk.commCost[i][j]
+	pk.rawFc -= pk.comm(i, j)
 }
 
 // Cost implements anneal.Problem: eq. 6, F = wb·Fb/ΔFb + wc·Fc/ΔFc.
@@ -193,10 +281,11 @@ func (pk *packet) Fc() float64 { return pk.rawFc }
 // Propose implements anneal.Problem with the paper's elementary moves
 // (§5.2a): pick a task tᵢ and a processor pⱼ ≠ m(tᵢ); if pⱼ is free,
 // (re)assign tᵢ to pⱼ, otherwise exchange tᵢ with the task occupying pⱼ.
-func (pk *packet) Propose(rng *rand.Rand) (float64, func(), bool) {
+// The move is recorded in the undo fields; no heap allocation happens.
+func (pk *packet) Propose(rng *rand.Rand) (float64, bool) {
 	n, p := len(pk.tasks), len(pk.procs)
 	if n == 0 || p == 0 || (n == 1 && p == 1) {
-		return 0, nil, false // no alternative mapping exists
+		return 0, false // no alternative mapping exists
 	}
 	i := rng.Intn(n)
 	cur := pk.procOf[i]
@@ -229,21 +318,24 @@ func (pk *packet) Propose(rng *rand.Rand) (float64, func(), bool) {
 	if other >= 0 {
 		after += pk.componentCost(other, pk.procOf[other])
 	}
-	delta := after - before
+	pk.undoI, pk.undoJ, pk.undoCur, pk.undoOther = i, j, cur, other
+	return after - before, true
+}
 
-	undo := func() {
-		pk.remove(i)
-		if other >= 0 && cur >= 0 {
-			pk.remove(other)
-		}
-		if cur >= 0 {
-			pk.place(i, cur)
-		}
-		if other >= 0 {
-			pk.place(other, j)
-		}
+// Undo implements anneal.Problem: revert the move recorded by the last
+// Propose.
+func (pk *packet) Undo() {
+	i, j, cur, other := pk.undoI, pk.undoJ, pk.undoCur, pk.undoOther
+	pk.remove(i)
+	if other >= 0 && cur >= 0 {
+		pk.remove(other)
 	}
-	return delta, undo, true
+	if cur >= 0 {
+		pk.place(i, cur)
+	}
+	if other >= 0 {
+		pk.place(other, j)
+	}
 }
 
 // componentCost returns candidate i's contribution when on slot j, or 0
@@ -255,36 +347,26 @@ func (pk *packet) componentCost(i, j int) float64 {
 	return pk.contribution(i, j)
 }
 
-// Snapshot implements anneal.Snapshotter.
-func (pk *packet) Snapshot() any {
-	return packetSnapshot{
-		taskAt: append([]int(nil), pk.taskAt...),
-		procOf: append([]int(nil), pk.procOf...),
-		rawFb:  pk.rawFb,
-		rawFc:  pk.rawFc,
-	}
+// SaveBest implements anneal.Snapshotter by copying the mapping into the
+// packet's reusable best buffer.
+func (pk *packet) SaveBest() {
+	copy(pk.bestTaskAt, pk.taskAt)
+	copy(pk.bestProcOf, pk.procOf)
+	pk.bestFb, pk.bestFc = pk.rawFb, pk.rawFc
 }
 
-// Restore implements anneal.Snapshotter.
-func (pk *packet) Restore(s any) {
-	snap := s.(packetSnapshot)
-	copy(pk.taskAt, snap.taskAt)
-	copy(pk.procOf, snap.procOf)
-	pk.rawFb = snap.rawFb
-	pk.rawFc = snap.rawFc
-}
-
-type packetSnapshot struct {
-	taskAt []int
-	procOf []int
-	rawFb  float64
-	rawFc  float64
+// RestoreBest implements anneal.Snapshotter.
+func (pk *packet) RestoreBest() {
+	copy(pk.taskAt, pk.bestTaskAt)
+	copy(pk.procOf, pk.bestProcOf)
+	pk.rawFb, pk.rawFc = pk.bestFb, pk.bestFc
 }
 
 // initGreedy fills the processor slots with the highest-level candidates
 // in order (an HLF-like warm start).
 func (pk *packet) initGreedy() {
-	idx := make([]int, len(pk.tasks))
+	idx := grow(pk.idxScratch, len(pk.tasks))
+	pk.idxScratch = idx
 	for i := range idx {
 		idx[i] = i
 	}
@@ -296,21 +378,32 @@ func (pk *packet) initGreedy() {
 }
 
 // initRandom fills the processor slots with uniformly random candidates.
+// The inside-out Fisher-Yates below consumes the RNG exactly like
+// rand.Perm but fills the reusable index scratch instead of allocating.
 func (pk *packet) initRandom(rng *rand.Rand) {
-	idx := rng.Perm(len(pk.tasks))
+	idx := grow(pk.idxScratch, len(pk.tasks))
+	pk.idxScratch = idx
+	for i := range idx {
+		j := rng.Intn(i + 1)
+		idx[i] = idx[j]
+		idx[j] = i
+	}
 	k := pk.nSelect()
 	for j := 0; j < k; j++ {
 		pk.place(idx[j], j)
 	}
 }
 
-// assignments converts the final mapping into simulator assignments.
+// assignments converts the final mapping into simulator assignments. The
+// returned slice is the packet's reusable buffer, valid until the next
+// call.
 func (pk *packet) assignments() []machsim.Assignment {
-	var out []machsim.Assignment
+	out := pk.out[:0]
 	for j, i := range pk.taskAt {
 		if i >= 0 {
 			out = append(out, machsim.Assignment{Task: pk.tasks[i], Proc: pk.procs[j]})
 		}
 	}
+	pk.out = out
 	return out
 }

@@ -51,23 +51,23 @@ func TestPacketCommCostTable(t *testing.T) {
 	// Candidate 0 = x, predecessor on P0.
 	// On slot 0 (P0): same proc, cost 0.
 	// On slot 1 (P1): d=1, w=4 => 4+7 = 11.
-	if pk.commCost[0][0] != 0 {
-		t.Errorf("x on P0 cost = %g, want 0", pk.commCost[0][0])
+	if pk.comm(0, 0) != 0 {
+		t.Errorf("x on P0 cost = %g, want 0", pk.comm(0, 0))
 	}
-	if math.Abs(pk.commCost[0][1]-11) > 1e-12 {
-		t.Errorf("x on P1 cost = %g, want 11", pk.commCost[0][1])
+	if math.Abs(pk.comm(0, 1)-11) > 1e-12 {
+		t.Errorf("x on P1 cost = %g, want 11", pk.comm(0, 1))
 	}
 	// Candidate 1 = y, predecessor on P2 (w = 8).
 	// On P0: d=2 => 2*8 + τ + σ = 16+9+7 = 32. On P1: d=1 => 8+7 = 15.
-	if math.Abs(pk.commCost[1][0]-32) > 1e-12 {
-		t.Errorf("y on P0 cost = %g, want 32", pk.commCost[1][0])
+	if math.Abs(pk.comm(1, 0)-32) > 1e-12 {
+		t.Errorf("y on P0 cost = %g, want 32", pk.comm(1, 0))
 	}
-	if math.Abs(pk.commCost[1][1]-15) > 1e-12 {
-		t.Errorf("y on P1 cost = %g, want 15", pk.commCost[1][1])
+	if math.Abs(pk.comm(1, 1)-15) > 1e-12 {
+		t.Errorf("y on P1 cost = %g, want 15", pk.comm(1, 1))
 	}
 	// Candidate 2 = z: no predecessors, zero comm everywhere.
-	if pk.commCost[2][0] != 0 || pk.commCost[2][1] != 0 {
-		t.Errorf("z costs = %v, want zeros", pk.commCost[2])
+	if pk.comm(2, 0) != 0 || pk.comm(2, 1) != 0 {
+		t.Errorf("z costs = %v, want zeros", pk.commCost[2*pk.np:])
 	}
 }
 
@@ -144,8 +144,9 @@ func TestPropertyProposeDeltaConsistent(t *testing.T) {
 	pk.initRandom(rng)
 	for move := 0; move < 500; move++ {
 		before := pk.Cost()
-		beforeSnap := pk.Snapshot()
-		delta, undo, ok := pk.Propose(rng)
+		beforeTaskAt := append([]int(nil), pk.taskAt...)
+		beforeProcOf := append([]int(nil), pk.procOf...)
+		delta, ok := pk.Propose(rng)
 		if !ok {
 			t.Fatal("no move possible")
 		}
@@ -154,17 +155,16 @@ func TestPropertyProposeDeltaConsistent(t *testing.T) {
 			t.Fatalf("move %d: delta %g, recomputed %g", move, delta, after-before)
 		}
 		if move%2 == 0 {
-			undo()
+			pk.Undo()
 			if math.Abs(pk.Cost()-before) > 1e-9 {
 				t.Fatalf("move %d: undo left cost %g, want %g", move, pk.Cost(), before)
 			}
-			snap := beforeSnap.(packetSnapshot)
-			for i, v := range snap.taskAt {
+			for i, v := range beforeTaskAt {
 				if pk.taskAt[i] != v {
 					t.Fatalf("move %d: undo corrupted taskAt", move)
 				}
 			}
-			for i, v := range snap.procOf {
+			for i, v := range beforeProcOf {
 				if pk.procOf[i] != v {
 					t.Fatalf("move %d: undo corrupted procOf", move)
 				}
@@ -194,12 +194,12 @@ func TestPropertyMappingInvariants(t *testing.T) {
 	}
 	want := countPlaced()
 	for move := 0; move < 400; move++ {
-		_, undo, ok := pk.Propose(rng)
+		_, ok := pk.Propose(rng)
 		if !ok {
 			t.Fatal("no move")
 		}
 		if move%3 == 0 {
-			undo()
+			pk.Undo()
 		}
 		if got := countPlaced(); got != want {
 			t.Fatalf("move %d: placed count changed %d -> %d", move, want, got)
@@ -207,16 +207,16 @@ func TestPropertyMappingInvariants(t *testing.T) {
 	}
 }
 
-func TestPacketSnapshotRestore(t *testing.T) {
+func TestPacketSaveRestoreBest(t *testing.T) {
 	rng := rand.New(rand.NewSource(34))
 	pk, _ := packetFixture(t, 0.5, 0.5)
 	pk.initGreedy()
-	snap := pk.Snapshot()
+	pk.SaveBest()
 	costBefore := pk.Cost()
 	for i := 0; i < 50; i++ {
 		pk.Propose(rng)
 	}
-	pk.Restore(snap)
+	pk.RestoreBest()
 	if math.Abs(pk.Cost()-costBefore) > 1e-12 {
 		t.Errorf("restore: cost %g, want %g", pk.Cost(), costBefore)
 	}
@@ -251,7 +251,7 @@ func TestPacketSingleTaskSingleProcHasNoMoves(t *testing.T) {
 	pk := newPacket([]taskgraph.TaskID{a}, []int{0}, func(taskgraph.TaskID) int { return -1 },
 		levels, topo, topology.DefaultCommParams(), g, 0.5, 0.5)
 	pk.initGreedy()
-	if _, _, ok := pk.Propose(rand.New(rand.NewSource(1))); ok {
+	if _, ok := pk.Propose(rand.New(rand.NewSource(1))); ok {
 		t.Error("move proposed on a 1x1 packet")
 	}
 }
@@ -268,14 +268,14 @@ func TestPacketSingleProcMovesSwapTasks(t *testing.T) {
 	pk.initGreedy() // a (level 5) on the slot
 	rng := rand.New(rand.NewSource(35))
 	for i := 0; i < 20; i++ {
-		_, undo, ok := pk.Propose(rng)
+		_, ok := pk.Propose(rng)
 		if !ok {
 			t.Fatal("no move")
 		}
 		if pk.taskAt[0] == -1 {
 			t.Fatal("slot emptied by a move")
 		}
-		undo()
+		pk.Undo()
 		if pk.taskAt[0] != 0 {
 			t.Fatal("undo lost incumbent")
 		}

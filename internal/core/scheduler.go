@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/anneal"
 	"repro/internal/machsim"
@@ -25,12 +26,14 @@ type Options struct {
 	// random one.
 	GreedyInit bool
 	// RecordTrace keeps the per-move cost trajectories (Fb, Fc, Ftot) of
-	// every packet, as plotted in the paper's Figure 1.
+	// every packet, as plotted in the paper's Figure 1. With restarts,
+	// the trace of the winning (lowest-cost) restart is kept.
 	RecordTrace bool
 	// Restarts anneals each packet this many times from independent
 	// initial mappings and keeps the lowest-cost one. 0 or 1 means a
-	// single run. Restarts multiply per-packet work but smooth out the
-	// occasional bad packet on rugged cost surfaces.
+	// single run. Restarts run concurrently on cloned packets with
+	// deterministic per-restart seeds, so they cost wall-clock time only
+	// on a loaded machine — and equal seeds still give equal schedules.
 	Restarts int
 }
 
@@ -73,18 +76,21 @@ type PacketReport struct {
 	Candidates  int     // ready tasks competing
 	Idle        int     // free processors
 	Assigned    int
-	Moves       int
-	Accepted    int
-	Stages      int
+	Moves       int // proposed moves, summed over restarts
+	Accepted    int // accepted moves, summed over restarts
+	Stages      int // temperature stages, summed over restarts
 	InitialCost float64
 	FinalCost   float64
 	PlateauStop bool
-	Trace       []TracePoint // nil unless Options.RecordTrace
+	// Restart is the index of the winning restart (0 for single runs).
+	Restart int
+	Trace   []TracePoint // winning restart's trace; nil unless Options.RecordTrace
 }
 
 // Scheduler is the paper's staged simulated-annealing scheduler. It
-// implements machsim.Policy. A Scheduler carries per-run state (its RNG
-// and packet reports); use a fresh Scheduler per simulation.
+// implements machsim.Policy. A Scheduler carries per-run state (its RNG,
+// packet reports and reusable packet buffers); use a fresh Scheduler per
+// simulation.
 type Scheduler struct {
 	g      *taskgraph.Graph
 	topo   *topology.Topology
@@ -93,7 +99,22 @@ type Scheduler struct {
 	opt    Options
 	rng    *rand.Rand
 
+	// pk is the arena-backed packet reused across epochs; runs holds the
+	// per-restart clones (grown on demand, reused across epochs).
+	pk   packet
+	runs []restartRun
+
 	packets []PacketReport
+}
+
+// restartRun is the per-restart workspace of one concurrent annealing run.
+type restartRun struct {
+	pk    packet
+	rng   *rand.Rand
+	seed  int64
+	res   anneal.Result
+	err   error
+	trace []TracePoint
 }
 
 // NewScheduler builds an SA scheduling policy for one (graph, machine)
@@ -126,12 +147,14 @@ func (s *Scheduler) Name() string { return "SA" }
 func (s *Scheduler) Packets() []PacketReport { return s.packets }
 
 // Assign implements machsim.Policy: form the annealing packet, anneal the
-// mapping, return the selected placements.
+// mapping (possibly several concurrent restarts), return the selected
+// placements.
 func (s *Scheduler) Assign(ep *machsim.Epoch) []machsim.Assignment {
 	if len(ep.Ready) == 0 || len(ep.Idle) == 0 {
 		return nil
 	}
-	pk := newPacket(ep.Ready, ep.Idle, ep.Sim.ProcOf, s.levels, s.topo, s.comm, s.g, s.opt.Wb, s.opt.Wc)
+	pk := &s.pk
+	pk.reset(ep.Ready, ep.Idle, ep.Sim.ProcOf, s.levels, s.topo, s.comm, s.g, s.opt.Wb, s.opt.Wc)
 	if s.opt.GreedyInit {
 		pk.initGreedy()
 	} else {
@@ -139,13 +162,32 @@ func (s *Scheduler) Assign(ep *machsim.Epoch) []machsim.Assignment {
 	}
 
 	aopt := s.fillAnnealDefaults(len(pk.tasks), len(pk.procs))
-	aopt.RNG = s.rng
 	report := PacketReport{
 		Time:        ep.Time,
 		Candidates:  len(pk.tasks),
 		Idle:        len(pk.procs),
 		InitialCost: pk.Cost(),
+		// Fallback: if every annealing run fails (configuration-only error
+		// path) the current mapping is kept and its cost reported.
+		FinalCost: pk.Cost(),
 	}
+
+	if s.opt.Restarts <= 1 {
+		s.annealSingle(pk, aopt, &report)
+	} else {
+		s.annealRestarts(pk, aopt, &report)
+	}
+
+	out := pk.assignments()
+	report.Assigned = len(out)
+	s.packets = append(s.packets, report)
+	return out
+}
+
+// annealSingle runs one annealing pass in place, on the scheduler's own
+// RNG stream — the allocation-free fast path.
+func (s *Scheduler) annealSingle(pk *packet, aopt anneal.Options, report *PacketReport) {
+	aopt.RNG = s.rng
 	if s.opt.RecordTrace {
 		aopt.OnMove = func(mi anneal.MoveInfo) {
 			report.Trace = append(report.Trace, TracePoint{
@@ -157,51 +199,99 @@ func (s *Scheduler) Assign(ep *machsim.Epoch) []machsim.Assignment {
 			})
 		}
 	}
-
-	restarts := s.opt.Restarts
-	if restarts < 1 {
-		restarts = 1
+	res, err := anneal.Minimize(pk, aopt)
+	if err != nil {
+		return // keep the current mapping so scheduling still completes
 	}
-	var bestSnap any
-	bestCost := 0.0
+	report.Moves = res.Moves
+	report.Accepted = res.Accepted
+	report.Stages = res.Stages
+	report.PlateauStop = res.PlateauStop
+	report.FinalCost = res.FinalCost
+}
+
+// annealRestarts anneals the packet Restarts times concurrently, each
+// restart on its own clone with its own deterministically-seeded RNG, and
+// adopts the lowest-cost mapping (ties broken by restart index, so equal
+// seeds give equal schedules regardless of goroutine interleaving).
+func (s *Scheduler) annealRestarts(pk *packet, aopt anneal.Options, report *PacketReport) {
+	restarts := s.opt.Restarts
+	if len(s.runs) < restarts {
+		s.runs = append(s.runs, make([]restartRun, restarts-len(s.runs))...)
+	}
+	// Draw the per-restart seeds up front from the scheduler RNG so the
+	// seed derivation is independent of execution order.
 	for r := 0; r < restarts; r++ {
-		if r > 0 {
-			// Fresh independent initial mapping for the retry.
-			for i := range pk.procOf {
-				if pk.procOf[i] >= 0 {
-					pk.remove(i)
+		s.runs[r].seed = s.rng.Int63()
+	}
+
+	var wg sync.WaitGroup
+	for r := 0; r < restarts; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			run := &s.runs[r]
+			if run.rng == nil {
+				run.rng = rand.New(rand.NewSource(run.seed))
+			} else {
+				run.rng.Seed(run.seed)
+			}
+			run.pk.cloneFrom(pk)
+			if r > 0 {
+				// Fresh independent initial mapping for the retry; restart 0
+				// keeps the packet's original init.
+				run.pk.clearMapping()
+				if s.opt.GreedyInit {
+					run.pk.initGreedy()
+				} else {
+					run.pk.initRandom(run.rng)
 				}
 			}
-			if s.opt.GreedyInit {
-				pk.initGreedy()
-			} else {
-				pk.initRandom(s.rng)
+			ropt := aopt
+			ropt.RNG = run.rng
+			run.trace = run.trace[:0]
+			if s.opt.RecordTrace {
+				rpk := &run.pk
+				trace := &run.trace
+				ropt.OnMove = func(mi anneal.MoveInfo) {
+					*trace = append(*trace, TracePoint{
+						Iter: mi.Move,
+						Temp: mi.Temp,
+						Fb:   rpk.Fb(),
+						Fc:   rpk.Fc(),
+						Ftot: rpk.Cost(),
+					})
+				}
 			}
-		}
-		res, err := anneal.Minimize(pk, aopt)
-		if err != nil {
-			// Configuration-only error path: keep the current mapping so
-			// scheduling still completes.
-			break
-		}
-		report.Moves += res.Moves
-		report.Accepted += res.Accepted
-		report.Stages += res.Stages
-		report.PlateauStop = res.PlateauStop
-		if bestSnap == nil || res.FinalCost < bestCost {
-			bestSnap = pk.Snapshot()
-			bestCost = res.FinalCost
-		}
+			run.res, run.err = anneal.Minimize(&run.pk, ropt)
+		}(r)
 	}
-	if bestSnap != nil {
-		pk.Restore(bestSnap)
-		report.FinalCost = bestCost
-	}
+	wg.Wait()
 
-	out := pk.assignments()
-	report.Assigned = len(out)
-	s.packets = append(s.packets, report)
-	return out
+	best := -1
+	for r := 0; r < restarts; r++ {
+		run := &s.runs[r]
+		if run.err != nil {
+			continue
+		}
+		report.Moves += run.res.Moves
+		report.Accepted += run.res.Accepted
+		report.Stages += run.res.Stages
+		if best < 0 || run.res.FinalCost < s.runs[best].res.FinalCost {
+			best = r
+		}
+	}
+	if best < 0 {
+		return // every restart failed: keep the current mapping
+	}
+	win := &s.runs[best]
+	pk.adoptMapping(&win.pk)
+	report.FinalCost = win.res.FinalCost
+	report.PlateauStop = win.res.PlateauStop
+	report.Restart = best
+	if s.opt.RecordTrace {
+		report.Trace = append(report.Trace[:0], win.trace...)
+	}
 }
 
 // fillAnnealDefaults completes the annealing options with packet-scaled

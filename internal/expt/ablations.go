@@ -24,7 +24,8 @@ type WeightPoint struct {
 }
 
 // AblationWeights sweeps wb from lo to hi in the given number of steps
-// for one program on one architecture (communication enabled).
+// for one program on one architecture (communication enabled). The steps
+// are independent simulations and run on the worker pool.
 func AblationWeights(progKey string, arch Arch, seed int64, lo, hi float64, steps int) ([]WeightPoint, error) {
 	if steps < 2 {
 		return nil, fmt.Errorf("expt: weight sweep needs >= 2 steps")
@@ -33,20 +34,23 @@ func AblationWeights(progKey string, arch Arch, seed int64, lo, hi float64, step
 	if err != nil {
 		return nil, err
 	}
-	g := prog.Build()
 	comm := topology.DefaultCommParams()
-	var out []WeightPoint
-	for k := 0; k < steps; k++ {
+	out := make([]WeightPoint, steps)
+	err = parallelFor(defaultWorkers(0), steps, func(k int) error {
 		wb := lo + (hi-lo)*float64(k)/float64(steps-1)
 		opt := core.DefaultOptions()
 		opt.Wb = wb
 		opt.Wc = 1 - wb
 		opt.Seed = seed
-		res, _, err := RunSA(g, arch.Topo, comm, opt, machsim.Options{})
+		res, _, err := RunSA(prog.Build(), arch.Topo, comm, opt, machsim.Options{})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, WeightPoint{Wb: wb, Wc: 1 - wb, Speedup: res.Speedup})
+		out[k] = WeightPoint{Wb: wb, Wc: 1 - wb, Speedup: res.Speedup}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -71,13 +75,12 @@ type CoolingPoint struct {
 
 // AblationCooling runs one program/architecture under different cooling
 // schedules (§2: "the cooling policy influences the convergence speed and
-// the quality of the obtained solution").
+// the quality of the obtained solution"). The schedules run concurrently.
 func AblationCooling(progKey string, arch Arch, seed int64) ([]CoolingPoint, error) {
 	prog, err := programs.ByKey(progKey)
 	if err != nil {
 		return nil, err
 	}
-	g := prog.Build()
 	comm := topology.DefaultCommParams()
 	schedules := []anneal.Cooling{
 		anneal.Geometric{T0: 1, Alpha: 0.9, NumStages: 60},
@@ -85,20 +88,25 @@ func AblationCooling(progKey string, arch Arch, seed int64) ([]CoolingPoint, err
 		anneal.Logarithmic{C: 0.5, NumStages: 60},
 		anneal.Constant{T: 0, NumStages: 60}, // greedy descent baseline
 	}
-	var out []CoolingPoint
-	for _, cs := range schedules {
+	out := make([]CoolingPoint, len(schedules))
+	err = parallelFor(defaultWorkers(0), len(schedules), func(k int) error {
+		cs := schedules[k]
 		opt := core.DefaultOptions()
 		opt.Seed = seed
 		opt.Anneal.Cooling = cs
-		res, sched, err := RunSA(g, arch.Topo, comm, opt, machsim.Options{})
+		res, sched, err := RunSA(prog.Build(), arch.Topo, comm, opt, machsim.Options{})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		moves := 0
 		for _, p := range sched.Packets() {
 			moves += p.Moves
 		}
-		out = append(out, CoolingPoint{Schedule: cs.Name(), Speedup: res.Speedup, Moves: moves})
+		out[k] = CoolingPoint{Schedule: cs.Name(), Speedup: res.Speedup, Moves: moves}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -128,8 +136,19 @@ type RandomStudyResult struct {
 }
 
 // AblationRandomGraphs generates numGraphs random layered DAGs and
-// compares SA and HLF speedups on the given architecture.
+// compares SA and HLF speedups on the given architecture. The graphs and
+// per-graph SA seeds are drawn sequentially from the study RNG (so the
+// population is a pure function of seed), then the independent
+// simulations fan out across the worker pool and are aggregated in
+// generation order — the same seed gives identical results at any worker
+// count.
 func AblationRandomGraphs(arch Arch, numGraphs int, withComm bool, seed int64) (*RandomStudyResult, error) {
+	return ablationRandomGraphs(arch, numGraphs, withComm, seed, 0)
+}
+
+// ablationRandomGraphs is AblationRandomGraphs with explicit worker
+// control, so tests can assert worker-count invariance directly.
+func ablationRandomGraphs(arch Arch, numGraphs int, withComm bool, seed int64, workers int) (*RandomStudyResult, error) {
 	if numGraphs < 1 {
 		return nil, fmt.Errorf("expt: need >= 1 graphs")
 	}
@@ -138,9 +157,12 @@ func AblationRandomGraphs(arch Arch, numGraphs int, withComm bool, seed int64) (
 	if !withComm {
 		comm = comm.NoComm()
 	}
-	var gains []float64
-	res := &RandomStudyResult{Graphs: numGraphs, WithComm: withComm}
-	for k := 0; k < numGraphs; k++ {
+	type cell struct {
+		g      *taskgraph.Graph
+		saSeed int64
+	}
+	cells := make([]cell, numGraphs)
+	for k := range cells {
 		cfg := taskgraph.LayeredConfig{
 			Layers:   3 + rng.Intn(6),
 			MinWidth: 2,
@@ -155,27 +177,40 @@ func AblationRandomGraphs(arch Arch, numGraphs int, withComm bool, seed int64) (
 		if err != nil {
 			return nil, err
 		}
-		hlf, err := list.NewHLF(g)
+		cells[k] = cell{g: g, saSeed: rng.Int63()}
+	}
+
+	gains := make([]float64, numGraphs)
+	err := parallelFor(defaultWorkers(workers), numGraphs, func(k int) error {
+		c := cells[k]
+		hlf, err := list.NewHLF(c.g)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		model := machsim.Model{Graph: g, Topo: arch.Topo, Comm: comm}
+		model := machsim.Model{Graph: c.g, Topo: arch.Topo, Comm: comm}
 		hlfRes, err := machsim.Run(model, hlf, machsim.Options{})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		opt := core.DefaultOptions()
-		opt.Seed = rng.Int63()
-		sched, err := core.NewScheduler(g, arch.Topo, comm, opt)
+		opt.Seed = c.saSeed
+		sched, err := core.NewScheduler(c.g, arch.Topo, comm, opt)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		saRes, err := machsim.Run(model, sched, machsim.Options{})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		gain := Gain(saRes.Speedup, hlfRes.Speedup)
-		gains = append(gains, gain)
+		gains[k] = Gain(saRes.Speedup, hlfRes.Speedup)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &RandomStudyResult{Graphs: numGraphs, WithComm: withComm}
+	for _, gain := range gains {
 		switch {
 		case gain > 0.01:
 			res.SAWins++

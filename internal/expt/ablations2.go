@@ -31,57 +31,63 @@ type StaticRow struct {
 
 // AblationStatic runs the four benchmark programs on the hypercube with
 // communication, under a static balancing-problem mapping, HLF and the
-// staged SA scheduler.
+// staged SA scheduler. The programs run concurrently.
 func AblationStatic(seed int64) ([]StaticRow, error) {
 	topo, err := topology.Hypercube(3)
 	if err != nil {
 		return nil, err
 	}
 	comm := topology.DefaultCommParams()
-	var rows []StaticRow
-	for _, prog := range programs.Catalog() {
+	catalog := programs.Catalog()
+	rows := make([]StaticRow, len(catalog))
+	err = parallelFor(defaultWorkers(0), len(catalog), func(k int) error {
+		prog := catalog[k]
 		g := prog.Build()
 		model := machsim.Model{Graph: g, Topo: topo, Comm: comm}
 
 		mapping, err := assign.SolveBalancing(g, topo, assign.BalancingOptions{Seed: seed})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		staticPol, err := assign.NewStaticPolicy(g, mapping.ProcOf)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		staticRes, err := machsim.Run(model, staticPol, machsim.Options{})
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		hlf, err := list.NewHLF(g)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		hlfRes, err := machsim.Run(model, hlf, machsim.Options{})
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		opt := core.DefaultOptions()
 		opt.Seed = seed
 		sched, err := core.NewScheduler(g, topo, comm, opt)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		saRes, err := machsim.Run(model, sched, machsim.Options{})
 		if err != nil {
-			return nil, err
+			return err
 		}
 
-		rows = append(rows, StaticRow{
+		rows[k] = StaticRow{
 			Program: prog.Key,
 			Static:  staticRes.Speedup,
 			HLF:     hlfRes.Speedup,
 			SA:      saRes.Speedup,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -114,7 +120,10 @@ type OptimalStudy struct {
 
 // AblationOptimal generates small random DAGs, solves them exactly, and
 // measures how close HLF and SA come to the optimum (communication
-// disabled, as in the cited study).
+// disabled, as in the cited study). The instances are generated
+// sequentially from the study seed, then solved concurrently and
+// aggregated in generation order, so the same seed gives identical
+// results at any worker count.
 func AblationOptimal(numGraphs, procs int, seed int64) (*OptimalStudy, error) {
 	if numGraphs < 1 || procs < 1 {
 		return nil, fmt.Errorf("expt: bad optimal-study parameters")
@@ -125,44 +134,61 @@ func AblationOptimal(numGraphs, procs int, seed int64) (*OptimalStudy, error) {
 	}
 	comm := topology.DefaultCommParams().NoComm()
 	rng := rand.New(rand.NewSource(seed))
-	study := &OptimalStudy{Graphs: numGraphs}
-	var hlfRatios, saRatios []float64
-	for k := 0; k < numGraphs; k++ {
+	type cell struct {
+		g      *taskgraph.Graph
+		saSeed int64
+	}
+	cells := make([]cell, numGraphs)
+	for k := range cells {
 		n := 6 + rng.Intn(4) // 6..9 tasks keep the exact solver fast
 		g, err := taskgraph.GnpDAG(fmt.Sprintf("opt%d", k), n, 0.15+0.25*rng.Float64(), 1, 20, 0, 0, rng)
 		if err != nil {
 			return nil, err
 		}
-		exact, err := optimal.Makespan(g, procs, optimal.Options{})
-		if err != nil {
-			return nil, err
-		}
-		model := machsim.Model{Graph: g, Topo: topo, Comm: comm}
+		cells[k] = cell{g: g, saSeed: rng.Int63()}
+	}
 
-		hlf, err := list.NewHLF(g)
+	hlfRatios := make([]float64, numGraphs)
+	saRatios := make([]float64, numGraphs)
+	err = parallelFor(defaultWorkers(0), numGraphs, func(k int) error {
+		c := cells[k]
+		exact, err := optimal.Makespan(c.g, procs, optimal.Options{})
 		if err != nil {
-			return nil, err
+			return err
+		}
+		model := machsim.Model{Graph: c.g, Topo: topo, Comm: comm}
+
+		hlf, err := list.NewHLF(c.g)
+		if err != nil {
+			return err
 		}
 		hlfRes, err := machsim.Run(model, hlf, machsim.Options{})
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		opt := core.DefaultOptions()
-		opt.Seed = rng.Int63()
-		sched, err := core.NewScheduler(g, topo, comm, opt)
+		opt.Seed = c.saSeed
+		sched, err := core.NewScheduler(c.g, topo, comm, opt)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		saRes, err := machsim.Run(model, sched, machsim.Options{})
 		if err != nil {
-			return nil, err
+			return err
 		}
 
-		hr := hlfRes.Makespan / exact.Makespan
-		sr := saRes.Makespan / exact.Makespan
-		hlfRatios = append(hlfRatios, hr)
-		saRatios = append(saRatios, sr)
+		hlfRatios[k] = hlfRes.Makespan / exact.Makespan
+		saRatios[k] = saRes.Makespan / exact.Makespan
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	study := &OptimalStudy{Graphs: numGraphs}
+	for k := 0; k < numGraphs; k++ {
+		hr, sr := hlfRatios[k], saRatios[k]
 		if hr <= 1.05+1e-9 {
 			study.HLFWithin5Pct++
 		}

@@ -1,5 +1,5 @@
 // Package expt regenerates every table and figure of the paper's
-// evaluation section (§6), plus the ablations called out in DESIGN.md:
+// evaluation section (§6), plus a set of ablation studies:
 //
 //	Table 1   benchmark program characteristics
 //	Table 2   SA vs HLF speedups on three architectures, with/without comm

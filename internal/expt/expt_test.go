@@ -294,4 +294,8 @@ func TestTable2ParallelMatchesSequential(t *testing.T) {
 			t.Fatalf("row %d differs:\nseq: %+v\npar: %+v", i, seq[i], par[i])
 		}
 	}
+	// The acceptance bar is byte-identical tables, not just equal cells.
+	if a, b := FormatTable2(seq), FormatTable2(par); a != b {
+		t.Errorf("formatted tables differ between worker counts:\n%s\n%s", a, b)
+	}
 }

@@ -27,15 +27,17 @@ type PolicyRow struct {
 
 // PolicyComparison runs the whole policy zoo over the four benchmark
 // programs — the "how much does each level of sophistication buy"
-// experiment (Ablation F).
+// experiment (Ablation F). The programs run concurrently.
 func PolicyComparison(seed int64) ([]PolicyRow, error) {
 	topo, err := topology.Hypercube(3)
 	if err != nil {
 		return nil, err
 	}
 	comm := topology.DefaultCommParams()
-	var rows []PolicyRow
-	for _, prog := range programs.Catalog() {
+	catalog := programs.Catalog()
+	rows := make([]PolicyRow, len(catalog))
+	err = parallelFor(defaultWorkers(0), len(catalog), func(k int) error {
+		prog := catalog[k]
 		g := prog.Build()
 		model := machsim.Model{Graph: g, Topo: topo, Comm: comm}
 		row := PolicyRow{Program: prog.Key}
@@ -48,47 +50,52 @@ func PolicyComparison(seed int64) ([]PolicyRow, error) {
 			return res.Speedup, nil
 		}
 
+		var err error
 		if row.Random, err = run(list.NewRandom(seed)); err != nil {
-			return nil, err
+			return err
 		}
 		if row.FIFO, err = run(list.NewFIFO()); err != nil {
-			return nil, err
+			return err
 		}
 		if row.LPT, err = run(list.NewLPT(g)); err != nil {
-			return nil, err
+			return err
 		}
 		misf, err := list.NewMISF(g)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if row.MISF, err = run(misf); err != nil {
-			return nil, err
+			return err
 		}
 		hlf, err := list.NewHLF(g)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if row.HLF, err = run(hlf); err != nil {
-			return nil, err
+			return err
 		}
 		etf, err := list.NewETF(g, topo, comm)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if row.ETF, err = run(etf); err != nil {
-			return nil, err
+			return err
 		}
 		opt := core.DefaultOptions()
 		opt.Seed = seed
 		opt.Restarts = 2
 		sched, err := core.NewScheduler(g, topo, comm, opt)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if row.SA, err = run(sched); err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, row)
+		rows[k] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -1,0 +1,73 @@
+package expt
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The experiment harness fans independent cells (a Table 2 configuration,
+// a scaling point, one ablation sample) across a bounded worker pool.
+// Determinism is preserved by construction:
+//
+//   - every cell derives its seeds before the fan-out, never from a shared
+//     RNG inside a worker;
+//   - every cell writes its result into its own index of a pre-sized
+//     slice, so aggregation order is independent of completion order;
+//   - the reported error is the lowest-indexed one, not the first to
+//     happen.
+//
+// The same seed therefore yields byte-identical tables at any worker
+// count, including 1.
+
+// defaultWorkers resolves a Workers knob: values > 0 are used as given,
+// anything else means one worker per available CPU.
+func defaultWorkers(w int) int {
+	if w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelFor runs fn(i) for every i in [0, n) on at most workers
+// goroutines and returns the error of the lowest index that failed. With
+// workers <= 1 (or n < 2) it degenerates to a plain loop.
+func parallelFor(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -3,7 +3,6 @@ package expt
 import (
 	"fmt"
 	"strings"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/list"
@@ -47,8 +46,9 @@ type Table2Config struct {
 	// Programs restricts the study to the given keys; empty means all.
 	Programs []string
 	// Workers runs the independent (program, architecture, communication)
-	// cells concurrently on this many goroutines; 0 or 1 means sequential.
-	// Results are deterministic either way: every cell derives its seeds
+	// cells concurrently on this many goroutines; <= 0 means one per
+	// available CPU, 1 forces sequential execution. Results are
+	// deterministic at any worker count: every cell derives its seeds
 	// from Seed alone.
 	Workers int
 }
@@ -142,49 +142,25 @@ func Table2(cfg Table2Config) ([]Table2Row, error) {
 		}
 	}
 
-	workers := cfg.Workers
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	next := make(chan job)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range next {
-				comm := topology.DefaultCommParams()
-				if !j.withComm {
-					comm = comm.NoComm()
-				}
-				cell, err := table2Cell(cfg, j.g, j.arch, comm)
-				mu.Lock()
-				if err != nil && firstErr == nil {
-					firstErr = fmt.Errorf("expt: row %d: %w", j.rowIdx, err)
-				}
-				if j.withComm {
-					rows[j.rowIdx].Comm = cell
-				} else {
-					rows[j.rowIdx].NoComm = cell
-				}
-				mu.Unlock()
-			}
-		}()
-	}
-	for _, j := range jobs {
-		next <- j
-	}
-	close(next)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	if err := parallelFor(defaultWorkers(cfg.Workers), len(jobs), func(i int) error {
+		j := jobs[i]
+		comm := topology.DefaultCommParams()
+		if !j.withComm {
+			comm = comm.NoComm()
+		}
+		cell, err := table2Cell(cfg, j.g, j.arch, comm)
+		if err != nil {
+			return fmt.Errorf("expt: row %d: %w", j.rowIdx, err)
+		}
+		// Each job owns its (row, column) slot, so no locking is needed.
+		if j.withComm {
+			rows[j.rowIdx].Comm = cell
+		} else {
+			rows[j.rowIdx].NoComm = cell
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -73,7 +73,9 @@ type Epoch struct {
 type Policy interface {
 	// Name identifies the policy in reports ("SA", "HLF", ...).
 	Name() string
-	// Assign returns the epoch's assignments.
+	// Assign returns the epoch's assignments. The returned slice is only
+	// valid until the next Assign call: policies may reuse its backing
+	// array, so callers must copy it to retain it across epochs.
 	Assign(ep *Epoch) []Assignment
 }
 

@@ -11,8 +11,8 @@
 // durations and edge volumes so the Table 1 characteristics (task count,
 // average duration, average communication time at 10 Mb/s, C/C ratio,
 // maximum speedup) match the paper. Task counts are exact; the continuous
-// characteristics land within a few percent (see EXPERIMENTS.md for the
-// per-program deltas).
+// characteristics land within a few percent (expt.Table1 prints the
+// measured and published values side by side).
 package programs
 
 import (

@@ -75,8 +75,8 @@ func TestCalibratedDurationsMatchTable1(t *testing.T) {
 func TestMaxSpeedupNearPaper(t *testing.T) {
 	// The maximum speedup follows from the generated structure; the
 	// generators are designed to land near the published values. FFT's
-	// two-layer decomposition caps it lower than the paper's 40.85 (see
-	// EXPERIMENTS.md), so it gets a wider tolerance.
+	// two-layer decomposition caps it lower than the paper's 40.85, so it
+	// gets a wider tolerance.
 	tolerance := map[string]float64{"NE": 0.10, "GJ": 0.05, "MM": 0.05, "FFT": 0.25}
 	for _, p := range Catalog() {
 		g := p.Build()

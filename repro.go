@@ -12,9 +12,10 @@
 //     list policy (ScheduleHLF, SchedulePolicy);
 //   - inspect the result (speedup, Gantt chart, packet reports).
 //
-// The full implementation lives in the internal packages; see DESIGN.md
-// for the system inventory and EXPERIMENTS.md for the paper-vs-measured
-// record.
+// The full implementation lives in the internal packages; see
+// PERFORMANCE.md for the engine's hot-path design (the zero-allocation
+// annealing contract, buffer reuse, and the parallel restart/experiment
+// harness) and its benchmark methodology.
 package repro
 
 import (

@@ -1,0 +1,90 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON document on stdout, so CI can archive benchmark
+// results (BENCH_results.json) and track the performance trajectory
+// across commits.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 1x -benchmem ./... | go run ./tools/benchjson > BENCH_results.json
+//
+// Standard metrics (ns/op, B/op, allocs/op) and custom b.ReportMetric
+// units are both captured.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result holds the parsed metrics of one benchmark line.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// parseLine parses one `BenchmarkX-N  iters  123 ns/op  ...` line; ok is
+// false for non-benchmark lines.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: fields[0], Iterations: iters}
+	// The remainder alternates "value unit".
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		unit := fields[i+1]
+		switch unit {
+		case "ns/op":
+			res.NsPerOp = val
+		case "B/op":
+			v := val
+			res.BytesPerOp = &v
+		case "allocs/op":
+			v := val
+			res.AllocsPerOp = &v
+		default:
+			if res.Metrics == nil {
+				res.Metrics = make(map[string]float64)
+			}
+			res.Metrics[unit] = val
+		}
+	}
+	return res, true
+}
+
+func main() {
+	results := []Result{} // encode as [] rather than null when empty
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		if res, ok := parseLine(sc.Text()); ok {
+			results = append(results, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(map[string]any{"benchmarks": results}); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,47 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	res, ok := parseLine("BenchmarkScheduleSA_NE_Hypercube-8   \t 3\t 2352986 ns/op\t   98781 B/op\t    1142 allocs/op")
+	if !ok {
+		t.Fatal("benchmark line rejected")
+	}
+	if res.Name != "BenchmarkScheduleSA_NE_Hypercube-8" || res.Iterations != 3 {
+		t.Errorf("header parsed as %+v", res)
+	}
+	if res.NsPerOp != 2352986 {
+		t.Errorf("ns/op = %g", res.NsPerOp)
+	}
+	if res.BytesPerOp == nil || *res.BytesPerOp != 98781 {
+		t.Errorf("B/op = %v", res.BytesPerOp)
+	}
+	if res.AllocsPerOp == nil || *res.AllocsPerOp != 1142 {
+		t.Errorf("allocs/op = %v", res.AllocsPerOp)
+	}
+}
+
+func TestParseLineCustomMetrics(t *testing.T) {
+	res, ok := parseLine("BenchmarkTable2NewtonEuler \t 1 \t 19211637 ns/op \t 10.74 gain%-bus8 \t 37.86 gain%-hc8")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if res.Metrics["gain%-bus8"] != 10.74 || res.Metrics["gain%-hc8"] != 37.86 {
+		t.Errorf("custom metrics = %v", res.Metrics)
+	}
+}
+
+func TestParseLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"pkg: repro",
+		"ok  \trepro\t0.4s",
+		"--- BENCH: BenchmarkTable2NewtonEuler",
+		"BenchmarkBroken notanumber 12 ns/op",
+		"",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("accepted noise line %q", line)
+		}
+	}
+}
