@@ -11,18 +11,27 @@
 //	                         mapping, exact-optimum and policy-zoo studies
 //	dtexp -scaling           speedup-vs-processors curves
 //	dtexp -all               everything above
+//	dtexp -loadgen           drive a dtserve instance with synthetic
+//	                         scheduling traffic and report throughput
 //
-// All experiments are deterministic for a given -seed.
+// All experiments are deterministic for a given -seed. The loadgen mode
+// targets -addr when given, or starts an in-process dtserve-equivalent
+// server on a loopback port otherwise.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
+	"strings"
+	"time"
 
 	"repro/internal/expt"
+	"repro/internal/service"
 )
 
 func main() {
@@ -42,11 +51,24 @@ func main() {
 		all       = flag.Bool("all", false, "run every experiment")
 		seed      = flag.Int64("seed", 1991, "random seed")
 		restarts  = flag.Int("restarts", 0, "SA restarts per Table 2 cell (0 = default of 3)")
+
+		loadgen     = flag.Bool("loadgen", false, "generate scheduling-service traffic and report throughput")
+		addr        = flag.String("addr", "", "dtserve base URL for -loadgen (empty = start an in-process server)")
+		requests    = flag.Int("requests", 200, "loadgen request count")
+		concurrency = flag.Int("concurrency", 8, "loadgen in-flight clients")
+		distinct    = flag.Int("distinct", 8, "loadgen distinct payloads (controls the cache hit ratio)")
+		lgSolver    = flag.String("lg-solver", "", "loadgen solver name (empty = server default)")
 	)
 	flag.Parse()
 
 	if *all {
 		*table1, *table2, *fig1, *fig2, *packets, *anomaly, *ablations, *scaling = true, true, true, true, true, true, true, true
+	}
+	if *loadgen {
+		if err := runLoadgen(*addr, *requests, *concurrency, *distinct, *lgSolver); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 	if !(*table1 || *table2 || *fig1 || *fig1CSV || *fig2 || *packets || *anomaly || *ablations || *scaling) {
 		flag.Usage()
@@ -154,4 +176,47 @@ func main() {
 			fmt.Println(expt.FormatScaling(key, pts))
 		}
 	}
+}
+
+// runLoadgen drives a scheduling service with synthetic traffic. With an
+// empty addr it starts an in-process server on a loopback port — the
+// zero-setup way to measure service throughput and cache behaviour.
+func runLoadgen(addr string, requests, concurrency, distinct int, solverName string) error {
+	var svc *service.Server
+	if addr == "" {
+		var err error
+		svc, err = service.New(service.Config{CacheSize: 4096})
+		if err != nil {
+			return err
+		}
+		defer svc.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		httpSrv := &http.Server{Handler: svc.Handler(), ReadHeaderTimeout: 10 * time.Second}
+		go httpSrv.Serve(ln)
+		defer httpSrv.Close()
+		addr = "http://" + ln.Addr().String()
+		fmt.Printf("loadgen: in-process server on %s (%d workers, 4096 cache entries)\n",
+			addr, runtime.GOMAXPROCS(0))
+	}
+
+	report, err := service.LoadGen(service.LoadGenConfig{
+		URL:         strings.TrimSuffix(addr, "/"),
+		Requests:    requests,
+		Concurrency: concurrency,
+		Distinct:    distinct,
+		Solver:      solverName,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(report)
+	if svc != nil {
+		st := svc.Stats()
+		fmt.Printf("  server: %d solves for %d requests (cache: %d hits, %d misses, %d entries)\n",
+			st.Solves, st.Requests, st.Cache.Hits, st.Cache.Misses, st.Cache.Entries)
+	}
+	return nil
 }

@@ -3,12 +3,19 @@
 //
 //	dtsched -program NE -topo hypercube:3 -policy sa -gantt
 //	dtsched -graph app.json -topo ring:9 -policy hlf -nocomm
+//	dtsched -program FFT -policy portfolio -json
 //
 // The taskgraph comes either from a benchmark generator (-program) or
 // from a JSON file written by dtgen or taskgraph.WriteJSON (-graph).
+// Policies resolve through the same solver registry the dtserve service
+// uses, so "portfolio", "optimal" and "auto" work here too, and -json
+// emits the service's wire Result schema — CLI and server outputs are
+// directly diffable.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -19,6 +26,8 @@ import (
 	"repro/internal/gantt"
 	"repro/internal/machsim"
 	"repro/internal/schedule"
+	"repro/internal/service"
+	"repro/internal/solver"
 	"repro/internal/taskgraph"
 	"repro/internal/topology"
 )
@@ -31,10 +40,13 @@ func main() {
 		programKey = flag.String("program", "", "benchmark program: NE, GJ, FFT, MM or graham")
 		graphFile  = flag.String("graph", "", "taskgraph JSON file")
 		topoSpec   = flag.String("topo", "hypercube:3", "machine topology (kind:arg)")
-		policyName = flag.String("policy", "sa", "scheduling policy: sa, hlf, hlfcomm, etf, lpt, misf, fifo, random")
+		policyName = flag.String("policy", "sa", "solver: sa, hlf, hlfcomm, etf, lpt, misf, fifo, random, optimal, auto or portfolio")
 		seed       = flag.Int64("seed", 1991, "random seed for stochastic policies")
+		restarts   = flag.Int("restarts", 0, "SA restarts per packet (0/1 = single run)")
 		noComm     = flag.Bool("nocomm", false, "disable communication costs")
 		wb         = flag.Float64("wb", 0.5, "SA balance weight (wc = 1 - wb)")
+		timeout    = flag.Duration("timeout", 0, "abort the solve after this long (0 = no limit)")
+		jsonOut    = flag.Bool("json", false, "emit the service wire Result JSON instead of text")
 		showGantt  = flag.Bool("gantt", false, "render a Gantt chart")
 		ganttWidth = flag.Int("gantt-width", 120, "Gantt chart width in columns")
 		showUtil   = flag.Bool("util", false, "report per-processor utilization")
@@ -60,12 +72,16 @@ func main() {
 	saOpt.Seed = *seed
 	saOpt.Wb = *wb
 	saOpt.Wc = 1 - *wb
-	policy, err := cliutil.ParsePolicy(*policyName, g, topo, comm, saOpt)
-	if err != nil {
-		log.Fatal(err)
+	saOpt.Restarts = *restarts
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
-	if *showStats {
+	if *showStats && !*jsonOut {
 		st, err := g.ComputeStats(comm.Bandwidth)
 		if err != nil {
 			log.Fatal(err)
@@ -74,21 +90,37 @@ func main() {
 			g.Name(), st.Tasks, st.Edges, st.AvgLoad, st.AvgComm, 100*st.CCRatio, st.MaxSpeedup)
 	}
 
-	res, err := machsim.Run(machsim.Model{Graph: g, Topo: topo, Comm: comm}, policy,
-		machsim.Options{RecordGantt: *showGantt})
+	res, err := solver.Solve(ctx, *policyName, solver.Request{
+		Graph: g, Topo: topo, Comm: comm, SA: saOpt,
+		Sim: machsim.Options{RecordGantt: *showGantt},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("%s on %s with %s:\n", g.Name(), topo.Name(), res.Policy)
-	fmt.Printf("  makespan   %10.2f µs\n", res.Makespan)
-	fmt.Printf("  T1         %10.2f µs\n", res.SequentialTime)
-	fmt.Printf("  speedup    %10.2f\n", res.Speedup)
-	fmt.Printf("  messages   %7d (%.2f µs transfer, %.2f µs σ/τ overhead)\n",
-		res.Messages, res.TransferTime, res.OverheadTime)
-	fmt.Printf("  epochs     %7d (avg %.2f candidates for %.2f idle processors)\n",
-		len(res.Epochs), res.AvgReady(), res.AvgIdle())
-	fmt.Printf("  utilization %9.1f%%\n", 100*res.Utilization())
+	if *jsonOut {
+		wire, err := service.ResultFromSim(res, g, topo.Name())
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Plain json.Marshal matches the server's body encoding exactly, so
+		// CLI and server outputs differ only by this trailing newline.
+		data, err := json.Marshal(wire)
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(append(data, '\n'))
+	} else {
+		fmt.Printf("%s on %s with %s:\n", g.Name(), topo.Name(), res.Policy)
+		fmt.Printf("  makespan   %10.2f µs\n", res.Makespan)
+		fmt.Printf("  T1         %10.2f µs\n", res.SequentialTime)
+		fmt.Printf("  speedup    %10.2f\n", res.Speedup)
+		fmt.Printf("  messages   %7d (%.2f µs transfer, %.2f µs σ/τ overhead)\n",
+			res.Messages, res.TransferTime, res.OverheadTime)
+		fmt.Printf("  epochs     %7d (avg %.2f candidates for %.2f idle processors)\n",
+			len(res.Epochs), res.AvgReady(), res.AvgIdle())
+		fmt.Printf("  utilization %9.1f%%\n", 100*res.Utilization())
+	}
 
 	if *exportPath != "" {
 		sched, err := schedule.FromResult(res)
@@ -109,16 +141,22 @@ func main() {
 		if err := f.Close(); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  schedule exported to %s (independently validated)\n", *exportPath)
+		if !*jsonOut {
+			fmt.Printf("  schedule exported to %s (independently validated)\n", *exportPath)
+		}
 	}
 
-	if *showUtil {
+	if *showUtil && !*jsonOut {
 		fmt.Println()
 		fmt.Print(gantt.Utilization(res))
 	}
-	if *showGantt {
-		fmt.Println()
-		fmt.Print(gantt.Render(res, topo.N(), gantt.Config{Width: *ganttWidth, ShowLegend: true}))
+	if *showGantt && !*jsonOut {
+		if res.Gantt == nil {
+			fmt.Println("\n(no Gantt trace: the winning solver computed an exact schedule without simulation)")
+		} else {
+			fmt.Println()
+			fmt.Print(gantt.Render(res, topo.N(), gantt.Config{Width: *ganttWidth, ShowLegend: true}))
+		}
 	}
 }
 

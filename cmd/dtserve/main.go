@@ -1,0 +1,84 @@
+// Command dtserve serves the taskgraph scheduling API over HTTP/JSON:
+//
+//	dtserve -addr :8080 -workers 8 -cache 4096 -solver portfolio
+//
+// Endpoints: POST /v1/schedule, POST /v1/schedule/batch, GET /v1/solvers,
+// GET /healthz, GET /statsz. Identical payloads produce byte-identical
+// responses; completed results are memoized in a content-addressed LRU
+// cache (cache status in the X-DTServe-Cache header). SIGINT/SIGTERM
+// drain in-flight requests before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dtserve: ")
+
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "concurrent solves (0 = one per CPU)")
+		cacheSize  = flag.Int("cache", 4096, "result cache capacity in entries (0 disables)")
+		cacheBytes = flag.Int64("cache-bytes", 0, "result cache byte budget (0 = 256 MiB)")
+		solverDef  = flag.String("solver", "sa", "default solver for requests that name none")
+		timeout    = flag.Duration("timeout", 0, "default per-request solve timeout (0 = none)")
+		maxBatch   = flag.Int("max-batch", 256, "maximum requests per batch call")
+		quiet      = flag.Bool("quiet", false, "disable per-request logging")
+	)
+	flag.Parse()
+
+	cfg := service.Config{
+		Workers:        *workers,
+		CacheSize:      *cacheSize,
+		CacheBytes:     *cacheBytes,
+		DefaultSolver:  *solverDef,
+		DefaultTimeout: *timeout,
+		MaxBatch:       *maxBatch,
+	}
+	if !*quiet {
+		cfg.Logger = log.New(os.Stderr, "dtserve: ", 0)
+	}
+	svc, err := service.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("listening on %s (default solver %s, %d cache entries)", *addr, *solverDef, *cacheSize)
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+}

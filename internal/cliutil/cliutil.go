@@ -7,9 +7,6 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/core"
-	"repro/internal/list"
-	"repro/internal/machsim"
 	"repro/internal/programs"
 	"repro/internal/taskgraph"
 	"repro/internal/topology"
@@ -95,32 +92,10 @@ func ParseTopology(spec string) (*topology.Topology, error) {
 	}
 }
 
-// ParsePolicy builds a scheduling policy by name. SA policies receive the
-// given options.
-func ParsePolicy(name string, g *taskgraph.Graph, topo *topology.Topology,
-	comm topology.CommParams, saOpt core.Options) (machsim.Policy, error) {
-
-	switch strings.ToLower(name) {
-	case "sa", "anneal", "annealing":
-		return core.NewScheduler(g, topo, comm, saOpt)
-	case "hlf":
-		return list.NewHLF(g)
-	case "hlfcomm", "hlf+comm":
-		return list.NewCommAwareHLF(g, topo, comm)
-	case "etf":
-		return list.NewETF(g, topo, comm)
-	case "lpt":
-		return list.NewLPT(g), nil
-	case "misf":
-		return list.NewMISF(g)
-	case "fifo":
-		return list.NewFIFO(), nil
-	case "random":
-		return list.NewRandom(saOpt.Seed), nil
-	default:
-		return nil, fmt.Errorf("unknown policy %q (want sa, hlf, hlfcomm, etf, lpt, misf, fifo or random)", name)
-	}
-}
+// Policy resolution lives in the solver registry (solver.NewPolicy /
+// solver.Get): the CLI tools, the experiment harness and the scheduling
+// service all share it, so this package only parses machines and
+// programs.
 
 // BuildProgram returns a benchmark or synthetic graph by key: one of the
 // paper programs (NE, GJ, FFT, MM), "graham", or "" for nothing.

@@ -2,9 +2,6 @@ package cliutil
 
 import (
 	"testing"
-
-	"repro/internal/core"
-	"repro/internal/topology"
 )
 
 func TestParseTopologyKinds(t *testing.T) {
@@ -43,31 +40,6 @@ func TestParseTopologyErrors(t *testing.T) {
 		if _, err := ParseTopology(spec); err == nil {
 			t.Errorf("ParseTopology(%q) accepted", spec)
 		}
-	}
-}
-
-func TestParsePolicy(t *testing.T) {
-	g, err := BuildProgram("graham")
-	if err != nil {
-		t.Fatal(err)
-	}
-	topo, err := ParseTopology("complete:3")
-	if err != nil {
-		t.Fatal(err)
-	}
-	comm := topology.DefaultCommParams()
-	for _, name := range []string{"sa", "SA", "hlf", "hlfcomm", "etf", "lpt", "misf", "fifo", "random"} {
-		p, err := ParsePolicy(name, g, topo, comm, core.DefaultOptions())
-		if err != nil {
-			t.Errorf("ParsePolicy(%q): %v", name, err)
-			continue
-		}
-		if p.Name() == "" {
-			t.Errorf("policy %q has no name", name)
-		}
-	}
-	if _, err := ParsePolicy("magic", g, topo, comm, core.DefaultOptions()); err == nil {
-		t.Error("unknown policy accepted")
 	}
 }
 

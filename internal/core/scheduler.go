@@ -140,8 +140,15 @@ func NewScheduler(g *taskgraph.Graph, topo *topology.Topology, comm topology.Com
 	}, nil
 }
 
-// Name implements machsim.Policy.
-func (s *Scheduler) Name() string { return "SA" }
+// Name implements machsim.Policy. With restarts the name carries the
+// restart count ("SA(r=4)") so portfolio traces and solver listings are
+// unambiguous about the configuration that produced a result.
+func (s *Scheduler) Name() string {
+	if s.opt.Restarts > 1 {
+		return fmt.Sprintf("SA(r=%d)", s.opt.Restarts)
+	}
+	return "SA"
+}
 
 // Packets returns the per-packet reports accumulated so far.
 func (s *Scheduler) Packets() []PacketReport { return s.packets }

@@ -5,9 +5,9 @@ import (
 	"strings"
 
 	"repro/internal/core"
-	"repro/internal/list"
 	"repro/internal/machsim"
 	"repro/internal/programs"
+	"repro/internal/solver"
 	"repro/internal/topology"
 )
 
@@ -42,7 +42,17 @@ func PolicyComparison(seed int64) ([]PolicyRow, error) {
 		model := machsim.Model{Graph: g, Topo: topo, Comm: comm}
 		row := PolicyRow{Program: prog.Key}
 
-		run := func(p machsim.Policy) (float64, error) {
+		opt := core.DefaultOptions()
+		opt.Seed = seed
+		opt.Restarts = 2
+
+		// All policies come from the shared solver registry constructor,
+		// the same resolution path the CLI and the scheduling service use.
+		run := func(name string) (float64, error) {
+			p, err := solver.NewPolicy(name, g, topo, comm, opt)
+			if err != nil {
+				return 0, err
+			}
 			res, err := machsim.Run(model, p, machsim.Options{})
 			if err != nil {
 				return 0, err
@@ -51,44 +61,25 @@ func PolicyComparison(seed int64) ([]PolicyRow, error) {
 		}
 
 		var err error
-		if row.Random, err = run(list.NewRandom(seed)); err != nil {
+		if row.Random, err = run("random"); err != nil {
 			return err
 		}
-		if row.FIFO, err = run(list.NewFIFO()); err != nil {
+		if row.FIFO, err = run("fifo"); err != nil {
 			return err
 		}
-		if row.LPT, err = run(list.NewLPT(g)); err != nil {
+		if row.LPT, err = run("lpt"); err != nil {
 			return err
 		}
-		misf, err := list.NewMISF(g)
-		if err != nil {
+		if row.MISF, err = run("misf"); err != nil {
 			return err
 		}
-		if row.MISF, err = run(misf); err != nil {
+		if row.HLF, err = run("hlf"); err != nil {
 			return err
 		}
-		hlf, err := list.NewHLF(g)
-		if err != nil {
+		if row.ETF, err = run("etf"); err != nil {
 			return err
 		}
-		if row.HLF, err = run(hlf); err != nil {
-			return err
-		}
-		etf, err := list.NewETF(g, topo, comm)
-		if err != nil {
-			return err
-		}
-		if row.ETF, err = run(etf); err != nil {
-			return err
-		}
-		opt := core.DefaultOptions()
-		opt.Seed = seed
-		opt.Restarts = 2
-		sched, err := core.NewScheduler(g, topo, comm, opt)
-		if err != nil {
-			return err
-		}
-		if row.SA, err = run(sched); err != nil {
+		if row.SA, err = run("sa"); err != nil {
 			return err
 		}
 		rows[k] = row

@@ -92,6 +92,11 @@ type Options struct {
 	// default because the paper's Figure 2 Gantt chart shows explicit
 	// receive blocks. This knob exists for ablations.
 	DisableReceiveOverhead bool
+	// Interrupt, when non-nil, is polled once per event batch; a non-nil
+	// return aborts the simulation with that error. It is how callers
+	// impose deadlines (e.g. a context) on long simulations: the solver
+	// portfolio races policies under a shared deadline through this hook.
+	Interrupt func() error
 }
 
 // IntervalKind classifies Gantt intervals.

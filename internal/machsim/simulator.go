@@ -132,6 +132,11 @@ func (s *Simulator) Simulate(p Policy) (*Result, error) {
 		return nil, fmt.Errorf("machsim: nil policy")
 	}
 	for !s.tracker.AllDone() {
+		if s.opts.Interrupt != nil {
+			if err := s.opts.Interrupt(); err != nil {
+				return nil, fmt.Errorf("machsim: interrupted at t=%.3f: %w", s.now, err)
+			}
+		}
 		if s.queue.len() == 0 {
 			// Nothing in flight: the policy must make progress now.
 			if err := s.epoch(p, true); err != nil {

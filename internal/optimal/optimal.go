@@ -30,6 +30,10 @@ type Options struct {
 	// MaxNodes aborts the search after this many branch nodes
 	// (0 = 20 million).
 	MaxNodes int64
+	// Interrupt, when non-nil, is polled every few thousand branch nodes;
+	// a non-nil return aborts the search with that error. It lets callers
+	// impose deadlines (e.g. a context) on the exponential search.
+	Interrupt func() error
 }
 
 // Result reports an exact solve.
@@ -49,16 +53,17 @@ var ErrTooLarge = fmt.Errorf("optimal: search exceeded node budget")
 
 // solver carries the branch-and-bound state.
 type solver struct {
-	g       *taskgraph.Graph
-	n       int
-	procs   int
-	loads   []float64
-	levels  []float64
-	preds   [][]taskgraph.TaskID
-	maxN    int64
-	nodes   int64
-	best    float64
-	bestSet bool
+	g         *taskgraph.Graph
+	n         int
+	interrupt func() error
+	procs     int
+	loads     []float64
+	levels    []float64
+	preds     [][]taskgraph.TaskID
+	maxN      int64
+	nodes     int64
+	best      float64
+	bestSet   bool
 
 	// Current partial schedule.
 	finish    []float64
@@ -92,6 +97,7 @@ func Makespan(g *taskgraph.Graph, procs int, opt Options) (*Result, error) {
 	s := &solver{
 		g:         g,
 		n:         n,
+		interrupt: opt.Interrupt,
 		procs:     procs,
 		loads:     make([]float64, n),
 		levels:    levels,
@@ -238,6 +244,11 @@ func (s *solver) search(depth int) error {
 	s.nodes++
 	if s.nodes > s.maxN {
 		return fmt.Errorf("%w (%d nodes)", ErrTooLarge, s.maxN)
+	}
+	if s.interrupt != nil && s.nodes&0xfff == 0 {
+		if err := s.interrupt(); err != nil {
+			return fmt.Errorf("optimal: interrupted after %d nodes: %w", s.nodes, err)
+		}
 	}
 	if s.remaining == 0 {
 		mk := 0.0

@@ -1,0 +1,123 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a bounded, content-addressed LRU of marshaled results. Values
+// are the exact response bytes, so a hit replays a byte-identical body
+// without re-marshaling (and without re-solving). Safe for concurrent use.
+type Cache struct {
+	mu        sync.Mutex
+	max       int
+	maxBytes  int64
+	bytes     int64
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// defaultMaxBytes bounds the cache's stored-bytes footprint when the
+// caller gives no byte budget: entries alone are no bound, because a
+// single large-graph response runs to megabytes.
+const defaultMaxBytes = 256 << 20
+
+// NewCache returns an LRU holding at most max entries and maxBytes stored
+// bytes (maxBytes <= 0 means a 256 MiB default); max <= 0 returns nil,
+// which every method treats as a disabled (always-miss, never-store)
+// cache.
+func NewCache(max int, maxBytes int64) *Cache {
+	if max <= 0 {
+		return nil
+	}
+	if maxBytes <= 0 {
+		maxBytes = defaultMaxBytes
+	}
+	return &Cache{max: max, maxBytes: maxBytes, ll: list.New(), items: make(map[string]*list.Element, max)}
+}
+
+// Get returns the cached bytes for key and whether they were present,
+// updating recency and the hit/miss counters. Callers must not modify the
+// returned slice.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put stores val under key, evicting least recently used entries while
+// either the entry or the byte bound is exceeded. Storing an existing key
+// refreshes its value and recency.
+func (c *Cache) Put(key string, val []byte) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		c.bytes += int64(len(val)) - int64(len(e.val))
+		e.val = val
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+		c.bytes += int64(len(val))
+	}
+	// The newest entry is never evicted, even when it alone exceeds the
+	// byte budget — a result that was worth solving is worth returning.
+	for c.ll.Len() > 1 && (c.ll.Len() > c.max || c.bytes > c.maxBytes) {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		e := oldest.Value.(*cacheEntry)
+		delete(c.items, e.key)
+		c.bytes -= int64(len(e.val))
+		c.evictions++
+	}
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Max       int    `json:"max"`
+	Bytes     int64  `json:"bytes"`
+	MaxBytes  int64  `json:"max_bytes"`
+}
+
+// Stats returns the current counters (zero-valued for a disabled cache).
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.ll.Len(),
+		Max:       c.max,
+		Bytes:     c.bytes,
+		MaxBytes:  c.maxBytes,
+	}
+}

@@ -1,0 +1,167 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCacheLRU(t *testing.T) {
+	c := NewCache(2, 0)
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	if v, ok := c.Get("a"); !ok || string(v) != "1" {
+		t.Fatalf("Get(a) = %q, %v", v, ok)
+	}
+	// "b" is now least recently used; inserting "c" evicts it.
+	c.Put("c", []byte("3"))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a was evicted despite being recently used")
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("hit/miss counters %+v", st)
+	}
+
+	// Refresh an existing key.
+	c.Put("a", []byte("1b"))
+	if v, _ := c.Get("a"); string(v) != "1b" {
+		t.Fatalf("refresh lost: %q", v)
+	}
+}
+
+func TestCacheByteBound(t *testing.T) {
+	c := NewCache(100, 10) // generous entry bound, tiny byte budget
+	c.Put("a", []byte("12345"))
+	c.Put("b", []byte("12345"))
+	c.Put("c", []byte("12345")) // 15 bytes > 10: evicts "a"
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("byte bound did not evict the oldest entry")
+	}
+	st := c.Stats()
+	if st.Bytes > 10 || st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("stats after byte eviction: %+v", st)
+	}
+
+	// A single oversize entry survives (never evict the newest result),
+	// but pushes everything else out.
+	c.Put("big", make([]byte, 64))
+	if _, ok := c.Get("big"); !ok {
+		t.Fatal("oversize newest entry was evicted")
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("oversize entry did not flush the rest: %+v", st)
+	}
+
+	// Refreshing a key with a bigger value re-checks the budget.
+	c.Put("big", make([]byte, 8))
+	c.Put("b", []byte("1"))
+	c.Put("big", make([]byte, 64))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("refresh growth did not trigger eviction")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(0, 0)
+	if c != nil {
+		t.Fatal("zero-size cache not disabled")
+	}
+	c.Put("a", []byte("1")) // must not panic
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("disabled cache returned a value")
+	}
+	if st := c.Stats(); st.Max != 0 {
+		t.Fatalf("disabled stats %+v", st)
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(32, 0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%40)
+				c.Put(key, []byte(key))
+				if v, ok := c.Get(key); ok && string(v) != key {
+					t.Errorf("corrupt value for %s: %q", key, v)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Entries > 32 {
+		t.Fatalf("cache exceeded its bound: %+v", st)
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	var running, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := p.Run(context.Background(), func() {
+				n := running.Add(1)
+				for {
+					old := peak.Load()
+					if n <= old || peak.CompareAndSwap(old, n) {
+						break
+					}
+				}
+				time.Sleep(2 * time.Millisecond)
+				running.Add(-1)
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > 3 {
+		t.Fatalf("pool ran %d jobs at once, bound is 3", got)
+	}
+	st := p.Stats()
+	if st.Completed != 20 || st.Workers != 3 || st.Busy != 0 {
+		t.Fatalf("pool stats %+v", st)
+	}
+}
+
+func TestPoolQueueRespectsContext(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	release := make(chan struct{})
+	go p.Run(context.Background(), func() { <-release })
+	time.Sleep(5 * time.Millisecond) // let the blocker occupy the only worker
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := p.Run(ctx, func() {}); err == nil {
+		t.Fatal("queued Run outlived its context")
+	}
+	close(release)
+}
+
+func TestPoolClose(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	p.Close() // idempotent
+	if err := p.Run(context.Background(), func() {}); err == nil {
+		t.Fatal("Run succeeded on a closed pool")
+	}
+}

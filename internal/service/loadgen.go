@@ -1,0 +1,167 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cliutil"
+)
+
+// LoadGenConfig drives a synthetic traffic run against a dtserve instance.
+type LoadGenConfig struct {
+	// URL is the server base, e.g. "http://127.0.0.1:8080".
+	URL string
+	// Requests is the total request count (default 200).
+	Requests int
+	// Concurrency is the number of in-flight clients (default 8).
+	Concurrency int
+	// Distinct is how many distinct payloads the run cycles through
+	// (default 8): with R requests the expected warm cache hit ratio is
+	// (R - Distinct) / R.
+	Distinct int
+	// Programs are benchmark graph keys to mix (default NE, GJ, FFT, MM).
+	Programs []string
+	// Topo is the topology spec for every request (default hypercube:3).
+	Topo string
+	// Solver names the solver to exercise (empty = server default).
+	Solver string
+	// RequestTimeout bounds each HTTP call so one wedged request cannot
+	// hang the run (default 60s).
+	RequestTimeout time.Duration
+}
+
+// LoadGenReport summarizes a load generation run.
+type LoadGenReport struct {
+	Requests   int           `json:"requests"`
+	Errors     int           `json:"errors"`
+	CacheHits  int           `json:"cache_hits"`
+	Elapsed    time.Duration `json:"elapsed_ns"`
+	Throughput float64       `json:"requests_per_second"`
+	LatencyP50 time.Duration `json:"latency_p50_ns"`
+	LatencyP95 time.Duration `json:"latency_p95_ns"`
+	LatencyP99 time.Duration `json:"latency_p99_ns"`
+}
+
+// String renders the report for terminals.
+func (r *LoadGenReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loadgen: %d requests, %d errors, %d cache hits\n", r.Requests, r.Errors, r.CacheHits)
+	fmt.Fprintf(&b, "  wall time   %12s\n", r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  throughput  %12.1f req/s\n", r.Throughput)
+	fmt.Fprintf(&b, "  latency p50 %12s\n", r.LatencyP50.Round(time.Microsecond))
+	fmt.Fprintf(&b, "  latency p95 %12s\n", r.LatencyP95.Round(time.Microsecond))
+	fmt.Fprintf(&b, "  latency p99 %12s\n", r.LatencyP99.Round(time.Microsecond))
+	return b.String()
+}
+
+// LoadGen fires cfg.Requests schedule calls at the server from
+// cfg.Concurrency clients and reports throughput, latency percentiles and
+// the cache hit count (from the X-DTServe-Cache response header). Distinct
+// payloads differ by graph and seed, so the run exercises both the solver
+// pool (cold keys) and the content-addressed cache (warm keys).
+func LoadGen(cfg LoadGenConfig) (*LoadGenReport, error) {
+	if cfg.URL == "" {
+		return nil, fmt.Errorf("loadgen: missing server URL")
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 200
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 8
+	}
+	if cfg.Distinct <= 0 {
+		cfg.Distinct = 8
+	}
+	if len(cfg.Programs) == 0 {
+		cfg.Programs = []string{"NE", "GJ", "FFT", "MM"}
+	}
+	if cfg.Topo == "" {
+		cfg.Topo = "hypercube:3"
+	}
+
+	// Pre-marshal the distinct payload set so request bodies cost nothing
+	// during the timed run.
+	payloads := make([][]byte, cfg.Distinct)
+	for i := range payloads {
+		g, err := cliutil.BuildProgram(cfg.Programs[i%len(cfg.Programs)])
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: %w", err)
+		}
+		body, err := json.Marshal(ScheduleRequest{
+			Graph:  g,
+			Topo:   cfg.Topo,
+			Solver: cfg.Solver,
+			Seed:   int64(1991 + i),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: %w", err)
+		}
+		payloads[i] = body
+	}
+
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 60 * time.Second
+	}
+
+	url := strings.TrimSuffix(cfg.URL, "/") + "/v1/schedule"
+	client := &http.Client{Timeout: cfg.RequestTimeout}
+	latencies := make([]time.Duration, cfg.Requests)
+	var errCount, hitCount atomic.Int64
+	var next atomic.Int64
+	var wg sync.WaitGroup
+
+	start := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= cfg.Requests {
+					return
+				}
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(payloads[i%len(payloads)]))
+				if err != nil {
+					errCount.Add(1)
+					latencies[i] = time.Since(t0)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				latencies[i] = time.Since(t0)
+				if resp.StatusCode != http.StatusOK {
+					errCount.Add(1)
+				} else if resp.Header.Get("X-DTServe-Cache") == "hit" {
+					hitCount.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration {
+		idx := int(p * float64(len(latencies)-1))
+		return latencies[idx]
+	}
+	return &LoadGenReport{
+		Requests:   cfg.Requests,
+		Errors:     int(errCount.Load()),
+		CacheHits:  int(hitCount.Load()),
+		Elapsed:    elapsed,
+		Throughput: float64(cfg.Requests) / elapsed.Seconds(),
+		LatencyP50: pct(0.50),
+		LatencyP95: pct(0.95),
+		LatencyP99: pct(0.99),
+	}, nil
+}

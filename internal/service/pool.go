@@ -1,0 +1,104 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool bounds solver concurrency: a fixed set of workers drains an
+// unbuffered job channel, so at most `workers` solves run at once and
+// excess requests queue in their handlers (subject to their contexts) —
+// the serving-side analogue of the experiment harness's parallelFor
+// fan-out, with the same property that results never depend on which
+// worker runs a job.
+type Pool struct {
+	jobs      chan poolJob
+	quit      chan struct{}
+	wg        sync.WaitGroup
+	workers   int
+	busy      atomic.Int64
+	completed atomic.Int64
+	closeOnce sync.Once
+}
+
+type poolJob struct {
+	fn   func()
+	done chan struct{}
+}
+
+// NewPool starts a pool with the given worker count; values <= 0 mean one
+// worker per available CPU.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{
+		jobs:    make(chan poolJob),
+		quit:    make(chan struct{}),
+		workers: workers,
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case job := <-p.jobs:
+			p.busy.Add(1)
+			job.fn()
+			p.busy.Add(-1)
+			p.completed.Add(1)
+			close(job.done)
+		case <-p.quit:
+			return
+		}
+	}
+}
+
+// Run executes fn on a pool worker and waits for it to finish. The
+// context only bounds the wait for a free worker: once fn starts it runs
+// to completion (fn itself is expected to honor ctx, e.g. through the
+// solver interrupt hooks).
+func (p *Pool) Run(ctx context.Context, fn func()) error {
+	job := poolJob{fn: fn, done: make(chan struct{})}
+	select {
+	case p.jobs <- job:
+	case <-ctx.Done():
+		return fmt.Errorf("service: queued too long: %w", ctx.Err())
+	case <-p.quit:
+		return fmt.Errorf("service: pool closed")
+	}
+	<-job.done
+	return nil
+}
+
+// Close stops the workers after their current jobs; queued Run calls
+// return an error. Close is idempotent.
+func (p *Pool) Close() {
+	p.closeOnce.Do(func() { close(p.quit) })
+	p.wg.Wait()
+}
+
+// PoolStats is a point-in-time snapshot of the pool counters.
+type PoolStats struct {
+	Workers   int   `json:"workers"`
+	Busy      int64 `json:"busy"`
+	Completed int64 `json:"completed"`
+}
+
+// Stats returns the current counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Workers:   p.workers,
+		Busy:      p.busy.Load(),
+		Completed: p.completed.Load(),
+	}
+}

@@ -1,0 +1,362 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/solver"
+	"repro/internal/topology"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Workers bounds concurrent solves; <= 0 means one per CPU.
+	Workers int
+	// CacheSize is the result cache capacity in entries; <= 0 disables
+	// caching.
+	CacheSize int
+	// CacheBytes bounds the cache's stored-bytes footprint; <= 0 means
+	// 256 MiB.
+	CacheBytes int64
+	// DefaultSolver answers requests that name none; empty means "sa".
+	DefaultSolver string
+	// DefaultTimeout bounds solves that request no timeout; 0 means none.
+	DefaultTimeout time.Duration
+	// MaxBatch caps the requests of one batch call; <= 0 means 256.
+	MaxBatch int
+	// Logger receives one line per request; nil disables request logging.
+	Logger *log.Logger
+}
+
+// Server owns the solver pool, the result cache and the request counters
+// behind the HTTP API. Create with New, expose with Handler, stop with
+// Close.
+type Server struct {
+	cfg   Config
+	pool  *Pool
+	cache *Cache
+
+	mu       sync.Mutex
+	requests uint64            // API calls that reached a handler
+	failures uint64            // requests answered with a non-2xx status
+	solves   uint64            // solver executions (cache misses)
+	bySolver map[string]uint64 // solves by registry name
+}
+
+// Stats is the /statsz payload.
+type Stats struct {
+	Requests uint64            `json:"requests"`
+	Failures uint64            `json:"failures"`
+	Solves   uint64            `json:"solves"`
+	BySolver map[string]uint64 `json:"by_solver"`
+	Cache    CacheStats        `json:"cache"`
+	Pool     PoolStats         `json:"pool"`
+}
+
+// New validates the configuration and starts the worker pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.DefaultSolver == "" {
+		cfg.DefaultSolver = "sa"
+	}
+	if _, err := solver.Get(cfg.DefaultSolver); err != nil {
+		return nil, fmt.Errorf("service: default solver: %w", err)
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 256
+	}
+	return &Server{
+		cfg:      cfg,
+		pool:     NewPool(cfg.Workers),
+		cache:    NewCache(cfg.CacheSize, cfg.CacheBytes),
+		bySolver: make(map[string]uint64),
+	}, nil
+}
+
+// Close stops the worker pool. In-flight solves finish first.
+func (s *Server) Close() { s.pool.Close() }
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	by := make(map[string]uint64, len(s.bySolver))
+	for k, v := range s.bySolver {
+		by[k] = v
+	}
+	return Stats{
+		Requests: s.requests,
+		Failures: s.failures,
+		Solves:   s.solves,
+		BySolver: by,
+		Cache:    s.cache.Stats(),
+		Pool:     s.pool.Stats(),
+	}
+}
+
+// Handler returns the service's HTTP handler with request logging wired
+// around every route.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
+	mux.HandleFunc("POST /v1/schedule/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/solvers", s.handleSolvers)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	return s.logged(mux)
+}
+
+// httpError carries a status code with a client-safe message.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// statusWriter records the status code written by a handler for logging.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// logged counts every request and, with a configured logger, prints one
+// line per call: method, path, status, duration.
+func (s *Server) logged(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		s.mu.Lock()
+		s.requests++
+		if sw.status >= 400 {
+			s.failures++
+		}
+		s.mu.Unlock()
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.Printf("%s %s %d %s cache=%s",
+				r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond),
+				sw.Header().Get("X-DTServe-Cache"))
+		}
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	var he *httpError
+	if !errors.As(err, &he) {
+		he = &httpError{status: http.StatusInternalServerError, msg: err.Error()}
+	}
+	writeJSON(w, he.status, ErrorResponse{Error: he.msg})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleSolvers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Default string        `json:"default"`
+		Solvers []solver.Info `json:"solvers"`
+	}{s.cfg.DefaultSolver, solver.List()})
+}
+
+const maxBodyBytes = 32 << 20
+
+// maxRestarts caps the wire restarts knob: each restart clones the
+// annealing packet and runs on its own goroutine per epoch, so an
+// unbounded value would let one request exhaust the process.
+const maxRestarts = 64
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	var req ScheduleRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, badRequest("decode request: %v", err))
+		return
+	}
+	body, hit, err := s.process(r.Context(), &req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if hit {
+		w.Header().Set("X-DTServe-Cache", "hit")
+	} else {
+		w.Header().Set("X-DTServe-Cache", "miss")
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var batch BatchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&batch); err != nil {
+		writeError(w, badRequest("decode batch: %v", err))
+		return
+	}
+	if len(batch.Requests) == 0 {
+		writeError(w, badRequest("empty batch"))
+		return
+	}
+	if len(batch.Requests) > s.cfg.MaxBatch {
+		writeError(w, badRequest("batch of %d exceeds the limit of %d", len(batch.Requests), s.cfg.MaxBatch))
+		return
+	}
+	items := make([]BatchItem, len(batch.Requests))
+	var wg sync.WaitGroup
+	for i := range batch.Requests {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _, err := s.process(r.Context(), &batch.Requests[i])
+			if err != nil {
+				items[i].Error = err.Error()
+				return
+			}
+			items[i].Result = body
+		}(i)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, BatchResponse{Items: items})
+}
+
+// process turns one wire request into marshaled result bytes: validate,
+// consult the content-addressed cache, and on a miss run the named solver
+// on the worker pool and store the bytes. The bool reports a cache hit.
+func (s *Server) process(ctx context.Context, req *ScheduleRequest) ([]byte, bool, error) {
+	if req.Graph == nil {
+		return nil, false, badRequest("missing graph")
+	}
+	if req.Topo == "" {
+		return nil, false, badRequest("missing topo spec")
+	}
+	topo, err := cliutil.ParseTopology(req.Topo)
+	if err != nil {
+		return nil, false, badRequest("%v", err)
+	}
+	comm := req.Comm.apply(topology.DefaultCommParams())
+	if req.NoComm {
+		comm = comm.NoComm()
+	}
+	if err := comm.Validate(); err != nil {
+		return nil, false, badRequest("%v", err)
+	}
+
+	solverName := req.Solver
+	if solverName == "" {
+		solverName = s.cfg.DefaultSolver
+	}
+	slv, err := solver.Get(solverName)
+	if err != nil {
+		return nil, false, badRequest("%v", err)
+	}
+
+	saOpt := core.DefaultOptions()
+	saOpt.Seed = req.Seed
+	if req.Wb != nil {
+		saOpt.Wb = *req.Wb
+		saOpt.Wc = 1 - *req.Wb
+	}
+	if req.Restarts < 0 || req.Restarts > maxRestarts {
+		return nil, false, badRequest("restarts %d out of range [0,%d]", req.Restarts, maxRestarts)
+	}
+	saOpt.Restarts = req.Restarts
+	if err := saOpt.Validate(); err != nil {
+		return nil, false, badRequest("%v", err)
+	}
+
+	sreq := solver.Request{Graph: req.Graph, Topo: topo, Comm: comm, SA: saOpt}
+	if err := sreq.Validate(); err != nil {
+		return nil, false, badRequest("%v", err)
+	}
+
+	key, err := cacheKey(req.Graph, topo.Name(), comm, slv.Name(), saOpt, req.TimeoutMS)
+	if err != nil {
+		return nil, false, fmt.Errorf("service: cache key: %w", err)
+	}
+	if !req.NoCache {
+		if body, ok := s.cache.Get(key); ok {
+			return body, true, nil
+		}
+	}
+
+	deadlined := false
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+		deadlined = true
+	} else if s.cfg.DefaultTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.DefaultTimeout)
+		defer cancel()
+		deadlined = true
+	}
+
+	var body []byte
+	var solveErr error
+	runErr := s.pool.Run(ctx, func() {
+		res, err := slv.Solve(ctx, sreq)
+		if err != nil {
+			solveErr = err
+			return
+		}
+		wire, err := ResultFromSim(res, req.Graph, topo.Name())
+		if err != nil {
+			solveErr = err
+			return
+		}
+		body, solveErr = json.Marshal(wire)
+	})
+	if runErr != nil {
+		return nil, false, &httpError{status: http.StatusServiceUnavailable, msg: runErr.Error()}
+	}
+	if solveErr != nil {
+		status := http.StatusUnprocessableEntity
+		if errors.Is(solveErr, context.DeadlineExceeded) || errors.Is(solveErr, context.Canceled) {
+			status = http.StatusGatewayTimeout
+		}
+		return nil, false, &httpError{status: status, msg: solveErr.Error()}
+	}
+
+	// A deadline-raced portfolio result depends on which members beat the
+	// clock, not just on the payload — caching it would replay a
+	// timing-dependent body to every future caller of the key, so only
+	// deterministic results are memoized.
+	if !(deadlined && slv.Name() == "portfolio") {
+		s.cache.Put(key, body)
+	}
+	s.mu.Lock()
+	s.solves++
+	s.bySolver[slv.Name()]++
+	s.mu.Unlock()
+	return body, false, nil
+}

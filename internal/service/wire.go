@@ -1,0 +1,188 @@
+// Package service is the HTTP/JSON scheduling service: it accepts
+// taskgraph + topology + communication parameters on the wire, routes each
+// request through the solver portfolio registry on a bounded worker pool,
+// and memoizes completed results in a content-addressed LRU cache.
+//
+// Endpoints:
+//
+//	POST /v1/schedule        solve one request
+//	POST /v1/schedule/batch  solve many requests concurrently
+//	GET  /v1/solvers         list the registered solvers
+//	GET  /healthz            liveness probe
+//	GET  /statsz             request, cache, pool and per-solver counters
+//
+// Responses for identical payloads are byte-identical (seeded determinism
+// end to end); cache status travels in the X-DTServe-Cache header so a
+// warm hit does not perturb the body. The one exception is a portfolio
+// request raced under a deadline — which members beat the clock is a
+// timing fact, not a payload fact — so those results are served but never
+// cached.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/machsim"
+	"repro/internal/schedule"
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+)
+
+// ScheduleRequest is the wire form of one scheduling problem.
+type ScheduleRequest struct {
+	// Graph is the taskgraph in the canonical {name, tasks, edges} JSON
+	// encoding of internal/taskgraph. Decoding validates it (dense IDs,
+	// acyclicity, non-negative loads and volumes).
+	Graph *taskgraph.Graph `json:"graph"`
+	// Topo is a topology spec such as "hypercube:3" or "mesh:3x4".
+	Topo string `json:"topo"`
+	// Comm overrides individual communication parameters; absent fields
+	// keep the paper defaults.
+	Comm *CommOverride `json:"comm,omitempty"`
+	// NoComm disables communication costs (comm scale 0).
+	NoComm bool `json:"nocomm,omitempty"`
+	// Solver names the registry entry to use; empty means the server's
+	// default. "portfolio" races solvers under the request deadline.
+	Solver string `json:"solver,omitempty"`
+	// Seed drives all stochastic choices; equal seeds give equal results.
+	Seed int64 `json:"seed,omitempty"`
+	// Wb is the SA balance weight (wc = 1 - wb); nil means 0.5.
+	Wb *float64 `json:"wb,omitempty"`
+	// Restarts anneals each packet this many times (0/1 = single run).
+	Restarts int `json:"restarts,omitempty"`
+	// TimeoutMS bounds the solve wall-clock; 0 means the server default.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// NoCache bypasses the result cache (the result is still stored).
+	NoCache bool `json:"nocache,omitempty"`
+}
+
+// CommOverride overrides communication parameters field by field. Fields
+// are pointers so an absent field keeps its default — crucially, a client
+// overriding only the bandwidth does not silently zero Scale (which would
+// disable communication costs altogether).
+type CommOverride struct {
+	Bandwidth *float64 `json:"bandwidth,omitempty"`
+	Sigma     *float64 `json:"sigma,omitempty"`
+	Tau       *float64 `json:"tau,omitempty"`
+	Scale     *float64 `json:"scale,omitempty"`
+}
+
+// apply overlays the set fields onto p and returns the result.
+func (o *CommOverride) apply(p topology.CommParams) topology.CommParams {
+	if o == nil {
+		return p
+	}
+	if o.Bandwidth != nil {
+		p.Bandwidth = *o.Bandwidth
+	}
+	if o.Sigma != nil {
+		p.Sigma = *o.Sigma
+	}
+	if o.Tau != nil {
+		p.Tau = *o.Tau
+	}
+	if o.Scale != nil {
+		p.Scale = *o.Scale
+	}
+	return p
+}
+
+// BatchRequest is the wire form of POST /v1/schedule/batch.
+type BatchRequest struct {
+	Requests []ScheduleRequest `json:"requests"`
+}
+
+// BatchItem is one element of a batch response: exactly one of Result or
+// Error is set.
+type BatchItem struct {
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// BatchResponse is the wire form of a batch reply, item i answering
+// request i.
+type BatchResponse struct {
+	Items []BatchItem `json:"items"`
+}
+
+// ErrorResponse is the structured error body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// Result is the wire form of a completed solve — the same schema the
+// dtsched CLI emits with --json, so CLI and server outputs are diffable.
+type Result struct {
+	Solver         string           `json:"solver"`
+	Program        string           `json:"program"`
+	Topology       string           `json:"topology"`
+	Makespan       float64          `json:"makespan"`
+	SequentialTime float64          `json:"t1"`
+	Speedup        float64          `json:"speedup"`
+	Messages       int              `json:"messages"`
+	TransferTime   float64          `json:"transfer_time"`
+	OverheadTime   float64          `json:"overhead_time"`
+	Epochs         int              `json:"epochs"`
+	Forced         int              `json:"forced"`
+	Utilization    float64          `json:"utilization"`
+	Schedule       []schedule.Entry `json:"schedule"`
+}
+
+// ResultFromSim converts a completed simulation into the wire Result.
+func ResultFromSim(res *machsim.Result, g *taskgraph.Graph, topoName string) (*Result, error) {
+	sched, err := schedule.FromResult(res)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Solver:         res.Policy,
+		Program:        g.Name(),
+		Topology:       topoName,
+		Makespan:       res.Makespan,
+		SequentialTime: res.SequentialTime,
+		Speedup:        res.Speedup,
+		Messages:       res.Messages,
+		TransferTime:   res.TransferTime,
+		OverheadTime:   res.OverheadTime,
+		Epochs:         len(res.Epochs),
+		Forced:         res.Forced,
+		Utilization:    res.Utilization(),
+		Schedule:       sched.Entries,
+	}, nil
+}
+
+// cacheKey is the content address of a request: a SHA-256 over the
+// canonical graph encoding plus every option that can change the result —
+// including the timeout, so a result degraded by a tight deadline is
+// never replayed to a request with a generous one. Map/insertion order
+// never leaks into the key, so equal problems always hit the same cache
+// line.
+func cacheKey(g *taskgraph.Graph, topoName string, comm topology.CommParams,
+	solverName string, sa core.Options, timeoutMS int) (string, error) {
+
+	graphJSON, err := g.CanonicalJSON()
+	if err != nil {
+		return "", err
+	}
+	key := struct {
+		Graph    json.RawMessage     `json:"graph"`
+		Topo     string              `json:"topo"`
+		Comm     topology.CommParams `json:"comm"`
+		Solver   string              `json:"solver"`
+		Seed     int64               `json:"seed"`
+		Wb       float64             `json:"wb"`
+		Wc       float64             `json:"wc"`
+		Restarts int                 `json:"restarts"`
+		Timeout  int                 `json:"timeout_ms"`
+	}{graphJSON, topoName, comm, solverName, sa.Seed, sa.Wb, sa.Wc, sa.Restarts, timeoutMS}
+	data, err := json.Marshal(key)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return fmt.Sprintf("%016x-%s", g.Fingerprint(), hex.EncodeToString(sum[:16])), nil
+}

@@ -1,0 +1,103 @@
+package solver
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/machsim"
+	"repro/internal/optimal"
+	"repro/internal/taskgraph"
+)
+
+// MaxOptimalTasks bounds the instances the "optimal" solver accepts. The
+// branch-and-bound is exponential; above this size it routinely blows its
+// node budget, so "auto" and "portfolio" only try it at or below.
+const MaxOptimalTasks = 13
+
+// optimalSolver wraps the exact branch-and-bound of internal/optimal. It
+// only accepts communication-free requests (the solver's P|prec|Cmax model
+// has no communication terms), keeping its makespans comparable with the
+// simulated policies on the same request.
+type optimalSolver struct{}
+
+func (optimalSolver) Name() string { return "optimal" }
+
+func (optimalSolver) Description() string {
+	return fmt.Sprintf("exact branch-and-bound minimum makespan (requires nocomm and at most %d tasks)", MaxOptimalTasks)
+}
+
+// Eligible reports whether the request fits the exact solver's model.
+func (optimalSolver) Eligible(req Request) error {
+	if req.Comm.Scale != 0 {
+		return fmt.Errorf("solver: optimal requires a communication-free request (comm scale %g != 0)", req.Comm.Scale)
+	}
+	if n := req.Graph.NumTasks(); n > MaxOptimalTasks {
+		return fmt.Errorf("solver: optimal accepts at most %d tasks, got %d", MaxOptimalTasks, n)
+	}
+	return nil
+}
+
+func (o optimalSolver) Solve(ctx context.Context, req Request) (*machsim.Result, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	if err := o.Eligible(req); err != nil {
+		return nil, err
+	}
+	res, err := optimal.Makespan(req.Graph, req.Topo.N(), optimal.Options{
+		Interrupt: func() error { return ctx.Err() },
+	})
+	if err != nil {
+		return nil, err
+	}
+	return exactToResult(req, res), nil
+}
+
+// exactToResult lifts an exact schedule into the machsim.Result shape the
+// rest of the system (wire encoding, Gantt-free reporting) consumes.
+func exactToResult(req Request, res *optimal.Result) *machsim.Result {
+	g := req.Graph
+	n := g.NumTasks()
+	out := &machsim.Result{
+		Policy:         "optimal",
+		Makespan:       res.Makespan,
+		SequentialTime: g.TotalLoad(),
+		Start:          append([]float64(nil), res.Start...),
+		Finish:         make([]float64, n),
+		Proc:           append([]int(nil), res.Proc...),
+		Procs:          make([]machsim.ProcStat, req.Topo.N()),
+	}
+	for i := 0; i < n; i++ {
+		load := g.Load(taskgraph.TaskID(i))
+		out.Finish[i] = res.Start[i] + load
+		if p := res.Proc[i]; p >= 0 && p < len(out.Procs) {
+			out.Procs[p].ComputeTime += load
+			out.Procs[p].TasksRun++
+		}
+	}
+	if out.Makespan > 0 {
+		out.Speedup = out.SequentialTime / out.Makespan
+	}
+	return out
+}
+
+// autoSolver picks the exact solver when the request is eligible and the
+// annealing scheduler otherwise.
+type autoSolver struct{}
+
+func (autoSolver) Name() string { return "auto" }
+
+func (autoSolver) Description() string {
+	return fmt.Sprintf("optimal for communication-free graphs of at most %d tasks, otherwise sa", MaxOptimalTasks)
+}
+
+func (autoSolver) Solve(ctx context.Context, req Request) (*machsim.Result, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	var exact optimalSolver
+	if exact.Eligible(req) == nil {
+		return exact.Solve(ctx, req)
+	}
+	return policySolver{name: "sa"}.Solve(ctx, req)
+}

@@ -1,0 +1,75 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/machsim"
+)
+
+// PortfolioMembers are the solvers the portfolio races, in tie-breaking
+// order: on equal makespans the earlier member wins, so the result for a
+// fixed request is deterministic regardless of goroutine interleaving.
+// "optimal" only participates when the request is eligible for it.
+var PortfolioMembers = []string{"sa", "etf", "hlfcomm", "hlf", "optimal"}
+
+// portfolioSolver races the member solvers concurrently under the shared
+// request context and returns the best (lowest finish time) completed
+// result. Members that error — including those cancelled by the deadline —
+// are skipped; the call only fails when every member fails.
+type portfolioSolver struct{}
+
+func (portfolioSolver) Name() string { return "portfolio" }
+
+func (portfolioSolver) Description() string {
+	return fmt.Sprintf("races %s concurrently under the request deadline and returns the best finish time",
+		strings.Join(PortfolioMembers, ", "))
+}
+
+func (portfolioSolver) Solve(ctx context.Context, req Request) (*machsim.Result, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	members := make([]Solver, 0, len(PortfolioMembers))
+	for _, name := range PortfolioMembers {
+		if name == "optimal" {
+			if (optimalSolver{}).Eligible(req) != nil {
+				continue
+			}
+		}
+		s, err := Get(name)
+		if err != nil {
+			return nil, err
+		}
+		members = append(members, s)
+	}
+
+	results := make([]*machsim.Result, len(members))
+	errs := make([]error, len(members))
+	var wg sync.WaitGroup
+	for i, s := range members {
+		wg.Add(1)
+		go func(i int, s Solver) {
+			defer wg.Done()
+			results[i], errs[i] = s.Solve(ctx, req)
+		}(i, s)
+	}
+	wg.Wait()
+
+	best := -1
+	for i, res := range results {
+		if res == nil {
+			continue
+		}
+		if best < 0 || res.Makespan < results[best].Makespan {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil, fmt.Errorf("solver: every portfolio member failed: %w", errors.Join(errs...))
+	}
+	return results[best], nil
+}

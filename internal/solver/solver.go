@@ -1,0 +1,212 @@
+// Package solver puts every scheduler in the repository behind one
+// Solver interface and a named registry, so the HTTP service, the CLI
+// tools and the experiment harness all resolve policies the same way.
+//
+// Three solvers go beyond the plain machsim policies:
+//
+//   - "optimal" runs the exact branch-and-bound of internal/optimal
+//     (communication-free requests with at most MaxOptimalTasks tasks);
+//   - "auto" picks "optimal" when the request is eligible and falls back
+//     to "sa" otherwise;
+//   - "portfolio" races several solvers concurrently under the request's
+//     context deadline and returns the best (lowest-makespan) result.
+//
+// Solvers are stateless descriptors: every Solve call builds fresh policy
+// state, so one Solver value may serve concurrent requests. Determinism
+// is preserved — for a fixed Request (including its seed) the result is
+// identical regardless of concurrency.
+package solver
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/list"
+	"repro/internal/machsim"
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+)
+
+// Request bundles one scheduling problem instance: the program graph, the
+// machine, and the policy knobs.
+type Request struct {
+	Graph *taskgraph.Graph
+	Topo  *topology.Topology
+	Comm  topology.CommParams
+	// SA carries the annealing options (seed, weights, restarts). The seed
+	// also drives the "random" policy.
+	SA core.Options
+	// Sim configures the execution simulator (e.g. RecordGantt). The
+	// Interrupt hook is chained with the Solve context's cancellation.
+	Sim machsim.Options
+}
+
+// Validate reports whether the request can be solved at all.
+func (r Request) Validate() error {
+	if r.Graph == nil {
+		return fmt.Errorf("solver: nil taskgraph")
+	}
+	if r.Topo == nil {
+		return fmt.Errorf("solver: nil topology")
+	}
+	return machsim.Model{Graph: r.Graph, Topo: r.Topo, Comm: r.Comm}.Validate()
+}
+
+// Solver produces a complete simulated (or exact) schedule for a request.
+type Solver interface {
+	// Name is the registry key ("sa", "etf", "portfolio", ...).
+	Name() string
+	// Description is a one-line human-readable summary.
+	Description() string
+	// Solve computes the schedule. Implementations honor ctx cancellation
+	// at epoch (or search-node) granularity and return ctx's error wrapped
+	// when interrupted.
+	Solve(ctx context.Context, req Request) (*machsim.Result, error)
+}
+
+// Info describes one registered solver.
+type Info struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+// NewPolicy builds a machsim policy by name — the registry's policy-backed
+// solvers, the CLI and the experiment harness share this constructor.
+func NewPolicy(name string, g *taskgraph.Graph, topo *topology.Topology,
+	comm topology.CommParams, saOpt core.Options) (machsim.Policy, error) {
+
+	switch strings.ToLower(name) {
+	case "sa", "anneal", "annealing":
+		return core.NewScheduler(g, topo, comm, saOpt)
+	case "hlf":
+		return list.NewHLF(g)
+	case "hlfcomm", "hlf+comm":
+		return list.NewCommAwareHLF(g, topo, comm)
+	case "etf":
+		return list.NewETF(g, topo, comm)
+	case "lpt":
+		return list.NewLPT(g), nil
+	case "misf":
+		return list.NewMISF(g)
+	case "fifo":
+		return list.NewFIFO(), nil
+	case "random":
+		return list.NewRandom(saOpt.Seed), nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q (want sa, hlf, hlfcomm, etf, lpt, misf, fifo or random)", name)
+	}
+}
+
+// policySolver adapts a NewPolicy-constructible policy to the Solver
+// interface.
+type policySolver struct {
+	name string
+	desc string
+}
+
+func (p policySolver) Name() string        { return p.name }
+func (p policySolver) Description() string { return p.desc }
+
+func (p policySolver) Solve(ctx context.Context, req Request) (*machsim.Result, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	pol, err := NewPolicy(p.name, req.Graph, req.Topo, req.Comm, req.SA)
+	if err != nil {
+		return nil, err
+	}
+	return simulate(ctx, pol, req)
+}
+
+// simulate runs the machine simulator with the context's cancellation
+// chained into the simulator's interrupt hook.
+func simulate(ctx context.Context, pol machsim.Policy, req Request) (*machsim.Result, error) {
+	opts := req.Sim
+	prev := opts.Interrupt
+	opts.Interrupt = func() error {
+		if prev != nil {
+			if err := prev(); err != nil {
+				return err
+			}
+		}
+		return ctx.Err()
+	}
+	return machsim.Run(machsim.Model{Graph: req.Graph, Topo: req.Topo, Comm: req.Comm}, pol, opts)
+}
+
+// registry holds the solvers in a stable listing order.
+var registry = []Solver{
+	policySolver{"sa", "staged simulated annealing with restarts (the paper's scheduler); reports SA(r=N)"},
+	policySolver{"hlf", "Highest Level First list scheduler (the paper's baseline)"},
+	policySolver{"hlfcomm", "HLF with greedy communication-aware placement"},
+	policySolver{"etf", "Earliest Task First, the strongest deterministic communication-aware list scheduler"},
+	policySolver{"lpt", "Longest Processing Time list scheduler"},
+	policySolver{"misf", "Most Immediate Successors First list scheduler"},
+	policySolver{"fifo", "task-ID-order list scheduler (Graham's given list)"},
+	policySolver{"random", "random list scheduler, the weakest baseline"},
+	optimalSolver{},
+	autoSolver{},
+	portfolioSolver{},
+}
+
+// aliases maps alternate spellings onto registry names.
+var aliases = map[string]string{
+	"anneal":    "sa",
+	"annealing": "sa",
+	"hlf+comm":  "hlfcomm",
+	"exact":     "optimal",
+	"race":      "portfolio",
+}
+
+// Get resolves a solver by (case-insensitive) name or alias.
+func Get(name string) (Solver, error) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	if canon, ok := aliases[key]; ok {
+		key = canon
+	}
+	for _, s := range registry {
+		if s.Name() == key {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("solver: unknown solver %q (known: %s)", name, strings.Join(Names(), ", "))
+}
+
+// Solve resolves name and solves the request with it.
+func Solve(ctx context.Context, name string, req Request) (*machsim.Result, error) {
+	s, err := Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return s.Solve(ctx, req)
+}
+
+// Names returns the registered solver names in listing order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, s := range registry {
+		out[i] = s.Name()
+	}
+	return out
+}
+
+// List returns name + description for every registered solver, in listing
+// order, with aliases appended alphabetically at the end.
+func List() []Info {
+	out := make([]Info, 0, len(registry)+len(aliases))
+	for _, s := range registry {
+		out = append(out, Info{Name: s.Name(), Description: s.Description()})
+	}
+	keys := make([]string, 0, len(aliases))
+	for a := range aliases {
+		keys = append(keys, a)
+	}
+	sort.Strings(keys)
+	for _, a := range keys {
+		out = append(out, Info{Name: a, Description: "alias for " + aliases[a]})
+	}
+	return out
+}

@@ -1,0 +1,46 @@
+package taskgraph
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"hash/fnv"
+	"math"
+)
+
+// Fingerprint returns a 64-bit FNV-1a hash of the graph's canonical
+// structural encoding: the task count, every task load in ID order, and
+// every edge (from, to, bits) in sorted (From, To) order. The graph name
+// and task names are deliberately excluded — two graphs that schedule
+// identically fingerprint identically — and the encoding is independent
+// of edge insertion order, so equal graphs always hash equal.
+//
+// The fingerprint is a fast routing/bucketing key. Content-addressed
+// caches that cannot tolerate 64-bit collisions should key on
+// CanonicalJSON (or a cryptographic hash of it) instead.
+func (g *Graph) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	putU64 := func(v uint64) {
+		binary.BigEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	putU64(uint64(len(g.tasks)))
+	for _, t := range g.tasks {
+		putU64(math.Float64bits(t.Load))
+	}
+	for _, e := range g.Edges() {
+		putU64(uint64(e.From))
+		putU64(uint64(e.To))
+		putU64(math.Float64bits(e.Bits))
+	}
+	return h.Sum64()
+}
+
+// CanonicalJSON returns the graph's canonical compact JSON encoding:
+// tasks in ID order and edges sorted by (From, To), independent of the
+// order in which tasks and edges were added. Equal graphs produce
+// byte-identical output, so the bytes are suitable as a content-address
+// (e.g. hashed into a result-cache key).
+func (g *Graph) CanonicalJSON() ([]byte, error) {
+	return json.Marshal(g)
+}

@@ -1,0 +1,125 @@
+package taskgraph
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+// buildPermuted constructs the same logical graph with its edges added in
+// the given order; orders is a permutation of the canonical edge list.
+func buildPermuted(t *testing.T, edges []Edge) *Graph {
+	t.Helper()
+	g := New("diamond")
+	g.AddTask("a", 10)
+	g.AddTask("b", 20)
+	g.AddTask("c", 30)
+	g.AddTask("d", 40)
+	for _, e := range edges {
+		if err := g.AddEdge(e.From, e.To, e.Bits); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+var diamondEdges = []Edge{
+	{From: 0, To: 1, Bits: 40},
+	{From: 0, To: 2, Bits: 80},
+	{From: 1, To: 3, Bits: 120},
+	{From: 2, To: 3, Bits: 160},
+}
+
+func TestFingerprintInsertionOrderIndependent(t *testing.T) {
+	base := buildPermuted(t, diamondEdges)
+	want := base.Fingerprint()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		perm := append([]Edge(nil), diamondEdges...)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		g := buildPermuted(t, perm)
+		if got := g.Fingerprint(); got != want {
+			t.Fatalf("trial %d: fingerprint %x != %x for permuted edges %v", trial, got, want, perm)
+		}
+	}
+}
+
+func TestFingerprintIgnoresNames(t *testing.T) {
+	a := buildPermuted(t, diamondEdges)
+	b := buildPermuted(t, diamondEdges)
+	b.SetName("other")
+	b.tasks[0].Name = "renamed"
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("names changed the structural fingerprint")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := buildPermuted(t, diamondEdges)
+	want := base.Fingerprint()
+
+	load := buildPermuted(t, diamondEdges)
+	load.SetLoad(2, 31)
+	if load.Fingerprint() == want {
+		t.Errorf("load change did not change the fingerprint")
+	}
+
+	bits := append([]Edge(nil), diamondEdges...)
+	bits[3].Bits = 200
+	if buildPermuted(t, bits).Fingerprint() == want {
+		t.Errorf("edge volume change did not change the fingerprint")
+	}
+
+	extra := buildPermuted(t, diamondEdges)
+	extra.AddTask("e", 5)
+	if extra.Fingerprint() == want {
+		t.Errorf("extra task did not change the fingerprint")
+	}
+}
+
+// TestCanonicalJSONGolden pins the canonical wire encoding: byte-for-byte
+// stable across edge insertion orders and across releases (the service's
+// content-addressed cache keys depend on it).
+func TestCanonicalJSONGolden(t *testing.T) {
+	const golden = `{"name":"diamond",` +
+		`"tasks":[{"id":0,"name":"a","load":10},{"id":1,"name":"b","load":20},` +
+		`{"id":2,"name":"c","load":30},{"id":3,"name":"d","load":40}],` +
+		`"edges":[{"from":0,"to":1,"bits":40},{"from":0,"to":2,"bits":80},` +
+		`{"from":1,"to":3,"bits":120},{"from":2,"to":3,"bits":160}]}`
+
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		perm := append([]Edge(nil), diamondEdges...)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		got, err := buildPermuted(t, perm).CanonicalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != golden {
+			t.Fatalf("canonical JSON drifted:\n got %s\nwant %s", got, golden)
+		}
+	}
+}
+
+func TestCanonicalJSONRoundTrip(t *testing.T) {
+	orig := buildPermuted(t, diamondEdges)
+	data, err := orig.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Graph
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Fingerprint() != orig.Fingerprint() {
+		t.Fatalf("round-trip changed fingerprint")
+	}
+	again, err := back.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatalf("round-trip not byte-stable:\n first %s\nsecond %s", data, again)
+	}
+}

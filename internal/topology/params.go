@@ -17,15 +17,15 @@ import "fmt"
 type CommParams struct {
 	// Bandwidth is the link bandwidth in bits per microsecond. The paper's
 	// 10 Mb/s link is 10 bits/µs (40-bit variables thus take 4 µs per hop).
-	Bandwidth float64
+	Bandwidth float64 `json:"bandwidth"`
 	// Sigma (σ) is the message send/forward overhead in µs.
-	Sigma float64
+	Sigma float64 `json:"sigma"`
 	// Tau (τ) is the message receive/route overhead in µs.
-	Tau float64
+	Tau float64 `json:"tau"`
 	// Scale multiplies every communication time. 1 is the paper's "with
 	// communication" configuration; 0 is the "w/o comm" configuration in
 	// which messages are free and instantaneous.
-	Scale float64
+	Scale float64 `json:"scale"`
 }
 
 // DefaultCommParams returns the paper's parameters: 10 Mb/s links,
