@@ -94,6 +94,25 @@ func newPacket(ready []taskgraph.TaskID, idle []int, locate Locator, levels []fl
 	return pk
 }
 
+// presize warms every buffer to hold a packet of up to n tasks and p
+// processors, so per-epoch resets inside a run never grow them. Called
+// once per scheduler with the whole-problem bounds (all tasks ready, all
+// processors idle) — a few KB that converts the in-run growth reallocs
+// into one up-front batch.
+func (pk *packet) presize(n, p int) {
+	pk.tasks = grow(pk.tasks, n)[:0]
+	pk.procs = grow(pk.procs, p)[:0]
+	pk.level = grow(pk.level, n)[:0]
+	pk.commCost = grow(pk.commCost, n*p)[:0]
+	pk.taskAt = grow(pk.taskAt, p)[:0]
+	pk.procOf = grow(pk.procOf, n)[:0]
+	pk.bestTaskAt = grow(pk.bestTaskAt, p)[:0]
+	pk.bestProcOf = grow(pk.bestProcOf, n)[:0]
+	pk.sortScratch = grow(pk.sortScratch, n)[:0]
+	pk.idxScratch = grow(pk.idxScratch, n)[:0]
+	pk.out = grow(pk.out, p)[:0]
+}
+
 // reset rebuilds the packet cost tables for one epoch in place: the
 // candidate tasks, the free processors, and, via the locator, the
 // communication cost of every (task, processor) placement given where the

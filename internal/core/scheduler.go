@@ -130,14 +130,20 @@ func NewScheduler(g *taskgraph.Graph, topo *topology.Topology, comm topology.Com
 	if err != nil {
 		return nil, err
 	}
-	return &Scheduler{
+	s := &Scheduler{
 		g:      g,
 		topo:   topo,
 		comm:   comm,
 		levels: levels,
 		opt:    opt,
 		rng:    rand.New(rand.NewSource(opt.Seed)),
-	}, nil
+	}
+	// Warm the packet arena to the whole-problem bounds (every task ready,
+	// every processor idle) and pre-size the report slice, so per-epoch
+	// work inside a run does not grow buffers.
+	s.pk.presize(g.NumTasks(), topo.N())
+	s.packets = make([]PacketReport, 0, g.NumTasks())
+	return s, nil
 }
 
 // Name implements machsim.Policy. With restarts the name carries the
@@ -169,7 +175,10 @@ func (s *Scheduler) Assign(ep *machsim.Epoch) []machsim.Assignment {
 	}
 
 	aopt := s.fillAnnealDefaults(len(pk.tasks), len(pk.procs))
-	report := PacketReport{
+	// Append first and fill the slice element in place: a local PacketReport
+	// whose address crosses into annealSingle/annealRestarts escapes to the
+	// heap on every epoch.
+	s.packets = append(s.packets, PacketReport{
 		Time:        ep.Time,
 		Candidates:  len(pk.tasks),
 		Idle:        len(pk.procs),
@@ -177,17 +186,17 @@ func (s *Scheduler) Assign(ep *machsim.Epoch) []machsim.Assignment {
 		// Fallback: if every annealing run fails (configuration-only error
 		// path) the current mapping is kept and its cost reported.
 		FinalCost: pk.Cost(),
-	}
+	})
+	report := &s.packets[len(s.packets)-1]
 
 	if s.opt.Restarts <= 1 {
-		s.annealSingle(pk, aopt, &report)
+		s.annealSingle(pk, aopt, report)
 	} else {
-		s.annealRestarts(pk, aopt, &report)
+		s.annealRestarts(pk, aopt, report)
 	}
 
 	out := pk.assignments()
 	report.Assigned = len(out)
-	s.packets = append(s.packets, report)
 	return out
 }
 

@@ -19,6 +19,11 @@ import (
 //
 // The same seed therefore yields byte-identical tables at any worker
 // count, including 1.
+//
+// Simulation cells call the package-level machsim.Run, which draws a
+// reusable simulator arena from machsim's internal pool — so fan-out
+// workers reuse warm simulator buffers across cells without the harness
+// threading arenas through every study (see PERFORMANCE.md §7).
 
 // defaultWorkers resolves a Workers knob: values > 0 are used as given,
 // anything else means one worker per available CPU.

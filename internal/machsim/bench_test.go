@@ -66,6 +66,30 @@ func BenchmarkSimulateNoCommLargeGraph(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulateWarmArena measures the arena fast path: one bound
+// simulator reused across runs. Warm runs must report 0 allocs/op.
+func BenchmarkSimulateWarmArena(b *testing.B) {
+	g := benchGraph(b, 40, 25) // 1000 tasks
+	topo, err := topology.Hypercube(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := NewSimulator(Model{Graph: g, Topo: topo, Comm: topology.DefaultCommParams()}, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pol := &poolGreedy{}
+	if _, err := sim.Run(pol); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(pol); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkSimulateWithGantt(b *testing.B) {
 	g := benchGraph(b, 10, 10)
 	topo, err := topology.Ring(9)

@@ -29,12 +29,16 @@ type event struct {
 }
 
 // message is an in-flight inter-processor data transfer for one edge of
-// the taskgraph, following the canonical shortest path hop by hop.
+// the taskgraph, following the canonical shortest path hop by hop. The
+// path is never materialized: cur advances via Topology.NextHop, so a
+// message is a fixed-size record the simulator can pool and reuse across
+// runs.
 type message struct {
 	from taskgraph.TaskID // producer task
 	to   taskgraph.TaskID // consumer task
-	path []int            // processors, source first, destination last
-	hop  int              // index into path of the node currently holding the message
+	cur  int              // node currently holding the message
+	nxt  int              // node at the far end of the link in flight
+	dst  int              // destination processor
 	xfer float64          // per-hop transfer time w = L/BW (already scaled)
 }
 
@@ -44,6 +48,9 @@ type eventHeap struct {
 }
 
 func (h *eventHeap) len() int { return len(h.a) }
+
+// reset empties the heap, keeping its backing array for reuse.
+func (h *eventHeap) reset() { h.a = h.a[:0] }
 
 func (h *eventHeap) less(i, j int) bool {
 	if h.a[i].time != h.a[j].time {

@@ -183,6 +183,42 @@ type Result struct {
 	// keyed by canonical (low, high) processor pairs; on a bus topology
 	// the single shared medium is keyed {-1, -1}.
 	LinkBusy map[[2]int]float64
+	// Raced marks a result whose identity (not its quality) depended on
+	// wall-clock timing — e.g. a portfolio race resolved by early
+	// cancellation, where which member supplied the winning schedule is a
+	// timing fact. The service serves raced results but never caches them.
+	Raced bool
+}
+
+// Clone returns a deep copy of the result, detached from any simulator
+// arena: safe to retain across subsequent Bind/Run calls.
+func (r *Result) Clone() *Result {
+	out := *r
+	if r.Epochs != nil {
+		out.Epochs = append([]EpochStat(nil), r.Epochs...)
+	}
+	if r.Procs != nil {
+		out.Procs = append([]ProcStat(nil), r.Procs...)
+	}
+	if r.Gantt != nil {
+		out.Gantt = append([]Interval(nil), r.Gantt...)
+	}
+	if r.Start != nil {
+		out.Start = append([]float64(nil), r.Start...)
+	}
+	if r.Finish != nil {
+		out.Finish = append([]float64(nil), r.Finish...)
+	}
+	if r.Proc != nil {
+		out.Proc = append([]int(nil), r.Proc...)
+	}
+	if r.LinkBusy != nil {
+		out.LinkBusy = make(map[[2]int]float64, len(r.LinkBusy))
+		for k, v := range r.LinkBusy {
+			out.LinkBusy[k] = v
+		}
+	}
+	return &out
 }
 
 // MaxLinkBusy returns the busiest link's total transfer time (0 when no

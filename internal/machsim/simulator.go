@@ -3,6 +3,7 @@ package machsim
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/taskgraph"
 	"repro/internal/topology"
@@ -10,21 +11,51 @@ import (
 
 const defaultMaxEvents = 50_000_000
 
-// Simulator executes one taskgraph on one machine under one policy. Use
-// Run for the common case; NewSimulator + Simulate give the same behaviour
-// with the pieces exposed for tests.
+// Simulator is a reusable discrete-event simulation arena. It executes one
+// taskgraph on one machine under one policy per Run, and every piece of
+// per-run state — link occupancy tables, ready/idle sets, the event heap,
+// in-flight messages, epoch and Gantt buffers, the Result itself — lives in
+// simulator-owned buffers that are reset, not reallocated, between runs.
+//
+// Lifecycle:
+//
+//	sim := machsim.NewArena()            // or NewSimulator(model, opts)
+//	sim.Bind(model, opts)                // rebind to a (new) model; grows buffers
+//	res, err := sim.Run(policy)          // reset + simulate; res is arena-owned
+//
+// A warm Run (same model, buffers at peak size) performs zero heap
+// allocations, provided the policy itself does not allocate. The returned
+// Result and its slices are owned by the simulator and valid only until
+// the next Bind or Run call; use Result.Clone to retain one. The
+// package-level Run helper draws an arena from an internal pool and
+// returns a detached clone, so existing callers keep value semantics.
+//
+// A Simulator is not safe for concurrent use; give each goroutine its own.
 type Simulator struct {
 	model Model
 	opts  Options
+	np    int // processors
+	nt    int // tasks
 
 	now     float64
 	seq     int64
 	queue   eventHeap
 	tracker *taskgraph.ReadyTracker
 
-	procs    []procState
-	linkFree map[[2]int]float64
-	linkBusy map[[2]int]float64
+	procs []procState
+
+	// Link occupancy is a flat row-major table indexed low*np+high over
+	// canonical links (mirroring core.packet's commCost layout); touched
+	// records which entries carried traffic so reset and result-building
+	// cost O(links used), not O(np²). Bus topologies serialize on the
+	// dedicated shared-medium scalars instead.
+	linkFree []float64
+	linkBusy []float64
+	linkSeen []bool
+	touched  []int32
+	busFree  float64
+	busBusy  float64
+	busSeen  bool
 
 	procOf   []int     // processor of each assigned task, -1 before assignment
 	startAt  []float64 // computation start time of each task, -1 before start
@@ -38,7 +69,34 @@ type Simulator struct {
 	forced   int
 	events   int
 
-	levels []float64 // for the forced-assignment fallback
+	levels   []float64 // for the forced-assignment fallback
+	lvlDeg   []int32   // scratch: pending successor counts
+	lvlStack []int32   // scratch: reverse-Kahn worklist
+
+	// Reusable epoch workspace: the Epoch value handed to the policy, the
+	// ready/idle index buffers, and generation-stamped marks replacing the
+	// per-epoch validation maps (an entry is "set" iff its stamp equals the
+	// current generation, so clearing is a counter increment).
+	ep        Epoch
+	readyBuf  []taskgraph.TaskID
+	idleBuf   []int
+	markGen   int64
+	readyMark []int64 // per task
+	idleMark  []int64 // per proc
+	seenTask  []int64 // per task
+	seenProc  []int64 // per proc
+
+	// Message slab: messages are fixed-size records handed out by cursor
+	// and reclaimed wholesale on reset, so warm runs allocate none.
+	msgs    []*message
+	msgNext int
+
+	ganttSort ganttSorter
+
+	// Arena-owned result, rebuilt in place by each Run.
+	res         Result
+	resProcs    []ProcStat
+	resLinkBusy map[[2]int]float64
 }
 
 // procState tracks one processor.
@@ -57,49 +115,185 @@ type procState struct {
 	stat         ProcStat
 }
 
-// NewSimulator validates the model and prepares a simulator.
+// ganttSorter orders intervals by (Proc, Start, End) without the per-call
+// closure allocation of sort.Slice.
+type ganttSorter struct{ a []Interval }
+
+func (g *ganttSorter) Len() int      { return len(g.a) }
+func (g *ganttSorter) Swap(i, j int) { g.a[i], g.a[j] = g.a[j], g.a[i] }
+func (g *ganttSorter) Less(i, j int) bool {
+	if g.a[i].Proc != g.a[j].Proc {
+		return g.a[i].Proc < g.a[j].Proc
+	}
+	if g.a[i].Start != g.a[j].Start {
+		return g.a[i].Start < g.a[j].Start
+	}
+	return g.a[i].End < g.a[j].End
+}
+
+// NewArena returns an empty, unbound simulator arena. Bind attaches a
+// model before the first Run.
+func NewArena() *Simulator {
+	return &Simulator{resLinkBusy: make(map[[2]int]float64)}
+}
+
+// NewSimulator validates the model and prepares a bound simulator.
 func NewSimulator(m Model, opts Options) (*Simulator, error) {
+	s := NewArena()
+	if err := s.Bind(m, opts); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Bind validates the model and (re)binds the arena to it, growing buffers
+// as needed; state from a previous model is discarded. Binding is the cold
+// path — it may allocate (level computation, first-time buffer growth) —
+// while subsequent Runs against the same binding do not.
+func (s *Simulator) Bind(m Model, opts Options) error {
 	if err := m.Validate(); err != nil {
-		return nil, err
+		return err
 	}
-	levels, err := m.Graph.Levels()
-	if err != nil {
-		return nil, err
+	s.model = m
+	s.opts = opts
+	if s.opts.MaxEvents == 0 {
+		s.opts.MaxEvents = defaultMaxEvents
 	}
-	s := &Simulator{
-		model:    m,
-		opts:     opts,
-		tracker:  taskgraph.NewReadyTracker(m.Graph),
-		procs:    make([]procState, m.Topo.N()),
-		linkFree: make(map[[2]int]float64),
-		linkBusy: make(map[[2]int]float64),
-		procOf:   make([]int, m.Graph.NumTasks()),
-		startAt:  make([]float64, m.Graph.NumTasks()),
-		finishAt: make([]float64, m.Graph.NumTasks()),
-		levels:   levels,
+	s.np = m.Topo.N()
+	s.nt = m.Graph.NumTasks()
+	if err := s.computeLevels(); err != nil {
+		return err
 	}
+	if s.tracker == nil {
+		s.tracker = taskgraph.NewReadyTracker(m.Graph)
+	} else {
+		s.tracker.Rebind(m.Graph)
+	}
+	s.procs = growSlice(s.procs, s.np)
+	s.procOf = growSlice(s.procOf, s.nt)
+	s.startAt = growSlice(s.startAt, s.nt)
+	s.finishAt = growSlice(s.finishAt, s.nt)
+	s.readyMark = growSlice(s.readyMark, s.nt)
+	s.seenTask = growSlice(s.seenTask, s.nt)
+	s.idleMark = growSlice(s.idleMark, s.np)
+	s.seenProc = growSlice(s.seenProc, s.np)
+	s.linkFree = growSlice(s.linkFree, s.np*s.np)
+	s.linkBusy = growSlice(s.linkBusy, s.np*s.np)
+	s.linkSeen = growSlice(s.linkSeen, s.np*s.np)
+	// A previous binding's marks and link state may linger in the grown
+	// buffers; wipe them so stale stamps cannot collide.
+	for i := range s.linkSeen {
+		s.linkFree[i], s.linkBusy[i], s.linkSeen[i] = 0, 0, false
+	}
+	s.touched = s.touched[:0]
+	s.busFree, s.busBusy, s.busSeen = 0, 0, false
+	s.ep.Sim = s
+	return nil
+}
+
+// computeLevels fills s.levels with each task's level (its load plus the
+// longest successor chain, as in Graph.Levels) using reusable scratch
+// buffers: a reverse Kahn pass from the leaves. Levels are well-defined
+// independent of visit order, so this matches Graph.Levels exactly.
+func (s *Simulator) computeLevels() error {
+	g := s.model.Graph
+	s.levels = growSlice(s.levels, s.nt)
+	s.lvlDeg = growSlice(s.lvlDeg, s.nt)
+	stack := s.lvlStack[:0]
+	for i := 0; i < s.nt; i++ {
+		d := g.OutDegree(taskgraph.TaskID(i))
+		s.lvlDeg[i] = int32(d)
+		s.levels[i] = 0
+		if d == 0 {
+			stack = append(stack, int32(i))
+		}
+	}
+	processed := 0
+	for len(stack) > 0 {
+		i := taskgraph.TaskID(stack[len(stack)-1])
+		stack = stack[:len(stack)-1]
+		processed++
+		best := 0.0
+		for _, h := range g.Successors(i) {
+			if s.levels[h.To] > best {
+				best = s.levels[h.To]
+			}
+		}
+		s.levels[i] = g.Load(i) + best
+		for _, h := range g.Predecessors(i) {
+			s.lvlDeg[h.To]--
+			if s.lvlDeg[h.To] == 0 {
+				stack = append(stack, int32(h.To))
+			}
+		}
+	}
+	s.lvlStack = stack[:0]
+	if processed != s.nt {
+		// Unreachable after Model.Validate (which rejects cycles), kept as
+		// a defensive invariant.
+		return fmt.Errorf("machsim: taskgraph %q is cyclic", g.Name())
+	}
+	return nil
+}
+
+// growSlice returns sl resized to length n, reusing its backing array when
+// capacity allows.
+func growSlice[T any](sl []T, n int) []T {
+	if cap(sl) < n {
+		return make([]T, n)
+	}
+	return sl[:n]
+}
+
+// reset rewinds all per-run state; buffers keep their capacity.
+func (s *Simulator) reset() {
+	s.now = 0
+	s.seq = 0
+	s.queue.reset()
+	s.tracker.Reset()
 	for i := range s.procs {
-		s.procs[i].idle = true
-		s.procs[i].assigned = taskgraph.None
+		s.procs[i] = procState{idle: true, assigned: taskgraph.None}
 	}
 	for i := range s.procOf {
 		s.procOf[i] = -1
 		s.startAt[i] = -1
 		s.finishAt[i] = -1
 	}
-	if s.opts.MaxEvents == 0 {
-		s.opts.MaxEvents = defaultMaxEvents
+	for _, idx := range s.touched {
+		s.linkFree[idx], s.linkBusy[idx], s.linkSeen[idx] = 0, 0, false
 	}
-	return s, nil
+	s.touched = s.touched[:0]
+	s.busFree, s.busBusy, s.busSeen = 0, 0, false
+	s.epochs = s.epochs[:0]
+	s.gantt = s.gantt[:0]
+	s.messages = 0
+	s.xferTime = 0
+	s.ovhTime = 0
+	s.forced = 0
+	s.events = 0
+	s.msgNext = 0
 }
 
+// simPool backs the package-level Run helper: arenas are recycled across
+// calls so every layer that still uses the one-shot API (experiments,
+// examples, tests) gets buffer reuse for free.
+var simPool = sync.Pool{New: func() any { return NewArena() }}
+
 // Run simulates the execution of model.Graph on model.Topo under policy p.
+// The returned Result is detached (safe to retain); callers that run many
+// simulations and want the allocation-free path should hold their own
+// arena via NewSimulator/Bind and use the Run method instead.
 func Run(m Model, p Policy, opts Options) (*Result, error) {
-	s, err := NewSimulator(m, opts)
+	s := simPool.Get().(*Simulator)
+	defer simPool.Put(s)
+	if err := s.Bind(m, opts); err != nil {
+		return nil, err
+	}
+	res, err := s.Run(p)
 	if err != nil {
 		return nil, err
 	}
-	return s.Simulate(p)
+	return res.Clone(), nil
 }
 
 // Graph returns the taskgraph being executed.
@@ -126,11 +320,16 @@ func (s *Simulator) FinishTime(t taskgraph.TaskID) float64 { return s.finishAt[t
 // IsDone reports whether the task has completed.
 func (s *Simulator) IsDone(t taskgraph.TaskID) bool { return s.finishAt[t] >= 0 }
 
-// Simulate drives the event loop to completion and returns the result.
-func (s *Simulator) Simulate(p Policy) (*Result, error) {
+// Run resets the arena and drives the event loop to completion. The
+// returned Result is arena-owned: valid until the next Bind or Run.
+func (s *Simulator) Run(p Policy) (*Result, error) {
 	if p == nil {
 		return nil, fmt.Errorf("machsim: nil policy")
 	}
+	if s.model.Graph == nil {
+		return nil, fmt.Errorf("machsim: unbound simulator (call Bind first)")
+	}
+	s.reset()
 	for !s.tracker.AllDone() {
 		if s.opts.Interrupt != nil {
 			if err := s.opts.Interrupt(); err != nil {
@@ -166,6 +365,9 @@ func (s *Simulator) Simulate(p Policy) (*Result, error) {
 	}
 	return s.result(p), nil
 }
+
+// Simulate is the historical name for Run.
+func (s *Simulator) Simulate(p Policy) (*Result, error) { return s.Run(p) }
 
 func (s *Simulator) handle(ev event) {
 	switch ev.kind {
@@ -211,8 +413,15 @@ func (s *Simulator) finishTask(proc int) {
 // while work remains, the highest-level ready task is placed on the first
 // idle processor so the simulation cannot stall.
 func (s *Simulator) epoch(p Policy, force bool) error {
-	ready := s.tracker.Ready()
-	idle := s.idleProcs()
+	ready := s.tracker.AppendReady(s.readyBuf[:0])
+	s.readyBuf = ready
+	idle := s.idleBuf[:0]
+	for i := range s.procs {
+		if s.procs[i].idle {
+			idle = append(idle, i)
+		}
+	}
+	s.idleBuf = idle
 	if len(ready) == 0 || len(idle) == 0 {
 		if force && s.queue.len() == 0 && !s.tracker.AllDone() {
 			return fmt.Errorf("machsim: stuck at t=%.3f: %d ready, %d idle, nothing in flight",
@@ -220,8 +429,10 @@ func (s *Simulator) epoch(p Policy, force bool) error {
 		}
 		return nil
 	}
-	ep := &Epoch{Time: s.now, Ready: ready, Idle: idle, Sim: s}
-	assignments := p.Assign(ep)
+	s.ep.Time = s.now
+	s.ep.Ready = ready
+	s.ep.Idle = idle
+	assignments := p.Assign(&s.ep)
 	if err := s.checkAssignments(assignments, ready, idle); err != nil {
 		return err
 	}
@@ -248,42 +459,48 @@ func (s *Simulator) epoch(p Policy, force bool) error {
 	return nil
 }
 
-func (s *Simulator) idleProcs() []int {
-	var idle []int
-	for i := range s.procs {
-		if s.procs[i].idle {
-			idle = append(idle, i)
-		}
-	}
-	return idle
-}
-
+// checkAssignments validates the policy's output against the epoch's
+// ready/idle sets using generation-stamped marks instead of per-epoch
+// maps: an entry is set iff its stamp equals the current generation.
 func (s *Simulator) checkAssignments(as []Assignment, ready []taskgraph.TaskID, idle []int) error {
-	readySet := make(map[taskgraph.TaskID]bool, len(ready))
+	s.markGen++
+	gen := s.markGen
 	for _, t := range ready {
-		readySet[t] = true
+		s.readyMark[t] = gen
 	}
-	idleSet := make(map[int]bool, len(idle))
 	for _, p := range idle {
-		idleSet[p] = true
+		s.idleMark[p] = gen
 	}
-	seenT := make(map[taskgraph.TaskID]bool)
-	seenP := make(map[int]bool)
 	for _, a := range as {
 		switch {
-		case !readySet[a.Task]:
+		case int(a.Task) < 0 || int(a.Task) >= s.nt || s.readyMark[a.Task] != gen:
 			return fmt.Errorf("machsim: policy assigned non-ready task %d", a.Task)
-		case !idleSet[a.Proc]:
+		case a.Proc < 0 || a.Proc >= s.np || s.idleMark[a.Proc] != gen:
 			return fmt.Errorf("machsim: policy assigned to non-idle processor %d", a.Proc)
-		case seenT[a.Task]:
+		case s.seenTask[a.Task] == gen:
 			return fmt.Errorf("machsim: policy assigned task %d twice", a.Task)
-		case seenP[a.Proc]:
+		case s.seenProc[a.Proc] == gen:
 			return fmt.Errorf("machsim: policy assigned two tasks to processor %d", a.Proc)
 		}
-		seenT[a.Task] = true
-		seenP[a.Proc] = true
+		s.seenTask[a.Task] = gen
+		s.seenProc[a.Proc] = gen
 	}
 	return nil
+}
+
+// newMessage hands out a message record from the slab, growing it only
+// when the run needs more messages than any previous run.
+func (s *Simulator) newMessage() *message {
+	if s.msgNext < len(s.msgs) {
+		m := s.msgs[s.msgNext]
+		s.msgNext++
+		*m = message{}
+		return m
+	}
+	m := &message{}
+	s.msgs = append(s.msgs, m)
+	s.msgNext++
+	return m
 }
 
 // assign places a ready task on an idle processor at the current time and
@@ -310,12 +527,12 @@ func (s *Simulator) assign(task taskgraph.TaskID, proc int) error {
 			continue // same processor: no message, no cost (δ term of eq. 4)
 		}
 		pending++
-		m := &message{
-			from: h.To,
-			to:   task,
-			path: s.model.Topo.Path(src, proc),
-			xfer: s.model.Comm.TransferTime(h.Bits),
-		}
+		m := s.newMessage()
+		m.from = h.To
+		m.to = task
+		m.cur = src
+		m.dst = proc
+		m.xfer = s.model.Comm.TransferTime(h.Bits)
 		s.messages++
 		// σ send overhead on the source processor, then the message enters
 		// the network.
@@ -406,30 +623,43 @@ var sharedMediumKey = [2]int{-1, -1}
 // link to be free (one message at a time per link; on a bus, one message
 // at a time on the whole medium).
 func (s *Simulator) sendHop(m *message) {
-	u, v := m.path[m.hop], m.path[m.hop+1]
-	key := topology.CanonicalLink(u, v)
-	if s.model.Topo.SharedMedium() {
-		key = sharedMediumKey
-	}
+	next := s.model.Topo.NextHop(m.cur, m.dst)
+	m.nxt = next
 	start := s.now
-	if free := s.linkFree[key]; free > start {
-		start = free
+	if s.model.Topo.SharedMedium() {
+		if s.busFree > start {
+			start = s.busFree
+		}
+		s.busFree = start + m.xfer
+		s.busBusy += m.xfer
+		s.busSeen = true
+	} else {
+		lo, hi := m.cur, next
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		idx := lo*s.np + hi
+		if !s.linkSeen[idx] {
+			s.linkSeen[idx] = true
+			s.touched = append(s.touched, int32(idx))
+		}
+		if s.linkFree[idx] > start {
+			start = s.linkFree[idx]
+		}
+		s.linkFree[idx] = start + m.xfer
+		s.linkBusy[idx] += m.xfer
 	}
-	end := start + m.xfer
-	s.linkFree[key] = end
 	s.xferTime += m.xfer
-	s.linkBusy[key] += m.xfer
-	s.push(event{time: end, kind: evMsgArrive, msg: m})
+	s.push(event{time: start + m.xfer, kind: evMsgArrive, msg: m})
 }
 
 // arrive handles a message reaching the node at the far end of its current
 // link: route onward (τ at the intermediate node) or deliver (τ at the
 // destination).
 func (s *Simulator) arrive(m *message) {
-	m.hop++
-	node := m.path[m.hop]
-	dst := m.path[len(m.path)-1]
-	if node != dst {
+	m.cur = m.nxt
+	node := m.cur
+	if node != m.dst {
 		end := s.charge(node, s.now, s.model.Comm.EffTau(), KindRoute, m)
 		s.push(event{time: end, kind: evMsgReady, msg: m})
 		return
@@ -450,6 +680,8 @@ func (s *Simulator) arrive(m *message) {
 	}
 }
 
+// result rebuilds the arena-owned Result in place. Its slices alias the
+// simulator's buffers; Clone detaches them.
 func (s *Simulator) result(p Policy) *Result {
 	makespan := 0.0
 	for _, f := range s.finishAt {
@@ -458,7 +690,19 @@ func (s *Simulator) result(p Policy) *Result {
 		}
 	}
 	t1 := s.model.Graph.TotalLoad()
-	res := &Result{
+	clear(s.resLinkBusy)
+	for _, idx := range s.touched {
+		s.resLinkBusy[[2]int{int(idx) / s.np, int(idx) % s.np}] = s.linkBusy[idx]
+	}
+	if s.busSeen {
+		s.resLinkBusy[sharedMediumKey] = s.busBusy
+	}
+	s.resProcs = growSlice(s.resProcs, s.np)
+	for i := range s.procs {
+		s.resProcs[i] = s.procs[i].stat
+	}
+	res := &s.res
+	*res = Result{
 		Policy:         p.Name(),
 		Makespan:       makespan,
 		SequentialTime: t1,
@@ -467,28 +711,18 @@ func (s *Simulator) result(p Policy) *Result {
 		OverheadTime:   s.ovhTime,
 		Epochs:         s.epochs,
 		Forced:         s.forced,
-		Start:          append([]float64(nil), s.startAt...),
-		Finish:         append([]float64(nil), s.finishAt...),
-		Proc:           append([]int(nil), s.procOf...),
-		LinkBusy:       s.linkBusy,
+		Start:          s.startAt,
+		Finish:         s.finishAt,
+		Proc:           s.procOf,
+		Procs:          s.resProcs,
+		LinkBusy:       s.resLinkBusy,
 	}
 	if makespan > 0 {
 		res.Speedup = t1 / makespan
 	}
-	res.Procs = make([]ProcStat, len(s.procs))
-	for i := range s.procs {
-		res.Procs[i] = s.procs[i].stat
-	}
 	if s.opts.RecordGantt {
-		sort.Slice(s.gantt, func(i, j int) bool {
-			if s.gantt[i].Proc != s.gantt[j].Proc {
-				return s.gantt[i].Proc < s.gantt[j].Proc
-			}
-			if s.gantt[i].Start != s.gantt[j].Start {
-				return s.gantt[i].Start < s.gantt[j].Start
-			}
-			return s.gantt[i].End < s.gantt[j].End
-		})
+		s.ganttSort.a = s.gantt
+		sort.Sort(&s.ganttSort)
 		res.Gantt = s.gantt
 	}
 	return res

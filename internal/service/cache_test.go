@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/machsim"
 )
 
 func TestCacheLRU(t *testing.T) {
@@ -116,7 +118,7 @@ func TestPoolBoundsConcurrency(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			err := p.Run(context.Background(), func() {
+			err := p.Run(context.Background(), func(*machsim.Simulator) {
 				n := running.Add(1)
 				for {
 					old := peak.Load()
@@ -146,12 +148,12 @@ func TestPoolQueueRespectsContext(t *testing.T) {
 	p := NewPool(1)
 	defer p.Close()
 	release := make(chan struct{})
-	go p.Run(context.Background(), func() { <-release })
+	go p.Run(context.Background(), func(*machsim.Simulator) { <-release })
 	time.Sleep(5 * time.Millisecond) // let the blocker occupy the only worker
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
 	defer cancel()
-	if err := p.Run(ctx, func() {}); err == nil {
+	if err := p.Run(ctx, func(*machsim.Simulator) {}); err == nil {
 		t.Fatal("queued Run outlived its context")
 	}
 	close(release)
@@ -161,7 +163,7 @@ func TestPoolClose(t *testing.T) {
 	p := NewPool(2)
 	p.Close()
 	p.Close() // idempotent
-	if err := p.Run(context.Background(), func() {}); err == nil {
+	if err := p.Run(context.Background(), func(*machsim.Simulator) {}); err == nil {
 		t.Fatal("Run succeeded on a closed pool")
 	}
 }

@@ -43,6 +43,7 @@ type LoadGenReport struct {
 	Requests   int           `json:"requests"`
 	Errors     int           `json:"errors"`
 	CacheHits  int           `json:"cache_hits"`
+	Coalesced  int           `json:"coalesced"`
 	Elapsed    time.Duration `json:"elapsed_ns"`
 	Throughput float64       `json:"requests_per_second"`
 	LatencyP50 time.Duration `json:"latency_p50_ns"`
@@ -53,7 +54,7 @@ type LoadGenReport struct {
 // String renders the report for terminals.
 func (r *LoadGenReport) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "loadgen: %d requests, %d errors, %d cache hits\n", r.Requests, r.Errors, r.CacheHits)
+	fmt.Fprintf(&b, "loadgen: %d requests, %d errors, %d cache hits, %d coalesced\n", r.Requests, r.Errors, r.CacheHits, r.Coalesced)
 	fmt.Fprintf(&b, "  wall time   %12s\n", r.Elapsed.Round(time.Millisecond))
 	fmt.Fprintf(&b, "  throughput  %12.1f req/s\n", r.Throughput)
 	fmt.Fprintf(&b, "  latency p50 %12s\n", r.LatencyP50.Round(time.Microsecond))
@@ -114,7 +115,7 @@ func LoadGen(cfg LoadGenConfig) (*LoadGenReport, error) {
 	url := strings.TrimSuffix(cfg.URL, "/") + "/v1/schedule"
 	client := &http.Client{Timeout: cfg.RequestTimeout}
 	latencies := make([]time.Duration, cfg.Requests)
-	var errCount, hitCount atomic.Int64
+	var errCount, hitCount, coalCount atomic.Int64
 	var next atomic.Int64
 	var wg sync.WaitGroup
 
@@ -142,6 +143,8 @@ func LoadGen(cfg LoadGenConfig) (*LoadGenReport, error) {
 					errCount.Add(1)
 				} else if resp.Header.Get("X-DTServe-Cache") == "hit" {
 					hitCount.Add(1)
+				} else if resp.Header.Get("X-DTServe-Cache") == "coalesced" {
+					coalCount.Add(1)
 				}
 			}
 		}()
@@ -158,6 +161,7 @@ func LoadGen(cfg LoadGenConfig) (*LoadGenReport, error) {
 		Requests:   cfg.Requests,
 		Errors:     int(errCount.Load()),
 		CacheHits:  int(hitCount.Load()),
+		Coalesced:  int(coalCount.Load()),
 		Elapsed:    elapsed,
 		Throughput: float64(cfg.Requests) / elapsed.Seconds(),
 		LatencyP50: pct(0.50),

@@ -1,0 +1,114 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// solveBuckets are the fixed upper bounds (seconds) of the solve-latency
+// histogram, spanning sub-millisecond list-policy solves to multi-second
+// annealing portfolios. Counts are cumulative in the exposition, as
+// Prometheus histograms require.
+var solveBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// histogram is a fixed-bucket latency histogram. Safe for concurrent use.
+type histogram struct {
+	mu     sync.Mutex
+	counts []uint64 // one per bucket, plus a final +Inf bucket
+	sum    float64
+	total  uint64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]uint64, len(solveBuckets)+1)}
+}
+
+// Observe records one duration.
+func (h *histogram) Observe(d time.Duration) {
+	v := d.Seconds()
+	// First bucket whose upper bound admits v; the tail bucket is +Inf.
+	i := sort.SearchFloat64s(solveBuckets, v)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.total++
+	h.mu.Unlock()
+}
+
+// snapshot returns cumulative bucket counts, the value sum and the total
+// observation count.
+func (h *histogram) snapshot() (cum []uint64, sum float64, total uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum = make([]uint64, len(h.counts))
+	var running uint64
+	for i, c := range h.counts {
+		running += c
+		cum[i] = running
+	}
+	return cum, h.sum, h.total
+}
+
+// handleMetrics exports every /statsz counter plus the solve-latency
+// histogram in Prometheus text exposition format, so the service can be
+// scraped without an adapter.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	var b strings.Builder
+
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	counter("dtserve_requests_total", "API calls that reached a handler.", st.Requests)
+	counter("dtserve_failures_total", "Requests answered with a non-2xx status.", st.Failures)
+	counter("dtserve_solves_total", "Solver executions (cache misses that ran a solver).", st.Solves)
+	counter("dtserve_coalesced_total", "Requests answered by piggybacking on an identical in-flight solve.", st.Coalesced)
+
+	fmt.Fprintf(&b, "# HELP dtserve_solves_by_solver_total Solver executions by registry name.\n# TYPE dtserve_solves_by_solver_total counter\n")
+	names := make([]string, 0, len(st.BySolver))
+	for name := range st.BySolver {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "dtserve_solves_by_solver_total{solver=%q} %d\n", name, st.BySolver[name])
+	}
+
+	counter("dtserve_cache_hits_total", "Result cache hits.", st.Cache.Hits)
+	counter("dtserve_cache_misses_total", "Result cache misses.", st.Cache.Misses)
+	counter("dtserve_cache_evictions_total", "Result cache evictions.", st.Cache.Evictions)
+	gauge("dtserve_cache_entries", "Entries currently cached.", int64(st.Cache.Entries))
+	gauge("dtserve_cache_bytes", "Bytes of response bodies currently cached.", st.Cache.Bytes)
+	gauge("dtserve_pool_workers", "Solver pool size.", int64(st.Pool.Workers))
+	gauge("dtserve_pool_busy", "Workers currently running a solve.", st.Pool.Busy)
+	counter("dtserve_pool_completed_total", "Jobs completed by the solver pool.", uint64(st.Pool.Completed))
+
+	cum, sum, total := s.solveLatency.snapshot()
+	fmt.Fprintf(&b, "# HELP dtserve_solve_duration_seconds Wall-clock latency of completed cold solves (queueing + solving + marshaling); count equals dtserve_solves_total.\n")
+	fmt.Fprintf(&b, "# TYPE dtserve_solve_duration_seconds histogram\n")
+	for i, ub := range solveBuckets {
+		fmt.Fprintf(&b, "dtserve_solve_duration_seconds_bucket{le=%q} %d\n", trimFloat(ub), cum[i])
+	}
+	fmt.Fprintf(&b, "dtserve_solve_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum[len(cum)-1])
+	fmt.Fprintf(&b, "dtserve_solve_duration_seconds_sum %g\n", sum)
+	fmt.Fprintf(&b, "dtserve_solve_duration_seconds_count %d\n", total)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// trimFloat renders a bucket bound the way Prometheus clients expect
+// ("0.005", "1", "2.5").
+func trimFloat(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.4f", v), "0"), ".")
+}

@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/machsim"
 )
 
 // Pool bounds solver concurrency: a fixed set of workers drains an
@@ -14,6 +16,12 @@ import (
 // the serving-side analogue of the experiment harness's parallelFor
 // fan-out, with the same property that results never depend on which
 // worker runs a job.
+//
+// Every worker owns one machsim simulator arena for its lifetime and
+// hands it to each job it runs: back-to-back solves on a worker rebind
+// the same warm buffers instead of rebuilding simulator state per
+// request. Arena reuse never leaks state between jobs (Bind+Run fully
+// reset it), so results stay independent of worker placement.
 type Pool struct {
 	jobs      chan poolJob
 	quit      chan struct{}
@@ -25,7 +33,7 @@ type Pool struct {
 }
 
 type poolJob struct {
-	fn   func()
+	fn   func(sim *machsim.Simulator)
 	done chan struct{}
 }
 
@@ -49,11 +57,12 @@ func NewPool(workers int) *Pool {
 
 func (p *Pool) worker() {
 	defer p.wg.Done()
+	sim := machsim.NewArena() // worker-owned, reused across jobs
 	for {
 		select {
 		case job := <-p.jobs:
 			p.busy.Add(1)
-			job.fn()
+			job.fn(sim)
 			p.busy.Add(-1)
 			p.completed.Add(1)
 			close(job.done)
@@ -63,11 +72,12 @@ func (p *Pool) worker() {
 	}
 }
 
-// Run executes fn on a pool worker and waits for it to finish. The
-// context only bounds the wait for a free worker: once fn starts it runs
-// to completion (fn itself is expected to honor ctx, e.g. through the
-// solver interrupt hooks).
-func (p *Pool) Run(ctx context.Context, fn func()) error {
+// Run executes fn on a pool worker — handing it the worker's simulator
+// arena — and waits for it to finish. The context only bounds the wait
+// for a free worker: once fn starts it runs to completion (fn itself is
+// expected to honor ctx, e.g. through the solver interrupt hooks). The
+// arena is only valid inside fn; fn must not retain it.
+func (p *Pool) Run(ctx context.Context, fn func(sim *machsim.Simulator)) error {
 	job := poolJob{fn: fn, done: make(chan struct{})}
 	select {
 	case p.jobs <- job:

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/cliutil"
 	"repro/internal/core"
+	"repro/internal/machsim"
 	"repro/internal/solver"
 	"repro/internal/topology"
 )
@@ -40,25 +41,38 @@ type Config struct {
 // behind the HTTP API. Create with New, expose with Handler, stop with
 // Close.
 type Server struct {
-	cfg   Config
-	pool  *Pool
-	cache *Cache
+	cfg          Config
+	pool         *Pool
+	cache        *Cache
+	solveLatency *histogram
 
-	mu       sync.Mutex
-	requests uint64            // API calls that reached a handler
-	failures uint64            // requests answered with a non-2xx status
-	solves   uint64            // solver executions (cache misses)
-	bySolver map[string]uint64 // solves by registry name
+	mu        sync.Mutex
+	requests  uint64             // API calls that reached a handler
+	failures  uint64             // requests answered with a non-2xx status
+	solves    uint64             // solver executions (cache misses)
+	coalesced uint64             // requests that piggybacked on an in-flight solve
+	bySolver  map[string]uint64  // solves by registry name
+	inflight  map[string]*flight // singleflight: one solve per cache key
+}
+
+// flight is one in-flight solve that concurrent identical requests wait
+// on: the leader fills body/err and closes done; every waiter then
+// replays the same bytes.
+type flight struct {
+	done chan struct{}
+	body []byte
+	err  error
 }
 
 // Stats is the /statsz payload.
 type Stats struct {
-	Requests uint64            `json:"requests"`
-	Failures uint64            `json:"failures"`
-	Solves   uint64            `json:"solves"`
-	BySolver map[string]uint64 `json:"by_solver"`
-	Cache    CacheStats        `json:"cache"`
-	Pool     PoolStats         `json:"pool"`
+	Requests  uint64            `json:"requests"`
+	Failures  uint64            `json:"failures"`
+	Solves    uint64            `json:"solves"`
+	Coalesced uint64            `json:"coalesced"`
+	BySolver  map[string]uint64 `json:"by_solver"`
+	Cache     CacheStats        `json:"cache"`
+	Pool      PoolStats         `json:"pool"`
 }
 
 // New validates the configuration and starts the worker pool.
@@ -73,10 +87,12 @@ func New(cfg Config) (*Server, error) {
 		cfg.MaxBatch = 256
 	}
 	return &Server{
-		cfg:      cfg,
-		pool:     NewPool(cfg.Workers),
-		cache:    NewCache(cfg.CacheSize, cfg.CacheBytes),
-		bySolver: make(map[string]uint64),
+		cfg:          cfg,
+		pool:         NewPool(cfg.Workers),
+		cache:        NewCache(cfg.CacheSize, cfg.CacheBytes),
+		solveLatency: newHistogram(),
+		bySolver:     make(map[string]uint64),
+		inflight:     make(map[string]*flight),
 	}, nil
 }
 
@@ -92,12 +108,13 @@ func (s *Server) Stats() Stats {
 		by[k] = v
 	}
 	return Stats{
-		Requests: s.requests,
-		Failures: s.failures,
-		Solves:   s.solves,
-		BySolver: by,
-		Cache:    s.cache.Stats(),
-		Pool:     s.pool.Stats(),
+		Requests:  s.requests,
+		Failures:  s.failures,
+		Solves:    s.solves,
+		Coalesced: s.coalesced,
+		BySolver:  by,
+		Cache:     s.cache.Stats(),
+		Pool:      s.pool.Stats(),
 	}
 }
 
@@ -110,6 +127,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/solvers", s.handleSolvers)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s.logged(mux)
 }
 
@@ -201,17 +219,13 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequest("decode request: %v", err))
 		return
 	}
-	body, hit, err := s.process(r.Context(), &req)
+	body, status, err := s.process(r.Context(), &req)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	if hit {
-		w.Header().Set("X-DTServe-Cache", "hit")
-	} else {
-		w.Header().Set("X-DTServe-Cache", "miss")
-	}
+	w.Header().Set("X-DTServe-Cache", status)
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(body)
 }
@@ -249,25 +263,27 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 // process turns one wire request into marshaled result bytes: validate,
-// consult the content-addressed cache, and on a miss run the named solver
-// on the worker pool and store the bytes. The bool reports a cache hit.
-func (s *Server) process(ctx context.Context, req *ScheduleRequest) ([]byte, bool, error) {
+// consult the content-addressed cache, collapse onto an identical
+// in-flight solve when one exists (singleflight), and otherwise run the
+// named solver on the worker pool and store the bytes. The string reports
+// how the body was obtained: "hit", "miss" or "coalesced".
+func (s *Server) process(ctx context.Context, req *ScheduleRequest) ([]byte, string, error) {
 	if req.Graph == nil {
-		return nil, false, badRequest("missing graph")
+		return nil, "", badRequest("missing graph")
 	}
 	if req.Topo == "" {
-		return nil, false, badRequest("missing topo spec")
+		return nil, "", badRequest("missing topo spec")
 	}
 	topo, err := cliutil.ParseTopology(req.Topo)
 	if err != nil {
-		return nil, false, badRequest("%v", err)
+		return nil, "", badRequest("%v", err)
 	}
 	comm := req.Comm.apply(topology.DefaultCommParams())
 	if req.NoComm {
 		comm = comm.NoComm()
 	}
 	if err := comm.Validate(); err != nil {
-		return nil, false, badRequest("%v", err)
+		return nil, "", badRequest("%v", err)
 	}
 
 	solverName := req.Solver
@@ -276,7 +292,7 @@ func (s *Server) process(ctx context.Context, req *ScheduleRequest) ([]byte, boo
 	}
 	slv, err := solver.Get(solverName)
 	if err != nil {
-		return nil, false, badRequest("%v", err)
+		return nil, "", badRequest("%v", err)
 	}
 
 	saOpt := core.DefaultOptions()
@@ -286,27 +302,96 @@ func (s *Server) process(ctx context.Context, req *ScheduleRequest) ([]byte, boo
 		saOpt.Wc = 1 - *req.Wb
 	}
 	if req.Restarts < 0 || req.Restarts > maxRestarts {
-		return nil, false, badRequest("restarts %d out of range [0,%d]", req.Restarts, maxRestarts)
+		return nil, "", badRequest("restarts %d out of range [0,%d]", req.Restarts, maxRestarts)
 	}
 	saOpt.Restarts = req.Restarts
 	if err := saOpt.Validate(); err != nil {
-		return nil, false, badRequest("%v", err)
+		return nil, "", badRequest("%v", err)
 	}
 
 	sreq := solver.Request{Graph: req.Graph, Topo: topo, Comm: comm, SA: saOpt}
 	if err := sreq.Validate(); err != nil {
-		return nil, false, badRequest("%v", err)
+		return nil, "", badRequest("%v", err)
 	}
 
 	key, err := cacheKey(req.Graph, topo.Name(), comm, slv.Name(), saOpt, req.TimeoutMS)
 	if err != nil {
-		return nil, false, fmt.Errorf("service: cache key: %w", err)
+		return nil, "", fmt.Errorf("service: cache key: %w", err)
 	}
 	if !req.NoCache {
-		if body, ok := s.cache.Get(key); ok {
-			return body, true, nil
+		// Singleflight: the in-flight check and the cache consult happen
+		// under one lock, ordered against the leader's cache.Put (inside
+		// solve) happening before its inflight delete (deferred): a
+		// request that finds no flight either hits the filled cache or
+		// becomes the new leader — it can never re-solve a key whose
+		// leader just finished. NoCache requests opt out — they
+		// explicitly asked for their own solve.
+		s.mu.Lock()
+		if f, ok := s.inflight[key]; ok {
+			s.coalesced++
+			s.mu.Unlock()
+			select {
+			case <-f.done:
+				if f.err != nil {
+					if isLeaderContextError(f.err) {
+						// The leader died of its own context (client
+						// disconnect, per-request deadline) — a verdict
+						// about the leader's connection, not this
+						// waiter's. Solve independently under our own
+						// context instead of propagating it.
+						body, err := s.solve(ctx, slv, sreq, req, topo.Name(), key)
+						return body, "miss", err
+					}
+					return nil, "", f.err
+				}
+				return f.body, "coalesced", nil
+			case <-ctx.Done():
+				return nil, "", &httpError{status: http.StatusServiceUnavailable,
+					msg: fmt.Sprintf("service: coalesced wait: %v", ctx.Err())}
+			}
 		}
+		if body, ok := s.cache.Get(key); ok {
+			s.mu.Unlock()
+			return body, "hit", nil
+		}
+		// err is pre-set so that a leader that dies without filling the
+		// flight (e.g. a panic unwinding through the handler) fails its
+		// waiters instead of handing them an empty 200.
+		f := &flight{done: make(chan struct{}),
+			err: &httpError{status: http.StatusInternalServerError, msg: "service: in-flight solve abandoned"}}
+		s.inflight[key] = f
+		s.mu.Unlock()
+		defer func() {
+			s.mu.Lock()
+			delete(s.inflight, key)
+			s.mu.Unlock()
+			close(f.done)
+		}()
+		body, err := s.solve(ctx, slv, sreq, req, topo.Name(), key)
+		f.body, f.err = body, err
+		return body, "miss", err
 	}
+	body, err := s.solve(ctx, slv, sreq, req, topo.Name(), key)
+	return body, "miss", err
+}
+
+// isLeaderContextError reports whether a flight failed because the
+// leader's own context ended: a 504 (solve interrupted by
+// cancellation/deadline) or a 503 (never got a worker before its context
+// expired). Waiters retry those under their own contexts.
+func isLeaderContextError(err error) bool {
+	var he *httpError
+	if !errors.As(err, &he) {
+		return false
+	}
+	return he.status == http.StatusGatewayTimeout || he.status == http.StatusServiceUnavailable
+}
+
+// solve runs one cold request on the worker pool (reusing the worker's
+// simulator arena), marshals the wire result, records the solve latency,
+// and stores cacheable bodies.
+func (s *Server) solve(ctx context.Context, slv solver.Solver, sreq solver.Request,
+	req *ScheduleRequest, topoName, key string) ([]byte, error) {
 
 	deadlined := false
 	if req.TimeoutMS > 0 {
@@ -323,13 +408,17 @@ func (s *Server) process(ctx context.Context, req *ScheduleRequest) ([]byte, boo
 
 	var body []byte
 	var solveErr error
-	runErr := s.pool.Run(ctx, func() {
+	raced := false
+	start := time.Now()
+	runErr := s.pool.Run(ctx, func(sim *machsim.Simulator) {
+		sreq.Arena = sim
 		res, err := slv.Solve(ctx, sreq)
 		if err != nil {
 			solveErr = err
 			return
 		}
-		wire, err := ResultFromSim(res, req.Graph, topo.Name())
+		raced = res.Raced
+		wire, err := ResultFromSim(res, req.Graph, topoName)
 		if err != nil {
 			solveErr = err
 			return
@@ -337,26 +426,32 @@ func (s *Server) process(ctx context.Context, req *ScheduleRequest) ([]byte, boo
 		body, solveErr = json.Marshal(wire)
 	})
 	if runErr != nil {
-		return nil, false, &httpError{status: http.StatusServiceUnavailable, msg: runErr.Error()}
+		return nil, &httpError{status: http.StatusServiceUnavailable, msg: runErr.Error()}
 	}
 	if solveErr != nil {
 		status := http.StatusUnprocessableEntity
 		if errors.Is(solveErr, context.DeadlineExceeded) || errors.Is(solveErr, context.Canceled) {
 			status = http.StatusGatewayTimeout
 		}
-		return nil, false, &httpError{status: status, msg: solveErr.Error()}
+		return nil, &httpError{status: status, msg: solveErr.Error()}
 	}
 
-	// A deadline-raced portfolio result depends on which members beat the
-	// clock, not just on the payload — caching it would replay a
-	// timing-dependent body to every future caller of the key, so only
-	// deterministic results are memoized.
-	if !(deadlined && slv.Name() == "portfolio") {
+	// A timing-dependent result — a portfolio raced against the request
+	// deadline, or one resolved by lower-bound early cancellation
+	// (Result.Raced) — depends on which members beat the clock, not just
+	// on the payload. Caching it would replay a timing fact to every
+	// future caller of the key, so only deterministic results are
+	// memoized.
+	if !(deadlined && slv.Name() == "portfolio") && !raced {
 		s.cache.Put(key, body)
 	}
+	// Observed only for completed solves, so the histogram count equals
+	// dtserve_solves_total and queue-timeout artifacts never pollute the
+	// latency distribution.
+	s.solveLatency.Observe(time.Since(start))
 	s.mu.Lock()
 	s.solves++
 	s.bySolver[slv.Name()]++
 	s.mu.Unlock()
-	return body, false, nil
+	return body, nil
 }

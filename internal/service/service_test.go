@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/cliutil"
 	"repro/internal/core"
@@ -393,18 +394,23 @@ func TestLoadGen(t *testing.T) {
 	if report.Errors != 0 {
 		t.Fatalf("loadgen saw %d errors", report.Errors)
 	}
-	// Every 200 is either a warm hit or a solve; concurrent cold requests
-	// for the same key may each solve (no singleflight yet), so assert the
-	// exact conservation law rather than a hit-ratio guess.
+	// Every 200 is a warm hit, a solve, or a request coalesced onto an
+	// identical in-flight solve (singleflight) — assert the exact
+	// conservation law rather than a hit-ratio guess.
 	st := svc.Stats()
-	if int(st.Solves)+int(st.Cache.Hits) != report.Requests {
-		t.Errorf("solves %d + hits %d != requests %d", st.Solves, st.Cache.Hits, report.Requests)
+	if int(st.Solves)+int(st.Cache.Hits)+int(st.Coalesced) != report.Requests {
+		t.Errorf("solves %d + hits %d + coalesced %d != requests %d",
+			st.Solves, st.Cache.Hits, st.Coalesced, report.Requests)
 	}
 	if report.CacheHits != int(st.Cache.Hits) {
 		t.Errorf("client saw %d hits, server counted %d", report.CacheHits, st.Cache.Hits)
 	}
-	if st.Solves < 3 {
-		t.Errorf("fewer solves (%d) than distinct payloads (3)", st.Solves)
+	if report.Coalesced != int(st.Coalesced) {
+		t.Errorf("client saw %d coalesced, server counted %d", report.Coalesced, st.Coalesced)
+	}
+	// Singleflight bounds the work: exactly one solve per distinct key.
+	if st.Solves != 3 {
+		t.Errorf("solves (%d) != distinct payloads (3)", st.Solves)
 	}
 	if report.CacheHits == 0 {
 		t.Errorf("no cache hits across %d requests of 3 payloads", report.Requests)
@@ -546,5 +552,180 @@ func TestDeadlinedPortfolioNotCached(t *testing.T) {
 	resp, _ := post(t, ts.URL+"/v1/schedule", free)
 	if resp.Header.Get("X-DTServe-Cache") != "hit" {
 		t.Fatal("deadline-free portfolio was not cached")
+	}
+}
+
+// TestSingleflightCoalescesConcurrentMisses is the singleflight
+// acceptance test: many concurrent identical cold requests perform
+// exactly one solve per distinct cache key, and every caller receives the
+// same byte-identical body.
+func TestSingleflightCoalescesConcurrentMisses(t *testing.T) {
+	_, ts := newTestServer(t, Config{CacheSize: 64})
+	payloads := [][]byte{
+		wireRequest(t, "FFT", nil),
+		wireRequest(t, "NE", nil),
+	}
+	const perKey = 8
+	total := perKey * len(payloads)
+	bodies := make([][]byte, total)
+	var wg sync.WaitGroup
+	for i := 0; i < total; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, body := post(t, ts.URL+"/v1/schedule", payloads[i%len(payloads)])
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("request %d: status %d: %s", i, resp.StatusCode, body)
+				return
+			}
+			switch got := resp.Header.Get("X-DTServe-Cache"); got {
+			case "hit", "miss", "coalesced":
+			default:
+				t.Errorf("request %d: unknown cache status %q", i, got)
+			}
+			bodies[i] = body
+		}(i)
+	}
+	wg.Wait()
+	for i := range bodies {
+		if !bytes.Equal(bodies[i], bodies[i%len(payloads)]) {
+			t.Fatalf("request %d body differs from its key's first body", i)
+		}
+	}
+	st := getStats(t, ts.URL)
+	if st.Solves != uint64(len(payloads)) {
+		t.Fatalf("solves = %d, want %d (one per distinct key)", st.Solves, len(payloads))
+	}
+	// Every non-leader request was answered from the cache or from the
+	// in-flight solve; nothing solved twice.
+	if st.Cache.Hits+st.Coalesced != uint64(total-len(payloads)) {
+		t.Fatalf("hits %d + coalesced %d != %d", st.Cache.Hits, st.Coalesced, total-len(payloads))
+	}
+}
+
+// TestSingleflightWaiterReplaysLeaderBytes pins the waiter path
+// deterministically: a request whose key already has a registered flight
+// must wait for it and replay its bytes verbatim, marked "coalesced".
+func TestSingleflightWaiterReplaysLeaderBytes(t *testing.T) {
+	svc, ts := newTestServer(t, Config{CacheSize: 64})
+	g, err := cliutil.BuildProgram("FFT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := cliutil.ParseTopology("hypercube:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	saOpt := saDefaults()
+	saOpt.Seed = 1991
+	saOpt.Restarts = 2
+	key, err := cacheKey(g, topo.Name(), cliutilComm(), "sa", saOpt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fake := []byte(`{"stub":"from-leader"}`)
+	f := &flight{done: make(chan struct{})}
+	svc.mu.Lock()
+	svc.inflight[key] = f
+	svc.mu.Unlock()
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		f.body = fake
+		svc.mu.Lock()
+		delete(svc.inflight, key)
+		svc.mu.Unlock()
+		close(f.done)
+	}()
+	resp, body := post(t, ts.URL+"/v1/schedule", wireRequest(t, "FFT", nil))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-DTServe-Cache"); got != "coalesced" {
+		t.Fatalf("cache status %q, want coalesced", got)
+	}
+	if !bytes.Equal(body, fake) {
+		t.Fatalf("waiter body %q, want the leader's bytes", body)
+	}
+	if st := getStats(t, ts.URL); st.Coalesced != 1 || st.Solves != 0 {
+		t.Fatalf("coalesced=%d solves=%d, want 1 and 0", st.Coalesced, st.Solves)
+	}
+}
+
+// TestMetricsEndpoint scrapes /metrics and checks the exposition carries
+// the counters and the solve-latency histogram.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{CacheSize: 16})
+	post(t, ts.URL+"/v1/schedule", wireRequest(t, "FFT", func(r *ScheduleRequest) { r.Solver = "hlf" }))
+	post(t, ts.URL+"/v1/schedule", wireRequest(t, "FFT", func(r *ScheduleRequest) { r.Solver = "hlf" })) // warm hit
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE dtserve_requests_total counter",
+		"dtserve_solves_total 1",
+		"dtserve_cache_hits_total 1",
+		"dtserve_coalesced_total 0",
+		`dtserve_solves_by_solver_total{solver="hlf"} 1`,
+		"dtserve_solve_duration_seconds_bucket{le=\"+Inf\"} 1",
+		"dtserve_solve_duration_seconds_count 1",
+		"# TYPE dtserve_solve_duration_seconds histogram",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q\n%s", want, text)
+		}
+	}
+
+	// Bucket counts must be cumulative: the +Inf bucket equals the count.
+	if !strings.Contains(text, `dtserve_solve_duration_seconds_bucket{le="0.001"}`) {
+		t.Error("first latency bucket missing")
+	}
+}
+
+// TestRacedPortfolioNotCached: a portfolio resolved by lower-bound early
+// cancellation is timing-dependent, so its result is served but never
+// memoized — the same rule as a deadline race.
+func TestRacedPortfolioNotCached(t *testing.T) {
+	_, ts := newTestServer(t, Config{CacheSize: 16})
+	// Six independent equal tasks on 8 processors without communication:
+	// the lower bound max(longest task, T1/8) = 5 is achieved by every
+	// list policy, so the portfolio early-cancels on the first finisher.
+	g := taskgraph.New("independent")
+	for i := 0; i < 6; i++ {
+		g.AddTask(fmt.Sprintf("t%d", i), 5)
+	}
+	req := ScheduleRequest{Graph: g, Topo: "hypercube:3", Solver: "portfolio", NoComm: true}
+	payload, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		resp, body := post(t, ts.URL+"/v1/schedule", payload)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("call %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		if got := resp.Header.Get("X-DTServe-Cache"); got != "miss" {
+			t.Fatalf("call %d: early-cancelled portfolio served from cache (%q)", i, got)
+		}
+		var res Result
+		if err := json.Unmarshal(body, &res); err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Makespan-5) > 1e-9 {
+			t.Fatalf("call %d: makespan %g, want the lower bound 5", i, res.Makespan)
+		}
+	}
+	if st := getStats(t, ts.URL); st.Solves != 2 {
+		t.Fatalf("solves=%d, want 2 (raced results are not memoized)", st.Solves)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/machsim"
 )
@@ -20,12 +21,21 @@ var PortfolioMembers = []string{"sa", "etf", "hlfcomm", "hlf", "optimal"}
 // request context and returns the best (lowest finish time) completed
 // result. Members that error — including those cancelled by the deadline —
 // are skipped; the call only fails when every member fails.
+//
+// Early cancellation: the makespan of any schedule is bounded below by
+// max(critical path, total work / processors) over the taskgraph. As soon
+// as one member completes at that bound its makespan cannot be beaten, so
+// the remaining members are cancelled through their Interrupt hooks
+// instead of running out the deadline. Which members finish before the
+// cancellation lands is a wall-clock fact, so such results carry
+// Result.Raced — the service serves them but never caches them (the same
+// rule deadline-raced portfolio results already follow).
 type portfolioSolver struct{}
 
 func (portfolioSolver) Name() string { return "portfolio" }
 
 func (portfolioSolver) Description() string {
-	return fmt.Sprintf("races %s concurrently under the request deadline and returns the best finish time",
+	return fmt.Sprintf("races %s concurrently under the request deadline, cancelling the field once a member reaches the graph's lower bound, and returns the best finish time",
 		strings.Join(PortfolioMembers, ", "))
 }
 
@@ -47,6 +57,15 @@ func (portfolioSolver) Solve(ctx context.Context, req Request) (*machsim.Result,
 		members = append(members, s)
 	}
 
+	// Members race concurrently: they must not share the caller's arena.
+	mreq := req
+	mreq.Arena = nil
+
+	lb, lbErr := req.Graph.LowerBoundMakespan(req.Topo.N())
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var raced atomic.Bool
 	results := make([]*machsim.Result, len(members))
 	errs := make([]error, len(members))
 	var wg sync.WaitGroup
@@ -54,7 +73,13 @@ func (portfolioSolver) Solve(ctx context.Context, req Request) (*machsim.Result,
 		wg.Add(1)
 		go func(i int, s Solver) {
 			defer wg.Done()
-			results[i], errs[i] = s.Solve(ctx, req)
+			results[i], errs[i] = s.Solve(cctx, mreq)
+			if errs[i] == nil && lbErr == nil && results[i].Makespan <= lb+1e-9 {
+				// Store before cancel: anyone observing the cancellation
+				// also sees that an early cancel (not the deadline) fired.
+				raced.Store(true)
+				cancel()
+			}
 		}(i, s)
 	}
 	wg.Wait()
@@ -71,5 +96,17 @@ func (portfolioSolver) Solve(ctx context.Context, req Request) (*machsim.Result,
 	if best < 0 {
 		return nil, fmt.Errorf("solver: every portfolio member failed: %w", errors.Join(errs...))
 	}
-	return results[best], nil
+	out := results[best]
+	// Raced is set whenever the early cancel fired, even if every member
+	// happened to outrun the cancellation (in which case this particular
+	// outcome was the deterministic best-of-all): whether a member gets
+	// dropped is itself a timing fact, so flagging on the trigger rather
+	// than the casualty count keeps the cacheability verdict for a given
+	// request deterministic. The cost is bounded — the only requests this
+	// leaves uncached are those whose optimum equals the trivial lower
+	// bound, i.e. the cheapest ones to re-solve.
+	if raced.Load() {
+		out.Raced = true
+	}
+	return out, nil
 }

@@ -42,6 +42,15 @@ type Request struct {
 	// Sim configures the execution simulator (e.g. RecordGantt). The
 	// Interrupt hook is chained with the Solve context's cancellation.
 	Sim machsim.Options
+	// Arena, when non-nil, is a caller-owned simulator arena the solve
+	// reuses instead of drawing one from the shared pool: the service's
+	// worker goroutines each own one, so back-to-back solves on a worker
+	// reuse warm buffers. The arena is rebound to this request's model, so
+	// it carries no state between problems and never changes the result.
+	// It must not be shared by concurrent solves; the portfolio therefore
+	// strips it from the member requests it races. Results produced
+	// through an arena are detached copies, exactly like the pooled path.
+	Arena *machsim.Simulator
 }
 
 // Validate reports whether the request can be solved at all.
@@ -122,7 +131,8 @@ func (p policySolver) Solve(ctx context.Context, req Request) (*machsim.Result, 
 }
 
 // simulate runs the machine simulator with the context's cancellation
-// chained into the simulator's interrupt hook.
+// chained into the simulator's interrupt hook, on the request's arena
+// when one is provided and the shared pool otherwise.
 func simulate(ctx context.Context, pol machsim.Policy, req Request) (*machsim.Result, error) {
 	opts := req.Sim
 	prev := opts.Interrupt
@@ -134,7 +144,18 @@ func simulate(ctx context.Context, pol machsim.Policy, req Request) (*machsim.Re
 		}
 		return ctx.Err()
 	}
-	return machsim.Run(machsim.Model{Graph: req.Graph, Topo: req.Topo, Comm: req.Comm}, pol, opts)
+	model := machsim.Model{Graph: req.Graph, Topo: req.Topo, Comm: req.Comm}
+	if req.Arena != nil {
+		if err := req.Arena.Bind(model, opts); err != nil {
+			return nil, err
+		}
+		res, err := req.Arena.Run(pol)
+		if err != nil {
+			return nil, err
+		}
+		return res.Clone(), nil
+	}
+	return machsim.Run(model, pol, opts)
 }
 
 // registry holds the solvers in a stable listing order.

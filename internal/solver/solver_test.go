@@ -3,6 +3,7 @@ package solver
 import (
 	"context"
 	"math"
+	"reflect"
 	"testing"
 
 	"repro/internal/core"
@@ -222,3 +223,80 @@ func TestRequestValidation(t *testing.T) {
 }
 
 var _ machsim.Policy = (*core.Scheduler)(nil)
+
+// TestPortfolioEarlyCancelAtLowerBound: when a member reaches the graph's
+// makespan lower bound its result cannot be beaten, the portfolio cancels
+// the field, and the result is flagged Raced (timing-dependent identity).
+func TestPortfolioEarlyCancelAtLowerBound(t *testing.T) {
+	g := taskgraph.New("independent")
+	for i := 0; i < 6; i++ {
+		g.AddTask("t", 5)
+	}
+	topo, err := topology.Hypercube(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultOptions()
+	opt.Seed = 1
+	req := Request{Graph: g, Topo: topo, Comm: topology.DefaultCommParams().NoComm(), SA: opt}
+	res, err := Solve(context.Background(), "portfolio", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// lb = max(longest task, T1/P) = max(5, 30/8) = 5.
+	if math.Abs(res.Makespan-5) > 1e-9 {
+		t.Fatalf("makespan %g, want the lower bound 5", res.Makespan)
+	}
+	if !res.Raced {
+		t.Fatal("lower-bound finish did not flag the result as raced")
+	}
+}
+
+// TestPortfolioNotRacedAwayFromLowerBound: when no member can reach the
+// bound the portfolio runs every member out and stays deterministic.
+func TestPortfolioNotRacedAwayFromLowerBound(t *testing.T) {
+	g := taskgraph.New("three-on-two")
+	for i := 0; i < 3; i++ {
+		g.AddTask("t", 10)
+	}
+	topo, err := topology.Hypercube(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultOptions()
+	opt.Seed = 1
+	req := Request{Graph: g, Topo: topo, Comm: topology.DefaultCommParams().NoComm(), SA: opt}
+	res, err := Solve(context.Background(), "portfolio", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// lb = max(10, 30/2) = 15 is unreachable: three equal tasks on two
+	// processors finish at 20.
+	if math.Abs(res.Makespan-20) > 1e-9 {
+		t.Fatalf("makespan %g, want 20", res.Makespan)
+	}
+	if res.Raced {
+		t.Fatal("bound-unreachable portfolio flagged as raced")
+	}
+}
+
+// TestArenaSolveMatchesPooledSolve: a solve through a caller-owned arena
+// is byte-identical to the pooled path for every policy-backed solver.
+func TestArenaSolveMatchesPooledSolve(t *testing.T) {
+	arena := machsim.NewArena()
+	for _, name := range []string{"sa", "hlf", "etf", "hlfcomm", "lpt", "misf", "fifo", "random"} {
+		req := testRequest(t, "FFT", false)
+		req.Arena = arena
+		got, err := Solve(context.Background(), name, req)
+		if err != nil {
+			t.Fatalf("%s (arena): %v", name, err)
+		}
+		want, err := Solve(context.Background(), name, testRequest(t, "FFT", false))
+		if err != nil {
+			t.Fatalf("%s (pooled): %v", name, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: arena solve diverged from pooled solve", name)
+		}
+	}
+}

@@ -1,20 +1,23 @@
 package taskgraph
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 // ReadyTracker maintains the set of ready tasks (tasks whose predecessors
 // have all completed) as execution progresses. It is the bookkeeping behind
 // the paper's annealing packets: "the ready tasks have no unfinished
 // predecessors" (§4.1).
+//
+// The tracker is arena-friendly: the ready set is the state array itself
+// (no map), Reset rewinds it to the initial state without allocating, and
+// AppendReady/Complete reuse caller- or tracker-owned buffers so a warm
+// simulation loop performs no heap allocations.
 type ReadyTracker struct {
 	g         *Graph
 	remaining []int  // unfinished predecessor count per task
 	state     []byte // 0 = waiting, 1 = ready, 2 = claimed, 3 = done
-	ready     map[TaskID]struct{}
+	numReady  int
 	done      int
+	newlyBuf  []TaskID // reusable Complete output buffer
 }
 
 const (
@@ -31,31 +34,63 @@ func NewReadyTracker(g *Graph) *ReadyTracker {
 		g:         g,
 		remaining: make([]int, n),
 		state:     make([]byte, n),
-		ready:     make(map[TaskID]struct{}),
 	}
-	for i := 0; i < n; i++ {
-		rt.remaining[i] = g.InDegree(TaskID(i))
-		if rt.remaining[i] == 0 {
-			rt.state[i] = stReady
-			rt.ready[TaskID(i)] = struct{}{}
-		}
-	}
+	rt.Reset()
 	return rt
 }
 
-// Ready returns the currently ready (and unclaimed) tasks in ascending ID
-// order.
-func (rt *ReadyTracker) Ready() []TaskID {
-	out := make([]TaskID, 0, len(rt.ready))
-	for id := range rt.ready {
-		out = append(out, id)
+// Rebind points the tracker at a (possibly different) graph and resets
+// it, growing the per-task buffers only when the new graph is larger than
+// any seen before.
+func (rt *ReadyTracker) Rebind(g *Graph) {
+	rt.g = g
+	n := g.NumTasks()
+	if cap(rt.state) < n {
+		rt.remaining = make([]int, n)
+		rt.state = make([]byte, n)
+	} else {
+		rt.remaining = rt.remaining[:n]
+		rt.state = rt.state[:n]
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	rt.Reset()
+}
+
+// Reset rewinds the tracker to its initial state (every root ready,
+// nothing done) without allocating, so one tracker serves many runs.
+func (rt *ReadyTracker) Reset() {
+	rt.numReady = 0
+	rt.done = 0
+	for i := range rt.state {
+		rt.remaining[i] = rt.g.InDegree(TaskID(i))
+		if rt.remaining[i] == 0 {
+			rt.state[i] = stReady
+			rt.numReady++
+		} else {
+			rt.state[i] = stWaiting
+		}
+	}
+}
+
+// Ready returns the currently ready (and unclaimed) tasks in ascending ID
+// order as a fresh slice.
+func (rt *ReadyTracker) Ready() []TaskID {
+	return rt.AppendReady(make([]TaskID, 0, rt.numReady))
+}
+
+// AppendReady appends the ready (unclaimed) tasks to dst in ascending ID
+// order and returns the extended slice. Passing a reusable buffer keeps
+// the call allocation-free once the buffer has grown to the peak size.
+func (rt *ReadyTracker) AppendReady(dst []TaskID) []TaskID {
+	for i, st := range rt.state {
+		if st == stReady {
+			dst = append(dst, TaskID(i))
+		}
+	}
+	return dst
 }
 
 // NumReady returns the number of ready, unclaimed tasks.
-func (rt *ReadyTracker) NumReady() int { return len(rt.ready) }
+func (rt *ReadyTracker) NumReady() int { return rt.numReady }
 
 // IsReady reports whether the task is ready and unclaimed.
 func (rt *ReadyTracker) IsReady(id TaskID) bool { return rt.state[id] == stReady }
@@ -68,7 +103,7 @@ func (rt *ReadyTracker) Claim(id TaskID) error {
 		return fmt.Errorf("taskgraph: claim of task %d in state %d", id, rt.state[id])
 	}
 	rt.state[id] = stClaimed
-	delete(rt.ready, id)
+	rt.numReady--
 	return nil
 }
 
@@ -79,32 +114,39 @@ func (rt *ReadyTracker) Release(id TaskID) error {
 		return fmt.Errorf("taskgraph: release of task %d in state %d", id, rt.state[id])
 	}
 	rt.state[id] = stReady
-	rt.ready[id] = struct{}{}
+	rt.numReady++
 	return nil
 }
 
 // Complete marks a claimed (or ready) task as finished and returns the
-// newly ready successors in ascending ID order.
+// newly ready successors in ascending ID order. The returned slice is a
+// tracker-owned buffer, valid only until the next Complete call; copy it
+// to retain it.
 func (rt *ReadyTracker) Complete(id TaskID) ([]TaskID, error) {
 	switch rt.state[id] {
 	case stClaimed:
 	case stReady:
-		delete(rt.ready, id)
+		rt.numReady--
 	default:
 		return nil, fmt.Errorf("taskgraph: completion of task %d in state %d", id, rt.state[id])
 	}
 	rt.state[id] = stDone
 	rt.done++
-	var newly []TaskID
+	newly := rt.newlyBuf[:0]
 	for _, h := range rt.g.Successors(id) {
 		rt.remaining[h.To]--
 		if rt.remaining[h.To] == 0 {
 			rt.state[h.To] = stReady
-			rt.ready[h.To] = struct{}{}
+			rt.numReady++
+			// Insertion sort keeps ascending ID order; successor lists are
+			// short, and this avoids the per-call sort.Slice closure.
 			newly = append(newly, h.To)
+			for k := len(newly) - 1; k > 0 && newly[k] < newly[k-1]; k-- {
+				newly[k], newly[k-1] = newly[k-1], newly[k]
+			}
 		}
 	}
-	sort.Slice(newly, func(i, j int) bool { return newly[i] < newly[j] })
+	rt.newlyBuf = newly
 	return newly, nil
 }
 

@@ -9,13 +9,30 @@
 //
 // Standard metrics (ns/op, B/op, allocs/op) and custom b.ReportMetric
 // units are both captured.
+//
+// With -compare the tool additionally guards against regressions: the new
+// results are checked against a baseline JSON document (typically the
+// committed BENCH_results.json) and the process exits non-zero when a
+// guarded benchmark regressed — more than -ns-tolerance fractional ns/op
+// growth (<= 0 disables the wall-clock check, which is meaningless at
+// -benchtime 1x on shared runners), or any allocs/op growth beyond
+// -alloc-tolerance (default 0: allocation counts are deterministic, any
+// increase is structural). Benchmark names are compared with their
+// -GOMAXPROCS suffix stripped, and -guard restricts the guarded set to
+// names matching a regular expression.
+//
+//	go run ./tools/benchjson -compare BENCH_results.json \
+//	    -guard 'BenchmarkSimulate' -ns-tolerance 0 < bench.txt > new.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -28,6 +45,11 @@ type Result struct {
 	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Document is the top-level JSON shape.
+type Document struct {
+	Benchmarks []Result `json:"benchmarks"`
 }
 
 // parseLine parses one `BenchmarkX-N  iters  123 ns/op  ...` line; ok is
@@ -68,9 +90,75 @@ func parseLine(line string) (Result, bool) {
 	return res, true
 }
 
-func main() {
+// gomaxprocsSuffix matches the trailing -N go test appends to benchmark
+// names when GOMAXPROCS > 1, so baselines recorded on one machine compare
+// against runs on another.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func baseName(name string) string {
+	return gomaxprocsSuffix.ReplaceAllString(name, "")
+}
+
+// Regression describes one guarded benchmark that got worse.
+type Regression struct {
+	Name   string
+	Metric string // "ns/op" or "allocs/op"
+	Old    float64
+	New    float64
+}
+
+func (r Regression) String() string {
+	if r.Metric == "missing" {
+		return fmt.Sprintf("%s: guarded baseline benchmark absent from this run (renamed or deleted? update the baseline)", r.Name)
+	}
+	return fmt.Sprintf("%s: %s regressed %.6g -> %.6g (%+.1f%%)",
+		r.Name, r.Metric, r.Old, r.New, 100*(r.New-r.Old)/r.Old)
+}
+
+// compare checks the guarded benchmarks of new against old. A benchmark
+// is guarded when its (suffix-stripped) name matches guard; new
+// benchmarks with no baseline entry pass freely, but a guarded baseline
+// entry that disappeared from the fresh run is itself a failure —
+// otherwise deleting or renaming a benchmark would silently disable its
+// guard. When comparing a partial run against a full baseline, scope the
+// guard with -guard to the benchmarks actually run.
+func compare(old, new []Result, guard *regexp.Regexp, nsTolerance, allocTolerance float64) []Regression {
+	baseline := make(map[string]Result, len(old))
+	for _, r := range old {
+		baseline[baseName(r.Name)] = r
+	}
+	seen := make(map[string]bool, len(new))
+	var regs []Regression
+	for _, r := range new {
+		name := baseName(r.Name)
+		seen[name] = true
+		if guard != nil && !guard.MatchString(name) {
+			continue
+		}
+		b, ok := baseline[name]
+		if !ok {
+			continue
+		}
+		if nsTolerance > 0 && b.NsPerOp > 0 && r.NsPerOp > b.NsPerOp*(1+nsTolerance) {
+			regs = append(regs, Regression{Name: name, Metric: "ns/op", Old: b.NsPerOp, New: r.NsPerOp})
+		}
+		if b.AllocsPerOp != nil && r.AllocsPerOp != nil && *r.AllocsPerOp > *b.AllocsPerOp+allocTolerance {
+			regs = append(regs, Regression{Name: name, Metric: "allocs/op", Old: *b.AllocsPerOp, New: *r.AllocsPerOp})
+		}
+	}
+	for _, r := range old {
+		name := baseName(r.Name)
+		if seen[name] || (guard != nil && !guard.MatchString(name)) {
+			continue
+		}
+		regs = append(regs, Regression{Name: name, Metric: "missing"})
+	}
+	return regs
+}
+
+func run(in io.Reader, out, errOut io.Writer, comparePath, guardExpr string, nsTol, allocTol float64) int {
 	results := []Result{} // encode as [] rather than null when empty
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
 		if res, ok := parseLine(sc.Text()); ok {
@@ -78,13 +166,52 @@ func main() {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(errOut, "benchjson: %v\n", err)
+		return 1
 	}
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(map[string]any{"benchmarks": results}); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+	if err := enc.Encode(Document{Benchmarks: results}); err != nil {
+		fmt.Fprintf(errOut, "benchjson: %v\n", err)
+		return 1
 	}
+	if comparePath == "" {
+		return 0
+	}
+	data, err := os.ReadFile(comparePath)
+	if err != nil {
+		fmt.Fprintf(errOut, "benchjson: baseline: %v\n", err)
+		return 1
+	}
+	var baseline Document
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		fmt.Fprintf(errOut, "benchjson: baseline %s: %v\n", comparePath, err)
+		return 1
+	}
+	var guard *regexp.Regexp
+	if guardExpr != "" {
+		guard, err = regexp.Compile(guardExpr)
+		if err != nil {
+			fmt.Fprintf(errOut, "benchjson: -guard: %v\n", err)
+			return 1
+		}
+	}
+	regs := compare(baseline.Benchmarks, results, guard, nsTol, allocTol)
+	if len(regs) == 0 {
+		fmt.Fprintf(errOut, "benchjson: no regressions against %s\n", comparePath)
+		return 0
+	}
+	for _, r := range regs {
+		fmt.Fprintf(errOut, "benchjson: REGRESSION %s\n", r)
+	}
+	return 1
+}
+
+func main() {
+	comparePath := flag.String("compare", "", "baseline BENCH_results.json to guard against; empty disables comparison")
+	guardExpr := flag.String("guard", "", "regexp restricting which benchmarks are guarded (default: all present in the baseline)")
+	nsTol := flag.Float64("ns-tolerance", 0.25, "allowed fractional ns/op growth before failing; <= 0 disables the wall-clock check")
+	allocTol := flag.Float64("alloc-tolerance", 0, "allowed absolute allocs/op growth before failing")
+	flag.Parse()
+	os.Exit(run(os.Stdin, os.Stdout, os.Stderr, *comparePath, *guardExpr, *nsTol, *allocTol))
 }

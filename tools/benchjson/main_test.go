@@ -1,6 +1,14 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	res, ok := parseLine("BenchmarkScheduleSA_NE_Hypercube-8   \t 3\t 2352986 ns/op\t   98781 B/op\t    1142 allocs/op")
@@ -43,5 +51,122 @@ func TestParseLineRejectsNoise(t *testing.T) {
 		if _, ok := parseLine(line); ok {
 			t.Errorf("accepted noise line %q", line)
 		}
+	}
+}
+
+func f(v float64) *float64 { return &v }
+
+func TestBaseNameStripsGomaxprocsSuffix(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkX-8":         "BenchmarkX",
+		"BenchmarkX":           "BenchmarkX",
+		"BenchmarkX_NE-16":     "BenchmarkX_NE",
+		"BenchmarkTable2-a":    "BenchmarkTable2-a", // non-numeric suffix kept
+		"BenchmarkGain%-hc8-4": "BenchmarkGain%-hc8",
+	} {
+		if got := baseName(in); got != want {
+			t.Errorf("baseName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	old := []Result{
+		{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: f(10)},
+		{Name: "BenchmarkB", NsPerOp: 1000, AllocsPerOp: f(10)},
+		{Name: "BenchmarkC", NsPerOp: 1000, AllocsPerOp: f(10)},
+	}
+	niu := []Result{
+		{Name: "BenchmarkA-8", NsPerOp: 1300, AllocsPerOp: f(10)}, // +30% ns
+		{Name: "BenchmarkB-8", NsPerOp: 900, AllocsPerOp: f(11)},  // +1 alloc
+		{Name: "BenchmarkC-8", NsPerOp: 1200, AllocsPerOp: f(10)}, // within tolerance
+		{Name: "BenchmarkNew-8", NsPerOp: 1, AllocsPerOp: f(1)},   // no baseline: ignored
+	}
+	regs := compare(old, niu, nil, 0.25, 0)
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %v, want 2", regs)
+	}
+	if regs[0].Name != "BenchmarkA" || regs[0].Metric != "ns/op" {
+		t.Errorf("first regression = %+v", regs[0])
+	}
+	if regs[1].Name != "BenchmarkB" || regs[1].Metric != "allocs/op" {
+		t.Errorf("second regression = %+v", regs[1])
+	}
+}
+
+func TestCompareNsToleranceDisabled(t *testing.T) {
+	old := []Result{{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: f(10)}}
+	niu := []Result{{Name: "BenchmarkA", NsPerOp: 99999, AllocsPerOp: f(10)}}
+	if regs := compare(old, niu, nil, 0, 0); len(regs) != 0 {
+		t.Fatalf("disabled ns check still flagged %v", regs)
+	}
+}
+
+func TestCompareGuardRestrictsSet(t *testing.T) {
+	old := []Result{
+		{Name: "BenchmarkGuarded", AllocsPerOp: f(1)},
+		{Name: "BenchmarkFree", AllocsPerOp: f(1)},
+	}
+	niu := []Result{
+		{Name: "BenchmarkGuarded", AllocsPerOp: f(2)},
+		{Name: "BenchmarkFree", AllocsPerOp: f(2)},
+	}
+	regs := compare(old, niu, regexp.MustCompile("^BenchmarkGuarded$"), 0, 0)
+	if len(regs) != 1 || regs[0].Name != "BenchmarkGuarded" {
+		t.Fatalf("guard did not restrict the set: %v", regs)
+	}
+}
+
+func TestCompareAllocTolerance(t *testing.T) {
+	old := []Result{{Name: "BenchmarkA", AllocsPerOp: f(10)}}
+	niu := []Result{{Name: "BenchmarkA", AllocsPerOp: f(12)}}
+	if regs := compare(old, niu, nil, 0, 2); len(regs) != 0 {
+		t.Fatalf("within-tolerance alloc growth flagged: %v", regs)
+	}
+	if regs := compare(old, niu, nil, 0, 1); len(regs) != 1 {
+		t.Fatalf("beyond-tolerance alloc growth missed: %v", regs)
+	}
+}
+
+func TestRunCompareEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "baseline.json")
+	if err := os.WriteFile(baseline, []byte(`{"benchmarks":[{"name":"BenchmarkA","iterations":1,"ns_per_op":1000,"allocs_per_op":5}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in := strings.NewReader("BenchmarkA-4 \t 1 \t 900 ns/op \t 100 B/op \t 5 allocs/op\n")
+	var out, errOut bytes.Buffer
+	if code := run(in, &out, &errOut, baseline, "", 0.25, 0); code != 0 {
+		t.Fatalf("clean run exited %d: %s", code, errOut.String())
+	}
+	var doc Document
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil || len(doc.Benchmarks) != 1 {
+		t.Fatalf("output JSON: %v %s", err, out.String())
+	}
+
+	in = strings.NewReader("BenchmarkA-4 \t 1 \t 900 ns/op \t 100 B/op \t 6 allocs/op\n")
+	out.Reset()
+	errOut.Reset()
+	if code := run(in, &out, &errOut, baseline, "", 0.25, 0); code != 1 {
+		t.Fatalf("alloc regression not fatal: %s", errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "REGRESSION") {
+		t.Fatalf("no regression report: %s", errOut.String())
+	}
+}
+
+func TestCompareFlagsMissingGuardedBenchmark(t *testing.T) {
+	old := []Result{
+		{Name: "BenchmarkKept", AllocsPerOp: f(1)},
+		{Name: "BenchmarkDeleted", AllocsPerOp: f(1)},
+		{Name: "BenchmarkUnguardedGone", AllocsPerOp: f(1)},
+	}
+	niu := []Result{{Name: "BenchmarkKept-4", AllocsPerOp: f(1)}}
+	regs := compare(old, niu, regexp.MustCompile("^Benchmark(Kept|Deleted)$"), 0, 0)
+	if len(regs) != 1 || regs[0].Name != "BenchmarkDeleted" || regs[0].Metric != "missing" {
+		t.Fatalf("missing guarded benchmark not flagged: %v", regs)
+	}
+	if !strings.Contains(regs[0].String(), "absent") {
+		t.Errorf("missing-benchmark message unclear: %s", regs[0])
 	}
 }
