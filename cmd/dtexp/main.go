@@ -58,6 +58,7 @@ func main() {
 		concurrency = flag.Int("concurrency", 8, "loadgen in-flight clients")
 		distinct    = flag.Int("distinct", 8, "loadgen distinct payloads (controls the cache hit ratio)")
 		lgSolver    = flag.String("lg-solver", "", "loadgen solver name (empty = server default)")
+		lgCacheDir  = flag.String("lg-cache-dir", "", "persistent cache dir for the in-process loadgen server (empty = memory only)")
 	)
 	flag.Parse()
 
@@ -65,7 +66,7 @@ func main() {
 		*table1, *table2, *fig1, *fig2, *packets, *anomaly, *ablations, *scaling = true, true, true, true, true, true, true, true
 	}
 	if *loadgen {
-		if err := runLoadgen(*addr, *requests, *concurrency, *distinct, *lgSolver); err != nil {
+		if err := runLoadgen(*addr, *requests, *concurrency, *distinct, *lgSolver, *lgCacheDir); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -180,12 +181,14 @@ func main() {
 
 // runLoadgen drives a scheduling service with synthetic traffic. With an
 // empty addr it starts an in-process server on a loopback port — the
-// zero-setup way to measure service throughput and cache behaviour.
-func runLoadgen(addr string, requests, concurrency, distinct int, solverName string) error {
+// zero-setup way to measure service throughput and cache behaviour. A
+// cacheDir gives that server the persistent disk tier, so back-to-back
+// runs over the same dir measure the disk-hit path.
+func runLoadgen(addr string, requests, concurrency, distinct int, solverName, cacheDir string) error {
 	var svc *service.Server
 	if addr == "" {
 		var err error
-		svc, err = service.New(service.Config{CacheSize: 4096})
+		svc, err = service.New(service.Config{CacheSize: 4096, CacheDir: cacheDir})
 		if err != nil {
 			return err
 		}
@@ -215,8 +218,8 @@ func runLoadgen(addr string, requests, concurrency, distinct int, solverName str
 	fmt.Print(report)
 	if svc != nil {
 		st := svc.Stats()
-		fmt.Printf("  server: %d solves for %d requests (cache: %d hits, %d misses, %d entries)\n",
-			st.Solves, st.Requests, st.Cache.Hits, st.Cache.Misses, st.Cache.Entries)
+		fmt.Printf("  server: %d solves for %d requests (memory: %d hits, %d misses, %d entries; disk: %d hits, %d writes)\n",
+			st.Solves, st.Requests, st.Cache.Hits, st.Cache.Misses, st.Cache.Entries, st.Disk.Hits, st.Disk.Writes)
 	}
 	return nil
 }

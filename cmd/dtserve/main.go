@@ -5,8 +5,10 @@
 // Endpoints: POST /v1/schedule, POST /v1/schedule/batch, GET /v1/solvers,
 // GET /healthz, GET /statsz. Identical payloads produce byte-identical
 // responses; completed results are memoized in a content-addressed LRU
-// cache (cache status in the X-DTServe-Cache header). SIGINT/SIGTERM
-// drain in-flight requests before exiting.
+// cache (cache status in the X-DTServe-Cache header), optionally backed
+// by a persistent disk tier (-cache-dir) so a restarted server replays
+// its warm set without re-solving. SIGINT/SIGTERM drain in-flight
+// requests — and the disk tier's write-behind queue — before exiting.
 package main
 
 import (
@@ -32,6 +34,8 @@ func main() {
 		workers    = flag.Int("workers", 0, "concurrent solves (0 = one per CPU)")
 		cacheSize  = flag.Int("cache", 4096, "result cache capacity in entries (0 disables)")
 		cacheBytes = flag.Int64("cache-bytes", 0, "result cache byte budget (0 = 256 MiB)")
+		cacheDir   = flag.String("cache-dir", "", "persistent disk cache directory: restarts keep the warm set (empty disables)")
+		diskBytes  = flag.Int64("disk-cache-bytes", 0, "disk cache byte budget (0 = 1 GiB)")
 		solverDef  = flag.String("solver", "sa", "default solver for requests that name none")
 		timeout    = flag.Duration("timeout", 0, "default per-request solve timeout (0 = none)")
 		maxBatch   = flag.Int("max-batch", 256, "maximum requests per batch call")
@@ -43,6 +47,8 @@ func main() {
 		Workers:        *workers,
 		CacheSize:      *cacheSize,
 		CacheBytes:     *cacheBytes,
+		CacheDir:       *cacheDir,
+		DiskCacheBytes: *diskBytes,
 		DefaultSolver:  *solverDef,
 		DefaultTimeout: *timeout,
 		MaxBatch:       *maxBatch,
@@ -67,7 +73,11 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("listening on %s (default solver %s, %d cache entries)", *addr, *solverDef, *cacheSize)
+	diskNote := "disk tier off"
+	if *cacheDir != "" {
+		diskNote = "disk tier at " + *cacheDir
+	}
+	log.Printf("listening on %s (default solver %s, %d cache entries, %s)", *addr, *solverDef, *cacheSize, diskNote)
 
 	select {
 	case err := <-errCh:

@@ -5,6 +5,29 @@ import (
 	"sync"
 )
 
+// Tier is one level of the content-addressed result cache: a byte store
+// mapping a cache key (the request's content address) to the exact
+// response bytes. The server consults tiers fastest-first — memory, then
+// disk — promoting hits upward and populating every tier on a solve.
+// Implementations must be safe for concurrent use, tolerate a nil
+// receiver as a disabled (always-miss, never-store) tier, and must never
+// return bytes other than those stored under the key: a tier that cannot
+// guarantee integrity (e.g. persistent storage that may corrupt) must
+// verify on read and report a miss instead.
+type Tier interface {
+	// Get returns the stored bytes for key and whether they were
+	// present. Callers must not modify the returned slice.
+	Get(key string) ([]byte, bool)
+	// Put stores val under key, evicting as needed. It must not block on
+	// slow media — persistence is expected to be write-behind.
+	Put(key string, val []byte)
+}
+
+var (
+	_ Tier = (*Cache)(nil)
+	_ Tier = (*DiskCache)(nil)
+)
+
 // Cache is a bounded, content-addressed LRU of marshaled results. Values
 // are the exact response bytes, so a hit replays a byte-identical body
 // without re-marshaling (and without re-solving). Safe for concurrent use.

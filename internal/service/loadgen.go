@@ -43,6 +43,7 @@ type LoadGenReport struct {
 	Requests   int           `json:"requests"`
 	Errors     int           `json:"errors"`
 	CacheHits  int           `json:"cache_hits"`
+	DiskHits   int           `json:"disk_hits"`
 	Coalesced  int           `json:"coalesced"`
 	Elapsed    time.Duration `json:"elapsed_ns"`
 	Throughput float64       `json:"requests_per_second"`
@@ -54,7 +55,8 @@ type LoadGenReport struct {
 // String renders the report for terminals.
 func (r *LoadGenReport) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "loadgen: %d requests, %d errors, %d cache hits, %d coalesced\n", r.Requests, r.Errors, r.CacheHits, r.Coalesced)
+	fmt.Fprintf(&b, "loadgen: %d requests, %d errors, %d memory hits, %d disk hits, %d coalesced\n",
+		r.Requests, r.Errors, r.CacheHits, r.DiskHits, r.Coalesced)
 	fmt.Fprintf(&b, "  wall time   %12s\n", r.Elapsed.Round(time.Millisecond))
 	fmt.Fprintf(&b, "  throughput  %12.1f req/s\n", r.Throughput)
 	fmt.Fprintf(&b, "  latency p50 %12s\n", r.LatencyP50.Round(time.Microsecond))
@@ -115,7 +117,7 @@ func LoadGen(cfg LoadGenConfig) (*LoadGenReport, error) {
 	url := strings.TrimSuffix(cfg.URL, "/") + "/v1/schedule"
 	client := &http.Client{Timeout: cfg.RequestTimeout}
 	latencies := make([]time.Duration, cfg.Requests)
-	var errCount, hitCount, coalCount atomic.Int64
+	var errCount, hitCount, diskCount, coalCount atomic.Int64
 	var next atomic.Int64
 	var wg sync.WaitGroup
 
@@ -141,10 +143,15 @@ func LoadGen(cfg LoadGenConfig) (*LoadGenReport, error) {
 				latencies[i] = time.Since(t0)
 				if resp.StatusCode != http.StatusOK {
 					errCount.Add(1)
-				} else if resp.Header.Get("X-DTServe-Cache") == "hit" {
-					hitCount.Add(1)
-				} else if resp.Header.Get("X-DTServe-Cache") == "coalesced" {
-					coalCount.Add(1)
+				} else {
+					switch resp.Header.Get("X-DTServe-Cache") {
+					case "hit":
+						hitCount.Add(1)
+					case "disk":
+						diskCount.Add(1)
+					case "coalesced":
+						coalCount.Add(1)
+					}
 				}
 			}
 		}()
@@ -161,6 +168,7 @@ func LoadGen(cfg LoadGenConfig) (*LoadGenReport, error) {
 		Requests:   cfg.Requests,
 		Errors:     int(errCount.Load()),
 		CacheHits:  int(hitCount.Load()),
+		DiskHits:   int(diskCount.Load()),
 		Coalesced:  int(coalCount.Load()),
 		Elapsed:    elapsed,
 		Throughput: float64(cfg.Requests) / elapsed.Seconds(),

@@ -89,6 +89,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("dtserve_cache_evictions_total", "Result cache evictions.", st.Cache.Evictions)
 	gauge("dtserve_cache_entries", "Entries currently cached.", int64(st.Cache.Entries))
 	gauge("dtserve_cache_bytes", "Bytes of response bodies currently cached.", st.Cache.Bytes)
+	counter("dtserve_disk_hits_total", "Persistent disk tier hits.", st.Disk.Hits)
+	counter("dtserve_disk_misses_total", "Persistent disk tier misses.", st.Disk.Misses)
+	counter("dtserve_disk_writes_total", "Entries persisted by the disk tier's write-behind writer.", st.Disk.Writes)
+	counter("dtserve_disk_evictions_total", "Disk tier entries evicted to hold the byte budget.", st.Disk.Evictions)
+	counter("dtserve_disk_errors_total", "Corrupt/stale entries detected and deleted, plus failed or dropped writes.", st.Disk.Errors)
+	gauge("dtserve_disk_entries", "Entries currently on disk.", int64(st.Disk.Entries))
+	gauge("dtserve_disk_bytes", "On-disk bytes (entry headers included).", st.Disk.Bytes)
 	gauge("dtserve_pool_workers", "Solver pool size.", int64(st.Pool.Workers))
 	gauge("dtserve_pool_busy", "Workers currently running a solve.", st.Pool.Busy)
 	counter("dtserve_pool_completed_total", "Jobs completed by the solver pool.", uint64(st.Pool.Completed))

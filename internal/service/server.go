@@ -27,6 +27,14 @@ type Config struct {
 	// CacheBytes bounds the cache's stored-bytes footprint; <= 0 means
 	// 256 MiB.
 	CacheBytes int64
+	// CacheDir roots the persistent disk cache tier: a restarted server
+	// pointed at the same directory replays previously solved graphs
+	// from disk without re-solving. Empty disables the tier
+	// (memory-only, the prior behavior).
+	CacheDir string
+	// DiskCacheBytes bounds the disk tier's on-disk footprint; <= 0
+	// means 1 GiB. Ignored when CacheDir is empty.
+	DiskCacheBytes int64
 	// DefaultSolver answers requests that name none; empty means "sa".
 	DefaultSolver string
 	// DefaultTimeout bounds solves that request no timeout; 0 means none.
@@ -44,6 +52,7 @@ type Server struct {
 	cfg          Config
 	pool         *Pool
 	cache        *Cache
+	disk         *DiskCache
 	solveLatency *histogram
 
 	mu        sync.Mutex
@@ -64,7 +73,13 @@ type flight struct {
 	err  error
 }
 
-// Stats is the /statsz payload.
+// Stats is the /statsz payload. For successful schedule requests the
+// counters obey the conservation law
+//
+//	solves + cache.hits + disk.hits + coalesced == requests
+//
+// every answered request is exactly one of: a solver execution, a memory
+// hit, a disk hit, or a ride on an identical in-flight solve.
 type Stats struct {
 	Requests  uint64            `json:"requests"`
 	Failures  uint64            `json:"failures"`
@@ -72,6 +87,7 @@ type Stats struct {
 	Coalesced uint64            `json:"coalesced"`
 	BySolver  map[string]uint64 `json:"by_solver"`
 	Cache     CacheStats        `json:"cache"`
+	Disk      DiskCacheStats    `json:"disk"`
 	Pool      PoolStats         `json:"pool"`
 }
 
@@ -86,18 +102,32 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 256
 	}
+	var disk *DiskCache
+	if cfg.CacheDir != "" {
+		var err error
+		disk, err = NewDiskCache(cfg.CacheDir, cfg.DiskCacheBytes)
+		if err != nil {
+			return nil, fmt.Errorf("service: disk cache: %w", err)
+		}
+	}
 	return &Server{
 		cfg:          cfg,
 		pool:         NewPool(cfg.Workers),
 		cache:        NewCache(cfg.CacheSize, cfg.CacheBytes),
+		disk:         disk,
 		solveLatency: newHistogram(),
 		bySolver:     make(map[string]uint64),
 		inflight:     make(map[string]*flight),
 	}, nil
 }
 
-// Close stops the worker pool. In-flight solves finish first.
-func (s *Server) Close() { s.pool.Close() }
+// Close stops the worker pool and drains the disk tier's write-behind
+// queue, so every result accepted for persistence is durable before
+// Close returns. In-flight solves finish first.
+func (s *Server) Close() {
+	s.pool.Close()
+	s.disk.Close()
+}
 
 // Stats snapshots the server counters.
 func (s *Server) Stats() Stats {
@@ -114,6 +144,7 @@ func (s *Server) Stats() Stats {
 		Coalesced: s.coalesced,
 		BySolver:  by,
 		Cache:     s.cache.Stats(),
+		Disk:      s.disk.Stats(),
 		Pool:      s.pool.Stats(),
 	}
 }
@@ -263,10 +294,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 // process turns one wire request into marshaled result bytes: validate,
-// consult the content-addressed cache, collapse onto an identical
-// in-flight solve when one exists (singleflight), and otherwise run the
-// named solver on the worker pool and store the bytes. The string reports
-// how the body was obtained: "hit", "miss" or "coalesced".
+// consult the content-addressed cache tiers fastest-first (memory, then
+// the persistent disk tier — a disk hit is promoted into memory),
+// collapse onto an identical in-flight solve when one exists
+// (singleflight), and otherwise run the named solver on the worker pool
+// and store the bytes in every tier. The string reports how the body was
+// obtained: "hit", "disk", "miss" or "coalesced".
 func (s *Server) process(ctx context.Context, req *ScheduleRequest) ([]byte, string, error) {
 	if req.Graph == nil {
 		return nil, "", badRequest("missing graph")
@@ -367,6 +400,16 @@ func (s *Server) process(ctx context.Context, req *ScheduleRequest) ([]byte, str
 			s.mu.Unlock()
 			close(f.done)
 		}()
+		// Disk consult happens as the flight leader, outside the server
+		// lock (it reads a file): concurrent identical requests coalesce
+		// onto one disk read exactly as they would onto one solve. A hit
+		// is promoted into the memory tier so the next request for this
+		// key never touches the disk.
+		if body, ok := s.disk.Get(key); ok {
+			s.cache.Put(key, body)
+			f.body, f.err = body, nil
+			return body, "disk", nil
+		}
 		body, err := s.solve(ctx, slv, sreq, req, topo.Name(), key)
 		f.body, f.err = body, err
 		return body, "miss", err
@@ -444,6 +487,9 @@ func (s *Server) solve(ctx context.Context, slv solver.Solver, sreq solver.Reque
 	// memoized.
 	if !(deadlined && slv.Name() == "portfolio") && !raced {
 		s.cache.Put(key, body)
+		// Persist through the write-behind queue: the disk write happens
+		// on the disk tier's writer goroutine, never on this hot path.
+		s.disk.Put(key, body)
 	}
 	// Observed only for completed solves, so the histogram count equals
 	// dtserve_solves_total and queue-timeout artifacts never pollute the

@@ -394,13 +394,15 @@ func TestLoadGen(t *testing.T) {
 	if report.Errors != 0 {
 		t.Fatalf("loadgen saw %d errors", report.Errors)
 	}
-	// Every 200 is a warm hit, a solve, or a request coalesced onto an
-	// identical in-flight solve (singleflight) — assert the exact
-	// conservation law rather than a hit-ratio guess.
+	// Every 200 is a memory hit, a disk hit, a solve, or a request
+	// coalesced onto an identical in-flight solve (singleflight) —
+	// assert the exact conservation law rather than a hit-ratio guess.
+	// (No cache dir here, so the disk term is zero; the disk-enabled
+	// variant is asserted in TestLoadGenReportsDiskHits.)
 	st := svc.Stats()
-	if int(st.Solves)+int(st.Cache.Hits)+int(st.Coalesced) != report.Requests {
-		t.Errorf("solves %d + hits %d + coalesced %d != requests %d",
-			st.Solves, st.Cache.Hits, st.Coalesced, report.Requests)
+	if int(st.Solves)+int(st.Cache.Hits)+int(st.Disk.Hits)+int(st.Coalesced) != report.Requests {
+		t.Errorf("solves %d + mem hits %d + disk hits %d + coalesced %d != requests %d",
+			st.Solves, st.Cache.Hits, st.Disk.Hits, st.Coalesced, report.Requests)
 	}
 	if report.CacheHits != int(st.Cache.Hits) {
 		t.Errorf("client saw %d hits, server counted %d", report.CacheHits, st.Cache.Hits)
@@ -677,6 +679,11 @@ func TestMetricsEndpoint(t *testing.T) {
 		"dtserve_cache_hits_total 1",
 		"dtserve_coalesced_total 0",
 		`dtserve_solves_by_solver_total{solver="hlf"} 1`,
+		"# TYPE dtserve_disk_hits_total counter",
+		"dtserve_disk_hits_total 0",
+		"# TYPE dtserve_disk_writes_total counter",
+		"# TYPE dtserve_disk_evictions_total counter",
+		"# TYPE dtserve_disk_errors_total counter",
 		"dtserve_solve_duration_seconds_bucket{le=\"+Inf\"} 1",
 		"dtserve_solve_duration_seconds_count 1",
 		"# TYPE dtserve_solve_duration_seconds histogram",

@@ -1,7 +1,10 @@
 // Package service is the HTTP/JSON scheduling service: it accepts
 // taskgraph + topology + communication parameters on the wire, routes each
 // request through the solver portfolio registry on a bounded worker pool,
-// and memoizes completed results in a content-addressed LRU cache.
+// and memoizes completed results in a two-tier content-addressed cache —
+// an in-memory LRU backed by an optional persistent disk tier, so a
+// restarted server replays its warm set byte-identically without
+// re-solving.
 //
 // Endpoints:
 //
