@@ -59,6 +59,7 @@ func main() {
 		distinct    = flag.Int("distinct", 8, "loadgen distinct payloads (controls the cache hit ratio)")
 		lgSolver    = flag.String("lg-solver", "", "loadgen solver name (empty = server default)")
 		lgCacheDir  = flag.String("lg-cache-dir", "", "persistent cache dir for the in-process loadgen server (empty = memory only)")
+		lgBatch     = flag.Int("lg-batch", 0, "loadgen batch size: > 0 streams batches of this many items over NDJSON and reports first-item vs last-item latency")
 	)
 	flag.Parse()
 
@@ -66,7 +67,7 @@ func main() {
 		*table1, *table2, *fig1, *fig2, *packets, *anomaly, *ablations, *scaling = true, true, true, true, true, true, true, true
 	}
 	if *loadgen {
-		if err := runLoadgen(*addr, *requests, *concurrency, *distinct, *lgSolver, *lgCacheDir); err != nil {
+		if err := runLoadgen(*addr, *requests, *concurrency, *distinct, *lgBatch, *lgSolver, *lgCacheDir); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -183,8 +184,10 @@ func main() {
 // empty addr it starts an in-process server on a loopback port — the
 // zero-setup way to measure service throughput and cache behaviour. A
 // cacheDir gives that server the persistent disk tier, so back-to-back
-// runs over the same dir measure the disk-hit path.
-func runLoadgen(addr string, requests, concurrency, distinct int, solverName, cacheDir string) error {
+// runs over the same dir measure the disk-hit path. A batch size > 0
+// exercises the streaming batch endpoint instead, reporting first-item
+// and last-item latency separately.
+func runLoadgen(addr string, requests, concurrency, distinct, batch int, solverName, cacheDir string) error {
 	var svc *service.Server
 	if addr == "" {
 		var err error
@@ -210,6 +213,7 @@ func runLoadgen(addr string, requests, concurrency, distinct int, solverName, ca
 		Requests:    requests,
 		Concurrency: concurrency,
 		Distinct:    distinct,
+		Batch:       batch,
 		Solver:      solverName,
 	})
 	if err != nil {

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/cliutil"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/gantt"
 	"repro/internal/machsim"
 	"repro/internal/schedule"
@@ -90,10 +91,20 @@ func main() {
 			g.Name(), st.Tasks, st.Edges, st.AvgLoad, st.AvgComm, 100*st.CCRatio, st.MaxSpeedup)
 	}
 
-	res, err := solver.Solve(ctx, *policyName, solver.Request{
+	slv, err := solver.Get(*policyName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The CLI is a single solve, but it still routes through the shared
+	// orchestration layer — the same worker-owned arena + pooled-scheduler
+	// path the service and the experiment harness use, so all front-ends
+	// exercise (and stay byte-identical with) one engine.
+	eng := engine.New(engine.Config{Workers: 1})
+	defer eng.Close()
+	res, err := eng.Solve(ctx, engine.Job{Solver: slv, Req: solver.Request{
 		Graph: g, Topo: topo, Comm: comm, SA: saOpt,
 		Sim: machsim.Options{RecordGantt: *showGantt},
-	})
+	}})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -2,13 +2,16 @@
 //
 //	dtserve -addr :8080 -workers 8 -cache 4096 -solver portfolio
 //
-// Endpoints: POST /v1/schedule, POST /v1/schedule/batch, GET /v1/solvers,
-// GET /healthz, GET /statsz. Identical payloads produce byte-identical
-// responses; completed results are memoized in a content-addressed LRU
-// cache (cache status in the X-DTServe-Cache header), optionally backed
-// by a persistent disk tier (-cache-dir) so a restarted server replays
-// its warm set without re-solving. SIGINT/SIGTERM drain in-flight
-// requests — and the disk tier's write-behind queue — before exiting.
+// Endpoints: POST /v1/schedule, POST /v1/schedule/batch (NDJSON streaming
+// with "Accept: application/x-ndjson": items flush as their solves
+// complete), GET /v1/solvers, GET /healthz, GET /statsz, GET /metrics.
+// Solves run on the shared internal/engine worker pool. Identical
+// payloads produce byte-identical responses; completed results are
+// memoized in a content-addressed LRU cache (cache status in the
+// X-DTServe-Cache header), optionally backed by a persistent disk tier
+// (-cache-dir) so a restarted server replays its warm set without
+// re-solving. SIGINT/SIGTERM drain in-flight requests — and the disk
+// tier's write-behind queue — before exiting.
 package main
 
 import (

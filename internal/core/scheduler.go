@@ -89,8 +89,8 @@ type PacketReport struct {
 
 // Scheduler is the paper's staged simulated-annealing scheduler. It
 // implements machsim.Policy. A Scheduler carries per-run state (its RNG,
-// packet reports and reusable packet buffers); use a fresh Scheduler per
-// simulation.
+// packet reports and reusable packet buffers); use a fresh Scheduler —
+// or Reset one — per simulation.
 type Scheduler struct {
 	g      *taskgraph.Graph
 	topo   *topology.Topology
@@ -98,6 +98,10 @@ type Scheduler struct {
 	levels []float64
 	opt    Options
 	rng    *rand.Rand
+
+	// Scratch for the reusable level computation (reverse Kahn pass).
+	lvlDeg   []int32
+	lvlStack []int32
 
 	// pk is the arena-backed packet reused across epochs; runs holds the
 	// per-restart clones (grown on demand, reused across epochs).
@@ -120,30 +124,103 @@ type restartRun struct {
 // NewScheduler builds an SA scheduling policy for one (graph, machine)
 // pair.
 func NewScheduler(g *taskgraph.Graph, topo *topology.Topology, comm topology.CommParams, opt Options) (*Scheduler, error) {
+	s := NewSchedulerArena()
+	if err := s.Reset(g, topo, comm, opt); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// NewSchedulerArena returns an empty, unbound scheduler arena. Reset binds
+// it to a problem before use. Worker pools hold one arena per worker and
+// Reset it per solve, so back-to-back SA solves reuse the packet buffers,
+// restart workspaces and report slice instead of rebuilding them — the
+// scheduler-side analogue of machsim.NewArena.
+func NewSchedulerArena() *Scheduler { return &Scheduler{} }
+
+// Reset rebinds the scheduler to a (new) problem, growing its buffers as
+// needed and discarding all state from a previous binding. A Reset
+// scheduler is observably identical to a freshly constructed one: for a
+// fixed (graph, machine, options) it produces the same schedule whether
+// the arena is cold or warm.
+func (s *Scheduler) Reset(g *taskgraph.Graph, topo *topology.Topology, comm topology.CommParams, opt Options) error {
 	if topo == nil {
-		return nil, fmt.Errorf("core: nil topology")
+		return fmt.Errorf("core: nil topology")
+	}
+	if g == nil {
+		return fmt.Errorf("core: nil taskgraph")
 	}
 	if err := opt.Validate(); err != nil {
-		return nil, err
+		return err
 	}
-	levels, err := g.Levels()
-	if err != nil {
-		return nil, err
+	s.g = g
+	s.topo = topo
+	s.comm = comm
+	s.opt = opt
+	if err := s.computeLevels(); err != nil {
+		return err
 	}
-	s := &Scheduler{
-		g:      g,
-		topo:   topo,
-		comm:   comm,
-		levels: levels,
-		opt:    opt,
-		rng:    rand.New(rand.NewSource(opt.Seed)),
+	if s.rng == nil {
+		s.rng = rand.New(rand.NewSource(opt.Seed))
+	} else {
+		// Re-seeding the existing source restarts the identical stream a
+		// fresh rand.NewSource(seed) would produce.
+		s.rng.Seed(opt.Seed)
 	}
 	// Warm the packet arena to the whole-problem bounds (every task ready,
 	// every processor idle) and pre-size the report slice, so per-epoch
 	// work inside a run does not grow buffers.
 	s.pk.presize(g.NumTasks(), topo.N())
-	s.packets = make([]PacketReport, 0, g.NumTasks())
-	return s, nil
+	if cap(s.packets) < g.NumTasks() {
+		s.packets = make([]PacketReport, 0, g.NumTasks())
+	} else {
+		s.packets = s.packets[:0]
+	}
+	return nil
+}
+
+// computeLevels fills s.levels with each task's level using reusable
+// scratch buffers — a reverse Kahn pass from the leaves, matching
+// Graph.Levels exactly (levels are well-defined independent of visit
+// order) without its per-call allocations.
+func (s *Scheduler) computeLevels() error {
+	g := s.g
+	nt := g.NumTasks()
+	s.levels = grow(s.levels, nt)
+	s.lvlDeg = grow(s.lvlDeg, nt)
+	stack := s.lvlStack[:0]
+	for i := 0; i < nt; i++ {
+		d := g.OutDegree(taskgraph.TaskID(i))
+		s.lvlDeg[i] = int32(d)
+		s.levels[i] = 0
+		if d == 0 {
+			stack = append(stack, int32(i))
+		}
+	}
+	processed := 0
+	for len(stack) > 0 {
+		i := taskgraph.TaskID(stack[len(stack)-1])
+		stack = stack[:len(stack)-1]
+		processed++
+		best := 0.0
+		for _, h := range g.Successors(i) {
+			if s.levels[h.To] > best {
+				best = s.levels[h.To]
+			}
+		}
+		s.levels[i] = g.Load(i) + best
+		for _, h := range g.Predecessors(i) {
+			s.lvlDeg[h.To]--
+			if s.lvlDeg[h.To] == 0 {
+				stack = append(stack, int32(h.To))
+			}
+		}
+	}
+	s.lvlStack = stack[:0]
+	if processed != nt {
+		return fmt.Errorf("core: taskgraph %q: cycle detected (%d of %d tasks ordered)", g.Name(), processed, nt)
+	}
+	return nil
 }
 
 // Name implements machsim.Policy. With restarts the name carries the

@@ -1,0 +1,235 @@
+// Package engine is the shared solve-orchestration layer underneath every
+// front-end of the repository: the dtsched CLI, the dtexp experiment
+// harness, the dtserve HTTP service and its load generator all route
+// solver executions through one Engine instead of wiring their own worker
+// pools.
+//
+// An Engine is a fixed set of workers draining an unbuffered job channel,
+// so at most Workers solves run at once and excess submissions queue in
+// their callers (subject to their contexts). Each worker owns, for its
+// whole lifetime,
+//
+//   - one machsim simulator arena (machsim.NewArena), so back-to-back
+//     solves rebind warm buffers instead of rebuilding simulator state, and
+//   - one SA scheduler arena (core.NewSchedulerArena), so the "sa" policy
+//     Resets a pooled core.Scheduler instead of constructing one per solve
+//     — together killing the cold-path allocations that per-solve
+//     construction used to pay.
+//
+// Ownership contract: the arena and scheduler never leave their worker,
+// are rebound per job (Bind/Reset discard all prior state), and therefore
+// never change a result — for a fixed Job the result is identical at any
+// worker count, including 1. Layers above the engine (content-addressed
+// caches, singleflight, wire encoding) stay above it; the engine sees only
+// cold solves.
+//
+// Submit hands one job to the pool and returns a channel carrying its
+// Item. Stream pipelines a batch: every job solves as soon as a worker
+// frees, and items are delivered in completion order, index-tagged, so a
+// consumer (e.g. the service's NDJSON batch endpoint) can forward early
+// finishers while the slowest member still runs. Fan generalizes Stream to
+// arbitrary per-index work for callers that layer caching between
+// themselves and Submit. ParallelFor is the deterministic fan-out loop the
+// experiment harness runs its studies on.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/machsim"
+	"repro/internal/solver"
+)
+
+// Config tunes an Engine.
+type Config struct {
+	// Workers bounds concurrent solves; <= 0 means one per available CPU.
+	Workers int
+	// MaxBatch caps the jobs of one Stream (or Fan) call; <= 0 means 256.
+	// The engine owns this limit so every front-end enforces it the same
+	// way instead of re-checking per handler.
+	MaxBatch int
+}
+
+// DefaultMaxBatch is the Stream/Fan batch cap when Config leaves it zero.
+const DefaultMaxBatch = 256
+
+// Job is one solver execution: the solver to run and its request. Index is
+// an opaque caller tag replayed on the resulting Item — batch consumers
+// use it to reassemble completion-order items in request order.
+type Job struct {
+	Index  int
+	Solver solver.Solver
+	Req    solver.Request
+}
+
+// Item is the outcome of one Job. Exactly one of Result or Err is set.
+type Item struct {
+	Index  int
+	Result *machsim.Result
+	Err    error
+}
+
+// ErrQueueTimeout wraps the context error of a submission whose context
+// ended before a worker picked the job up — the job never ran.
+var ErrQueueTimeout = errors.New("engine: queued too long")
+
+// ErrClosed reports a submission to a closed engine.
+var ErrClosed = errors.New("engine: closed")
+
+// task is one queued submission.
+type task struct {
+	ctx context.Context
+	job Job
+	out chan<- Item
+}
+
+// Engine is the worker pool. Create with New, stop with Close.
+type Engine struct {
+	jobs      chan task
+	quit      chan struct{}
+	wg        sync.WaitGroup
+	workers   int
+	maxBatch  int
+	busy      atomic.Int64
+	completed atomic.Int64
+	closeOnce sync.Once
+}
+
+// New starts an engine with the given configuration.
+func New(cfg Config) *Engine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	e := &Engine{
+		jobs:     make(chan task),
+		quit:     make(chan struct{}),
+		workers:  cfg.Workers,
+		maxBatch: cfg.MaxBatch,
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+// Workers returns the pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// MaxBatch returns the engine's batch cap.
+func (e *Engine) MaxBatch() int { return e.maxBatch }
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	w := &Worker{}
+	for {
+		select {
+		case t := <-e.jobs:
+			e.busy.Add(1)
+			item := w.run(t.ctx, t.job)
+			e.busy.Add(-1)
+			e.completed.Add(1)
+			t.out <- item // out is buffered; never blocks the worker
+		case <-e.quit:
+			return
+		}
+	}
+}
+
+// Submit queues one job and returns the channel its Item will arrive on
+// (buffered, so the worker never blocks on a slow consumer). Submit itself
+// blocks only until a worker accepts the job: if ctx ends first the Item
+// carries ErrQueueTimeout and the job never runs. Once accepted, the job
+// runs to completion under ctx — solvers honor its cancellation through
+// their interrupt hooks.
+func (e *Engine) Submit(ctx context.Context, job Job) <-chan Item {
+	out := make(chan Item, 1)
+	select {
+	case e.jobs <- task{ctx: ctx, job: job, out: out}:
+	case <-ctx.Done():
+		out <- Item{Index: job.Index, Err: fmt.Errorf("%w: %w", ErrQueueTimeout, ctx.Err())}
+	case <-e.quit:
+		out <- Item{Index: job.Index, Err: ErrClosed}
+	}
+	return out
+}
+
+// Solve is the single-job convenience wrapper around Submit.
+func (e *Engine) Solve(ctx context.Context, job Job) (*machsim.Result, error) {
+	item := <-e.Submit(ctx, job)
+	return item.Result, item.Err
+}
+
+// Stream solves a batch with the jobs pipelined across the pool: each job
+// starts as soon as a worker frees, and its Item is delivered the moment
+// it completes — completion order, index-tagged — so consumers can forward
+// early finishers while the slowest job still runs. The channel closes
+// after the last item. Batches beyond MaxBatch are rejected before any
+// job runs.
+func (e *Engine) Stream(ctx context.Context, jobs []Job) (<-chan Item, error) {
+	return Fan(len(jobs), e.maxBatch, func(i int) Item {
+		return <-e.Submit(ctx, jobs[i])
+	})
+}
+
+// Fan runs fn(i) for every i in [0, n) concurrently — each call on its own
+// goroutine — and delivers the results in completion order on the returned
+// channel, which closes after the n-th. limit rejects oversized fan-outs
+// (an Engine's MaxBatch); n <= 0 yields an empty closed channel. Callers
+// whose per-index work is not a bare Job — e.g. a cache consult that only
+// sometimes reaches Submit — use Fan directly and inherit the same
+// pipelining and the same engine-owned batch cap as Stream.
+func Fan[T any](n, limit int, fn func(i int) T) (<-chan T, error) {
+	if n > limit {
+		return nil, fmt.Errorf("engine: batch of %d exceeds the limit of %d", n, limit)
+	}
+	out := make(chan T, max(n, 0))
+	if n <= 0 {
+		close(out)
+		return out, nil
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out <- fn(i)
+		}(i)
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out, nil
+}
+
+// Close stops the workers after their current jobs; queued submissions
+// fail with ErrClosed. Close is idempotent.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() { close(e.quit) })
+	e.wg.Wait()
+}
+
+// Stats is a point-in-time snapshot of the engine counters.
+type Stats struct {
+	Workers   int   `json:"workers"`
+	Busy      int64 `json:"busy"`
+	Completed int64 `json:"completed"`
+}
+
+// Stats returns the current counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Workers:   e.workers,
+		Busy:      e.busy.Load(),
+		Completed: e.completed.Load(),
+	}
+}

@@ -1,0 +1,63 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ParallelFor runs fn(i, w) for every i in [0, n) on at most workers
+// goroutines — each with its own lazily-created Worker — and returns the
+// error of the lowest index that failed. It is the deterministic fan-out
+// loop of the experiment harness, with the invariants that make tables
+// byte-identical at any worker count, including 1:
+//
+//   - indices are claimed from an atomic counter, never partitioned, so
+//     results land in per-index slots regardless of which worker ran them;
+//   - the reported error is the lowest-indexed one, not the first to
+//     happen;
+//   - with workers <= 1 (or n == 1) it degenerates to a plain loop with no
+//     goroutines at all.
+//
+// fn may ignore w, or use w.Arena()/w.Scheduler() for worker-owned warm
+// solve state; either way results must depend only on i.
+func ParallelFor(workers, n int, fn func(i int, w *Worker) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		w := &Worker{}
+		for i := 0; i < n; i++ {
+			if err := fn(i, w); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := &Worker{}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i, w)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -299,3 +299,27 @@ func TestTable2ParallelMatchesSequential(t *testing.T) {
 		t.Errorf("formatted tables differ between worker counts:\n%s\n%s", a, b)
 	}
 }
+
+// TestTable2EngineWorkerCounts pins the engine-rebased fan-out at the
+// worker counts of the acceptance matrix: the cells run on engine workers
+// (worker-owned arena + pooled scheduler), and the rendered table must be
+// byte-identical at 1, 4 and 16 workers.
+func TestTable2EngineWorkerCounts(t *testing.T) {
+	cfg := Table2Config{Seed: 17, Restarts: 2, Programs: []string{"NE", "FFT"}}
+	var want string
+	for _, workers := range []int{1, 4, 16} {
+		cfg.Workers = workers
+		rows, err := Table2(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := FormatTable2(rows)
+		if want == "" {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("workers=%d produced a different table:\n%s\nwant:\n%s", workers, got, want)
+		}
+	}
+}

@@ -2,13 +2,14 @@ package expt
 
 import (
 	"runtime"
-	"sync"
-	"sync/atomic"
+
+	"repro/internal/engine"
 )
 
 // The experiment harness fans independent cells (a Table 2 configuration,
-// a scaling point, one ablation sample) across a bounded worker pool.
-// Determinism is preserved by construction:
+// a scaling point, one ablation sample) across the shared orchestration
+// layer's worker pool (engine.ParallelFor). Determinism is preserved by
+// construction:
 //
 //   - every cell derives its seeds before the fan-out, never from a shared
 //     RNG inside a worker;
@@ -20,10 +21,12 @@ import (
 // The same seed therefore yields byte-identical tables at any worker
 // count, including 1.
 //
-// Simulation cells call the package-level machsim.Run, which draws a
-// reusable simulator arena from machsim's internal pool — so fan-out
-// workers reuse warm simulator buffers across cells without the harness
-// threading arenas through every study (see PERFORMANCE.md §7).
+// Cells that solve through the worker handed to them (Table 2) reuse that
+// worker's simulator arena and SA scheduler arena across cells; the
+// remaining studies call the package-level machsim.Run, which draws a
+// reusable arena from machsim's internal pool — either way fan-out workers
+// reuse warm solve state without the harness threading buffers through
+// every study (see PERFORMANCE.md §7 and §9).
 
 // defaultWorkers resolves a Workers knob: values > 0 are used as given,
 // anything else means one worker per available CPU.
@@ -35,44 +38,10 @@ func defaultWorkers(w int) int {
 }
 
 // parallelFor runs fn(i) for every i in [0, n) on at most workers
-// goroutines and returns the error of the lowest index that failed. With
-// workers <= 1 (or n < 2) it degenerates to a plain loop.
+// goroutines and returns the error of the lowest index that failed — the
+// engine's deterministic fan-out, for cells that need no worker state.
 func parallelFor(workers, n int, fn func(i int) error) error {
-	if n <= 0 {
-		return nil
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 || n == 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	errs := make([]error, n)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				errs[i] = fn(i)
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return engine.ParallelFor(workers, n, func(i int, _ *engine.Worker) error {
+		return fn(i)
+	})
 }

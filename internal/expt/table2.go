@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/list"
 	"repro/internal/machsim"
 	"repro/internal/programs"
@@ -142,13 +143,13 @@ func Table2(cfg Table2Config) ([]Table2Row, error) {
 		}
 	}
 
-	if err := parallelFor(defaultWorkers(cfg.Workers), len(jobs), func(i int) error {
+	if err := engine.ParallelFor(defaultWorkers(cfg.Workers), len(jobs), func(i int, w *engine.Worker) error {
 		j := jobs[i]
 		comm := topology.DefaultCommParams()
 		if !j.withComm {
 			comm = comm.NoComm()
 		}
-		cell, err := table2Cell(cfg, j.g, j.arch, comm)
+		cell, err := table2Cell(cfg, w, j.g, j.arch, comm)
 		if err != nil {
 			return fmt.Errorf("expt: row %d: %w", j.rowIdx, err)
 		}
@@ -166,17 +167,28 @@ func Table2(cfg Table2Config) ([]Table2Row, error) {
 }
 
 // table2Cell runs HLF and SA (with optional restarts) for one
-// configuration and returns the speedup cell.
-func table2Cell(cfg Table2Config, g *taskgraph.Graph, arch Arch, comm topology.CommParams) (Table2Cell, error) {
+// configuration and returns the speedup cell. Every simulation runs on
+// the fan-out worker's arena and the SA passes Reset the worker's pooled
+// scheduler, so back-to-back cells on a worker reuse warm solve state —
+// rebinding discards all prior state, so the cell's numbers are identical
+// at any worker count.
+func table2Cell(cfg Table2Config, w *engine.Worker, g *taskgraph.Graph, arch Arch, comm topology.CommParams) (Table2Cell, error) {
 	hlf, err := list.NewHLF(g)
 	if err != nil {
 		return Table2Cell{}, err
 	}
 	model := machsim.Model{Graph: g, Topo: arch.Topo, Comm: comm}
-	hlfRes, err := machsim.Run(model, hlf, machsim.Options{})
+	sim := w.Arena()
+	if err := sim.Bind(model, machsim.Options{}); err != nil {
+		return Table2Cell{}, err
+	}
+	hlfRes, err := sim.Run(hlf)
 	if err != nil {
 		return Table2Cell{}, err
 	}
+	// The arena-owned result is rebound by the SA runs below; keep only
+	// the scalar this cell needs.
+	hlfSpeedup := hlfRes.Speedup
 
 	restarts := cfg.Restarts
 	switch {
@@ -189,11 +201,11 @@ func table2Cell(cfg Table2Config, g *taskgraph.Graph, arch Arch, comm topology.C
 	for r := 0; r < restarts; r++ {
 		opt := cfg.SA
 		opt.Seed = cfg.Seed + int64(r)*1_000_003
-		sched, err := core.NewScheduler(g, arch.Topo, comm, opt)
-		if err != nil {
+		sched := w.Scheduler()
+		if err := sched.Reset(g, arch.Topo, comm, opt); err != nil {
 			return Table2Cell{}, err
 		}
-		res, err := machsim.Run(model, sched, machsim.Options{})
+		res, err := sim.Run(sched)
 		if err != nil {
 			return Table2Cell{}, err
 		}
@@ -203,8 +215,8 @@ func table2Cell(cfg Table2Config, g *taskgraph.Graph, arch Arch, comm topology.C
 	}
 	return Table2Cell{
 		SA:   bestSA,
-		HLF:  hlfRes.Speedup,
-		Gain: Gain(bestSA, hlfRes.Speedup),
+		HLF:  hlfSpeedup,
+		Gain: Gain(bestSA, hlfSpeedup),
 	}, nil
 }
 

@@ -97,6 +97,12 @@ type Options struct {
 	// impose deadlines (e.g. a context) on long simulations: the solver
 	// portfolio races policies under a shared deadline through this hook.
 	Interrupt func() error
+	// Bound, when non-nil, is polled like Interrupt but receives the
+	// current simulation clock — a monotone lower bound on the final
+	// makespan, since time never goes backwards. A non-nil return aborts
+	// the run with that error. The solver portfolio uses it to cancel a
+	// member whose own bound already exceeds the incumbent best result.
+	Bound func(now float64) error
 }
 
 // IntervalKind classifies Gantt intervals.
@@ -188,6 +194,11 @@ type Result struct {
 	// cancellation, where which member supplied the winning schedule is a
 	// timing fact. The service serves raced results but never caches them.
 	Raced bool
+	// Pruned counts portfolio members cancelled mid-run because their own
+	// makespan lower bound exceeded the incumbent best (Options.Bound).
+	// Whether a member gets pruned before finishing is a wall-clock fact,
+	// so results with Pruned > 0 are also flagged Raced.
+	Pruned int
 }
 
 // Clone returns a deep copy of the result, detached from any simulator

@@ -336,6 +336,11 @@ func (s *Simulator) Run(p Policy) (*Result, error) {
 				return nil, fmt.Errorf("machsim: interrupted at t=%.3f: %w", s.now, err)
 			}
 		}
+		if s.opts.Bound != nil {
+			if err := s.opts.Bound(s.now); err != nil {
+				return nil, fmt.Errorf("machsim: interrupted at t=%.3f: %w", s.now, err)
+			}
+		}
 		if s.queue.len() == 0 {
 			// Nothing in flight: the policy must make progress now.
 			if err := s.epoch(p, true); err != nil {

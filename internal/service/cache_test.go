@@ -1,14 +1,9 @@
 package service
 
 import (
-	"context"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"testing"
-	"time"
-
-	"repro/internal/machsim"
 )
 
 func TestCacheLRU(t *testing.T) {
@@ -106,64 +101,5 @@ func TestCacheConcurrent(t *testing.T) {
 	wg.Wait()
 	if st := c.Stats(); st.Entries > 32 {
 		t.Fatalf("cache exceeded its bound: %+v", st)
-	}
-}
-
-func TestPoolBoundsConcurrency(t *testing.T) {
-	p := NewPool(3)
-	defer p.Close()
-	var running, peak atomic.Int64
-	var wg sync.WaitGroup
-	for i := 0; i < 20; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			err := p.Run(context.Background(), func(*machsim.Simulator) {
-				n := running.Add(1)
-				for {
-					old := peak.Load()
-					if n <= old || peak.CompareAndSwap(old, n) {
-						break
-					}
-				}
-				time.Sleep(2 * time.Millisecond)
-				running.Add(-1)
-			})
-			if err != nil {
-				t.Error(err)
-			}
-		}()
-	}
-	wg.Wait()
-	if got := peak.Load(); got > 3 {
-		t.Fatalf("pool ran %d jobs at once, bound is 3", got)
-	}
-	st := p.Stats()
-	if st.Completed != 20 || st.Workers != 3 || st.Busy != 0 {
-		t.Fatalf("pool stats %+v", st)
-	}
-}
-
-func TestPoolQueueRespectsContext(t *testing.T) {
-	p := NewPool(1)
-	defer p.Close()
-	release := make(chan struct{})
-	go p.Run(context.Background(), func(*machsim.Simulator) { <-release })
-	time.Sleep(5 * time.Millisecond) // let the blocker occupy the only worker
-
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
-	defer cancel()
-	if err := p.Run(ctx, func(*machsim.Simulator) {}); err == nil {
-		t.Fatal("queued Run outlived its context")
-	}
-	close(release)
-}
-
-func TestPoolClose(t *testing.T) {
-	p := NewPool(2)
-	p.Close()
-	p.Close() // idempotent
-	if err := p.Run(context.Background(), func(*machsim.Simulator) {}); err == nil {
-		t.Fatal("Run succeeded on a closed pool")
 	}
 }

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -8,18 +9,19 @@ import (
 	"net/http"
 	"sort"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/cliutil"
+	"repro/internal/engine"
 )
 
 // LoadGenConfig drives a synthetic traffic run against a dtserve instance.
 type LoadGenConfig struct {
 	// URL is the server base, e.g. "http://127.0.0.1:8080".
 	URL string
-	// Requests is the total request count (default 200).
+	// Requests is the total request count (default 200). In batch mode it
+	// counts batch calls, each carrying Batch schedule items.
 	Requests int
 	// Concurrency is the number of in-flight clients (default 8).
 	Concurrency int
@@ -27,6 +29,11 @@ type LoadGenConfig struct {
 	// (default 8): with R requests the expected warm cache hit ratio is
 	// (R - Distinct) / R.
 	Distinct int
+	// Batch, when > 0, switches the run to the streaming batch endpoint:
+	// every request is a POST /v1/schedule/batch of this many members,
+	// consumed as NDJSON, with first-item and last-item latency reported
+	// separately — the gap is what streaming buys over a buffered batch.
+	Batch int
 	// Programs are benchmark graph keys to mix (default NE, GJ, FFT, MM).
 	Programs []string
 	// Topo is the topology spec for every request (default hypercube:3).
@@ -50,6 +57,19 @@ type LoadGenReport struct {
 	LatencyP50 time.Duration `json:"latency_p50_ns"`
 	LatencyP95 time.Duration `json:"latency_p95_ns"`
 	LatencyP99 time.Duration `json:"latency_p99_ns"`
+	// Batch mode only: per-call latency to the first streamed item vs the
+	// last. Zero batch size leaves them nil.
+	Batch     int             `json:"batch,omitempty"`
+	Items     int             `json:"items,omitempty"`
+	FirstItem *LatencySummary `json:"first_item,omitempty"`
+	LastItem  *LatencySummary `json:"last_item,omitempty"`
+}
+
+// LatencySummary is the percentile triple of one latency population.
+type LatencySummary struct {
+	P50 time.Duration `json:"p50_ns"`
+	P95 time.Duration `json:"p95_ns"`
+	P99 time.Duration `json:"p99_ns"`
 }
 
 // String renders the report for terminals.
@@ -57,19 +77,42 @@ func (r *LoadGenReport) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "loadgen: %d requests, %d errors, %d memory hits, %d disk hits, %d coalesced\n",
 		r.Requests, r.Errors, r.CacheHits, r.DiskHits, r.Coalesced)
+	if r.Batch > 0 {
+		fmt.Fprintf(&b, "  batch mode  %d items per streamed batch call (%d items total)\n", r.Batch, r.Items)
+	}
 	fmt.Fprintf(&b, "  wall time   %12s\n", r.Elapsed.Round(time.Millisecond))
 	fmt.Fprintf(&b, "  throughput  %12.1f req/s\n", r.Throughput)
 	fmt.Fprintf(&b, "  latency p50 %12s\n", r.LatencyP50.Round(time.Microsecond))
 	fmt.Fprintf(&b, "  latency p95 %12s\n", r.LatencyP95.Round(time.Microsecond))
 	fmt.Fprintf(&b, "  latency p99 %12s\n", r.LatencyP99.Round(time.Microsecond))
+	if r.FirstItem != nil && r.LastItem != nil {
+		fmt.Fprintf(&b, "  first item  %12s p50 / %12s p95 (streamed)\n",
+			r.FirstItem.P50.Round(time.Microsecond), r.FirstItem.P95.Round(time.Microsecond))
+		fmt.Fprintf(&b, "  last item   %12s p50 / %12s p95\n",
+			r.LastItem.P50.Round(time.Microsecond), r.LastItem.P95.Round(time.Microsecond))
+	}
 	return b.String()
+}
+
+// percentiles summarizes a sorted latency slice.
+func percentiles(lat []time.Duration) LatencySummary {
+	pct := func(p float64) time.Duration {
+		if len(lat) == 0 {
+			return 0
+		}
+		return lat[int(p*float64(len(lat)-1))]
+	}
+	return LatencySummary{P50: pct(0.50), P95: pct(0.95), P99: pct(0.99)}
 }
 
 // LoadGen fires cfg.Requests schedule calls at the server from
 // cfg.Concurrency clients and reports throughput, latency percentiles and
-// the cache hit count (from the X-DTServe-Cache response header). Distinct
-// payloads differ by graph and seed, so the run exercises both the solver
-// pool (cold keys) and the content-addressed cache (warm keys).
+// the cache hit count (from the X-DTServe-Cache header, or the per-item
+// cache tags in batch mode). Distinct payloads differ by graph and seed,
+// so the run exercises both the solve engine (cold keys) and the
+// content-addressed cache (warm keys). The client fan-out runs on the
+// same engine.ParallelFor loop the experiment harness uses, so request i
+// always carries payload i%distinct regardless of concurrency.
 func LoadGen(cfg LoadGenConfig) (*LoadGenReport, error) {
 	if cfg.URL == "" {
 		return nil, fmt.Errorf("loadgen: missing server URL")
@@ -89,82 +132,84 @@ func LoadGen(cfg LoadGenConfig) (*LoadGenReport, error) {
 	if cfg.Topo == "" {
 		cfg.Topo = "hypercube:3"
 	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 60 * time.Second
+	}
 
 	// Pre-marshal the distinct payload set so request bodies cost nothing
 	// during the timed run.
+	singles := make([]ScheduleRequest, cfg.Distinct)
 	payloads := make([][]byte, cfg.Distinct)
 	for i := range payloads {
 		g, err := cliutil.BuildProgram(cfg.Programs[i%len(cfg.Programs)])
 		if err != nil {
 			return nil, fmt.Errorf("loadgen: %w", err)
 		}
-		body, err := json.Marshal(ScheduleRequest{
+		singles[i] = ScheduleRequest{
 			Graph:  g,
 			Topo:   cfg.Topo,
 			Solver: cfg.Solver,
 			Seed:   int64(1991 + i),
-		})
+		}
+		body, err := json.Marshal(singles[i])
 		if err != nil {
 			return nil, fmt.Errorf("loadgen: %w", err)
 		}
 		payloads[i] = body
 	}
-
-	if cfg.RequestTimeout <= 0 {
-		cfg.RequestTimeout = 60 * time.Second
+	// Batch payloads rotate through the distinct singles so a batch mixes
+	// cold and warm members.
+	batches := make([][]byte, 0)
+	if cfg.Batch > 0 {
+		for i := 0; i < cfg.Distinct; i++ {
+			reqs := make([]ScheduleRequest, cfg.Batch)
+			for j := range reqs {
+				reqs[j] = singles[(i+j)%len(singles)]
+			}
+			body, err := json.Marshal(BatchRequest{Requests: reqs})
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: %w", err)
+			}
+			batches = append(batches, body)
+		}
 	}
 
-	url := strings.TrimSuffix(cfg.URL, "/") + "/v1/schedule"
+	base := strings.TrimSuffix(cfg.URL, "/")
 	client := &http.Client{Timeout: cfg.RequestTimeout}
 	latencies := make([]time.Duration, cfg.Requests)
-	var errCount, hitCount, diskCount, coalCount atomic.Int64
-	var next atomic.Int64
-	var wg sync.WaitGroup
+	firstLat := make([]time.Duration, cfg.Requests)
+	lastLat := make([]time.Duration, cfg.Requests)
+	var errCount, hitCount, diskCount, coalCount, itemCount atomic.Int64
 
 	start := time.Now()
-	for w := 0; w < cfg.Concurrency; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= cfg.Requests {
-					return
-				}
-				t0 := time.Now()
-				resp, err := client.Post(url, "application/json", bytes.NewReader(payloads[i%len(payloads)]))
-				if err != nil {
-					errCount.Add(1)
-					latencies[i] = time.Since(t0)
-					continue
-				}
-				_, _ = io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				latencies[i] = time.Since(t0)
-				if resp.StatusCode != http.StatusOK {
-					errCount.Add(1)
-				} else {
-					switch resp.Header.Get("X-DTServe-Cache") {
-					case "hit":
-						hitCount.Add(1)
-					case "disk":
-						diskCount.Add(1)
-					case "coalesced":
-						coalCount.Add(1)
-					}
-				}
-			}
-		}()
-	}
-	wg.Wait()
+	_ = engine.ParallelFor(cfg.Concurrency, cfg.Requests, func(i int, _ *engine.Worker) error {
+		if cfg.Batch > 0 {
+			fireBatch(client, base, batches[i%len(batches)], i,
+				latencies, firstLat, lastLat, &errCount, &hitCount, &diskCount, &coalCount, &itemCount)
+			return nil
+		}
+		t0 := time.Now()
+		resp, err := client.Post(base+"/v1/schedule", "application/json", bytes.NewReader(payloads[i%len(payloads)]))
+		if err != nil {
+			errCount.Add(1)
+			latencies[i] = time.Since(t0)
+			return nil
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		latencies[i] = time.Since(t0)
+		if resp.StatusCode != http.StatusOK {
+			errCount.Add(1)
+		} else {
+			countCacheTag(resp.Header.Get("X-DTServe-Cache"), &hitCount, &diskCount, &coalCount)
+		}
+		return nil
+	})
 	elapsed := time.Since(start)
 
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	pct := func(p float64) time.Duration {
-		idx := int(p * float64(len(latencies)-1))
-		return latencies[idx]
-	}
-	return &LoadGenReport{
+	total := percentiles(latencies)
+	report := &LoadGenReport{
 		Requests:   cfg.Requests,
 		Errors:     int(errCount.Load()),
 		CacheHits:  int(hitCount.Load()),
@@ -172,8 +217,100 @@ func LoadGen(cfg LoadGenConfig) (*LoadGenReport, error) {
 		Coalesced:  int(coalCount.Load()),
 		Elapsed:    elapsed,
 		Throughput: float64(cfg.Requests) / elapsed.Seconds(),
-		LatencyP50: pct(0.50),
-		LatencyP95: pct(0.95),
-		LatencyP99: pct(0.99),
-	}, nil
+		LatencyP50: total.P50,
+		LatencyP95: total.P95,
+		LatencyP99: total.P99,
+	}
+	if cfg.Batch > 0 {
+		report.Batch = cfg.Batch
+		report.Items = int(itemCount.Load())
+		// A batch call that failed before its first item never set its
+		// first/last slots; including those zeros would drag the reported
+		// percentiles toward 0, so only calls that streamed at least one
+		// item count (a real item latency is never exactly zero).
+		first := make([]time.Duration, 0, len(firstLat))
+		last := make([]time.Duration, 0, len(lastLat))
+		for i := range firstLat {
+			if firstLat[i] > 0 {
+				first = append(first, firstLat[i])
+				last = append(last, lastLat[i])
+			}
+		}
+		sort.Slice(first, func(i, j int) bool { return first[i] < first[j] })
+		sort.Slice(last, func(i, j int) bool { return last[i] < last[j] })
+		fp := percentiles(first)
+		lp := percentiles(last)
+		report.FirstItem = &fp
+		report.LastItem = &lp
+	}
+	return report, nil
+}
+
+// fireBatch issues one streaming batch call and records the latency of
+// the first and last NDJSON items separately: with pipelining working,
+// the first item of a cold batch lands well before the slowest member
+// completes.
+func fireBatch(client *http.Client, base string, payload []byte, i int,
+	latencies, firstLat, lastLat []time.Duration,
+	errCount, hitCount, diskCount, coalCount, itemCount *atomic.Int64) {
+
+	t0 := time.Now()
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/schedule/batch", bytes.NewReader(payload))
+	if err != nil {
+		errCount.Add(1)
+		latencies[i] = time.Since(t0)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", "application/x-ndjson")
+	resp, err := client.Do(req)
+	if err != nil {
+		errCount.Add(1)
+		latencies[i] = time.Since(t0)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		errCount.Add(1)
+		latencies[i] = time.Since(t0)
+		return
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 32<<20)
+	seen := 0
+	for sc.Scan() {
+		var item BatchItem
+		if err := json.Unmarshal(sc.Bytes(), &item); err != nil {
+			errCount.Add(1)
+			continue
+		}
+		seen++
+		if seen == 1 {
+			firstLat[i] = time.Since(t0)
+		}
+		lastLat[i] = time.Since(t0)
+		if item.Error != "" {
+			errCount.Add(1)
+			continue
+		}
+		itemCount.Add(1)
+		countCacheTag(item.Cache, hitCount, diskCount, coalCount)
+	}
+	if err := sc.Err(); err != nil {
+		errCount.Add(1)
+	}
+	latencies[i] = time.Since(t0)
+}
+
+// countCacheTag buckets one cache status tag into the hit counters.
+func countCacheTag(tag string, hit, disk, coal *atomic.Int64) {
+	switch tag {
+	case "hit":
+		hit.Add(1)
+	case "disk":
+		disk.Add(1)
+	case "coalesced":
+		coal.Add(1)
+	}
 }

@@ -71,8 +71,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	counter("dtserve_requests_total", "API calls that reached a handler.", st.Requests)
 	counter("dtserve_failures_total", "Requests answered with a non-2xx status.", st.Failures)
+	counter("dtserve_schedule_items_total", "Schedule items answered: one per single schedule call, one per batch member.", st.Items)
 	counter("dtserve_solves_total", "Solver executions (cache misses that ran a solver).", st.Solves)
 	counter("dtserve_coalesced_total", "Requests answered by piggybacking on an identical in-flight solve.", st.Coalesced)
+	counter("dtserve_portfolio_pruned_total", "Portfolio members cancelled mid-run by the incumbent bound.", st.PortfolioPruned)
 
 	fmt.Fprintf(&b, "# HELP dtserve_solves_by_solver_total Solver executions by registry name.\n# TYPE dtserve_solves_by_solver_total counter\n")
 	names := make([]string, 0, len(st.BySolver))

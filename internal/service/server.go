@@ -7,12 +7,13 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/cliutil"
 	"repro/internal/core"
-	"repro/internal/machsim"
+	"repro/internal/engine"
 	"repro/internal/solver"
 	"repro/internal/topology"
 )
@@ -39,18 +40,21 @@ type Config struct {
 	DefaultSolver string
 	// DefaultTimeout bounds solves that request no timeout; 0 means none.
 	DefaultTimeout time.Duration
-	// MaxBatch caps the requests of one batch call; <= 0 means 256.
+	// MaxBatch caps the requests of one batch call; <= 0 means 256. The
+	// limit is enforced by the engine's batch fan-out, not per handler.
 	MaxBatch int
 	// Logger receives one line per request; nil disables request logging.
 	Logger *log.Logger
 }
 
-// Server owns the solver pool, the result cache and the request counters
+// Server owns the solve engine, the result cache and the request counters
 // behind the HTTP API. Create with New, expose with Handler, stop with
-// Close.
+// Close. Cold solves run on the shared orchestration layer
+// (internal/engine); the content-addressed cache tiers and the
+// singleflight sit above it, so the engine sees only genuinely cold work.
 type Server struct {
 	cfg          Config
-	pool         *Pool
+	eng          *engine.Engine
 	cache        *Cache
 	disk         *DiskCache
 	solveLatency *histogram
@@ -58,8 +62,10 @@ type Server struct {
 	mu        sync.Mutex
 	requests  uint64             // API calls that reached a handler
 	failures  uint64             // requests answered with a non-2xx status
+	items     uint64             // schedule items answered (1 per single, N per batch)
 	solves    uint64             // solver executions (cache misses)
 	coalesced uint64             // requests that piggybacked on an in-flight solve
+	pruned    uint64             // portfolio members cancelled by the incumbent bound
 	bySolver  map[string]uint64  // solves by registry name
 	inflight  map[string]*flight // singleflight: one solve per cache key
 }
@@ -73,22 +79,35 @@ type flight struct {
 	err  error
 }
 
-// Stats is the /statsz payload. For successful schedule requests the
-// counters obey the conservation law
+// Stats is the /statsz payload. The counters obey the conservation law
 //
-//	solves + cache.hits + disk.hits + coalesced == requests
+//	solves + cache.hits + disk.hits + coalesced == schedule_items
 //
-// every answered request is exactly one of: a solver execution, a memory
-// hit, a disk hit, or a ride on an identical in-flight solve.
+// every answered schedule item — one per /v1/schedule call, one per batch
+// member — is exactly one of: a solver execution, a memory hit, a disk
+// hit, or a ride on an identical in-flight solve. (For workloads of only
+// single schedule calls, schedule_items equals the successful requests.)
 type Stats struct {
-	Requests  uint64            `json:"requests"`
-	Failures  uint64            `json:"failures"`
-	Solves    uint64            `json:"solves"`
-	Coalesced uint64            `json:"coalesced"`
-	BySolver  map[string]uint64 `json:"by_solver"`
-	Cache     CacheStats        `json:"cache"`
-	Disk      DiskCacheStats    `json:"disk"`
-	Pool      PoolStats         `json:"pool"`
+	Requests  uint64 `json:"requests"`
+	Failures  uint64 `json:"failures"`
+	Items     uint64 `json:"schedule_items"`
+	Solves    uint64 `json:"solves"`
+	Coalesced uint64 `json:"coalesced"`
+	// PortfolioPruned counts portfolio members cancelled mid-run because
+	// their own makespan lower bound exceeded the incumbent best.
+	PortfolioPruned uint64            `json:"portfolio_pruned"`
+	BySolver        map[string]uint64 `json:"by_solver"`
+	Cache           CacheStats        `json:"cache"`
+	Disk            DiskCacheStats    `json:"disk"`
+	Pool            PoolStats         `json:"pool"`
+}
+
+// PoolStats mirrors the engine's worker counters under the historical
+// "pool" key of the /statsz payload.
+type PoolStats struct {
+	Workers   int   `json:"workers"`
+	Busy      int64 `json:"busy"`
+	Completed int64 `json:"completed"`
 }
 
 // New validates the configuration and starts the worker pool.
@@ -98,9 +117,6 @@ func New(cfg Config) (*Server, error) {
 	}
 	if _, err := solver.Get(cfg.DefaultSolver); err != nil {
 		return nil, fmt.Errorf("service: default solver: %w", err)
-	}
-	if cfg.MaxBatch <= 0 {
-		cfg.MaxBatch = 256
 	}
 	var disk *DiskCache
 	if cfg.CacheDir != "" {
@@ -112,7 +128,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	return &Server{
 		cfg:          cfg,
-		pool:         NewPool(cfg.Workers),
+		eng:          engine.New(engine.Config{Workers: cfg.Workers, MaxBatch: cfg.MaxBatch}),
 		cache:        NewCache(cfg.CacheSize, cfg.CacheBytes),
 		disk:         disk,
 		solveLatency: newHistogram(),
@@ -121,11 +137,11 @@ func New(cfg Config) (*Server, error) {
 	}, nil
 }
 
-// Close stops the worker pool and drains the disk tier's write-behind
+// Close stops the solve engine and drains the disk tier's write-behind
 // queue, so every result accepted for persistence is durable before
 // Close returns. In-flight solves finish first.
 func (s *Server) Close() {
-	s.pool.Close()
+	s.eng.Close()
 	s.disk.Close()
 }
 
@@ -137,15 +153,18 @@ func (s *Server) Stats() Stats {
 	for k, v := range s.bySolver {
 		by[k] = v
 	}
+	est := s.eng.Stats()
 	return Stats{
-		Requests:  s.requests,
-		Failures:  s.failures,
-		Solves:    s.solves,
-		Coalesced: s.coalesced,
-		BySolver:  by,
-		Cache:     s.cache.Stats(),
-		Disk:      s.disk.Stats(),
-		Pool:      s.pool.Stats(),
+		Requests:        s.requests,
+		Failures:        s.failures,
+		Items:           s.items,
+		Solves:          s.solves,
+		Coalesced:       s.coalesced,
+		PortfolioPruned: s.pruned,
+		BySolver:        by,
+		Cache:           s.cache.Stats(),
+		Disk:            s.disk.Stats(),
+		Pool:            PoolStats{Workers: est.Workers, Busy: est.Busy, Completed: est.Completed},
 	}
 }
 
@@ -183,6 +202,14 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the wrapped writer so streaming handlers (the NDJSON
+// batch) keep their per-item flushes through the logging wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // logged counts every request and, with a configured logger, prints one
@@ -255,12 +282,38 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	s.countItem()
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-DTServe-Cache", status)
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(body)
 }
 
+// countItem records one answered schedule item (the conservation law's
+// right-hand side).
+func (s *Server) countItem() {
+	s.mu.Lock()
+	s.items++
+	s.mu.Unlock()
+}
+
+// wantsNDJSON reports whether the client asked for a streamed batch.
+func wantsNDJSON(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+}
+
+// handleBatch answers POST /v1/schedule/batch. Both response shapes share
+// one execution path: the batch fans out through the engine (which owns
+// the MaxBatch limit) and items come back in completion order, each
+// carrying its request index and cache status.
+//
+// With "Accept: application/x-ndjson" the response streams: every item is
+// written — and flushed — as its solve completes, so a client consuming a
+// large batch pipelines behind the fast members instead of blocking on the
+// slowest. Item bodies are byte-identical to the buffered shape's; only
+// the framing (one JSON object per line, completion-ordered) differs.
+// Without it the items are assembled into the request-ordered
+// BatchResponse envelope once all have completed.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var batch BatchRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&batch); err != nil {
@@ -271,25 +324,39 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequest("empty batch"))
 		return
 	}
-	if len(batch.Requests) > s.cfg.MaxBatch {
-		writeError(w, badRequest("batch of %d exceeds the limit of %d", len(batch.Requests), s.cfg.MaxBatch))
+	n := len(batch.Requests)
+	ch, err := engine.Fan(n, s.eng.MaxBatch(), func(i int) BatchItem {
+		body, status, err := s.process(r.Context(), &batch.Requests[i])
+		if err != nil {
+			return BatchItem{Index: i, Error: err.Error()}
+		}
+		s.countItem()
+		return BatchItem{Index: i, Cache: status, Result: body}
+	})
+	if err != nil {
+		writeError(w, badRequest("%v", err))
 		return
 	}
-	items := make([]BatchItem, len(batch.Requests))
-	var wg sync.WaitGroup
-	for i := range batch.Requests {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			body, _, err := s.process(r.Context(), &batch.Requests[i])
-			if err != nil {
-				items[i].Error = err.Error()
-				return
+
+	if wantsNDJSON(r) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		fl, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		enc.SetEscapeHTML(false)
+		for item := range ch {
+			_ = enc.Encode(item) // Encode appends the newline framing
+			if fl != nil {
+				fl.Flush()
 			}
-			items[i].Result = body
-		}(i)
+		}
+		return
 	}
-	wg.Wait()
+
+	items := make([]BatchItem, n)
+	for item := range ch {
+		items[item.Index] = item
+	}
 	writeJSON(w, http.StatusOK, BatchResponse{Items: items})
 }
 
@@ -361,7 +428,6 @@ func (s *Server) process(ctx context.Context, req *ScheduleRequest) ([]byte, str
 		// explicitly asked for their own solve.
 		s.mu.Lock()
 		if f, ok := s.inflight[key]; ok {
-			s.coalesced++
 			s.mu.Unlock()
 			select {
 			case <-f.done:
@@ -377,6 +443,14 @@ func (s *Server) process(ctx context.Context, req *ScheduleRequest) ([]byte, str
 					}
 					return nil, "", f.err
 				}
+				// Counted only on the successful replay: a waiter that
+				// falls through to its own solve, inherits the leader's
+				// failure, or times out below must not contribute a
+				// coalesced ride, or the conservation law (coalesced
+				// rides are answered items) would overcount.
+				s.mu.Lock()
+				s.coalesced++
+				s.mu.Unlock()
 				return f.body, "coalesced", nil
 			case <-ctx.Done():
 				return nil, "", &httpError{status: http.StatusServiceUnavailable,
@@ -430,9 +504,9 @@ func isLeaderContextError(err error) bool {
 	return he.status == http.StatusGatewayTimeout || he.status == http.StatusServiceUnavailable
 }
 
-// solve runs one cold request on the worker pool (reusing the worker's
-// simulator arena), marshals the wire result, records the solve latency,
-// and stores cacheable bodies.
+// solve runs one cold request on the engine (whose worker hands the
+// solver its owned simulator arena and pooled scheduler), marshals the
+// wire result, records the solve latency, and stores cacheable bodies.
 func (s *Server) solve(ctx context.Context, slv solver.Solver, sreq solver.Request,
 	req *ScheduleRequest, topoName, key string) ([]byte, error) {
 
@@ -449,43 +523,35 @@ func (s *Server) solve(ctx context.Context, slv solver.Solver, sreq solver.Reque
 		deadlined = true
 	}
 
-	var body []byte
-	var solveErr error
-	raced := false
 	start := time.Now()
-	runErr := s.pool.Run(ctx, func(sim *machsim.Simulator) {
-		sreq.Arena = sim
-		res, err := slv.Solve(ctx, sreq)
-		if err != nil {
-			solveErr = err
-			return
+	res, err := s.eng.Solve(ctx, engine.Job{Solver: slv, Req: sreq})
+	if err != nil {
+		if errors.Is(err, engine.ErrQueueTimeout) || errors.Is(err, engine.ErrClosed) {
+			// The job never ran: a capacity verdict, not a solve verdict.
+			return nil, &httpError{status: http.StatusServiceUnavailable, msg: "service: " + err.Error()}
 		}
-		raced = res.Raced
-		wire, err := ResultFromSim(res, req.Graph, topoName)
-		if err != nil {
-			solveErr = err
-			return
-		}
-		body, solveErr = json.Marshal(wire)
-	})
-	if runErr != nil {
-		return nil, &httpError{status: http.StatusServiceUnavailable, msg: runErr.Error()}
-	}
-	if solveErr != nil {
 		status := http.StatusUnprocessableEntity
-		if errors.Is(solveErr, context.DeadlineExceeded) || errors.Is(solveErr, context.Canceled) {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			status = http.StatusGatewayTimeout
 		}
-		return nil, &httpError{status: status, msg: solveErr.Error()}
+		return nil, &httpError{status: status, msg: err.Error()}
+	}
+	wire, err := ResultFromSim(res, req.Graph, topoName)
+	if err != nil {
+		return nil, &httpError{status: http.StatusUnprocessableEntity, msg: err.Error()}
+	}
+	body, err := json.Marshal(wire)
+	if err != nil {
+		return nil, &httpError{status: http.StatusInternalServerError, msg: err.Error()}
 	}
 
 	// A timing-dependent result — a portfolio raced against the request
-	// deadline, or one resolved by lower-bound early cancellation
-	// (Result.Raced) — depends on which members beat the clock, not just
-	// on the payload. Caching it would replay a timing fact to every
-	// future caller of the key, so only deterministic results are
-	// memoized.
-	if !(deadlined && slv.Name() == "portfolio") && !raced {
+	// deadline, or one resolved by lower-bound early cancellation or
+	// member pruning (Result.Raced) — depends on which members beat the
+	// clock, not just on the payload. Caching it would replay a timing
+	// fact to every future caller of the key, so only deterministic
+	// results are memoized.
+	if !(deadlined && slv.Name() == "portfolio") && !res.Raced {
 		s.cache.Put(key, body)
 		// Persist through the write-behind queue: the disk write happens
 		// on the disk tier's writer goroutine, never on this hot path.
@@ -497,6 +563,7 @@ func (s *Server) solve(ctx context.Context, slv solver.Solver, sreq solver.Reque
 	s.solveLatency.Observe(time.Since(start))
 	s.mu.Lock()
 	s.solves++
+	s.pruned += uint64(res.Pruned)
 	s.bySolver[slv.Name()]++
 	s.mu.Unlock()
 	return body, nil

@@ -1,0 +1,423 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+
+	"repro/internal/cliutil"
+	"repro/internal/engine"
+	"repro/internal/machsim"
+	"repro/internal/solver"
+)
+
+// registerOnce guards test-solver registration: the solver registry is
+// process-global, so each test solver registers exactly once and is keyed
+// by a name no production request uses.
+var registerOnce sync.Once
+
+// slowGate blocks the "slowtest" solver until opened. Reset per test via
+// swap (the solver reads the current gate under the lock).
+var (
+	slowMu   sync.Mutex
+	slowGate chan struct{}
+)
+
+func setSlowGate(ch chan struct{}) {
+	slowMu.Lock()
+	slowGate = ch
+	slowMu.Unlock()
+}
+
+func currentSlowGate() chan struct{} {
+	slowMu.Lock()
+	defer slowMu.Unlock()
+	return slowGate
+}
+
+// slowSolver is a registry-visible solver that blocks until the current
+// gate opens, then answers like hlf: it lets HTTP-level tests prove
+// streaming order deterministically, with no wall-clock sleeps.
+type slowSolver struct{}
+
+func (slowSolver) Name() string        { return "slowtest" }
+func (slowSolver) Description() string { return "test-only gated solver (blocks until released)" }
+
+func (slowSolver) Solve(ctx context.Context, req solver.Request) (*machsim.Result, error) {
+	if gate := currentSlowGate(); gate != nil {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	hlf, err := solver.Get("hlf")
+	if err != nil {
+		return nil, err
+	}
+	return hlf.Solve(ctx, req)
+}
+
+func ensureSlowSolver(t *testing.T) {
+	t.Helper()
+	registerOnce.Do(func() {
+		if err := solver.Register(slowSolver{}); err != nil {
+			t.Fatalf("register slowtest: %v", err)
+		}
+	})
+}
+
+// streamBatch POSTs a batch with the NDJSON accept header and returns the
+// open response; the caller consumes the body incrementally.
+func streamBatch(t *testing.T, url string, batch BatchRequest) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/schedule/batch", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", "application/x-ndjson")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func mustScheduleRequest(t *testing.T, program string, seed int64, solverName string) ScheduleRequest {
+	t.Helper()
+	var sr ScheduleRequest
+	if err := json.Unmarshal(wireRequest(t, program, func(r *ScheduleRequest) {
+		r.Seed = seed
+		r.Solver = solverName
+	}), &sr); err != nil {
+		t.Fatal(err)
+	}
+	return sr
+}
+
+// TestBatchStreamingPipelines is the service-level streaming proof: with
+// the batch's first request stuck in a gated solver, every other item is
+// written — and readable by the client — before the slow member
+// completes.
+func TestBatchStreamingPipelines(t *testing.T) {
+	ensureSlowSolver(t)
+	gate := make(chan struct{})
+	setSlowGate(gate)
+	defer setSlowGate(nil)
+
+	_, ts := newTestServer(t, Config{CacheSize: 64, Workers: 4})
+	batch := BatchRequest{Requests: []ScheduleRequest{
+		mustScheduleRequest(t, "NE", 1, "slowtest"), // item 0: gated
+		mustScheduleRequest(t, "FFT", 2, "sa"),
+		mustScheduleRequest(t, "NE", 3, "hlf"),
+		mustScheduleRequest(t, "GJ", 4, "etf"),
+	}}
+	resp := streamBatch(t, ts.URL, batch)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 32<<20)
+	seen := map[int]BatchItem{}
+	for i := 0; i < len(batch.Requests)-1; i++ {
+		if !sc.Scan() {
+			t.Fatalf("stream ended after %d items (err %v): the fast items must arrive while item 0 is gated", i, sc.Err())
+		}
+		var item BatchItem
+		if err := json.Unmarshal(sc.Bytes(), &item); err != nil {
+			t.Fatalf("item %d: %v", i, err)
+		}
+		if item.Index == 0 {
+			t.Fatal("gated item 0 arrived before its gate opened")
+		}
+		if item.Error != "" {
+			t.Fatalf("item %d failed: %s", item.Index, item.Error)
+		}
+		seen[item.Index] = item
+	}
+	// All fast items are in hand and the slow member is still gated:
+	// first-item latency was not bound by the slowest member. Release it.
+	close(gate)
+	if !sc.Scan() {
+		t.Fatalf("stream ended without the slow item: %v", sc.Err())
+	}
+	var last BatchItem
+	if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Index != 0 || last.Error != "" {
+		t.Fatalf("final item = %+v, want index 0", last)
+	}
+	if sc.Scan() {
+		t.Fatalf("stream yielded more items than requests: %s", sc.Text())
+	}
+}
+
+// TestBatchStreamingMatchesBuffered: the streamed items carry the exact
+// result bytes of the buffered batch response (and of single schedule
+// calls), differ only in framing, and tag each item with its cache
+// status.
+func TestBatchStreamingMatchesBuffered(t *testing.T) {
+	_, ts := newTestServer(t, Config{CacheSize: 64, Workers: 4})
+	reqs := []ScheduleRequest{
+		mustScheduleRequest(t, "NE", 10, "sa"),
+		mustScheduleRequest(t, "FFT", 11, "hlf"),
+		mustScheduleRequest(t, "NE", 10, "sa"), // duplicate of item 0: hit or coalesced
+		mustScheduleRequest(t, "GJ", 12, "etf"),
+	}
+	batch := BatchRequest{Requests: reqs}
+
+	resp := streamBatch(t, ts.URL, batch)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	streamed := make([]BatchItem, len(reqs))
+	gotItems := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 32<<20)
+	for sc.Scan() {
+		var item BatchItem
+		if err := json.Unmarshal(sc.Bytes(), &item); err != nil {
+			t.Fatal(err)
+		}
+		if item.Index < 0 || item.Index >= len(reqs) {
+			t.Fatalf("item index %d out of range", item.Index)
+		}
+		streamed[item.Index] = item
+		gotItems++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if gotItems != len(reqs) {
+		t.Fatalf("streamed %d items for %d requests", gotItems, len(reqs))
+	}
+
+	body, err := json.Marshal(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	respB, buffered := post(t, ts.URL+"/v1/schedule/batch", body)
+	if respB.StatusCode != http.StatusOK {
+		t.Fatalf("buffered status %d", respB.StatusCode)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(buffered, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Items) != len(reqs) {
+		t.Fatalf("buffered returned %d items", len(br.Items))
+	}
+	validCache := map[string]bool{"hit": true, "disk": true, "coalesced": true, "miss": true}
+	for i := range reqs {
+		if streamed[i].Error != "" || br.Items[i].Error != "" {
+			t.Fatalf("item %d errored: stream=%q buffered=%q", i, streamed[i].Error, br.Items[i].Error)
+		}
+		if !bytes.Equal(streamed[i].Result, br.Items[i].Result) {
+			t.Fatalf("item %d: streamed result bytes differ from the buffered response", i)
+		}
+		if !validCache[streamed[i].Cache] || !validCache[br.Items[i].Cache] {
+			t.Fatalf("item %d: cache tags stream=%q buffered=%q", i, streamed[i].Cache, br.Items[i].Cache)
+		}
+		// And both match a plain single schedule call for the same payload.
+		single, err := json.Marshal(reqs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		respS, singleBody := post(t, ts.URL+"/v1/schedule", single)
+		if respS.StatusCode != http.StatusOK {
+			t.Fatalf("single %d: status %d", i, respS.StatusCode)
+		}
+		if !bytes.Equal(bytes.TrimSpace(streamed[i].Result), bytes.TrimSpace(singleBody)) {
+			t.Fatalf("item %d: streamed result differs from the single-call body", i)
+		}
+	}
+	// Items 0 and 2 share a cache key and run concurrently: whichever
+	// reached the singleflight first is the "miss" leader, and the other
+	// must have ridden it (hit or coalesced) — never a second solve.
+	a, b := streamed[0].Cache, streamed[2].Cache
+	if b == "miss" {
+		a, b = b, a
+	}
+	if a != "miss" || (b != "hit" && b != "coalesced") {
+		t.Fatalf("duplicate batch members cache = %q/%q, want one miss and one hit/coalesced",
+			streamed[0].Cache, streamed[2].Cache)
+	}
+}
+
+// TestBatchConservationLaw: after a mix of batches and singles,
+// solves + memory hits + disk hits + coalesced == schedule items.
+func TestBatchConservationLaw(t *testing.T) {
+	svc, ts := newTestServer(t, Config{CacheSize: 64, Workers: 4})
+	batch := BatchRequest{Requests: []ScheduleRequest{
+		mustScheduleRequest(t, "NE", 20, "sa"),
+		mustScheduleRequest(t, "NE", 20, "sa"),
+		mustScheduleRequest(t, "FFT", 21, "hlf"),
+	}}
+	body, err := json.Marshal(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, b := post(t, ts.URL+"/v1/schedule/batch", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: %d %s", resp.StatusCode, b)
+	}
+	resp := streamBatch(t, ts.URL, batch)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 32<<20)
+	for sc.Scan() {
+	}
+	resp.Body.Close()
+	single, _ := json.Marshal(batch.Requests[2])
+	if resp, b := post(t, ts.URL+"/v1/schedule", single); resp.StatusCode != http.StatusOK {
+		t.Fatalf("single: %d %s", resp.StatusCode, b)
+	}
+
+	st := svc.Stats()
+	wantItems := uint64(2*len(batch.Requests) + 1)
+	if st.Items != wantItems {
+		t.Fatalf("schedule_items = %d, want %d", st.Items, wantItems)
+	}
+	if got := st.Solves + st.Cache.Hits + st.Disk.Hits + st.Coalesced; got != st.Items {
+		t.Fatalf("conservation law violated: solves %d + mem %d + disk %d + coalesced %d = %d, want %d",
+			st.Solves, st.Cache.Hits, st.Disk.Hits, st.Coalesced, got, st.Items)
+	}
+}
+
+// TestBatchMaxBatchEnforcedByEngine: the limit lives in the engine, and
+// both response shapes reject an oversized batch identically.
+func TestBatchMaxBatchEnforcedByEngine(t *testing.T) {
+	svc, ts := newTestServer(t, Config{CacheSize: 4, MaxBatch: 2})
+	if got := svc.eng.MaxBatch(); got != 2 {
+		t.Fatalf("engine MaxBatch = %d, want 2", got)
+	}
+	over := BatchRequest{Requests: []ScheduleRequest{
+		mustScheduleRequest(t, "NE", 1, "hlf"),
+		mustScheduleRequest(t, "NE", 2, "hlf"),
+		mustScheduleRequest(t, "NE", 3, "hlf"),
+	}}
+	body, err := json.Marshal(over)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, _ := post(t, ts.URL+"/v1/schedule/batch", body); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("buffered oversize: status %d, want 400", resp.StatusCode)
+	}
+	resp := streamBatch(t, ts.URL, over)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("streamed oversize: status %d, want 400", resp.StatusCode)
+	}
+	st := svc.Stats()
+	if st.Solves != 0 || st.Items != 0 {
+		t.Fatalf("oversized batches ran work: %+v", st)
+	}
+}
+
+// TestEngineServerCLIParity: for one request, the dtsched -json encoding
+// path (direct solve + ResultFromSim + json.Marshal), the engine's
+// output fed through the same encoding, and the server's response body
+// are byte-identical.
+func TestEngineServerCLIParity(t *testing.T) {
+	for _, cse := range []struct {
+		program, solverName string
+		seed                int64
+	}{
+		{"NE", "sa", 7}, {"FFT", "hlf", 8}, {"GJ", "auto", 9}, {"MM", "etf", 10},
+	} {
+		sr := mustScheduleRequest(t, cse.program, cse.seed, cse.solverName)
+		sreq, slv := wireToSolverRequest(t, sr)
+
+		// CLI path: direct solve, fresh state (what dtsched -json does,
+		// modulo its engine wrapper).
+		direct, err := slv.Solve(context.Background(), sreq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cliBody := marshalWire(t, direct, sr)
+
+		// Engine path: worker-owned arena + pooled scheduler.
+		eng := engine.New(engine.Config{Workers: 1})
+		res, err := eng.Solve(context.Background(), engine.Job{Solver: slv, Req: sreq})
+		eng.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		engBody := marshalWire(t, res, sr)
+
+		// Server path.
+		_, ts := newTestServer(t, Config{CacheSize: 16})
+		single, err := json.Marshal(sr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, serverBody := post(t, ts.URL+"/v1/schedule", single)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s/%s: status %d", cse.program, cse.solverName, resp.StatusCode)
+		}
+
+		if !bytes.Equal(cliBody, engBody) {
+			t.Errorf("%s/%s: engine body differs from CLI body", cse.program, cse.solverName)
+		}
+		if !bytes.Equal(engBody, bytes.TrimSpace(serverBody)) {
+			t.Errorf("%s/%s: server body differs from engine body", cse.program, cse.solverName)
+		}
+	}
+}
+
+// wireToSolverRequest rebuilds the solver request the server builds from
+// a wire request (mirroring Server.process).
+func wireToSolverRequest(t *testing.T, sr ScheduleRequest) (solver.Request, solver.Solver) {
+	t.Helper()
+	topo, err := cliutil.ParseTopology(sr.Topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm := sr.Comm.apply(cliutilComm())
+	if sr.NoComm {
+		comm = comm.NoComm()
+	}
+	slv, err := solver.Get(sr.Solver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saOpt := saDefaults()
+	saOpt.Seed = sr.Seed
+	if sr.Wb != nil {
+		saOpt.Wb = *sr.Wb
+		saOpt.Wc = 1 - *sr.Wb
+	}
+	saOpt.Restarts = sr.Restarts
+	return solver.Request{Graph: sr.Graph, Topo: topo, Comm: comm, SA: saOpt}, slv
+}
+
+func marshalWire(t *testing.T, res *machsim.Result, sr ScheduleRequest) []byte {
+	t.Helper()
+	topo, err := cliutil.ParseTopology(sr.Topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := ResultFromSim(res, sr.Graph, topo.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}

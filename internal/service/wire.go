@@ -1,25 +1,31 @@
 // Package service is the HTTP/JSON scheduling service: it accepts
-// taskgraph + topology + communication parameters on the wire, routes each
-// request through the solver portfolio registry on a bounded worker pool,
-// and memoizes completed results in a two-tier content-addressed cache —
-// an in-memory LRU backed by an optional persistent disk tier, so a
-// restarted server replays its warm set byte-identically without
-// re-solving.
+// taskgraph + topology + communication parameters on the wire, routes
+// each request through the solver registry on the shared solve engine
+// (internal/engine — worker-owned simulator arenas and pooled SA
+// schedulers), and memoizes completed results in a two-tier
+// content-addressed cache — an in-memory LRU backed by an optional
+// persistent disk tier, so a restarted server replays its warm set
+// byte-identically without re-solving.
 //
 // Endpoints:
 //
 //	POST /v1/schedule        solve one request
-//	POST /v1/schedule/batch  solve many requests concurrently
+//	POST /v1/schedule/batch  solve many requests, pipelined on the engine;
+//	                         with "Accept: application/x-ndjson" each item
+//	                         streams out the moment its solve completes
 //	GET  /v1/solvers         list the registered solvers
 //	GET  /healthz            liveness probe
-//	GET  /statsz             request, cache, pool and per-solver counters
+//	GET  /statsz             request, cache, engine and per-solver counters
+//	GET  /metrics            the same in Prometheus exposition format
 //
 // Responses for identical payloads are byte-identical (seeded determinism
-// end to end); cache status travels in the X-DTServe-Cache header so a
-// warm hit does not perturb the body. The one exception is a portfolio
-// request raced under a deadline — which members beat the clock is a
-// timing fact, not a payload fact — so those results are served but never
-// cached.
+// end to end); cache status travels in the X-DTServe-Cache header — or
+// the per-item "cache" field of batch items — so a warm hit does not
+// perturb the body. The one exception is a portfolio request raced
+// against a clock (the request deadline, a member deadline, lower-bound
+// early cancellation, or incumbent-bound pruning) — which members beat
+// the clock is a timing fact, not a payload fact — so those results are
+// served but never cached.
 package service
 
 import (
@@ -100,14 +106,23 @@ type BatchRequest struct {
 }
 
 // BatchItem is one element of a batch response: exactly one of Result or
-// Error is set.
+// Error is set. Index names the request the item answers, and Cache
+// reports how the body was obtained ("hit", "disk", "coalesced" or
+// "miss") — the per-item analogue of the X-DTServe-Cache header. In the
+// buffered BatchResponse the items are already request-ordered; in the
+// NDJSON stream they arrive in completion order and Index is how clients
+// reassemble them.
 type BatchItem struct {
+	Index  int             `json:"index"`
+	Cache  string          `json:"cache,omitempty"`
 	Result json.RawMessage `json:"result,omitempty"`
 	Error  string          `json:"error,omitempty"`
 }
 
-// BatchResponse is the wire form of a batch reply, item i answering
-// request i.
+// BatchResponse is the wire form of a buffered batch reply, item i
+// answering request i. With "Accept: application/x-ndjson" the same items
+// are instead streamed one JSON object per line, each written as its
+// solve completes.
 type BatchResponse struct {
 	Items []BatchItem `json:"items"`
 }

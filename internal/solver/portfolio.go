@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/machsim"
 )
@@ -17,26 +19,78 @@ import (
 // "optimal" only participates when the request is eligible for it.
 var PortfolioMembers = []string{"sa", "etf", "hlfcomm", "hlf", "optimal"}
 
+// PortfolioOptions tunes the portfolio race per request
+// (Request.Portfolio). The zero value keeps the defaults.
+type PortfolioOptions struct {
+	// MemberTimeout bounds every member's solve individually, on top of
+	// the shared request deadline: a member that exceeds its budget is
+	// cancelled without dooming the whole race. 0 means no per-member
+	// deadline. Which members beat their budget is a wall-clock fact, so
+	// a race decided by a member timeout is flagged Result.Raced (and
+	// therefore never cached by the service).
+	MemberTimeout time.Duration
+	// DisablePruning turns off incumbent-bound cancellation: by default a
+	// running member whose simulation clock — a monotone lower bound on
+	// its final makespan — strictly exceeds the best completed member's
+	// makespan is cancelled, since it can no longer win.
+	DisablePruning bool
+}
+
+// ErrPruned is the cause reported by a portfolio member cancelled mid-run
+// because its own makespan lower bound exceeded the incumbent best.
+var ErrPruned = errors.New("solver: portfolio member pruned by incumbent bound")
+
 // portfolioSolver races the member solvers concurrently under the shared
 // request context and returns the best (lowest finish time) completed
-// result. Members that error — including those cancelled by the deadline —
-// are skipped; the call only fails when every member fails.
+// result. Members that error — including those cancelled by a deadline or
+// pruned by the incumbent bound — are skipped; the call only fails when
+// every member fails.
 //
-// Early cancellation: the makespan of any schedule is bounded below by
-// max(critical path, total work / processors) over the taskgraph. As soon
-// as one member completes at that bound its makespan cannot be beaten, so
-// the remaining members are cancelled through their Interrupt hooks
-// instead of running out the deadline. Which members finish before the
-// cancellation lands is a wall-clock fact, so such results carry
-// Result.Raced — the service serves them but never caches them (the same
+// Early cancellation, whole-field: the makespan of any schedule is bounded
+// below by max(critical path, total work / processors) over the taskgraph.
+// As soon as one member completes at that bound its makespan cannot be
+// beaten, so the remaining members are cancelled through their Interrupt
+// hooks instead of running out the deadline.
+//
+// Early cancellation, per-member: a running member's simulation clock only
+// advances, so it is a lower bound on that member's final makespan. Once
+// it strictly exceeds the incumbent best completed makespan the member
+// cannot win — not even on the index tie-break, which requires equality —
+// and is cancelled through the machsim Bound hook. Pruning therefore never
+// changes which schedule wins; but whether a doomed member is pruned or
+// finishes is a wall-clock fact, so pruned races carry Result.Raced and
+// Result.Pruned — the service serves them but never caches them (the same
 // rule deadline-raced portfolio results already follow).
 type portfolioSolver struct{}
 
 func (portfolioSolver) Name() string { return "portfolio" }
 
 func (portfolioSolver) Description() string {
-	return fmt.Sprintf("races %s concurrently under the request deadline, cancelling the field once a member reaches the graph's lower bound, and returns the best finish time",
+	return fmt.Sprintf("races %s concurrently under the request deadline, cancelling members that reach the graph's lower bound or fall behind the incumbent best, and returns the best finish time",
 		strings.Join(PortfolioMembers, ", "))
+}
+
+// incumbent is the best completed makespan of the race so far, shared
+// between member goroutines as atomic float bits.
+type incumbent struct {
+	bits atomic.Uint64
+}
+
+func (inc *incumbent) init() { inc.bits.Store(math.Float64bits(math.Inf(1))) }
+
+func (inc *incumbent) best() float64 { return math.Float64frombits(inc.bits.Load()) }
+
+// offer lowers the incumbent to m if m is better (CAS-min).
+func (inc *incumbent) offer(m float64) {
+	for {
+		old := inc.bits.Load()
+		if m >= math.Float64frombits(old) {
+			return
+		}
+		if inc.bits.CompareAndSwap(old, math.Float64bits(m)) {
+			return
+		}
+	}
 }
 
 func (portfolioSolver) Solve(ctx context.Context, req Request) (*machsim.Result, error) {
@@ -57,14 +111,19 @@ func (portfolioSolver) Solve(ctx context.Context, req Request) (*machsim.Result,
 		members = append(members, s)
 	}
 
-	// Members race concurrently: they must not share the caller's arena.
+	// Members race concurrently: they must not share the caller's arena
+	// or scheduler.
 	mreq := req
 	mreq.Arena = nil
+	mreq.Sched = nil
+	popt := req.Portfolio
 
 	lb, lbErr := req.Graph.LowerBoundMakespan(req.Topo.N())
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	var inc incumbent
+	inc.init()
 	var raced atomic.Bool
 	results := make([]*machsim.Result, len(members))
 	errs := make([]error, len(members))
@@ -73,8 +132,35 @@ func (portfolioSolver) Solve(ctx context.Context, req Request) (*machsim.Result,
 		wg.Add(1)
 		go func(i int, s Solver) {
 			defer wg.Done()
-			results[i], errs[i] = s.Solve(cctx, mreq)
-			if errs[i] == nil && lbErr == nil && results[i].Makespan <= lb+1e-9 {
+			mctx := cctx
+			if popt.MemberTimeout > 0 {
+				var mcancel context.CancelFunc
+				mctx, mcancel = context.WithTimeout(cctx, popt.MemberTimeout)
+				defer mcancel()
+			}
+			r := mreq
+			if !popt.DisablePruning {
+				// The simulation clock is a monotone lower bound on this
+				// member's final makespan; strictly past the incumbent it
+				// cannot win, not even on the equality tie-break.
+				r.Sim.Bound = func(now float64) error {
+					if now > inc.best() {
+						return ErrPruned
+					}
+					return nil
+				}
+			}
+			results[i], errs[i] = s.Solve(mctx, r)
+			if errs[i] != nil {
+				if popt.MemberTimeout > 0 && errors.Is(errs[i], context.DeadlineExceeded) && cctx.Err() == nil {
+					// This member lost to its own budget, not the shared
+					// deadline: a wall-clock verdict, so the race is tainted.
+					raced.Store(true)
+				}
+				return
+			}
+			inc.offer(results[i].Makespan)
+			if lbErr == nil && results[i].Makespan <= lb+1e-9 {
 				// Store before cancel: anyone observing the cancellation
 				// also sees that an early cancel (not the deadline) fired.
 				raced.Store(true)
@@ -83,6 +169,13 @@ func (portfolioSolver) Solve(ctx context.Context, req Request) (*machsim.Result,
 		}(i, s)
 	}
 	wg.Wait()
+
+	pruned := 0
+	for _, err := range errs {
+		if errors.Is(err, ErrPruned) {
+			pruned++
+		}
+	}
 
 	best := -1
 	for i, res := range results {
@@ -97,15 +190,18 @@ func (portfolioSolver) Solve(ctx context.Context, req Request) (*machsim.Result,
 		return nil, fmt.Errorf("solver: every portfolio member failed: %w", errors.Join(errs...))
 	}
 	out := results[best]
-	// Raced is set whenever the early cancel fired, even if every member
+	out.Pruned = pruned
+	// Raced is set whenever an early cancel fired, even if every member
 	// happened to outrun the cancellation (in which case this particular
 	// outcome was the deterministic best-of-all): whether a member gets
 	// dropped is itself a timing fact, so flagging on the trigger rather
 	// than the casualty count keeps the cacheability verdict for a given
 	// request deterministic. The cost is bounded — the only requests this
 	// leaves uncached are those whose optimum equals the trivial lower
-	// bound, i.e. the cheapest ones to re-solve.
-	if raced.Load() {
+	// bound, i.e. the cheapest ones to re-solve. Pruned members taint the
+	// race the same way: the winner is unchanged, but the statistics and
+	// error set depend on the clock.
+	if raced.Load() || pruned > 0 {
 		out.Raced = true
 	}
 	return out, nil

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/list"
@@ -43,7 +44,7 @@ type Request struct {
 	// Interrupt hook is chained with the Solve context's cancellation.
 	Sim machsim.Options
 	// Arena, when non-nil, is a caller-owned simulator arena the solve
-	// reuses instead of drawing one from the shared pool: the service's
+	// reuses instead of drawing one from the shared pool: the engine's
 	// worker goroutines each own one, so back-to-back solves on a worker
 	// reuse warm buffers. The arena is rebound to this request's model, so
 	// it carries no state between problems and never changes the result.
@@ -51,6 +52,18 @@ type Request struct {
 	// strips it from the member requests it races. Results produced
 	// through an arena are detached copies, exactly like the pooled path.
 	Arena *machsim.Simulator
+	// Sched, when non-nil, is a caller-owned SA scheduler arena
+	// (core.NewSchedulerArena) that the "sa" policy Resets and reuses
+	// instead of constructing a fresh core.Scheduler per solve — the
+	// cold-path analogue of Arena. Reset rebinds it completely, so a
+	// pooled scheduler never changes the result. Like Arena it must not
+	// be shared by concurrent solves; the portfolio strips it from the
+	// member requests it races.
+	Sched *core.Scheduler
+	// Portfolio tunes the "portfolio" solver for this request; the zero
+	// value keeps the defaults (no per-member deadline, incumbent-bound
+	// pruning enabled).
+	Portfolio PortfolioOptions
 }
 
 // Validate reports whether the request can be solved at all.
@@ -123,9 +136,20 @@ func (p policySolver) Solve(ctx context.Context, req Request) (*machsim.Result, 
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
-	pol, err := NewPolicy(p.name, req.Graph, req.Topo, req.Comm, req.SA)
-	if err != nil {
-		return nil, err
+	var pol machsim.Policy
+	if p.name == "sa" && req.Sched != nil {
+		// The caller-owned scheduler arena replaces the per-solve
+		// core.NewScheduler construction; Reset rebinds it completely.
+		if err := req.Sched.Reset(req.Graph, req.Topo, req.Comm, req.SA); err != nil {
+			return nil, err
+		}
+		pol = req.Sched
+	} else {
+		var err error
+		pol, err = NewPolicy(p.name, req.Graph, req.Topo, req.Comm, req.SA)
+		if err != nil {
+			return nil, err
+		}
 	}
 	return simulate(ctx, pol, req)
 }
@@ -158,6 +182,10 @@ func simulate(ctx context.Context, pol machsim.Policy, req Request) (*machsim.Re
 	return machsim.Run(model, pol, opts)
 }
 
+// registryMu guards registry and aliases: the built-in set is fixed, but
+// Register may extend it at runtime (e.g. test instrumentation solvers).
+var registryMu sync.RWMutex
+
 // registry holds the solvers in a stable listing order.
 var registry = []Solver{
 	policySolver{"sa", "staged simulated annealing with restarts (the paper's scheduler); reports SA(r=N)"},
@@ -182,9 +210,34 @@ var aliases = map[string]string{
 	"race":      "portfolio",
 }
 
+// Register adds a solver to the registry. Its name must be lower-case and
+// not collide with a registered solver or alias. Built-in solvers cover
+// normal operation; Register exists for callers that plug in bespoke or
+// instrumented solvers (e.g. gated test solvers proving stream ordering).
+func Register(s Solver) error {
+	name := s.Name()
+	if name == "" || name != strings.ToLower(name) {
+		return fmt.Errorf("solver: invalid solver name %q (want non-empty lower-case)", name)
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, ok := aliases[name]; ok {
+		return fmt.Errorf("solver: name %q collides with an alias", name)
+	}
+	for _, have := range registry {
+		if have.Name() == name {
+			return fmt.Errorf("solver: solver %q already registered", name)
+		}
+	}
+	registry = append(registry, s)
+	return nil
+}
+
 // Get resolves a solver by (case-insensitive) name or alias.
 func Get(name string) (Solver, error) {
 	key := strings.ToLower(strings.TrimSpace(name))
+	registryMu.RLock()
+	defer registryMu.RUnlock()
 	if canon, ok := aliases[key]; ok {
 		key = canon
 	}
@@ -193,7 +246,7 @@ func Get(name string) (Solver, error) {
 			return s, nil
 		}
 	}
-	return nil, fmt.Errorf("solver: unknown solver %q (known: %s)", name, strings.Join(Names(), ", "))
+	return nil, fmt.Errorf("solver: unknown solver %q (known: %s)", name, strings.Join(namesLocked(), ", "))
 }
 
 // Solve resolves name and solves the request with it.
@@ -207,6 +260,12 @@ func Solve(ctx context.Context, name string, req Request) (*machsim.Result, erro
 
 // Names returns the registered solver names in listing order.
 func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	return namesLocked()
+}
+
+func namesLocked() []string {
 	out := make([]string, len(registry))
 	for i, s := range registry {
 		out[i] = s.Name()
@@ -217,6 +276,8 @@ func Names() []string {
 // List returns name + description for every registered solver, in listing
 // order, with aliases appended alphabetically at the end.
 func List() []Info {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
 	out := make([]Info, 0, len(registry)+len(aliases))
 	for _, s := range registry {
 		out = append(out, Info{Name: s.Name(), Description: s.Description()})
