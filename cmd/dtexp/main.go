@@ -30,8 +30,10 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/expt"
 	"repro/internal/service"
+	"repro/internal/solver"
 )
 
 func main() {
@@ -60,14 +62,25 @@ func main() {
 		lgSolver    = flag.String("lg-solver", "", "loadgen solver name (empty = server default)")
 		lgCacheDir  = flag.String("lg-cache-dir", "", "persistent cache dir for the in-process loadgen server (empty = memory only)")
 		lgBatch     = flag.Int("lg-batch", 0, "loadgen batch size: > 0 streams batches of this many items over NDJSON and reports first-item vs last-item latency")
+		lgLane      = flag.String("lg-lane", "", "QoS lane tag on every loadgen request: interactive or batch (empty = server default)")
+		lgMemberTO  = flag.Duration("lg-member-timeout", 0, "per-member portfolio budget on every loadgen request (0 omits the field)")
+
+		lgOverload   = flag.Bool("lg-overload", false, "run the two-phase overload scenario: unloaded interactive probes, then the same probes under a batch-lane flood")
+		lgAssertFlat = flag.Float64("lg-assert-flat", 0, "overload verdict: fail unless loaded interactive p99 <= this factor of the unloaded baseline and every shed carries Retry-After (0 = report only)")
 	)
 	flag.Parse()
 
 	if *all {
 		*table1, *table2, *fig1, *fig2, *packets, *anomaly, *ablations, *scaling = true, true, true, true, true, true, true, true
 	}
+	if *lgOverload {
+		if err := runOverload(*addr, *requests, *concurrency, *lgSolver, *lgAssertFlat); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *loadgen {
-		if err := runLoadgen(*addr, *requests, *concurrency, *distinct, *lgBatch, *lgSolver, *lgCacheDir); err != nil {
+		if err := runLoadgen(*addr, *requests, *concurrency, *distinct, *lgBatch, *lgSolver, *lgCacheDir, *lgLane, *lgMemberTO); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -187,7 +200,7 @@ func main() {
 // runs over the same dir measure the disk-hit path. A batch size > 0
 // exercises the streaming batch endpoint instead, reporting first-item
 // and last-item latency separately.
-func runLoadgen(addr string, requests, concurrency, distinct, batch int, solverName, cacheDir string) error {
+func runLoadgen(addr string, requests, concurrency, distinct, batch int, solverName, cacheDir, lane string, memberTO time.Duration) error {
 	var svc *service.Server
 	if addr == "" {
 		var err error
@@ -209,12 +222,14 @@ func runLoadgen(addr string, requests, concurrency, distinct, batch int, solverN
 	}
 
 	report, err := service.LoadGen(service.LoadGenConfig{
-		URL:         strings.TrimSuffix(addr, "/"),
-		Requests:    requests,
-		Concurrency: concurrency,
-		Distinct:    distinct,
-		Batch:       batch,
-		Solver:      solverName,
+		URL:             strings.TrimSuffix(addr, "/"),
+		Requests:        requests,
+		Concurrency:     concurrency,
+		Distinct:        distinct,
+		Batch:           batch,
+		Solver:          solverName,
+		Lane:            lane,
+		MemberTimeoutMS: int(memberTO.Milliseconds()),
 	})
 	if err != nil {
 		return err
@@ -226,4 +241,86 @@ func runLoadgen(addr string, requests, concurrency, distinct, batch int, solverN
 			st.Solves, st.Requests, st.Cache.Hits, st.Cache.Misses, st.Cache.Entries, st.Disk.Hits, st.Disk.Writes)
 	}
 	return nil
+}
+
+// runOverload runs the two-phase QoS overload scenario. With an empty
+// addr it starts an in-process server with deliberately tight budgets —
+// a small fixed pool, shallow batch queue and a 25ms queue-delay target
+// — so a modest flood overloads it reproducibly on any machine: the
+// point is the shape of the degradation (flat interactive percentiles,
+// structured 429s on the flood), not absolute throughput.
+//
+// The flood runs on a chaos-delayed solver (40ms injected latency over
+// hlf): flood solves hold workers without holding the CPU, so on a
+// small CI machine the probes measure lane scheduling rather than core
+// contention. The delay doubles as a rate limit — 16 workers at 40ms
+// cap the flood near 400 solved requests/s, little enough HTTP churn
+// that a single core can absorb it without inflating probe latencies.
+func runOverload(addr string, probes, floodConcurrency int, solverName string, assertFlat float64) error {
+	floodSolver := solverName
+	var svc *service.Server
+	if addr == "" {
+		under, err := solver.Get("hlf")
+		if err != nil {
+			return err
+		}
+		// Half jitter on the injected delay: an exact fixed delay would
+		// march all 16 workers in lockstep (simultaneous completions,
+		// forever), making an interactive probe wait out a whole flood
+		// solve instead of the ~delay/16 gap between staggered
+		// completions.
+		flood := chaos.NewFlakySolver("floodmo", under, chaos.Config{
+			SolverDelay: 40 * time.Millisecond, SolverJitter: 0.5, Seed: 1991,
+		})
+		if err := solver.Register(flood); err != nil {
+			return err
+		}
+		floodSolver = flood.Name()
+		svc, err = service.New(service.Config{
+			CacheSize:        4096,
+			Workers:          16,
+			MaxWorkers:       16,
+			QueueDepth:       64,
+			QueueDelayTarget: 25 * time.Millisecond,
+		})
+		if err != nil {
+			return err
+		}
+		defer svc.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		httpSrv := &http.Server{Handler: svc.Handler(), ReadHeaderTimeout: 10 * time.Second}
+		go httpSrv.Serve(ln)
+		defer httpSrv.Close()
+		addr = "http://" + ln.Addr().String()
+		// The flood must hold more requests in flight than workers plus
+		// the ~25ms of queue the delay target allows (~10 jobs at 40ms
+		// solves on 16 workers), or admission control never trips. The
+		// surplus above ~26 is what sheds; keeping it modest keeps the
+		// 429 churn off the probes' core.
+		if floodConcurrency < 40 {
+			floodConcurrency = 40
+		}
+		fmt.Printf("overload: in-process server on %s (16 workers, queue depth 64, 25ms delay target, 40ms flood solves)\n", addr)
+	}
+
+	report, err := service.RunOverload(service.OverloadConfig{
+		URL:              strings.TrimSuffix(addr, "/"),
+		Probes:           probes,
+		FloodConcurrency: floodConcurrency,
+		Solver:           solverName,
+		FloodSolver:      floodSolver,
+		FloodPrograms:    []string{"graham"},
+		AssertFlat:       assertFlat,
+	})
+	if report != nil {
+		fmt.Print(report)
+		if svc != nil {
+			st := svc.Stats()
+			fmt.Printf("  server: %d shed, lanes: %+v\n", st.Shed, st.Pool.Lanes)
+		}
+	}
+	return err
 }

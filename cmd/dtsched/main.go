@@ -47,6 +47,7 @@ func main() {
 		noComm     = flag.Bool("nocomm", false, "disable communication costs")
 		wb         = flag.Float64("wb", 0.5, "SA balance weight (wc = 1 - wb)")
 		timeout    = flag.Duration("timeout", 0, "abort the solve after this long (0 = no limit)")
+		memberTO   = flag.Duration("member-timeout", 0, "portfolio only: per-member solve budget, on top of -timeout (0 = no limit)")
 		jsonOut    = flag.Bool("json", false, "emit the service wire Result JSON instead of text")
 		showGantt  = flag.Bool("gantt", false, "render a Gantt chart")
 		ganttWidth = flag.Int("gantt-width", 120, "Gantt chart width in columns")
@@ -103,7 +104,8 @@ func main() {
 	defer eng.Close()
 	res, err := eng.Solve(ctx, engine.Job{Solver: slv, Req: solver.Request{
 		Graph: g, Topo: topo, Comm: comm, SA: saOpt,
-		Sim: machsim.Options{RecordGantt: *showGantt},
+		Portfolio: solver.PortfolioOptions{MemberTimeout: *memberTO},
+		Sim:       machsim.Options{RecordGantt: *showGantt},
 	}})
 	if err != nil {
 		log.Fatal(err)

@@ -5,13 +5,23 @@
 // Endpoints: POST /v1/schedule, POST /v1/schedule/batch (NDJSON streaming
 // with "Accept: application/x-ndjson": items flush as their solves
 // complete), GET /v1/solvers, GET /healthz, GET /statsz, GET /metrics.
-// Solves run on the shared internal/engine worker pool. Identical
-// payloads produce byte-identical responses; completed results are
-// memoized in a content-addressed LRU cache (cache status in the
-// X-DTServe-Cache header), optionally backed by a persistent disk tier
-// (-cache-dir) so a restarted server replays its warm set without
-// re-solving. SIGINT/SIGTERM drain in-flight requests — and the disk
-// tier's write-behind queue — before exiting.
+// Solves run on the shared internal/engine worker pool, split into an
+// interactive lane (single schedule calls) and a batch lane (batch
+// members) with weighted dequeue, per-lane admission control (shed
+// requests get a structured 429 with Retry-After) and an adaptive
+// worker pool bounded by -workers/-max-workers. Identical payloads
+// produce byte-identical responses; completed results are memoized in a
+// content-addressed LRU cache (cache status in the X-DTServe-Cache
+// header), optionally backed by a persistent disk tier (-cache-dir) so
+// a restarted server replays its warm set without re-solving.
+// SIGINT/SIGTERM put the server in draining mode (healthz reports 503,
+// new work is refused with 503 + Retry-After) and flush in-flight
+// streams — and the disk tier's write-behind queue — before exiting.
+//
+// The -chaos flag turns on the fault-injection harness from
+// internal/chaos for resilience drills, e.g.
+//
+//	dtserve -cache-dir /tmp/dt -chaos 'disk-err=0.2,disk-delay=2ms,solver-err=0.05,seed=7'
 package main
 
 import (
@@ -25,7 +35,9 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/service"
+	"repro/internal/solver"
 )
 
 func main() {
@@ -33,32 +45,67 @@ func main() {
 	log.SetPrefix("dtserve: ")
 
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		workers    = flag.Int("workers", 0, "concurrent solves (0 = one per CPU)")
-		cacheSize  = flag.Int("cache", 4096, "result cache capacity in entries (0 disables)")
-		cacheBytes = flag.Int64("cache-bytes", 0, "result cache byte budget (0 = 256 MiB)")
-		cacheDir   = flag.String("cache-dir", "", "persistent disk cache directory: restarts keep the warm set (empty disables)")
-		diskBytes  = flag.Int64("disk-cache-bytes", 0, "disk cache byte budget (0 = 1 GiB)")
-		solverDef  = flag.String("solver", "sa", "default solver for requests that name none")
-		timeout    = flag.Duration("timeout", 0, "default per-request solve timeout (0 = none)")
-		maxBatch   = flag.Int("max-batch", 256, "maximum requests per batch call")
-		quiet      = flag.Bool("quiet", false, "disable per-request logging")
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "base solver pool size (0 = one per CPU)")
+		maxWorkers  = flag.Int("max-workers", 0, "adaptive pool ceiling under queue pressure (0 = fixed at -workers)")
+		queueDepth  = flag.Int("queue-depth", 0, "per-lane admission budget in queued jobs (0 = 1024)")
+		delayTarget = flag.Duration("queue-delay-target", 0, "shed a lane once its head-of-queue age exceeds this (0 disables)")
+		laneWeight  = flag.Int("interactive-weight", 0, "interactive jobs dequeued per batch job when both lanes wait (0 = 4)")
+		cacheSize   = flag.Int("cache", 4096, "result cache capacity in entries (0 disables)")
+		cacheBytes  = flag.Int64("cache-bytes", 0, "result cache byte budget (0 = 256 MiB)")
+		cacheDir    = flag.String("cache-dir", "", "persistent disk cache directory: restarts keep the warm set (empty disables)")
+		diskBytes   = flag.Int64("disk-cache-bytes", 0, "disk cache byte budget (0 = 1 GiB)")
+		solverDef   = flag.String("solver", "sa", "default solver for requests that name none")
+		timeout     = flag.Duration("timeout", 0, "default per-request solve timeout (0 = none)")
+		maxBatch    = flag.Int("max-batch", 256, "maximum requests per batch call")
+		chaosSpec   = flag.String("chaos", "", "fault-injection spec, e.g. 'disk-err=0.2,disk-delay=2ms,solver-err=0.05,seed=7' (empty disables)")
+		quiet       = flag.Bool("quiet", false, "disable per-request logging")
 	)
 	flag.Parse()
 
 	cfg := service.Config{
-		Workers:        *workers,
-		CacheSize:      *cacheSize,
-		CacheBytes:     *cacheBytes,
-		CacheDir:       *cacheDir,
-		DiskCacheBytes: *diskBytes,
-		DefaultSolver:  *solverDef,
-		DefaultTimeout: *timeout,
-		MaxBatch:       *maxBatch,
+		Workers:           *workers,
+		MaxWorkers:        *maxWorkers,
+		QueueDepth:        *queueDepth,
+		QueueDelayTarget:  *delayTarget,
+		InteractiveWeight: *laneWeight,
+		CacheSize:         *cacheSize,
+		CacheBytes:        *cacheBytes,
+		CacheDir:          *cacheDir,
+		DiskCacheBytes:    *diskBytes,
+		DefaultSolver:     *solverDef,
+		DefaultTimeout:    *timeout,
+		MaxBatch:          *maxBatch,
 	}
 	if !*quiet {
 		cfg.Logger = log.New(os.Stderr, "dtserve: ", 0)
 	}
+
+	if *chaosSpec != "" {
+		ccfg, err := chaos.ParseSpec(*chaosSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if ccfg.DiskErrRate > 0 || ccfg.DiskDelay > 0 {
+			cfg.WrapDiskTier = func(under service.DiskTier) service.DiskTier {
+				return chaos.NewTier(under, ccfg)
+			}
+		}
+		if ccfg.SolverErrRate > 0 || ccfg.SolverDelay > 0 {
+			under, err := solver.Get(*solverDef)
+			if err != nil {
+				log.Fatal(err)
+			}
+			flaky := chaos.NewFlakySolver("chaos", under, ccfg)
+			if err := solver.Register(flaky); err != nil {
+				log.Fatal(err)
+			}
+			cfg.DefaultSolver = flaky.Name()
+			log.Printf("chaos: default solver is %q wrapping %q", flaky.Name(), under.Name())
+		}
+		log.Printf("chaos: fault injection armed (%s)", *chaosSpec)
+	}
+
 	svc, err := service.New(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -80,7 +127,7 @@ func main() {
 	if *cacheDir != "" {
 		diskNote = "disk tier at " + *cacheDir
 	}
-	log.Printf("listening on %s (default solver %s, %d cache entries, %s)", *addr, *solverDef, *cacheSize, diskNote)
+	log.Printf("listening on %s (default solver %s, %d cache entries, %s)", *addr, cfg.DefaultSolver, *cacheSize, diskNote)
 
 	select {
 	case err := <-errCh:
@@ -88,7 +135,12 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	log.Printf("shutting down")
+	// Drain first: healthz flips to 503 so load balancers stop routing,
+	// new work is refused with Retry-After, and in-flight NDJSON streams
+	// cancel their remaining members and flush what they have. Shutdown
+	// then waits for those handlers to finish writing.
+	log.Printf("draining")
+	svc.BeginDrain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

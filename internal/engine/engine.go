@@ -4,10 +4,16 @@
 // solver executions through one Engine instead of wiring their own worker
 // pools.
 //
-// An Engine is a fixed set of workers draining an unbuffered job channel,
-// so at most Workers solves run at once and excess submissions queue in
-// their callers (subject to their contexts). Each worker owns, for its
-// whole lifetime,
+// An Engine is a worker pool draining per-lane bounded queues, so at most
+// the current worker count of solves run at once, excess submissions wait
+// in lane queues (subject to their contexts), and submissions beyond a
+// lane's depth or delay budget are shed with an *OverloadError instead of
+// queueing unboundedly. Two QoS lanes exist: interactive (the default,
+// latency-sensitive) and batch (throughput work that yields to interactive
+// under contention via weighted dequeue). The pool itself adapts: it
+// starts at Workers, grows one worker at a time up to MaxWorkers while the
+// pool stays saturated with queued work, and shrinks back when workers sit
+// idle. Each worker owns, for its whole lifetime,
 //
 //   - one machsim simulator arena (machsim.NewArena), so back-to-back
 //     solves rebind warm buffers instead of rebuilding simulator state, and
@@ -23,14 +29,14 @@
 // caches, singleflight, wire encoding) stay above it; the engine sees only
 // cold solves.
 //
-// Submit hands one job to the pool and returns a channel carrying its
-// Item. Stream pipelines a batch: every job solves as soon as a worker
-// frees, and items are delivered in completion order, index-tagged, so a
-// consumer (e.g. the service's NDJSON batch endpoint) can forward early
-// finishers while the slowest member still runs. Fan generalizes Stream to
-// arbitrary per-index work for callers that layer caching between
-// themselves and Submit. ParallelFor is the deterministic fan-out loop the
-// experiment harness runs its studies on.
+// Submit enqueues one job and returns a channel carrying its Item. Stream
+// pipelines a batch: every job solves as soon as a worker frees, and items
+// are delivered in completion order, index-tagged, so a consumer (e.g. the
+// service's NDJSON batch endpoint) can forward early finishers while the
+// slowest member still runs. Fan generalizes Stream to arbitrary per-index
+// work for callers that layer caching between themselves and Submit.
+// ParallelFor is the deterministic fan-out loop the experiment harness
+// runs its studies on.
 package engine
 
 import (
@@ -40,6 +46,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/machsim"
 	"repro/internal/solver"
@@ -47,22 +54,56 @@ import (
 
 // Config tunes an Engine.
 type Config struct {
-	// Workers bounds concurrent solves; <= 0 means one per available CPU.
+	// Workers is the base pool size; <= 0 means one per available CPU.
+	// The pool never shrinks below it.
 	Workers int
+	// MaxWorkers is the adaptive-pool ceiling. <= Workers (including 0)
+	// keeps the pool fixed at Workers — the pre-QoS behavior.
+	MaxWorkers int
 	// MaxBatch caps the jobs of one Stream (or Fan) call; <= 0 means 256.
 	// The engine owns this limit so every front-end enforces it the same
 	// way instead of re-checking per handler.
 	MaxBatch int
+	// QueueDepth bounds each lane's queue; a submission to a full lane is
+	// shed with an *OverloadError. <= 0 means DefaultQueueDepth.
+	QueueDepth int
+	// QueueDelayTarget sheds a submission when the lane's oldest queued
+	// job has already waited longer than this — the queue is not keeping
+	// up, so admitting more work only manufactures timeouts. 0 disables
+	// delay-based shedding (depth still bounds the queue).
+	QueueDelayTarget time.Duration
+	// InteractiveWeight is the weighted-dequeue ratio: when both lanes
+	// hold work, workers take this many interactive jobs per batch job.
+	// <= 0 means 4.
+	InteractiveWeight int
+	// GrowInterval rate-limits pool growth to one worker per interval, so
+	// only sustained saturation (not one burst) grows the pool. <= 0
+	// means 100ms.
+	GrowInterval time.Duration
+	// ShrinkIdle is how long a surplus worker (above Workers) idles
+	// before retiring. <= 0 means 2s.
+	ShrinkIdle time.Duration
 }
 
 // DefaultMaxBatch is the Stream/Fan batch cap when Config leaves it zero.
 const DefaultMaxBatch = 256
 
+// DefaultQueueDepth is the per-lane queue bound when Config leaves it zero.
+const DefaultQueueDepth = 1024
+
+const (
+	defaultInteractiveWeight = 4
+	defaultGrowInterval      = 100 * time.Millisecond
+	defaultShrinkIdle        = 2 * time.Second
+)
+
 // Job is one solver execution: the solver to run and its request. Index is
 // an opaque caller tag replayed on the resulting Item — batch consumers
-// use it to reassemble completion-order items in request order.
+// use it to reassemble completion-order items in request order. Lane picks
+// the QoS class; the zero value is LaneInteractive.
 type Job struct {
 	Index  int
+	Lane   Lane
 	Solver solver.Solver
 	Req    solver.Request
 }
@@ -81,20 +122,54 @@ var ErrQueueTimeout = errors.New("engine: queued too long")
 // ErrClosed reports a submission to a closed engine.
 var ErrClosed = errors.New("engine: closed")
 
+// Task states: exactly one party — a worker, the context watcher, or
+// Close — wins the CAS out of taskQueued and delivers the task's Item.
+const (
+	taskQueued int32 = iota
+	taskClaimed
+	taskExpired
+)
+
 // task is one queued submission.
 type task struct {
-	ctx context.Context
-	job Job
-	out chan<- Item
+	ctx  context.Context
+	job  Job
+	lane Lane
+	enq  time.Time
+	out  chan<- Item
+	// state arbitrates delivery between the dequeuing worker, the context
+	// watcher, and Close (see the task-state constants).
+	state atomic.Int32
+	// claimed, non-nil only when a watcher is running, is closed by
+	// whoever claims the task so the watcher exits promptly.
+	claimed chan struct{}
 }
 
 // Engine is the worker pool. Create with New, stop with Close.
 type Engine struct {
-	jobs      chan task
-	quit      chan struct{}
-	wg        sync.WaitGroup
-	workers   int
-	maxBatch  int
+	mu       sync.Mutex
+	queues   [numLanes][]*task
+	lanes    [numLanes]laneCounters
+	cur      int // current worker count
+	grown    uint64
+	shrunk   uint64
+	lastGrow time.Time
+	rr       uint64 // weighted-dequeue cursor
+	closed   bool
+
+	wake chan struct{}
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	base        int
+	maxWorkers  int
+	maxBatch    int
+	queueDepth  int
+	delayTarget time.Duration
+	weight      int
+	growEvery   time.Duration
+	shrinkIdle  time.Duration
+
 	busy      atomic.Int64
 	completed atomic.Int64
 	closeOnce sync.Once
@@ -105,61 +180,312 @@ func New(cfg Config) *Engine {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
+	if cfg.MaxWorkers < cfg.Workers {
+		cfg.MaxWorkers = cfg.Workers
+	}
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = DefaultMaxBatch
 	}
-	e := &Engine{
-		jobs:     make(chan task),
-		quit:     make(chan struct{}),
-		workers:  cfg.Workers,
-		maxBatch: cfg.MaxBatch,
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
 	}
+	if cfg.InteractiveWeight <= 0 {
+		cfg.InteractiveWeight = defaultInteractiveWeight
+	}
+	if cfg.GrowInterval <= 0 {
+		cfg.GrowInterval = defaultGrowInterval
+	}
+	if cfg.ShrinkIdle <= 0 {
+		cfg.ShrinkIdle = defaultShrinkIdle
+	}
+	e := &Engine{
+		// The wake buffer is sized so an enqueue's non-blocking send only
+		// drops when enough tokens are already pending to cover every
+		// queued task — a pending token always wakes a worker that then
+		// drains the queues until empty, so no admitted task is stranded.
+		wake:        make(chan struct{}, cfg.MaxWorkers+2*int(numLanes)*cfg.QueueDepth),
+		quit:        make(chan struct{}),
+		base:        cfg.Workers,
+		maxWorkers:  cfg.MaxWorkers,
+		maxBatch:    cfg.MaxBatch,
+		queueDepth:  cfg.QueueDepth,
+		delayTarget: cfg.QueueDelayTarget,
+		weight:      cfg.InteractiveWeight,
+		growEvery:   cfg.GrowInterval,
+		shrinkIdle:  cfg.ShrinkIdle,
+	}
+	e.cur = cfg.Workers
 	for i := 0; i < cfg.Workers; i++ {
 		e.wg.Add(1)
 		go e.worker()
 	}
+	if cfg.MaxWorkers > cfg.Workers {
+		e.wg.Add(1)
+		go e.pressureMonitor()
+	}
 	return e
 }
 
-// Workers returns the pool size.
-func (e *Engine) Workers() int { return e.workers }
-
-// MaxBatch returns the engine's batch cap.
-func (e *Engine) MaxBatch() int { return e.maxBatch }
-
-func (e *Engine) worker() {
+// pressureMonitor re-evaluates pool growth on a timer: Submit grows the
+// pool on the spot, but when every worker is pinned by long solves and no
+// new submissions arrive, queued work would otherwise wait on a pool that
+// never reconsiders its size.
+func (e *Engine) pressureMonitor() {
 	defer e.wg.Done()
-	w := &Worker{}
+	period := e.growEvery
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
 	for {
 		select {
-		case t := <-e.jobs:
-			e.busy.Add(1)
-			item := w.run(t.ctx, t.job)
-			e.busy.Add(-1)
-			e.completed.Add(1)
-			t.out <- item // out is buffered; never blocks the worker
+		case <-tick.C:
+			e.mu.Lock()
+			if !e.closed {
+				e.maybeGrowLocked(time.Now())
+			}
+			e.mu.Unlock()
 		case <-e.quit:
 			return
 		}
 	}
 }
 
-// Submit queues one job and returns the channel its Item will arrive on
-// (buffered, so the worker never blocks on a slow consumer). Submit itself
-// blocks only until a worker accepts the job: if ctx ends first the Item
-// carries ErrQueueTimeout and the job never runs. Once accepted, the job
-// runs to completion under ctx — solvers honor its cancellation through
-// their interrupt hooks.
+// Workers returns the base pool size (the pool's floor).
+func (e *Engine) Workers() int { return e.base }
+
+// MaxBatch returns the engine's batch cap.
+func (e *Engine) MaxBatch() int { return e.maxBatch }
+
+// Submit enqueues one job on its lane and returns the channel its Item
+// will arrive on (buffered, so the worker never blocks on a slow
+// consumer). Submit never blocks: it returns immediately with the job
+// queued, or with the Item already carrying the rejection —
+// *OverloadError (matches ErrOverloaded) when the lane's depth or delay
+// budget is exhausted, ErrClosed after Close. If the job's context ends
+// while it is still queued the Item carries ErrQueueTimeout and the job
+// never runs. Once a worker claims it, the job runs to completion under
+// ctx — solvers honor its cancellation through their interrupt hooks.
 func (e *Engine) Submit(ctx context.Context, job Job) <-chan Item {
 	out := make(chan Item, 1)
-	select {
-	case e.jobs <- task{ctx: ctx, job: job, out: out}:
-	case <-ctx.Done():
-		out <- Item{Index: job.Index, Err: fmt.Errorf("%w: %w", ErrQueueTimeout, ctx.Err())}
-	case <-e.quit:
+	lane := job.Lane
+	if !lane.valid() {
+		lane = LaneInteractive
+	}
+	t := &task{ctx: ctx, job: job, lane: lane, out: out}
+	if ctx.Done() != nil {
+		t.claimed = make(chan struct{})
+	}
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
 		out <- Item{Index: job.Index, Err: ErrClosed}
+		return out
+	}
+	now := time.Now()
+	if ov := e.admitLocked(lane, now); ov != nil {
+		e.mu.Unlock()
+		out <- Item{Index: job.Index, Err: ov}
+		return out
+	}
+	t.enq = now
+	e.queues[lane] = append(e.queues[lane], t)
+	e.lanes[lane].submitted++
+	e.maybeGrowLocked(now)
+	e.mu.Unlock()
+
+	if t.claimed != nil {
+		go e.watch(t)
+	}
+	select {
+	case e.wake <- struct{}{}:
+	default:
 	}
 	return out
+}
+
+// admitLocked applies the lane's admission budgets and returns the
+// rejection (counting it as shed) or nil to admit.
+func (e *Engine) admitLocked(lane Lane, now time.Time) *OverloadError {
+	q := e.queues[lane]
+	var headAge time.Duration
+	if len(q) > 0 {
+		headAge = now.Sub(q[0].enq)
+	}
+	overDepth := len(q) >= e.queueDepth
+	overDelay := e.delayTarget > 0 && headAge > e.delayTarget
+	if !overDepth && !overDelay {
+		return nil
+	}
+	e.lanes[lane].shed++
+	retry := headAge
+	if e.delayTarget > retry {
+		retry = e.delayTarget
+	}
+	if retry < time.Second {
+		retry = time.Second
+	}
+	return &OverloadError{Lane: lane, Queued: len(q), QueueDelay: headAge, RetryAfter: retry}
+}
+
+// maybeGrowLocked adds one worker when the pool is saturated (every
+// worker busy with more work just queued), bounded by MaxWorkers and
+// rate-limited to one growth per GrowInterval so only sustained pressure
+// grows the pool.
+func (e *Engine) maybeGrowLocked(now time.Time) {
+	if e.cur >= e.maxWorkers {
+		return
+	}
+	if int(e.busy.Load()) < e.cur {
+		return
+	}
+	queued := 0
+	for l := Lane(0); l < numLanes; l++ {
+		queued += len(e.queues[l])
+	}
+	if queued == 0 {
+		return
+	}
+	if now.Sub(e.lastGrow) < e.growEvery {
+		return
+	}
+	e.lastGrow = now
+	e.cur++
+	e.grown++
+	e.wg.Add(1)
+	go e.worker()
+}
+
+// tryRetire removes this worker from the pool if it is surplus (above the
+// base size) and no work is queued.
+func (e *Engine) tryRetire() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed || e.cur <= e.base {
+		return false
+	}
+	for l := Lane(0); l < numLanes; l++ {
+		if len(e.queues[l]) > 0 {
+			return false
+		}
+	}
+	e.cur--
+	e.shrunk++
+	return true
+}
+
+// watch delivers ErrQueueTimeout if the task's context ends while it is
+// still queued; it exits as soon as anyone claims the task.
+func (e *Engine) watch(t *task) {
+	select {
+	case <-t.ctx.Done():
+		if t.state.CompareAndSwap(taskQueued, taskExpired) {
+			e.mu.Lock()
+			e.lanes[t.lane].expired++
+			e.mu.Unlock()
+			t.out <- Item{Index: t.job.Index, Err: fmt.Errorf("%w: %w", ErrQueueTimeout, t.ctx.Err())}
+		}
+	case <-t.claimed:
+	}
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	w := &Worker{}
+	idle := time.NewTimer(e.shrinkIdle)
+	defer idle.Stop()
+	for {
+		if t := e.next(); t != nil {
+			e.runTask(w, t)
+			continue
+		}
+		if !idle.Stop() {
+			select {
+			case <-idle.C:
+			default:
+			}
+		}
+		idle.Reset(e.shrinkIdle)
+		select {
+		case <-e.wake:
+		case <-e.quit:
+			return
+		case <-idle.C:
+			if e.tryRetire() {
+				return
+			}
+		}
+	}
+}
+
+// next claims the next runnable task across the lanes (weighted dequeue,
+// skipping expired tombstones) or returns nil when every queue is empty.
+func (e *Engine) next() *task {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		lane := e.pickLaneLocked()
+		if lane < 0 {
+			return nil
+		}
+		q := e.queues[lane]
+		t := q[0]
+		q[0] = nil
+		e.queues[lane] = q[1:]
+		if !t.state.CompareAndSwap(taskQueued, taskClaimed) {
+			continue // the watcher already answered this one
+		}
+		if t.claimed != nil {
+			close(t.claimed)
+		}
+		e.lanes[lane].observeDelay(time.Since(t.enq))
+		return t
+	}
+}
+
+// pickLaneLocked chooses which non-empty lane to dequeue from: the only
+// non-empty one outright, or — under contention — InteractiveWeight
+// interactive jobs per batch job, so the batch lane saturating cannot
+// starve interactive traffic and interactive bursts cannot starve batch
+// either.
+func (e *Engine) pickLaneLocked() Lane {
+	ni := len(e.queues[LaneInteractive])
+	nb := len(e.queues[LaneBatch])
+	switch {
+	case ni == 0 && nb == 0:
+		return -1
+	case nb == 0:
+		return LaneInteractive
+	case ni == 0:
+		return LaneBatch
+	}
+	e.rr++
+	if e.rr%uint64(e.weight+1) == 0 {
+		return LaneBatch
+	}
+	return LaneInteractive
+}
+
+// runTask executes one claimed task, or answers it with ErrQueueTimeout
+// without running when its context is already dead.
+func (e *Engine) runTask(w *Worker, t *task) {
+	if t.ctx.Err() != nil {
+		e.mu.Lock()
+		e.lanes[t.lane].expired++
+		e.mu.Unlock()
+		t.out <- Item{Index: t.job.Index, Err: fmt.Errorf("%w: %w", ErrQueueTimeout, t.ctx.Err())}
+		return
+	}
+	e.busy.Add(1)
+	item := w.run(t.ctx, t.job)
+	e.busy.Add(-1)
+	e.completed.Add(1)
+	e.mu.Lock()
+	e.lanes[t.lane].completed++
+	e.mu.Unlock()
+	t.out <- item // out is buffered; never blocks the worker
 }
 
 // Solve is the single-job convenience wrapper around Submit.
@@ -186,7 +512,9 @@ func (e *Engine) Stream(ctx context.Context, jobs []Job) (<-chan Item, error) {
 // (an Engine's MaxBatch); n <= 0 yields an empty closed channel. Callers
 // whose per-index work is not a bare Job — e.g. a cache consult that only
 // sometimes reaches Submit — use Fan directly and inherit the same
-// pipelining and the same engine-owned batch cap as Stream.
+// pipelining and the same engine-owned batch cap as Stream. The channel
+// is buffered for all n results, so producers never block on a consumer
+// that stopped reading.
 func Fan[T any](n, limit int, fn func(i int) T) (<-chan T, error) {
 	if n > limit {
 		return nil, fmt.Errorf("engine: batch of %d exceeds the limit of %d", n, limit)
@@ -214,22 +542,72 @@ func Fan[T any](n, limit int, fn func(i int) T) (<-chan T, error) {
 // Close stops the workers after their current jobs; queued submissions
 // fail with ErrClosed. Close is idempotent.
 func (e *Engine) Close() {
-	e.closeOnce.Do(func() { close(e.quit) })
+	e.closeOnce.Do(func() {
+		e.mu.Lock()
+		e.closed = true
+		var pending []*task
+		for l := range e.queues {
+			pending = append(pending, e.queues[l]...)
+			e.queues[l] = nil
+		}
+		e.mu.Unlock()
+		close(e.quit)
+		for _, t := range pending {
+			if t.state.CompareAndSwap(taskQueued, taskClaimed) {
+				if t.claimed != nil {
+					close(t.claimed)
+				}
+				t.out <- Item{Index: t.job.Index, Err: ErrClosed}
+			}
+		}
+	})
 	e.wg.Wait()
 }
 
 // Stats is a point-in-time snapshot of the engine counters.
 type Stats struct {
-	Workers   int   `json:"workers"`
-	Busy      int64 `json:"busy"`
+	// Workers is the current pool size (== MinWorkers when fixed).
+	Workers int `json:"workers"`
+	// MinWorkers and MaxWorkers are the adaptive-pool bounds.
+	MinWorkers int `json:"min_workers"`
+	MaxWorkers int `json:"max_workers"`
+	// Grown and Shrunk count adaptive pool-size changes.
+	Grown  uint64 `json:"grown"`
+	Shrunk uint64 `json:"shrunk"`
+	// Busy is the number of workers currently running a job.
+	Busy int64 `json:"busy"`
+	// Completed counts jobs run to completion across all lanes.
 	Completed int64 `json:"completed"`
+	// Lanes holds per-lane queue and admission counters, keyed by lane
+	// name ("interactive", "batch").
+	Lanes map[string]LaneStats `json:"lanes"`
 }
 
 // Stats returns the current counters.
 func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	lanes := make(map[string]LaneStats, numLanes)
+	for l := Lane(0); l < numLanes; l++ {
+		c := e.lanes[l]
+		lanes[l.String()] = LaneStats{
+			Queued:          len(e.queues[l]),
+			Submitted:       c.submitted,
+			Completed:       c.completed,
+			Shed:            c.shed,
+			Expired:         c.expired,
+			QueueDelayEWMA:  c.delayEWMA,
+			MaxQueueDelayNS: c.maxDelay.Nanoseconds(),
+		}
+	}
 	return Stats{
-		Workers:   e.workers,
-		Busy:      e.busy.Load(),
-		Completed: e.completed.Load(),
+		Workers:    e.cur,
+		MinWorkers: e.base,
+		MaxWorkers: e.maxWorkers,
+		Grown:      e.grown,
+		Shrunk:     e.shrunk,
+		Busy:       e.busy.Load(),
+		Completed:  e.completed.Load(),
+		Lanes:      lanes,
 	}
 }

@@ -1,0 +1,84 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"testing"
+)
+
+// TestClientDisconnectCancelsBatchMembers is the HTTP-level per-item
+// cancellation proof: a client that consumes one item of a streamed
+// batch and hangs up must cancel every remaining member — the one
+// blocked inside a solver (which observes its context and stops) and the
+// ones still queued (which expire without ever running). The cancelled
+// members are counted, produce no schedule items, and land in no cache
+// tier; the conservation law still balances on the one delivered item.
+func TestClientDisconnectCancelsBatchMembers(t *testing.T) {
+	ensureSlowSolver(t)
+	// One token: exactly one member passes the gate immediately, every
+	// other member blocks in the solver until its context is cancelled.
+	gate := make(chan struct{}, 1)
+	gate <- struct{}{}
+	setSlowGate(gate)
+	defer setSlowGate(nil)
+
+	svc, ts := newTestServer(t, Config{CacheSize: 64, Workers: 1})
+	batch := BatchRequest{Requests: []ScheduleRequest{
+		mustScheduleRequest(t, "FFT", 1, "slowtest"),
+		mustScheduleRequest(t, "NE", 2, "slowtest"),
+		mustScheduleRequest(t, "GJ", 3, "slowtest"),
+		mustScheduleRequest(t, "FFT", 4, "slowtest"),
+	}}
+
+	resp := streamBatch(t, ts.URL, batch)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		t.Fatalf("no first item: %v", sc.Err())
+	}
+	var first BatchItem
+	if err := json.Unmarshal(sc.Bytes(), &first); err != nil {
+		t.Fatalf("first line is not a complete item: %q", sc.Bytes())
+	}
+	// Items stream in completion order and members race to the single
+	// worker, so any member may be the one delivered — it just has to be
+	// a clean cold solve.
+	if first.Error != "" || first.Cache != "miss" {
+		t.Fatalf("first item = %+v, want one member solved cold", first)
+	}
+
+	// Hang up mid-stream: the server must notice and cancel members 1-3.
+	resp.Body.Close()
+
+	st := pollStats(t, svc, "3 cancelled members", func(st Stats) bool {
+		return st.Cancelled == 3
+	})
+	if st.Solves != 1 {
+		t.Fatalf("solves = %d, want 1 (only the delivered member ran)", st.Solves)
+	}
+	if st.Items != 1 {
+		t.Fatalf("schedule items = %d, want 1 (cancelled members are not items)", st.Items)
+	}
+	if got := st.Solves + st.Cache.Hits + st.Disk.Hits + st.Coalesced; got != st.Items {
+		t.Fatalf("conservation law broken: %d != items %d", got, st.Items)
+	}
+	// Cancelled members must not be memoized: exactly the delivered
+	// member's body is cached, and nothing reached the (disabled) disk
+	// tier.
+	if st.Cache.Entries != 1 {
+		t.Fatalf("cache entries = %d, want 1", st.Cache.Entries)
+	}
+	if st.Disk.Writes != 0 {
+		t.Fatalf("disk writes = %d, want 0", st.Disk.Writes)
+	}
+	// The engine's lane counters agree: one batch job completed, three
+	// never produced results (cancelled mid-solve or expired while
+	// queued).
+	lane := st.Pool.Lanes["batch"]
+	if lane.Submitted != 4 || lane.Completed+lane.Expired != 4 {
+		t.Fatalf("batch lane = %+v, want 4 submitted, completed+expired == 4", lane)
+	}
+	if lane.Completed >= 4 {
+		t.Fatalf("batch lane completed %d jobs; cancellation freed none", lane.Completed)
+	}
+}

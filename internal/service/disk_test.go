@@ -140,7 +140,7 @@ func TestServerDeletesCorruptDiskEntries(t *testing.T) {
 		}
 		bodies = append(bodies, body)
 	}
-	disk := svc1.disk
+	disk := svc1.disk.(*DiskCache)
 	stop1()
 	for key := range disk.entries {
 		keys = append(keys, key)
@@ -306,7 +306,7 @@ func TestDiskTierConservationUnderConcurrency(t *testing.T) {
 		t.Fatal(err)
 	}
 	comm := topology.DefaultCommParams().NoComm()
-	key, err := cacheKey(g, topo.Name(), comm, slv.Name(), saDefaults(), 0)
+	key, err := cacheKey(g, topo.Name(), comm, slv.Name(), saDefaults(), 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,13 +316,14 @@ func TestDiskTierConservationUnderConcurrency(t *testing.T) {
 	if inMem {
 		t.Fatal("raced portfolio result found in the memory tier")
 	}
-	svc.disk.mu.Lock()
-	_, inDisk := svc.disk.entries[key]
-	svc.disk.mu.Unlock()
+	dc := svc.disk.(*DiskCache)
+	dc.mu.Lock()
+	_, inDisk := dc.entries[key]
+	dc.mu.Unlock()
 	if inDisk {
 		t.Fatal("raced portfolio result found in the disk tier index")
 	}
-	if _, err := os.Stat(svc.disk.path(key)); !os.IsNotExist(err) {
+	if _, err := os.Stat(dc.path(key)); !os.IsNotExist(err) {
 		t.Fatalf("raced portfolio result found on disk (err=%v)", err)
 	}
 }

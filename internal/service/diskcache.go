@@ -63,6 +63,18 @@ type diskWrite struct {
 	val []byte
 }
 
+// DiskTier is the capability the server requires of its persistent tier:
+// the basic Tier get/put plus the stats and shutdown hooks the handlers
+// and Close depend on. *DiskCache is the production implementation (a nil
+// *DiskCache is the valid no-op tier — every method tolerates the nil
+// receiver); the fault-injection harness (internal/chaos) wraps one to
+// inject read/write failures through Config.WrapDiskTier.
+type DiskTier interface {
+	Tier
+	Stats() DiskCacheStats
+	Close()
+}
+
 // diskMagic versions the entry format; bump the last byte on any layout
 // change so old files are detected as stale and re-solved, not misread.
 var diskMagic = [4]byte{'D', 'T', 'C', 1}

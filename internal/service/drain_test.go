@@ -1,0 +1,128 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestSIGTERMDrainsInFlightStream exercises the dtserve shutdown
+// protocol end to end against a real TCP listener: SIGTERM arrives while
+// an NDJSON batch stream is mid-flight, the server begins draining, and
+// the client still receives every remaining member as a complete JSON
+// line (cancellation errors, never truncated output) before the stream
+// closes and Shutdown returns.
+func TestSIGTERMDrainsInFlightStream(t *testing.T) {
+	ensureSlowSolver(t)
+	// One token: exactly one member solves immediately, the other two
+	// block until the drain cancels them.
+	gate := make(chan struct{}, 1)
+	gate <- struct{}{}
+	setSlowGate(gate)
+	defer setSlowGate(nil)
+
+	svc, err := New(Config{CacheSize: 64, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: svc.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+
+	// The same signal wiring dtserve uses, scoped to this test.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+
+	base := "http://" + ln.Addr().String()
+	resp := streamBatch(t, base, BatchRequest{Requests: []ScheduleRequest{
+		mustScheduleRequest(t, "FFT", 1, "slowtest"),
+		mustScheduleRequest(t, "NE", 2, "slowtest"),
+		mustScheduleRequest(t, "GJ", 3, "slowtest"),
+	}})
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		t.Fatalf("no first item: %v", sc.Err())
+	}
+	var first BatchItem
+	if err := json.Unmarshal(sc.Bytes(), &first); err != nil {
+		t.Fatalf("first line is not a complete item: %q", sc.Bytes())
+	}
+	// Completion order: members race to the single worker, so any one
+	// of them may be the delivered item.
+	if first.Error != "" {
+		t.Fatalf("first item = %+v, want one member delivered", first)
+	}
+
+	// Deliver a real SIGTERM to this process and run dtserve's handler
+	// sequence: drain first, then graceful HTTP shutdown.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-sigCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("SIGTERM never delivered")
+	}
+	svc.BeginDrain()
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownErr <- httpSrv.Shutdown(ctx)
+	}()
+
+	// The stream must finish cleanly: each remaining member arrives as a
+	// complete JSON line carrying a cancellation error, then EOF.
+	var rest []BatchItem
+	for sc.Scan() {
+		var it BatchItem
+		if err := json.Unmarshal(sc.Bytes(), &it); err != nil {
+			t.Fatalf("drained stream wrote a partial line: %q", sc.Bytes())
+		}
+		rest = append(rest, it)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream did not close cleanly: %v", err)
+	}
+	if len(rest) != 2 {
+		t.Fatalf("got %d trailing items, want 2: %+v", len(rest), rest)
+	}
+	seen := map[int]bool{first.Index: true}
+	for _, it := range rest {
+		if it.Error == "" {
+			t.Fatalf("member %d reported success during drain: %+v", it.Index, it)
+		}
+		seen[it.Index] = true
+	}
+	if !seen[0] || !seen[1] || !seen[2] {
+		t.Fatalf("delivered + trailing items cover indices %v, want 0, 1 and 2", seen)
+	}
+
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("graceful shutdown failed: %v", err)
+	}
+	st := svc.Stats()
+	if !st.Draining {
+		t.Fatal("stats do not report draining")
+	}
+	if st.Cancelled != 2 {
+		t.Fatalf("cancelled = %d, want 2", st.Cancelled)
+	}
+	if st.Items != 1 || st.Solves != 1 {
+		t.Fatalf("items=%d solves=%d, want 1 and 1", st.Items, st.Solves)
+	}
+}

@@ -40,6 +40,12 @@ type LoadGenConfig struct {
 	Topo string
 	// Solver names the solver to exercise (empty = server default).
 	Solver string
+	// Lane tags every request with a QoS lane ("interactive" or
+	// "batch"); empty keeps the server's per-endpoint default.
+	Lane string
+	// MemberTimeoutMS sets the per-member portfolio budget on every
+	// request (0 omits the field). Only meaningful for portfolio solves.
+	MemberTimeoutMS int
 	// RequestTimeout bounds each HTTP call so one wedged request cannot
 	// hang the run (default 60s).
 	RequestTimeout time.Duration
@@ -146,10 +152,12 @@ func LoadGen(cfg LoadGenConfig) (*LoadGenReport, error) {
 			return nil, fmt.Errorf("loadgen: %w", err)
 		}
 		singles[i] = ScheduleRequest{
-			Graph:  g,
-			Topo:   cfg.Topo,
-			Solver: cfg.Solver,
-			Seed:   int64(1991 + i),
+			Graph:           g,
+			Topo:            cfg.Topo,
+			Solver:          cfg.Solver,
+			Seed:            int64(1991 + i),
+			Lane:            cfg.Lane,
+			MemberTimeoutMS: cfg.MemberTimeoutMS,
 		}
 		body, err := json.Marshal(singles[i])
 		if err != nil {

@@ -7,7 +7,20 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/engine"
 )
+
+// laneNames returns the lane keys in stable (sorted) order so the
+// exposition is deterministic scrape to scrape.
+func laneNames(lanes map[string]engine.LaneStats) []string {
+	names := make([]string, 0, len(lanes))
+	for name := range lanes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
 
 // solveBuckets are the fixed upper bounds (seconds) of the solve-latency
 // histogram, spanning sub-millisecond list-policy solves to multi-second
@@ -75,6 +88,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("dtserve_solves_total", "Solver executions (cache misses that ran a solver).", st.Solves)
 	counter("dtserve_coalesced_total", "Requests answered by piggybacking on an identical in-flight solve.", st.Coalesced)
 	counter("dtserve_portfolio_pruned_total", "Portfolio members cancelled mid-run by the incumbent bound.", st.PortfolioPruned)
+	counter("dtserve_shed_total", "Requests refused by admission control with a 429 (lane depth or queue-delay budget exhausted).", st.Shed)
+	counter("dtserve_cancelled_total", "Solves cancelled by their caller going away (client disconnect, drain).", st.Cancelled)
+	draining := int64(0)
+	if st.Draining {
+		draining = 1
+	}
+	gauge("dtserve_draining", "1 while the server is draining (refusing new work, finishing streams).", draining)
 
 	fmt.Fprintf(&b, "# HELP dtserve_solves_by_solver_total Solver executions by registry name.\n# TYPE dtserve_solves_by_solver_total counter\n")
 	names := make([]string, 0, len(st.BySolver))
@@ -98,9 +118,36 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("dtserve_disk_errors_total", "Corrupt/stale entries detected and deleted, plus failed or dropped writes.", st.Disk.Errors)
 	gauge("dtserve_disk_entries", "Entries currently on disk.", int64(st.Disk.Entries))
 	gauge("dtserve_disk_bytes", "On-disk bytes (entry headers included).", st.Disk.Bytes)
-	gauge("dtserve_pool_workers", "Solver pool size.", int64(st.Pool.Workers))
+	gauge("dtserve_pool_workers", "Current solver pool size (adaptive).", int64(st.Pool.Workers))
+	gauge("dtserve_pool_min_workers", "Adaptive pool floor.", int64(st.Pool.MinWorkers))
+	gauge("dtserve_pool_max_workers", "Adaptive pool ceiling.", int64(st.Pool.MaxWorkers))
+	counter("dtserve_pool_grown_total", "Workers added by the adaptive pool under sustained queue pressure.", st.Pool.Grown)
+	counter("dtserve_pool_shrunk_total", "Surplus workers retired by the adaptive pool after idling.", st.Pool.Shrunk)
 	gauge("dtserve_pool_busy", "Workers currently running a solve.", st.Pool.Busy)
 	counter("dtserve_pool_completed_total", "Jobs completed by the solver pool.", uint64(st.Pool.Completed))
+
+	laneCounter := func(name, help string, get func(engine.LaneStats) uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, lane := range laneNames(st.Pool.Lanes) {
+			fmt.Fprintf(&b, "%s{lane=%q} %d\n", name, lane, get(st.Pool.Lanes[lane]))
+		}
+	}
+	laneCounter("dtserve_lane_submitted_total", "Jobs admitted into the lane's queue.",
+		func(l engine.LaneStats) uint64 { return l.Submitted })
+	laneCounter("dtserve_lane_completed_total", "Jobs the lane ran to completion.",
+		func(l engine.LaneStats) uint64 { return l.Completed })
+	laneCounter("dtserve_lane_shed_total", "Submissions refused by the lane's admission budgets.",
+		func(l engine.LaneStats) uint64 { return l.Shed })
+	laneCounter("dtserve_lane_expired_total", "Jobs whose context ended while queued (never ran).",
+		func(l engine.LaneStats) uint64 { return l.Expired })
+	fmt.Fprintf(&b, "# HELP dtserve_lane_queued Jobs currently queued in the lane.\n# TYPE dtserve_lane_queued gauge\n")
+	for _, lane := range laneNames(st.Pool.Lanes) {
+		fmt.Fprintf(&b, "dtserve_lane_queued{lane=%q} %d\n", lane, st.Pool.Lanes[lane].Queued)
+	}
+	fmt.Fprintf(&b, "# HELP dtserve_lane_queue_delay_ewma_seconds Moving average of the lane's enqueue-to-dequeue delay.\n# TYPE dtserve_lane_queue_delay_ewma_seconds gauge\n")
+	for _, lane := range laneNames(st.Pool.Lanes) {
+		fmt.Fprintf(&b, "dtserve_lane_queue_delay_ewma_seconds{lane=%q} %g\n", lane, st.Pool.Lanes[lane].QueueDelayEWMA)
+	}
 
 	cum, sum, total := s.solveLatency.snapshot()
 	fmt.Fprintf(&b, "# HELP dtserve_solve_duration_seconds Wall-clock latency of completed cold solves (queueing + solving + marshaling); count equals dtserve_solves_total.\n")

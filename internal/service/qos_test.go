@@ -1,0 +1,215 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// pollStats polls the server's stats until ok returns true or the
+// deadline passes; it fails the test with the last snapshot otherwise.
+func pollStats(t *testing.T, svc *Server, what string, ok func(Stats) bool) Stats {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := svc.Stats()
+		if ok(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			raw, _ := json.Marshal(st)
+			t.Fatalf("timed out waiting for %s; stats: %s", what, raw)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestLaneAndMemberTimeoutValidation pins the wire contract of the two
+// new request fields: garbage lanes and negative member timeouts are
+// structured 400s, valid values are accepted, and an explicit lane
+// overrides the handler default (visible in the per-lane counters).
+func TestLaneAndMemberTimeoutValidation(t *testing.T) {
+	svc, ts := newTestServer(t, Config{CacheSize: 64})
+
+	for _, tc := range []struct {
+		name   string
+		mutate func(*ScheduleRequest)
+		frag   string
+	}{
+		{"unknown lane", func(r *ScheduleRequest) { r.Lane = "warp" }, "lane"},
+		{"negative member timeout", func(r *ScheduleRequest) { r.MemberTimeoutMS = -5 }, "member_timeout_ms"},
+	} {
+		resp, body := post(t, ts.URL+"/v1/schedule", wireRequest(t, "FFT", tc.mutate))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400: %s", tc.name, resp.StatusCode, body)
+		}
+		var er ErrorResponse
+		if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
+			t.Fatalf("%s: unstructured 400 body %q", tc.name, body)
+		}
+		if !strings.Contains(er.Error, tc.frag) {
+			t.Fatalf("%s: error %q does not name the field %q", tc.name, er.Error, tc.frag)
+		}
+	}
+
+	// A single schedule call explicitly requesting the batch lane runs
+	// there; the default (no lane) stays interactive.
+	resp, body := post(t, ts.URL+"/v1/schedule", wireRequest(t, "FFT", func(r *ScheduleRequest) {
+		r.Solver, r.Lane = "hlf", "batch"
+	}))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch-lane single: status %d: %s", resp.StatusCode, body)
+	}
+	resp, body = post(t, ts.URL+"/v1/schedule", wireRequest(t, "NE", func(r *ScheduleRequest) {
+		r.Solver = "hlf"
+	}))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("default-lane single: status %d: %s", resp.StatusCode, body)
+	}
+	st := svc.Stats()
+	if st.Pool.Lanes["batch"].Submitted != 1 || st.Pool.Lanes["interactive"].Submitted != 1 {
+		t.Fatalf("lane submitted: batch=%d interactive=%d, want 1 and 1",
+			st.Pool.Lanes["batch"].Submitted, st.Pool.Lanes["interactive"].Submitted)
+	}
+}
+
+// TestMemberTimeoutIsPartOfCacheKey: the same payload with and without a
+// member timeout must occupy distinct cache lines (the budget changes
+// which portfolio members can finish), while a repeat with the identical
+// member timeout still hits.
+func TestMemberTimeoutIsPartOfCacheKey(t *testing.T) {
+	_, ts := newTestServer(t, Config{CacheSize: 64})
+	base := func(r *ScheduleRequest) { r.Solver = "hlf" }
+	timed := func(r *ScheduleRequest) { r.Solver, r.MemberTimeoutMS = "hlf", 5000 }
+
+	for i, tc := range []struct {
+		mutate func(*ScheduleRequest)
+		want   string
+	}{
+		{base, "miss"}, {base, "hit"}, {timed, "miss"}, {timed, "hit"},
+	} {
+		resp, body := post(t, ts.URL+"/v1/schedule", wireRequest(t, "FFT", tc.mutate))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		if got := resp.Header.Get("X-DTServe-Cache"); got != tc.want {
+			t.Fatalf("request %d: cache %q, want %q", i, got, tc.want)
+		}
+	}
+}
+
+// TestAdmissionControlReturns429 is the HTTP face of the engine's
+// admission control: with one worker pinned by a gated solve and a
+// one-deep queue budget, the next request is shed with a structured 429
+// carrying both the Retry-After header and retry_after_ms in the body —
+// and the pinned work still completes once released.
+func TestAdmissionControlReturns429(t *testing.T) {
+	ensureSlowSolver(t)
+	gate := make(chan struct{})
+	setSlowGate(gate)
+	defer setSlowGate(nil)
+
+	svc, ts := newTestServer(t, Config{CacheSize: 64, Workers: 1, QueueDepth: 1})
+
+	type reply struct {
+		status int
+		body   []byte
+	}
+	replies := make(chan reply, 2)
+	send := func(seed int64) {
+		resp, body := post(t, ts.URL+"/v1/schedule", wireRequest(t, "FFT", func(r *ScheduleRequest) {
+			r.Solver, r.Seed = "slowtest", seed
+		}))
+		replies <- reply{resp.StatusCode, body}
+	}
+
+	go send(1) // leader: occupies the only worker inside the gated solver
+	pollStats(t, svc, "leader busy", func(st Stats) bool { return st.Pool.Busy == 1 })
+	go send(2) // fills the one-deep interactive queue
+	pollStats(t, svc, "queued follower", func(st Stats) bool {
+		return st.Pool.Lanes["interactive"].Queued == 1
+	})
+
+	// Third distinct request: the lane budget is exhausted, so admission
+	// control must shed it — before it ever reaches a solver.
+	resp, body := post(t, ts.URL+"/v1/schedule", wireRequest(t, "FFT", func(r *ScheduleRequest) {
+		r.Solver, r.Seed = "slowtest", 3
+	}))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", resp.StatusCode, body)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("Retry-After header %q, want an integer >= 1", resp.Header.Get("Retry-After"))
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
+		t.Fatalf("unstructured 429 body %q", body)
+	}
+	if er.RetryAfterMS < 1000 {
+		t.Fatalf("retry_after_ms = %d, want >= 1000 (floor is one second)", er.RetryAfterMS)
+	}
+
+	st := svc.Stats()
+	if st.Shed != 1 || st.Pool.Lanes["interactive"].Shed != 1 {
+		t.Fatalf("shed=%d lane shed=%d, want 1 and 1", st.Shed, st.Pool.Lanes["interactive"].Shed)
+	}
+
+	// Releasing the gate lets the pinned and queued requests finish
+	// normally: shedding the third request cost them nothing.
+	close(gate)
+	for i := 0; i < 2; i++ {
+		if r := <-replies; r.status != http.StatusOK {
+			t.Fatalf("released request: status %d: %s", r.status, r.body)
+		}
+	}
+	st = svc.Stats()
+	if st.Solves != 2 {
+		t.Fatalf("solves = %d, want 2", st.Solves)
+	}
+	if got := st.Solves + st.Cache.Hits + st.Disk.Hits + st.Coalesced; got != st.Items {
+		t.Fatalf("conservation law broken after shed: %d != items %d", got, st.Items)
+	}
+}
+
+// TestDrainRefusesNewWork: after BeginDrain the liveness probe flips to
+// 503 "draining", new schedule and batch calls are refused with 503 +
+// Retry-After, and /statsz reports draining.
+func TestDrainRefusesNewWork(t *testing.T) {
+	svc, ts := newTestServer(t, Config{CacheSize: 16})
+	svc.BeginDrain()
+	svc.BeginDrain() // idempotent
+
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]string
+	if err := json.NewDecoder(hr.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusServiceUnavailable || health["status"] != "draining" {
+		t.Fatalf("healthz during drain: %d %v, want 503 draining", hr.StatusCode, health)
+	}
+
+	for _, path := range []string{"/v1/schedule", "/v1/schedule/batch"} {
+		resp, body := post(t, ts.URL+path, wireRequest(t, "FFT", nil))
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("%s during drain: %d, want 503: %s", path, resp.StatusCode, body)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatalf("%s during drain: no Retry-After header", path)
+		}
+		var er ErrorResponse
+		if err := json.Unmarshal(body, &er); err != nil || er.RetryAfterMS <= 0 {
+			t.Fatalf("%s during drain: body %q lacks retry_after_ms", path, body)
+		}
+	}
+	if st := svc.Stats(); !st.Draining {
+		t.Fatal("stats do not report draining")
+	}
+}

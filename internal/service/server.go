@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cliutil"
@@ -20,8 +22,22 @@ import (
 
 // Config tunes a Server.
 type Config struct {
-	// Workers bounds concurrent solves; <= 0 means one per CPU.
+	// Workers bounds concurrent solves; <= 0 means one per CPU. This is
+	// the engine pool's floor.
 	Workers int
+	// MaxWorkers lets the engine pool grow under sustained queue pressure
+	// up to this many workers; <= Workers keeps the pool fixed.
+	MaxWorkers int
+	// QueueDepth bounds each QoS lane's queue; submissions past it are
+	// shed with a 429. <= 0 means engine.DefaultQueueDepth.
+	QueueDepth int
+	// QueueDelayTarget sheds new work on a lane once its oldest queued
+	// job has waited longer than this (429 + Retry-After). 0 disables
+	// delay-based shedding.
+	QueueDelayTarget time.Duration
+	// InteractiveWeight is the weighted-dequeue ratio between the
+	// interactive and batch lanes; <= 0 means the engine default (4).
+	InteractiveWeight int
 	// CacheSize is the result cache capacity in entries; <= 0 disables
 	// caching.
 	CacheSize int
@@ -43,6 +59,12 @@ type Config struct {
 	// MaxBatch caps the requests of one batch call; <= 0 means 256. The
 	// limit is enforced by the engine's batch fan-out, not per handler.
 	MaxBatch int
+	// WrapDiskTier, when non-nil, wraps the disk tier before the server
+	// uses it — the seam the fault-injection harness (internal/chaos)
+	// plugs into. The wrapper receives the configured tier (a no-op
+	// nil-backed tier when CacheDir is empty) and must return the tier
+	// the server should use.
+	WrapDiskTier func(DiskTier) DiskTier
 	// Logger receives one line per request; nil disables request logging.
 	Logger *log.Logger
 }
@@ -56,8 +78,12 @@ type Server struct {
 	cfg          Config
 	eng          *engine.Engine
 	cache        *Cache
-	disk         *DiskCache
+	disk         DiskTier
 	solveLatency *histogram
+
+	draining  atomic.Bool
+	drainCh   chan struct{} // closed by BeginDrain
+	drainOnce sync.Once
 
 	mu        sync.Mutex
 	requests  uint64             // API calls that reached a handler
@@ -66,6 +92,8 @@ type Server struct {
 	solves    uint64             // solver executions (cache misses)
 	coalesced uint64             // requests that piggybacked on an in-flight solve
 	pruned    uint64             // portfolio members cancelled by the incumbent bound
+	shed      uint64             // requests refused by admission control (429)
+	cancelled uint64             // solves cancelled by their caller (client disconnect, drain)
 	bySolver  map[string]uint64  // solves by registry name
 	inflight  map[string]*flight // singleflight: one solve per cache key
 }
@@ -95,19 +123,40 @@ type Stats struct {
 	Coalesced uint64 `json:"coalesced"`
 	// PortfolioPruned counts portfolio members cancelled mid-run because
 	// their own makespan lower bound exceeded the incumbent best.
-	PortfolioPruned uint64            `json:"portfolio_pruned"`
-	BySolver        map[string]uint64 `json:"by_solver"`
-	Cache           CacheStats        `json:"cache"`
-	Disk            DiskCacheStats    `json:"disk"`
-	Pool            PoolStats         `json:"pool"`
+	PortfolioPruned uint64 `json:"portfolio_pruned"`
+	// Shed counts requests refused by admission control with a 429: a
+	// QoS lane's queue-depth or queue-delay budget was exhausted. Shed
+	// requests never become schedule items, so they sit outside the
+	// conservation law.
+	Shed uint64 `json:"shed"`
+	// Cancelled counts solves cancelled by their caller going away — a
+	// client disconnecting mid-stream, or a drain cutting a batch short.
+	// Cancelled solves produce no result and are never cached.
+	Cancelled uint64 `json:"cancelled"`
+	// Draining reports that BeginDrain was called: the server is
+	// finishing in-flight streams and refusing new solve work.
+	Draining bool              `json:"draining"`
+	BySolver map[string]uint64 `json:"by_solver"`
+	Cache    CacheStats        `json:"cache"`
+	Disk     DiskCacheStats    `json:"disk"`
+	Pool     PoolStats         `json:"pool"`
 }
 
-// PoolStats mirrors the engine's worker counters under the historical
-// "pool" key of the /statsz payload.
+// PoolStats mirrors the engine's worker and lane counters under the
+// historical "pool" key of the /statsz payload.
 type PoolStats struct {
-	Workers   int   `json:"workers"`
-	Busy      int64 `json:"busy"`
-	Completed int64 `json:"completed"`
+	// Workers is the current pool size; MinWorkers/MaxWorkers are the
+	// adaptive bounds and Grown/Shrunk count the resizes.
+	Workers    int    `json:"workers"`
+	MinWorkers int    `json:"min_workers"`
+	MaxWorkers int    `json:"max_workers"`
+	Grown      uint64 `json:"grown"`
+	Shrunk     uint64 `json:"shrunk"`
+	Busy       int64  `json:"busy"`
+	Completed  int64  `json:"completed"`
+	// Lanes holds the per-lane queue/admission counters, keyed by lane
+	// name ("interactive", "batch").
+	Lanes map[string]engine.LaneStats `json:"lanes"`
 }
 
 // New validates the configuration and starts the worker pool.
@@ -126,16 +175,51 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("service: disk cache: %w", err)
 		}
 	}
+	// The tier travels as an interface from here on (a nil *DiskCache is
+	// a valid no-op tier — its methods tolerate the nil receiver), so the
+	// fault-injection seam can wrap it without knowing the concrete type.
+	var tier DiskTier = disk
+	if cfg.WrapDiskTier != nil {
+		tier = cfg.WrapDiskTier(tier)
+		if tier == nil {
+			return nil, fmt.Errorf("service: WrapDiskTier returned a nil tier")
+		}
+	}
 	return &Server{
-		cfg:          cfg,
-		eng:          engine.New(engine.Config{Workers: cfg.Workers, MaxBatch: cfg.MaxBatch}),
+		cfg: cfg,
+		eng: engine.New(engine.Config{
+			Workers:           cfg.Workers,
+			MaxWorkers:        cfg.MaxWorkers,
+			MaxBatch:          cfg.MaxBatch,
+			QueueDepth:        cfg.QueueDepth,
+			QueueDelayTarget:  cfg.QueueDelayTarget,
+			InteractiveWeight: cfg.InteractiveWeight,
+		}),
 		cache:        NewCache(cfg.CacheSize, cfg.CacheBytes),
-		disk:         disk,
+		disk:         tier,
+		drainCh:      make(chan struct{}),
 		solveLatency: newHistogram(),
 		bySolver:     make(map[string]uint64),
 		inflight:     make(map[string]*flight),
 	}, nil
 }
+
+// BeginDrain puts the server into drain mode: new solve requests are
+// refused with a 503 + Retry-After, /healthz starts failing so load
+// balancers stop routing here, and in-flight NDJSON batch streams cancel
+// their remaining members and flush every completed item as a full JSON
+// line before closing — no stream is ever truncated mid-line. Call it
+// before http.Server.Shutdown so streams wind down inside the shutdown
+// grace period. Idempotent.
+func (s *Server) BeginDrain() {
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
+		close(s.drainCh)
+	})
+}
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Close stops the solve engine and drains the disk tier's write-behind
 // queue, so every result accepted for persistence is durable before
@@ -161,10 +245,22 @@ func (s *Server) Stats() Stats {
 		Solves:          s.solves,
 		Coalesced:       s.coalesced,
 		PortfolioPruned: s.pruned,
+		Shed:            s.shed,
+		Cancelled:       s.cancelled,
+		Draining:        s.draining.Load(),
 		BySolver:        by,
 		Cache:           s.cache.Stats(),
 		Disk:            s.disk.Stats(),
-		Pool:            PoolStats{Workers: est.Workers, Busy: est.Busy, Completed: est.Completed},
+		Pool: PoolStats{
+			Workers:    est.Workers,
+			MinWorkers: est.MinWorkers,
+			MaxWorkers: est.MaxWorkers,
+			Grown:      est.Grown,
+			Shrunk:     est.Shrunk,
+			Busy:       est.Busy,
+			Completed:  est.Completed,
+			Lanes:      est.Lanes,
+		},
 	}
 }
 
@@ -181,10 +277,13 @@ func (s *Server) Handler() http.Handler {
 	return s.logged(mux)
 }
 
-// httpError carries a status code with a client-safe message.
+// httpError carries a status code with a client-safe message. retryAfter,
+// when positive, asks the client to back off: it becomes the Retry-After
+// header (whole seconds, rounded up) and the retry_after_ms body field.
 type httpError struct {
-	status int
-	msg    string
+	status     int
+	msg        string
+	retryAfter time.Duration
 }
 
 func (e *httpError) Error() string { return e.msg }
@@ -192,6 +291,11 @@ func (e *httpError) Error() string { return e.msg }
 func badRequest(format string, args ...any) *httpError {
 	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
 }
+
+// statusClientClosedRequest is the de-facto (nginx) status for a request
+// whose client went away before the response: the solve was cancelled, so
+// neither a success nor a server failure describes it.
+const statusClientClosedRequest = 499
 
 // statusWriter records the status code written by a handler for logging.
 type statusWriter struct {
@@ -246,11 +350,32 @@ func writeError(w http.ResponseWriter, err error) {
 	if !errors.As(err, &he) {
 		he = &httpError{status: http.StatusInternalServerError, msg: err.Error()}
 	}
-	writeJSON(w, he.status, ErrorResponse{Error: he.msg})
+	resp := ErrorResponse{Error: he.msg}
+	if he.retryAfter > 0 {
+		// Retry-After is whole seconds; round up so "retry after 300ms"
+		// never becomes "retry immediately".
+		secs := int64((he.retryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		resp.RetryAfterMS = he.retryAfter.Milliseconds()
+	}
+	writeJSON(w, he.status, resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		// Failing the liveness probe during drain steers load balancers
+		// away while in-flight streams finish.
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// errDraining refuses new solve work during shutdown. Retry-After points
+// clients at a peer (or a restarted instance) rather than a tight loop.
+func errDraining() *httpError {
+	return &httpError{status: http.StatusServiceUnavailable,
+		msg: "service: draining (shutting down)", retryAfter: time.Second}
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
@@ -272,12 +397,16 @@ const maxBodyBytes = 32 << 20
 const maxRestarts = 64
 
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, errDraining())
+		return
+	}
 	var req ScheduleRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
 		writeError(w, badRequest("decode request: %v", err))
 		return
 	}
-	body, status, err := s.process(r.Context(), &req)
+	body, status, err := s.process(r.Context(), &req, engine.LaneInteractive)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -315,6 +444,10 @@ func wantsNDJSON(r *http.Request) bool {
 // Without it the items are assembled into the request-ordered
 // BatchResponse envelope once all have completed.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, errDraining())
+		return
+	}
 	var batch BatchRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&batch); err != nil {
 		writeError(w, badRequest("decode batch: %v", err))
@@ -324,9 +457,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequest("empty batch"))
 		return
 	}
+	// Every member solves under one batch-scoped context: cancelling it —
+	// because the client disconnected or the server began draining —
+	// reaches each remaining member's solver through its interrupt hook,
+	// so abandoned work stops burning workers. Members already finished
+	// are unaffected; members cancelled mid-solve come back as error
+	// items (counted in Stats.Cancelled, cached nowhere).
+	bctx, bcancel := context.WithCancel(r.Context())
+	defer bcancel()
 	n := len(batch.Requests)
 	ch, err := engine.Fan(n, s.eng.MaxBatch(), func(i int) BatchItem {
-		body, status, err := s.process(r.Context(), &batch.Requests[i])
+		body, status, err := s.process(bctx, &batch.Requests[i], engine.LaneBatch)
 		if err != nil {
 			return BatchItem{Index: i, Error: err.Error()}
 		}
@@ -338,24 +479,56 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// drain turns nil after it fires so the select below degenerates to a
+	// plain channel read: the drain signal cancels the remaining members
+	// once, then the loop finishes writing whatever completes.
+	drain := s.drainCh
+
 	if wantsNDJSON(r) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		w.WriteHeader(http.StatusOK)
 		fl, _ := w.(http.Flusher)
 		enc := json.NewEncoder(w)
 		enc.SetEscapeHTML(false)
-		for item := range ch {
-			_ = enc.Encode(item) // Encode appends the newline framing
-			if fl != nil {
-				fl.Flush()
+		writable := true
+		for {
+			select {
+			case item, ok := <-ch:
+				if !ok {
+					return
+				}
+				if !writable {
+					continue // client gone: drain the channel, write nothing
+				}
+				if err := enc.Encode(item); err != nil { // Encode appends the newline framing
+					// The client disconnected mid-stream: cancel the
+					// remaining members and keep draining the channel (it
+					// is buffered for the whole batch, so producers finish
+					// regardless) without writing.
+					bcancel()
+					writable = false
+					continue
+				}
+				if fl != nil {
+					fl.Flush()
+				}
+			case <-drain:
+				drain = nil
+				bcancel()
 			}
 		}
-		return
 	}
 
 	items := make([]BatchItem, n)
-	for item := range ch {
-		items[item.Index] = item
+	for got := 0; got < n; {
+		select {
+		case item := <-ch:
+			items[item.Index] = item
+			got++
+		case <-drain:
+			drain = nil
+			bcancel()
+		}
 	}
 	writeJSON(w, http.StatusOK, BatchResponse{Items: items})
 }
@@ -366,13 +539,25 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // collapse onto an identical in-flight solve when one exists
 // (singleflight), and otherwise run the named solver on the worker pool
 // and store the bytes in every tier. The string reports how the body was
-// obtained: "hit", "disk", "miss" or "coalesced".
-func (s *Server) process(ctx context.Context, req *ScheduleRequest) ([]byte, string, error) {
+// obtained: "hit", "disk", "miss" or "coalesced". defLane is the QoS lane
+// used when the request names none: interactive for single schedule
+// calls, batch for batch members.
+func (s *Server) process(ctx context.Context, req *ScheduleRequest, defLane engine.Lane) ([]byte, string, error) {
 	if req.Graph == nil {
 		return nil, "", badRequest("missing graph")
 	}
 	if req.Topo == "" {
 		return nil, "", badRequest("missing topo spec")
+	}
+	lane := defLane
+	if req.Lane != "" {
+		var err error
+		if lane, err = engine.ParseLane(req.Lane); err != nil {
+			return nil, "", badRequest("%v", err)
+		}
+	}
+	if req.MemberTimeoutMS < 0 {
+		return nil, "", badRequest("member_timeout_ms %d is negative", req.MemberTimeoutMS)
 	}
 	topo, err := cliutil.ParseTopology(req.Topo)
 	if err != nil {
@@ -410,11 +595,12 @@ func (s *Server) process(ctx context.Context, req *ScheduleRequest) ([]byte, str
 	}
 
 	sreq := solver.Request{Graph: req.Graph, Topo: topo, Comm: comm, SA: saOpt}
+	sreq.Portfolio.MemberTimeout = time.Duration(req.MemberTimeoutMS) * time.Millisecond
 	if err := sreq.Validate(); err != nil {
 		return nil, "", badRequest("%v", err)
 	}
 
-	key, err := cacheKey(req.Graph, topo.Name(), comm, slv.Name(), saOpt, req.TimeoutMS)
+	key, err := cacheKey(req.Graph, topo.Name(), comm, slv.Name(), saOpt, req.TimeoutMS, req.MemberTimeoutMS)
 	if err != nil {
 		return nil, "", fmt.Errorf("service: cache key: %w", err)
 	}
@@ -438,7 +624,7 @@ func (s *Server) process(ctx context.Context, req *ScheduleRequest) ([]byte, str
 						// about the leader's connection, not this
 						// waiter's. Solve independently under our own
 						// context instead of propagating it.
-						body, err := s.solve(ctx, slv, sreq, req, topo.Name(), key)
+						body, err := s.solve(ctx, slv, sreq, req, topo.Name(), key, lane)
 						return body, "miss", err
 					}
 					return nil, "", f.err
@@ -484,31 +670,35 @@ func (s *Server) process(ctx context.Context, req *ScheduleRequest) ([]byte, str
 			f.body, f.err = body, nil
 			return body, "disk", nil
 		}
-		body, err := s.solve(ctx, slv, sreq, req, topo.Name(), key)
+		body, err := s.solve(ctx, slv, sreq, req, topo.Name(), key, lane)
 		f.body, f.err = body, err
 		return body, "miss", err
 	}
-	body, err := s.solve(ctx, slv, sreq, req, topo.Name(), key)
+	body, err := s.solve(ctx, slv, sreq, req, topo.Name(), key, lane)
 	return body, "miss", err
 }
 
 // isLeaderContextError reports whether a flight failed because the
-// leader's own context ended: a 504 (solve interrupted by
-// cancellation/deadline) or a 503 (never got a worker before its context
-// expired). Waiters retry those under their own contexts.
+// leader's own context ended: a 504 (solve interrupted by its deadline),
+// a 499 (the leader's client went away mid-solve), or a 503 (never got a
+// worker before its context expired). Waiters retry those under their own
+// contexts. A 429 is deliberately not retried: admission control shed the
+// key because the service is overloaded, and waiters re-solving would
+// manufacture exactly the load the shed refused.
 func isLeaderContextError(err error) bool {
 	var he *httpError
 	if !errors.As(err, &he) {
 		return false
 	}
-	return he.status == http.StatusGatewayTimeout || he.status == http.StatusServiceUnavailable
+	return he.status == http.StatusGatewayTimeout || he.status == statusClientClosedRequest ||
+		(he.status == http.StatusServiceUnavailable && he.retryAfter == 0)
 }
 
 // solve runs one cold request on the engine (whose worker hands the
 // solver its owned simulator arena and pooled scheduler), marshals the
 // wire result, records the solve latency, and stores cacheable bodies.
 func (s *Server) solve(ctx context.Context, slv solver.Solver, sreq solver.Request,
-	req *ScheduleRequest, topoName, key string) ([]byte, error) {
+	req *ScheduleRequest, topoName, key string, lane engine.Lane) ([]byte, error) {
 
 	deadlined := false
 	if req.TimeoutMS > 0 {
@@ -524,15 +714,36 @@ func (s *Server) solve(ctx context.Context, slv solver.Solver, sreq solver.Reque
 	}
 
 	start := time.Now()
-	res, err := s.eng.Solve(ctx, engine.Job{Solver: slv, Req: sreq})
+	res, err := s.eng.Solve(ctx, engine.Job{Solver: slv, Req: sreq, Lane: lane})
 	if err != nil {
+		// A cancelled caller (client disconnect, batch drain) is a
+		// cancellation wherever it surfaced — still queued or mid-solve.
+		// Deadline expiries are deliberately not counted here: the request
+		// ran out its budget, nobody abandoned it.
+		if errors.Is(err, context.Canceled) {
+			s.mu.Lock()
+			s.cancelled++
+			s.mu.Unlock()
+		}
+		var ov *engine.OverloadError
+		if errors.As(err, &ov) {
+			// Admission control refused the job: a structured 429 telling
+			// the client when to come back.
+			s.mu.Lock()
+			s.shed++
+			s.mu.Unlock()
+			return nil, &httpError{status: http.StatusTooManyRequests,
+				msg: "service: " + err.Error(), retryAfter: ov.RetryAfter}
+		}
 		if errors.Is(err, engine.ErrQueueTimeout) || errors.Is(err, engine.ErrClosed) {
 			// The job never ran: a capacity verdict, not a solve verdict.
 			return nil, &httpError{status: http.StatusServiceUnavailable, msg: "service: " + err.Error()}
 		}
 		status := http.StatusUnprocessableEntity
-		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		if errors.Is(err, context.DeadlineExceeded) {
 			status = http.StatusGatewayTimeout
+		} else if errors.Is(err, context.Canceled) {
+			status = statusClientClosedRequest
 		}
 		return nil, &httpError{status: status, msg: err.Error()}
 	}

@@ -450,18 +450,18 @@ func TestCacheKeyStable(t *testing.T) {
 	g1.AddTask("t", 5)
 	g2 := taskgraph.New("a")
 	g2.AddTask("t", 5)
-	k1, err := cacheKey(g1, "hypercube-8", cliutilComm(), "sa", saDefaults(), 0)
+	k1, err := cacheKey(g1, "hypercube-8", cliutilComm(), "sa", saDefaults(), 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	k2, err := cacheKey(g2, "hypercube-8", cliutilComm(), "sa", saDefaults(), 0)
+	k2, err := cacheKey(g2, "hypercube-8", cliutilComm(), "sa", saDefaults(), 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if k1 != k2 {
 		t.Fatalf("equal graphs produced different keys")
 	}
-	k3, err := cacheKey(g1, "ring-9", cliutilComm(), "sa", saDefaults(), 0)
+	k3, err := cacheKey(g1, "ring-9", cliutilComm(), "sa", saDefaults(), 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -621,7 +621,7 @@ func TestSingleflightWaiterReplaysLeaderBytes(t *testing.T) {
 	saOpt := saDefaults()
 	saOpt.Seed = 1991
 	saOpt.Restarts = 2
-	key, err := cacheKey(g, topo.Name(), cliutilComm(), "sa", saOpt, 0)
+	key, err := cacheKey(g, topo.Name(), cliutilComm(), "sa", saOpt, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

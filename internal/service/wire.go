@@ -65,6 +65,15 @@ type ScheduleRequest struct {
 	Restarts int `json:"restarts,omitempty"`
 	// TimeoutMS bounds the solve wall-clock; 0 means the server default.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// MemberTimeoutMS bounds each portfolio member's solve individually
+	// (solver.PortfolioOptions.MemberTimeout); 0 means no per-member
+	// deadline, negative is a 400. Only the "portfolio" solver reads it.
+	MemberTimeoutMS int `json:"member_timeout_ms,omitempty"`
+	// Lane names the QoS lane: "interactive" (the default for single
+	// schedule calls) or "batch" (the default for batch members). The
+	// interactive lane wins the weighted dequeue under contention; the
+	// batch lane is shed first under overload. Any other value is a 400.
+	Lane string `json:"lane,omitempty"`
 	// NoCache bypasses the result cache (the result is still stored).
 	NoCache bool `json:"nocache,omitempty"`
 }
@@ -127,9 +136,13 @@ type BatchResponse struct {
 	Items []BatchItem `json:"items"`
 }
 
-// ErrorResponse is the structured error body of every non-2xx reply.
+// ErrorResponse is the structured error body of every non-2xx reply. A
+// 429 (admission control shed the request) additionally carries
+// RetryAfterMS, mirroring the Retry-After header at millisecond
+// resolution.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error        string `json:"error"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
 }
 
 // Result is the wire form of a completed solve — the same schema the
@@ -179,24 +192,28 @@ func ResultFromSim(res *machsim.Result, g *taskgraph.Graph, topoName string) (*R
 // never replayed to a request with a generous one. Map/insertion order
 // never leaks into the key, so equal problems always hit the same cache
 // line.
+// The QoS lane is deliberately not part of the key: the lane decides when
+// a job runs, never what it computes, so identical problems submitted on
+// different lanes share one cache line (and coalesce onto one solve).
 func cacheKey(g *taskgraph.Graph, topoName string, comm topology.CommParams,
-	solverName string, sa core.Options, timeoutMS int) (string, error) {
+	solverName string, sa core.Options, timeoutMS, memberTimeoutMS int) (string, error) {
 
 	graphJSON, err := g.CanonicalJSON()
 	if err != nil {
 		return "", err
 	}
 	key := struct {
-		Graph    json.RawMessage     `json:"graph"`
-		Topo     string              `json:"topo"`
-		Comm     topology.CommParams `json:"comm"`
-		Solver   string              `json:"solver"`
-		Seed     int64               `json:"seed"`
-		Wb       float64             `json:"wb"`
-		Wc       float64             `json:"wc"`
-		Restarts int                 `json:"restarts"`
-		Timeout  int                 `json:"timeout_ms"`
-	}{graphJSON, topoName, comm, solverName, sa.Seed, sa.Wb, sa.Wc, sa.Restarts, timeoutMS}
+		Graph         json.RawMessage     `json:"graph"`
+		Topo          string              `json:"topo"`
+		Comm          topology.CommParams `json:"comm"`
+		Solver        string              `json:"solver"`
+		Seed          int64               `json:"seed"`
+		Wb            float64             `json:"wb"`
+		Wc            float64             `json:"wc"`
+		Restarts      int                 `json:"restarts"`
+		Timeout       int                 `json:"timeout_ms"`
+		MemberTimeout int                 `json:"member_timeout_ms,omitempty"`
+	}{graphJSON, topoName, comm, solverName, sa.Seed, sa.Wb, sa.Wc, sa.Restarts, timeoutMS, memberTimeoutMS}
 	data, err := json.Marshal(key)
 	if err != nil {
 		return "", err
