@@ -30,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/chaos"
 	"repro/internal/expt"
 	"repro/internal/service"
@@ -64,11 +65,19 @@ func main() {
 		lgBatch     = flag.Int("lg-batch", 0, "loadgen batch size: > 0 streams batches of this many items over NDJSON and reports first-item vs last-item latency")
 		lgLane      = flag.String("lg-lane", "", "QoS lane tag on every loadgen request: interactive or batch (empty = server default)")
 		lgMemberTO  = flag.Duration("lg-member-timeout", 0, "per-member portfolio budget on every loadgen request (0 omits the field)")
+		lgTrace     = flag.Int("lg-trace", 0, "loadgen: trace every Nth request and report a per-stage latency breakdown (0 disables)")
 
 		lgOverload   = flag.Bool("lg-overload", false, "run the two-phase overload scenario: unloaded interactive probes, then the same probes under a batch-lane flood")
 		lgAssertFlat = flag.Float64("lg-assert-flat", 0, "overload verdict: fail unless loaded interactive p99 <= this factor of the unloaded baseline and every shed carries Retry-After (0 = report only)")
+
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Printf("dtexp %s (%s)\n", buildinfo.Version, buildinfo.GoVersion())
+		return
+	}
 
 	if *all {
 		*table1, *table2, *fig1, *fig2, *packets, *anomaly, *ablations, *scaling = true, true, true, true, true, true, true, true
@@ -80,7 +89,7 @@ func main() {
 		return
 	}
 	if *loadgen {
-		if err := runLoadgen(*addr, *requests, *concurrency, *distinct, *lgBatch, *lgSolver, *lgCacheDir, *lgLane, *lgMemberTO); err != nil {
+		if err := runLoadgen(*addr, *requests, *concurrency, *distinct, *lgBatch, *lgTrace, *lgSolver, *lgCacheDir, *lgLane, *lgMemberTO); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -199,8 +208,9 @@ func main() {
 // cacheDir gives that server the persistent disk tier, so back-to-back
 // runs over the same dir measure the disk-hit path. A batch size > 0
 // exercises the streaming batch endpoint instead, reporting first-item
-// and last-item latency separately.
-func runLoadgen(addr string, requests, concurrency, distinct, batch int, solverName, cacheDir, lane string, memberTO time.Duration) error {
+// and last-item latency separately. traceEvery > 0 traces every Nth
+// request and reports where the time went, stage by stage.
+func runLoadgen(addr string, requests, concurrency, distinct, batch, traceEvery int, solverName, cacheDir, lane string, memberTO time.Duration) error {
 	var svc *service.Server
 	if addr == "" {
 		var err error
@@ -230,6 +240,7 @@ func runLoadgen(addr string, requests, concurrency, distinct, batch int, solverN
 		Solver:          solverName,
 		Lane:            lane,
 		MemberTimeoutMS: int(memberTO.Milliseconds()),
+		TraceEvery:      traceEvery,
 	})
 	if err != nil {
 		return err

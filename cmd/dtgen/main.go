@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/internal/cliutil"
 	"repro/internal/taskgraph"
 )
@@ -36,8 +37,14 @@ func main() {
 		seed       = flag.Int64("seed", 1991, "random seed")
 		dot        = flag.Bool("dot", false, "emit Graphviz dot instead of JSON")
 		stats      = flag.Bool("stats", false, "print characteristics to stderr")
+		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Printf("dtgen %s (%s)\n", buildinfo.Version, buildinfo.GoVersion())
+		return
+	}
 
 	var g *taskgraph.Graph
 	var err error

@@ -21,6 +21,7 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -54,8 +55,14 @@ func main() {
 		showUtil   = flag.Bool("util", false, "report per-processor utilization")
 		showStats  = flag.Bool("stats", false, "report taskgraph characteristics")
 		exportPath = flag.String("export", "", "write the schedule as JSON to this file (verified first)")
+		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Printf("dtsched %s (%s)\n", buildinfo.Version, buildinfo.GoVersion())
+		return
+	}
 
 	g, err := loadGraph(*programKey, *graphFile)
 	if err != nil {

@@ -4,7 +4,8 @@
 //
 // Endpoints: POST /v1/schedule, POST /v1/schedule/batch (NDJSON streaming
 // with "Accept: application/x-ndjson": items flush as their solves
-// complete), GET /v1/solvers, GET /healthz, GET /statsz, GET /metrics.
+// complete), GET /v1/solvers, GET /healthz, GET /statsz, GET /metrics,
+// GET /debug/requests (recent + slowest request traces).
 // Solves run on the shared internal/engine worker pool, split into an
 // interactive lane (single schedule calls) and a batch lane (batch
 // members) with weighted dequeue, per-lane admission control (shed
@@ -18,6 +19,15 @@
 // new work is refused with 503 + Retry-After) and flush in-flight
 // streams — and the disk tier's write-behind queue — before exiting.
 //
+// Observability: every response carries an X-DTServe-Trace-Id header;
+// "trace": true in the request body (or ?trace=1) returns a per-stage
+// timing breakdown in the response envelope; -trace-sample N
+// additionally samples one in N untraced requests into the
+// /debug/requests ring and the per-stage /metrics histograms. Request
+// logs go to stderr on log/slog; -log-format json emits one JSON object
+// per request for log pipelines. -debug-addr serves net/http/pprof on a
+// private listener, kept off the public API address.
+//
 // The -chaos flag turns on the fault-injection harness from
 // internal/chaos for resilience drills, e.g.
 //
@@ -28,22 +38,22 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/chaos"
 	"repro/internal/service"
 	"repro/internal/solver"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("dtserve: ")
-
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
 		workers     = flag.Int("workers", 0, "base solver pool size (0 = one per CPU)")
@@ -60,8 +70,35 @@ func main() {
 		maxBatch    = flag.Int("max-batch", 256, "maximum requests per batch call")
 		chaosSpec   = flag.String("chaos", "", "fault-injection spec, e.g. 'disk-err=0.2,disk-delay=2ms,solver-err=0.05,seed=7' (empty disables)")
 		quiet       = flag.Bool("quiet", false, "disable per-request logging")
+		logFormat   = flag.String("log-format", "text", "request log encoding: text or json")
+		traceSample = flag.Int("trace-sample", 64, "trace one in N untraced requests into /debug/requests and the stage histograms (0 = explicit traces only)")
+		traceRecent = flag.Int("trace-recent", 0, "recent traces retained by /debug/requests (0 = 64)")
+		traceSlow   = flag.Int("trace-slowest", 0, "slowest traces retained by /debug/requests (0 = 16)")
+		debugAddr   = flag.String("debug-addr", "", "private listen address for net/http/pprof (empty disables)")
+		version     = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Printf("dtserve %s (%s)\n", buildinfo.Version, buildinfo.GoVersion())
+		return
+	}
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "dtserve: unknown -log-format %q (want text or json)\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handler)
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "err", err)
+		os.Exit(1)
+	}
 
 	cfg := service.Config{
 		Workers:           *workers,
@@ -76,15 +113,18 @@ func main() {
 		DefaultSolver:     *solverDef,
 		DefaultTimeout:    *timeout,
 		MaxBatch:          *maxBatch,
+		TraceSample:       *traceSample,
+		TraceRecent:       *traceRecent,
+		TraceSlowest:      *traceSlow,
 	}
 	if !*quiet {
-		cfg.Logger = log.New(os.Stderr, "dtserve: ", 0)
+		cfg.Logger = logger
 	}
 
 	if *chaosSpec != "" {
 		ccfg, err := chaos.ParseSpec(*chaosSpec)
 		if err != nil {
-			log.Fatal(err)
+			fatal("chaos spec", err)
 		}
 		if ccfg.DiskErrRate > 0 || ccfg.DiskDelay > 0 {
 			cfg.WrapDiskTier = func(under service.DiskTier) service.DiskTier {
@@ -94,21 +134,21 @@ func main() {
 		if ccfg.SolverErrRate > 0 || ccfg.SolverDelay > 0 {
 			under, err := solver.Get(*solverDef)
 			if err != nil {
-				log.Fatal(err)
+				fatal("chaos solver", err)
 			}
 			flaky := chaos.NewFlakySolver("chaos", under, ccfg)
 			if err := solver.Register(flaky); err != nil {
-				log.Fatal(err)
+				fatal("chaos solver", err)
 			}
 			cfg.DefaultSolver = flaky.Name()
-			log.Printf("chaos: default solver is %q wrapping %q", flaky.Name(), under.Name())
+			logger.Info("chaos: default solver wrapped", "solver", flaky.Name(), "wraps", under.Name())
 		}
-		log.Printf("chaos: fault injection armed (%s)", *chaosSpec)
+		logger.Info("chaos: fault injection armed", "spec", *chaosSpec)
 	}
 
 	svc, err := service.New(cfg)
 	if err != nil {
-		log.Fatal(err)
+		fatal("startup", err)
 	}
 	defer svc.Close()
 
@@ -123,15 +163,42 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	diskNote := "disk tier off"
-	if *cacheDir != "" {
-		diskNote = "disk tier at " + *cacheDir
+
+	// pprof lives on its own mux and listener: profiling endpoints never
+	// share the public API address, so exposing the service does not
+	// expose heap dumps.
+	if *debugAddr != "" {
+		debugMux := http.NewServeMux()
+		debugMux.HandleFunc("/debug/pprof/", pprof.Index)
+		debugMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		debugMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		debugMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		debugMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv := &http.Server{Addr: *debugAddr, Handler: debugMux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener", "err", err)
+			}
+		}()
+		logger.Info("pprof listening", "addr", *debugAddr)
 	}
-	log.Printf("listening on %s (default solver %s, %d cache entries, %s)", *addr, cfg.DefaultSolver, *cacheSize, diskNote)
+
+	diskNote := "off"
+	if *cacheDir != "" {
+		diskNote = *cacheDir
+	}
+	logger.Info("listening",
+		"addr", *addr,
+		"version", buildinfo.Version,
+		"default_solver", cfg.DefaultSolver,
+		"cache_entries", *cacheSize,
+		"disk_tier", diskNote,
+		"trace_sample", *traceSample,
+	)
 
 	select {
 	case err := <-errCh:
-		log.Fatal(err)
+		fatal("listen", err)
 	case <-ctx.Done():
 	}
 
@@ -139,11 +206,11 @@ func main() {
 	// new work is refused with Retry-After, and in-flight NDJSON streams
 	// cancel their remaining members and flush what they have. Shutdown
 	// then waits for those handlers to finish writing.
-	log.Printf("draining")
+	logger.Info("draining")
 	svc.BeginDrain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("shutdown: %v", err)
+		logger.Error("shutdown", "err", err)
 	}
 }

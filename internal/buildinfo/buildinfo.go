@@ -1,0 +1,17 @@
+// Package buildinfo carries the build's identity: the version string is
+// injected at link time with
+//
+//	go build -ldflags "-X repro/internal/buildinfo.Version=v1.2.3"
+//
+// and falls back to "dev" for plain go-build/go-test binaries. Every
+// binary's -version flag and the dtserve_build_info metric read it here,
+// so the fleet can be audited for version skew from a scrape.
+package buildinfo
+
+import "runtime"
+
+// Version is the ldflags-injected build version ("dev" when unset).
+var Version = "dev"
+
+// GoVersion reports the toolchain that built the binary.
+func GoVersion() string { return runtime.Version() }

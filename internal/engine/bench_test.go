@@ -124,6 +124,35 @@ func TestEngineColdSolveAllocsBelowBaseline(t *testing.T) {
 	}
 }
 
+// TestEngineColdSolveAllocsUntracedPin pins the tracing fast path: with no
+// trace in the context — the overwhelmingly common case — the engine's
+// cold solve must stay at the CI-guarded allocation baseline (27 allocs/op
+// recorded on the CI machine, tolerance 24). The stage-recording calls sit
+// behind nil-trace guards precisely so the observability layer costs
+// nothing when off; this test is what keeps those guards honest.
+func TestEngineColdSolveAllocsUntracedPin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counting in -short mode")
+	}
+	const budget = 27 + 24 // CI baseline + the benchjson guard's tolerance
+	eng := New(Config{Workers: 1})
+	defer eng.Close()
+	job := coldJob(t)
+	ctx := context.Background()
+	if _, err := eng.Solve(ctx, job); err != nil {
+		t.Fatal(err)
+	}
+	got := testing.AllocsPerRun(20, func() {
+		if _, err := eng.Solve(ctx, job); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("untraced cold solve: %.1f allocs/op (budget %d)", got, budget)
+	if got > budget {
+		t.Fatalf("untraced cold solve allocates %.1f/op, over the guarded budget of %d — the disabled-trace fast path regressed", got, budget)
+	}
+}
+
 // TestWorkerRunDetachedResult: results returned by a worker survive the
 // worker rebinding its arena to another problem.
 func TestWorkerRunDetachedResult(t *testing.T) {

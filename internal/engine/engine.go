@@ -49,6 +49,7 @@ import (
 	"time"
 
 	"repro/internal/machsim"
+	"repro/internal/obs"
 	"repro/internal/solver"
 )
 
@@ -214,6 +215,9 @@ func New(cfg Config) *Engine {
 		growEvery:   cfg.GrowInterval,
 		shrinkIdle:  cfg.ShrinkIdle,
 	}
+	for l := Lane(0); l < numLanes; l++ {
+		e.lanes[l].delayHist = obs.NewHistogram(obs.QueueBuckets)
+	}
 	e.cur = cfg.Workers
 	for i := 0; i < cfg.Workers; i++ {
 		e.wg.Add(1)
@@ -287,6 +291,9 @@ func (e *Engine) Submit(ctx context.Context, job Job) <-chan Item {
 	now := time.Now()
 	if ov := e.admitLocked(lane, now); ov != nil {
 		e.mu.Unlock()
+		if tr := obs.FromContext(ctx); tr != nil {
+			tr.Annotate("shed", ov.Lane.String())
+		}
 		out <- Item{Index: job.Index, Err: ov}
 		return out
 	}
@@ -478,9 +485,18 @@ func (e *Engine) runTask(w *Worker, t *task) {
 		t.out <- Item{Index: t.job.Index, Err: fmt.Errorf("%w: %w", ErrQueueTimeout, t.ctx.Err())}
 		return
 	}
+	tr := obs.FromContext(t.ctx)
+	if tr != nil {
+		pickup := time.Now()
+		tr.Observe(obs.StageQueue, t.enq, pickup.Sub(t.enq), obs.KV{Key: "lane", Val: t.lane.String()})
+	}
 	e.busy.Add(1)
+	start := time.Now()
 	item := w.run(t.ctx, t.job)
 	e.busy.Add(-1)
+	if tr != nil {
+		tr.Observe(obs.StageSolve, start, time.Since(start), obs.KV{Key: "solver", Val: t.job.Solver.Name()})
+	}
 	e.completed.Add(1)
 	e.mu.Lock()
 	e.lanes[t.lane].completed++
@@ -598,6 +614,7 @@ func (e *Engine) Stats() Stats {
 			Expired:         c.expired,
 			QueueDelayEWMA:  c.delayEWMA,
 			MaxQueueDelayNS: c.maxDelay.Nanoseconds(),
+			QueueDelay:      c.delayHist.Snapshot(),
 		}
 	}
 	return Stats{

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Lane is a QoS class: every job enters the engine through exactly one
@@ -102,6 +104,10 @@ type LaneStats struct {
 	QueueDelayEWMA float64 `json:"queue_delay_ewma_seconds"`
 	// MaxQueueDelayNS is the worst enqueue-to-dequeue delay observed.
 	MaxQueueDelayNS int64 `json:"max_queue_delay_ns"`
+	// QueueDelay is the full enqueue-to-dequeue delay distribution —
+	// what /metrics exports per lane; /statsz keeps the scalar summary
+	// above, so the histogram stays off the JSON wire.
+	QueueDelay obs.HistSnapshot `json:"-"`
 }
 
 // laneCounters is the engine-internal mutable form of LaneStats.
@@ -113,10 +119,11 @@ type laneCounters struct {
 	delayEWMA float64 // seconds
 	maxDelay  time.Duration
 	hasEWMA   bool
+	delayHist *obs.Histogram
 }
 
 // observeDelay folds one enqueue-to-dequeue delay into the lane's moving
-// average (EWMA, alpha 0.2) and max.
+// average (EWMA, alpha 0.2), max, and full distribution.
 func (c *laneCounters) observeDelay(d time.Duration) {
 	s := d.Seconds()
 	if !c.hasEWMA {
@@ -128,4 +135,5 @@ func (c *laneCounters) observeDelay(d time.Duration) {
 	if d > c.maxDelay {
 		c.maxDelay = d
 	}
+	c.delayHist.Observe(d)
 }

@@ -199,6 +199,28 @@ type Result struct {
 	// Whether a member gets pruned before finishing is a wall-clock fact,
 	// so results with Pruned > 0 are also flagged Raced.
 	Pruned int
+	// Members records the per-member outcome of a portfolio race (nil for
+	// single-solver results): who ran, how long, and how each ended.
+	// WallNS is wall-clock and therefore excluded from the cached wire
+	// body; the service folds it into metrics and traces instead.
+	Members []MemberStat
+}
+
+// MemberStat is one portfolio member's run record.
+type MemberStat struct {
+	// Member is the member solver's registry name.
+	Member string
+	// Outcome classifies how the member's run ended: "win" (supplied the
+	// returned schedule), "finish" (completed but lost), "pruned"
+	// (cancelled by the incumbent bound), "timeout" (lost to its own
+	// MemberTimeout), "cancelled" (the shared context ended or an early
+	// cancel fired), or "error".
+	Outcome string
+	// WallNS is the member's wall-clock solve time.
+	WallNS int64
+	// Makespan is the member's completed makespan (0 when it never
+	// finished).
+	Makespan float64
 }
 
 // Clone returns a deep copy of the result, detached from any simulator
@@ -228,6 +250,9 @@ func (r *Result) Clone() *Result {
 		for k, v := range r.LinkBusy {
 			out.LinkBusy[k] = v
 		}
+	}
+	if r.Members != nil {
+		out.Members = append([]MemberStat(nil), r.Members...)
 	}
 	return &out
 }

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// LatencyBuckets are the fixed upper bounds (seconds) for end-to-end and
+// per-stage latency histograms, spanning sub-millisecond list-policy
+// solves to multi-second annealing portfolios.
+var LatencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// QueueBuckets are the finer-grained bounds (seconds) for queue-delay and
+// micro-stage histograms: an interactive-lane queue wait is tens of
+// microseconds when healthy, and the whole point of exporting it is to
+// see the healthy/overloaded boundary the millisecond buckets flatten.
+var QueueBuckets = []float64{
+	0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1,
+}
+
+// Histogram is a fixed-bucket latency histogram. Safe for concurrent use.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []uint64 // one per bound, plus a final +Inf bucket
+	sum    float64
+	total  uint64
+}
+
+// NewHistogram returns a histogram over the given upper bounds (which
+// must be sorted ascending; a +Inf bucket is implicit).
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// Observe records one duration. Nil-safe (a nil histogram drops the
+// observation), so callers can leave optional histograms unwired.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	v := d.Seconds()
+	// First bucket whose upper bound admits v; the tail bucket is +Inf.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.total++
+	h.mu.Unlock()
+}
+
+// HistSnapshot is a point-in-time copy of a histogram with cumulative
+// bucket counts, as the Prometheus exposition requires.
+type HistSnapshot struct {
+	Bounds []float64
+	Cum    []uint64 // cumulative; Cum[len(Bounds)] is the +Inf bucket
+	Sum    float64
+	Count  uint64
+}
+
+// Snapshot returns the histogram's cumulative state. Nil-safe: a nil
+// histogram snapshots as empty (no bounds, zero count).
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum := make([]uint64, len(h.counts))
+	var running uint64
+	for i, c := range h.counts {
+		running += c
+		cum[i] = running
+	}
+	return HistSnapshot{Bounds: h.bounds, Cum: cum, Sum: h.sum, Count: h.total}
+}
+
+// WriteProm writes the snapshot as Prometheus exposition lines for the
+// family name with the given label (e.g. `stage="solve"`; empty for an
+// unlabeled histogram). HELP/TYPE headers are the caller's job — a
+// labeled family emits them once, then one WriteProm per label value.
+func (s HistSnapshot) WriteProm(b *strings.Builder, name, label string) {
+	brace := func(extra string) string {
+		switch {
+		case label == "" && extra == "":
+			return ""
+		case label == "":
+			return "{" + extra + "}"
+		case extra == "":
+			return "{" + label + "}"
+		default:
+			return "{" + label + "," + extra + "}"
+		}
+	}
+	for i, ub := range s.Bounds {
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, brace(fmt.Sprintf("le=%q", TrimFloat(ub))), s.Cum[i])
+	}
+	inf := uint64(0)
+	if len(s.Cum) > 0 {
+		inf = s.Cum[len(s.Cum)-1]
+	}
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, brace(`le="+Inf"`), inf)
+	fmt.Fprintf(b, "%s_sum%s %g\n", name, brace(""), s.Sum)
+	fmt.Fprintf(b, "%s_count%s %d\n", name, brace(""), s.Count)
+}
+
+// TrimFloat renders a bucket bound the way Prometheus clients expect
+// ("0.005", "1", "2.5").
+func TrimFloat(v float64) string {
+	s := strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.6f", v), "0"), ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}

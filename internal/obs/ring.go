@@ -1,0 +1,96 @@
+package obs
+
+import "sync"
+
+// Ring retains completed traces for live introspection: the most recent
+// N in arrival order plus the K slowest ever seen (by total duration),
+// both bounded. /debug/requests serves its snapshot as JSON.
+type Ring struct {
+	mu      sync.Mutex
+	recent  []*TraceData // circular, recentN capacity
+	next    int          // write cursor into recent
+	filled  bool         // recent has wrapped at least once
+	slowest []*TraceData // sorted descending by TotalNS, slowK capacity
+	total   uint64       // traces ever added
+}
+
+// NewRing returns a ring keeping the last recentN traces and the slowK
+// slowest. Non-positive sizes fall back to 64 and 16.
+func NewRing(recentN, slowK int) *Ring {
+	if recentN <= 0 {
+		recentN = 64
+	}
+	if slowK <= 0 {
+		slowK = 16
+	}
+	return &Ring{
+		recent:  make([]*TraceData, recentN),
+		slowest: make([]*TraceData, 0, slowK),
+	}
+}
+
+// Add records a completed trace. Nil-safe on both sides: a nil ring or a
+// nil snapshot is a no-op.
+func (r *Ring) Add(td *TraceData) {
+	if r == nil || td == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	r.recent[r.next] = td
+	r.next++
+	if r.next == len(r.recent) {
+		r.next = 0
+		r.filled = true
+	}
+	// Keep slowest sorted descending; insert if it beats the tail or
+	// there is room.
+	k := cap(r.slowest)
+	if len(r.slowest) < k || td.TotalNS > r.slowest[len(r.slowest)-1].TotalNS {
+		i := len(r.slowest)
+		if i < k {
+			r.slowest = r.slowest[:i+1]
+		} else {
+			i = k - 1
+		}
+		for i > 0 && r.slowest[i-1].TotalNS < td.TotalNS {
+			r.slowest[i] = r.slowest[i-1]
+			i--
+		}
+		r.slowest[i] = td
+	}
+}
+
+// RingSnapshot is the marshal-ready view /debug/requests serves.
+type RingSnapshot struct {
+	// Total counts every trace the ring has ever seen, retained or not.
+	Total uint64 `json:"total"`
+	// Recent holds the last N completed traces, most recent first.
+	Recent []*TraceData `json:"recent"`
+	// Slowest holds the K slowest traces ever seen, slowest first.
+	Slowest []*TraceData `json:"slowest"`
+}
+
+// Snapshot returns the ring's current contents. The *TraceData entries
+// are shared (they are immutable once snapshotted from a Trace).
+func (r *Ring) Snapshot() RingSnapshot {
+	if r == nil {
+		return RingSnapshot{Recent: []*TraceData{}, Slowest: []*TraceData{}}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.filled {
+		n = len(r.recent)
+	}
+	recent := make([]*TraceData, 0, n)
+	// Walk backwards from the cursor: most recent first.
+	for i := 0; i < n; i++ {
+		idx := (r.next - 1 - i + len(r.recent)) % len(r.recent)
+		recent = append(recent, r.recent[idx])
+	}
+	slowest := make([]*TraceData, len(r.slowest))
+	copy(slowest, r.slowest)
+	return RingSnapshot{Total: r.total, Recent: recent, Slowest: slowest}
+}

@@ -51,6 +51,12 @@ type DiskCache struct {
 
 	jobs chan diskWrite
 	wg   sync.WaitGroup
+
+	// writeObs, when set, observes the wall-clock duration of each
+	// successful persist (temp write + fsync + rename) — the disk-write
+	// latency histogram's feed. Set once before traffic via
+	// SetWriteObserver; read by the writer goroutine under mu.
+	writeObs func(time.Duration)
 }
 
 type diskEntry struct {
@@ -278,6 +284,18 @@ func (d *DiskCache) Put(key string, val []byte) {
 	}
 }
 
+// SetWriteObserver installs fn to be called with the duration of every
+// successful persist. Call before the cache sees traffic (the server
+// wires it during construction); a nil receiver or nil fn is a no-op.
+func (d *DiskCache) SetWriteObserver(fn func(time.Duration)) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	d.writeObs = fn
+	d.mu.Unlock()
+}
+
 func (d *DiskCache) writer() {
 	defer d.wg.Done()
 	for job := range d.jobs {
@@ -288,6 +306,7 @@ func (d *DiskCache) writer() {
 // write persists one entry atomically (temp file + fsync + rename in the
 // same shard directory) and enforces the byte budget.
 func (d *DiskCache) write(key string, val []byte) {
+	writeStart := time.Now()
 	shardDir := filepath.Dir(d.path(key))
 	fail := func() {
 		d.mu.Lock()
@@ -320,6 +339,7 @@ func (d *DiskCache) write(key string, val []byte) {
 	}
 	d.mu.Lock()
 	d.writes++
+	obs := d.writeObs
 	if el, ok := d.entries[key]; ok {
 		e := el.Value.(*diskEntry)
 		d.bytes += int64(len(framed)) - e.size
@@ -331,6 +351,9 @@ func (d *DiskCache) write(key string, val []byte) {
 	}
 	d.evictLocked()
 	d.mu.Unlock()
+	if obs != nil {
+		obs(time.Since(writeStart))
+	}
 }
 
 // dropLocked removes one index entry (the caller handles the file).

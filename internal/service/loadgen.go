@@ -9,11 +9,13 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/cliutil"
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // LoadGenConfig drives a synthetic traffic run against a dtserve instance.
@@ -49,6 +51,15 @@ type LoadGenConfig struct {
 	// RequestTimeout bounds each HTTP call so one wedged request cannot
 	// hang the run (default 60s).
 	RequestTimeout time.Duration
+	// TraceEvery, when > 0, sets "trace": true on every Nth single
+	// schedule request and folds the returned stage breakdowns into the
+	// report's per-stage latency table. Single mode only; batch calls are
+	// never traced by the generator.
+	TraceEvery int
+	// ShedRetries bounds how many times one request is retried after a
+	// 429 before it counts as an error (default 3). Each retry sleeps for
+	// the shed's retry_after_ms hint, capped at 2s.
+	ShedRetries int
 }
 
 // LoadGenReport summarizes a load generation run.
@@ -63,12 +74,33 @@ type LoadGenReport struct {
 	LatencyP50 time.Duration `json:"latency_p50_ns"`
 	LatencyP95 time.Duration `json:"latency_p95_ns"`
 	LatencyP99 time.Duration `json:"latency_p99_ns"`
+	// Sheds counts 429 responses received (each is followed by a backoff
+	// honoring the server's retry_after_ms hint); Retries counts the
+	// re-sends that followed. A request that stays shed through every
+	// retry lands in Errors.
+	Sheds   int `json:"sheds,omitempty"`
+	Retries int `json:"retries,omitempty"`
+	// Traced counts responses that carried a stage breakdown; Stages is
+	// the per-stage latency table folded from them.
+	Traced int              `json:"traced,omitempty"`
+	Stages []StageBreakdown `json:"stages,omitempty"`
 	// Batch mode only: per-call latency to the first streamed item vs the
 	// last. Zero batch size leaves them nil.
 	Batch     int             `json:"batch,omitempty"`
 	Items     int             `json:"items,omitempty"`
 	FirstItem *LatencySummary `json:"first_item,omitempty"`
 	LastItem  *LatencySummary `json:"last_item,omitempty"`
+}
+
+// StageBreakdown is one row of the traced-request stage table: latency
+// percentiles for one pipeline stage plus its share of the summed
+// end-to-end time of the traced population.
+type StageBreakdown struct {
+	Stage string        `json:"stage"`
+	Count int           `json:"count"`
+	P50   time.Duration `json:"p50_ns"`
+	P95   time.Duration `json:"p95_ns"`
+	Share float64       `json:"share"`
 }
 
 // LatencySummary is the percentile triple of one latency population.
@@ -96,6 +128,18 @@ func (r *LoadGenReport) String() string {
 			r.FirstItem.P50.Round(time.Microsecond), r.FirstItem.P95.Round(time.Microsecond))
 		fmt.Fprintf(&b, "  last item   %12s p50 / %12s p95\n",
 			r.LastItem.P50.Round(time.Microsecond), r.LastItem.P95.Round(time.Microsecond))
+	}
+	if r.Sheds > 0 || r.Retries > 0 {
+		fmt.Fprintf(&b, "  sheds       %12d (429s, backed off per retry_after_ms), %d retries\n",
+			r.Sheds, r.Retries)
+	}
+	if r.Traced > 0 {
+		fmt.Fprintf(&b, "  stage breakdown from %d traced requests:\n", r.Traced)
+		fmt.Fprintf(&b, "    %-16s %7s %12s %12s %7s\n", "stage", "count", "p50", "p95", "share")
+		for _, st := range r.Stages {
+			fmt.Fprintf(&b, "    %-16s %7d %12s %12s %6.1f%%\n",
+				st.Stage, st.Count, st.P50.Round(time.Microsecond), st.P95.Round(time.Microsecond), 100*st.Share)
+		}
 	}
 	return b.String()
 }
@@ -141,11 +185,17 @@ func LoadGen(cfg LoadGenConfig) (*LoadGenReport, error) {
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = 60 * time.Second
 	}
+	if cfg.ShedRetries <= 0 {
+		cfg.ShedRetries = 3
+	}
 
 	// Pre-marshal the distinct payload set so request bodies cost nothing
-	// during the timed run.
+	// during the timed run. Traced variants are marshaled alongside: the
+	// trace field is excluded from the server's cache key, so a traced
+	// request exercises the same cache line as its untraced twin.
 	singles := make([]ScheduleRequest, cfg.Distinct)
 	payloads := make([][]byte, cfg.Distinct)
+	traced := make([][]byte, cfg.Distinct)
 	for i := range payloads {
 		g, err := cliutil.BuildProgram(cfg.Programs[i%len(cfg.Programs)])
 		if err != nil {
@@ -164,6 +214,13 @@ func LoadGen(cfg LoadGenConfig) (*LoadGenReport, error) {
 			return nil, fmt.Errorf("loadgen: %w", err)
 		}
 		payloads[i] = body
+		if cfg.TraceEvery > 0 {
+			tr := singles[i]
+			tr.Trace = true
+			if traced[i], err = json.Marshal(tr); err != nil {
+				return nil, fmt.Errorf("loadgen: %w", err)
+			}
+		}
 	}
 	// Batch payloads rotate through the distinct singles so a batch mixes
 	// cold and warm members.
@@ -188,29 +245,68 @@ func LoadGen(cfg LoadGenConfig) (*LoadGenReport, error) {
 	firstLat := make([]time.Duration, cfg.Requests)
 	lastLat := make([]time.Duration, cfg.Requests)
 	var errCount, hitCount, diskCount, coalCount, itemCount atomic.Int64
+	var shedCount, retryCount atomic.Int64
+	stages := newStageCollector()
 
 	start := time.Now()
 	_ = engine.ParallelFor(cfg.Concurrency, cfg.Requests, func(i int, _ *engine.Worker) error {
 		if cfg.Batch > 0 {
 			fireBatch(client, base, batches[i%len(batches)], i,
-				latencies, firstLat, lastLat, &errCount, &hitCount, &diskCount, &coalCount, &itemCount)
+				latencies, firstLat, lastLat, &errCount, &hitCount, &diskCount, &coalCount, &itemCount, &shedCount)
 			return nil
+		}
+		wantTrace := cfg.TraceEvery > 0 && i%cfg.TraceEvery == 0
+		payload := payloads[i%len(payloads)]
+		if wantTrace {
+			payload = traced[i%len(traced)]
 		}
 		t0 := time.Now()
-		resp, err := client.Post(base+"/v1/schedule", "application/json", bytes.NewReader(payloads[i%len(payloads)]))
-		if err != nil {
-			errCount.Add(1)
+		var resp *http.Response
+		for attempt := 0; ; attempt++ {
+			var err error
+			resp, err = client.Post(base+"/v1/schedule", "application/json", bytes.NewReader(payload))
+			if err != nil {
+				errCount.Add(1)
+				latencies[i] = time.Since(t0)
+				return nil
+			}
+			if resp.StatusCode != http.StatusTooManyRequests {
+				break
+			}
+			// Admission control shed us: honor the hint instead of
+			// hammering an overloaded lane.
+			shedCount.Add(1)
+			hint := shedBackoff(resp)
+			if attempt == cfg.ShedRetries {
+				errCount.Add(1)
+				latencies[i] = time.Since(t0)
+				return nil
+			}
+			time.Sleep(hint)
+			retryCount.Add(1)
+		}
+		if resp.StatusCode != http.StatusOK {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
 			latencies[i] = time.Since(t0)
+			errCount.Add(1)
 			return nil
 		}
-		_, _ = io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		latencies[i] = time.Since(t0)
-		if resp.StatusCode != http.StatusOK {
-			errCount.Add(1)
+		if wantTrace {
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			latencies[i] = time.Since(t0)
+			if err != nil {
+				errCount.Add(1)
+				return nil
+			}
+			stages.add(body)
 		} else {
-			countCacheTag(resp.Header.Get("X-DTServe-Cache"), &hitCount, &diskCount, &coalCount)
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			latencies[i] = time.Since(t0)
 		}
+		countCacheTag(resp.Header.Get("X-DTServe-Cache"), &hitCount, &diskCount, &coalCount)
 		return nil
 	})
 	elapsed := time.Since(start)
@@ -228,7 +324,10 @@ func LoadGen(cfg LoadGenConfig) (*LoadGenReport, error) {
 		LatencyP50: total.P50,
 		LatencyP95: total.P95,
 		LatencyP99: total.P99,
+		Sheds:      int(shedCount.Load()),
+		Retries:    int(retryCount.Load()),
 	}
+	report.Traced, report.Stages = stages.summarize()
 	if cfg.Batch > 0 {
 		report.Batch = cfg.Batch
 		report.Items = int(itemCount.Load())
@@ -254,13 +353,110 @@ func LoadGen(cfg LoadGenConfig) (*LoadGenReport, error) {
 	return report, nil
 }
 
+// shedBackoff drains a 429 response and returns how long its
+// retry_after_ms hint says to wait, clamped to [50ms, 2s] so a missing
+// or absurd hint cannot stall or defeat the backoff.
+func shedBackoff(resp *http.Response) time.Duration {
+	var er ErrorResponse
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+	resp.Body.Close()
+	_ = json.Unmarshal(data, &er)
+	d := time.Duration(er.RetryAfterMS) * time.Millisecond
+	if d < 50*time.Millisecond {
+		d = 50 * time.Millisecond
+	}
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	return d
+}
+
+// stageCollector folds the trace blocks of traced responses into
+// per-stage latency populations. Safe for concurrent use.
+type stageCollector struct {
+	mu      sync.Mutex
+	byStage map[string][]time.Duration
+	totalNS int64
+	traced  int
+}
+
+func newStageCollector() *stageCollector {
+	return &stageCollector{byStage: make(map[string][]time.Duration)}
+}
+
+// add parses one response body's "trace" block. Bodies without one (the
+// server was asked but answered an error shape, or parsing fails) are
+// ignored — the collector only summarizes what actually arrived.
+func (c *stageCollector) add(body []byte) {
+	var envelope struct {
+		Trace *obs.TraceData `json:"trace"`
+	}
+	if json.Unmarshal(body, &envelope) != nil || envelope.Trace == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.traced++
+	c.totalNS += envelope.Trace.TotalNS
+	for _, st := range envelope.Trace.Stages {
+		if st.Depth != 0 {
+			continue // portfolio members overlap; they are not shares of the pipeline
+		}
+		c.byStage[st.Stage] = append(c.byStage[st.Stage], time.Duration(st.DurNS))
+	}
+}
+
+// summarize renders the collected populations as report rows, in
+// pipeline order, with each stage's share of the summed traced time.
+func (c *stageCollector) summarize() (int, []StageBreakdown) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.traced == 0 {
+		return 0, nil
+	}
+	order := append([]string{}, obs.Stages...)
+	for stage := range c.byStage {
+		known := false
+		for _, s := range order {
+			if s == stage {
+				known = true
+				break
+			}
+		}
+		if !known {
+			order = append(order, stage)
+		}
+	}
+	out := make([]StageBreakdown, 0, len(c.byStage))
+	for _, stage := range order {
+		lat := c.byStage[stage]
+		if len(lat) == 0 {
+			continue
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		var sum time.Duration
+		for _, d := range lat {
+			sum += d
+		}
+		p := percentiles(lat)
+		share := 0.0
+		if c.totalNS > 0 {
+			share = float64(sum.Nanoseconds()) / float64(c.totalNS)
+		}
+		out = append(out, StageBreakdown{
+			Stage: stage, Count: len(lat), P50: p.P50, P95: p.P95, Share: share,
+		})
+	}
+	return c.traced, out
+}
+
 // fireBatch issues one streaming batch call and records the latency of
 // the first and last NDJSON items separately: with pipelining working,
 // the first item of a cold batch lands well before the slowest member
 // completes.
 func fireBatch(client *http.Client, base string, payload []byte, i int,
 	latencies, firstLat, lastLat []time.Duration,
-	errCount, hitCount, diskCount, coalCount, itemCount *atomic.Int64) {
+	errCount, hitCount, diskCount, coalCount, itemCount, shedCount *atomic.Int64) {
 
 	t0 := time.Now()
 	req, err := http.NewRequest(http.MethodPost, base+"/v1/schedule/batch", bytes.NewReader(payload))
@@ -279,6 +475,9 @@ func fireBatch(client *http.Client, base string, payload []byte, i int,
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		if resp.StatusCode == http.StatusTooManyRequests {
+			shedCount.Add(1)
+		}
 		_, _ = io.Copy(io.Discard, resp.Body)
 		errCount.Add(1)
 		latencies[i] = time.Since(t0)

@@ -5,10 +5,10 @@ import (
 	"net/http"
 	"sort"
 	"strings"
-	"sync"
-	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // laneNames returns the lane keys in stable (sorted) order so the
@@ -22,55 +22,12 @@ func laneNames(lanes map[string]engine.LaneStats) []string {
 	return names
 }
 
-// solveBuckets are the fixed upper bounds (seconds) of the solve-latency
-// histogram, spanning sub-millisecond list-policy solves to multi-second
-// annealing portfolios. Counts are cumulative in the exposition, as
-// Prometheus histograms require.
-var solveBuckets = []float64{
-	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
-}
-
-// histogram is a fixed-bucket latency histogram. Safe for concurrent use.
-type histogram struct {
-	mu     sync.Mutex
-	counts []uint64 // one per bucket, plus a final +Inf bucket
-	sum    float64
-	total  uint64
-}
-
-func newHistogram() *histogram {
-	return &histogram{counts: make([]uint64, len(solveBuckets)+1)}
-}
-
-// Observe records one duration.
-func (h *histogram) Observe(d time.Duration) {
-	v := d.Seconds()
-	// First bucket whose upper bound admits v; the tail bucket is +Inf.
-	i := sort.SearchFloat64s(solveBuckets, v)
-	h.mu.Lock()
-	h.counts[i]++
-	h.sum += v
-	h.total++
-	h.mu.Unlock()
-}
-
-// snapshot returns cumulative bucket counts, the value sum and the total
-// observation count.
-func (h *histogram) snapshot() (cum []uint64, sum float64, total uint64) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	cum = make([]uint64, len(h.counts))
-	var running uint64
-	for i, c := range h.counts {
-		running += c
-		cum[i] = running
-	}
-	return cum, h.sum, h.total
-}
-
-// handleMetrics exports every /statsz counter plus the solve-latency
-// histogram in Prometheus text exposition format, so the service can be
-// scraped without an adapter.
+// handleMetrics exports every /statsz counter plus the latency
+// histograms in Prometheus text exposition format, so the service can be
+// scraped without an adapter. Histogram state lives in internal/obs
+// histograms fed by the request path; everything else derives from one
+// Stats snapshot, so the conservation-law counters are mutually
+// consistent within a single scrape.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.Stats()
 	var b strings.Builder
@@ -81,6 +38,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge := func(name, help string, v int64) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
 	}
+	histHeader := func(name, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	}
+	sortedKeys := func(m map[string]uint64) []string {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return keys
+	}
+
+	fmt.Fprintf(&b, "# HELP dtserve_build_info Build identity; the value is always 1.\n# TYPE dtserve_build_info gauge\n")
+	fmt.Fprintf(&b, "dtserve_build_info{version=%q,go_version=%q} 1\n",
+		buildinfo.Version, buildinfo.GoVersion())
 
 	counter("dtserve_requests_total", "API calls that reached a handler.", st.Requests)
 	counter("dtserve_failures_total", "Requests answered with a non-2xx status.", st.Failures)
@@ -90,6 +62,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("dtserve_portfolio_pruned_total", "Portfolio members cancelled mid-run by the incumbent bound.", st.PortfolioPruned)
 	counter("dtserve_shed_total", "Requests refused by admission control with a 429 (lane depth or queue-delay budget exhausted).", st.Shed)
 	counter("dtserve_cancelled_total", "Solves cancelled by their caller going away (client disconnect, drain).", st.Cancelled)
+	counter("dtserve_traces_total", "Completed request traces recorded to the /debug/requests ring.", st.Traces)
 	draining := int64(0)
 	if st.Draining {
 		draining = 1
@@ -97,21 +70,38 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("dtserve_draining", "1 while the server is draining (refusing new work, finishing streams).", draining)
 
 	fmt.Fprintf(&b, "# HELP dtserve_solves_by_solver_total Solver executions by registry name.\n# TYPE dtserve_solves_by_solver_total counter\n")
-	names := make([]string, 0, len(st.BySolver))
-	for name := range st.BySolver {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
+	for _, name := range sortedKeys(st.BySolver) {
 		fmt.Fprintf(&b, "dtserve_solves_by_solver_total{solver=%q} %d\n", name, st.BySolver[name])
 	}
 
-	counter("dtserve_cache_hits_total", "Result cache hits.", st.Cache.Hits)
+	// Per-solver outcomes: successful executions (BySolver) and failed ones
+	// (SolveErrors) as one labeled family, so an error-rate query is a
+	// single ratio over the outcome label.
+	fmt.Fprintf(&b, "# HELP dtserve_solver_outcome_total Solver executions by registry name and outcome (ok or error; sheds are excluded).\n# TYPE dtserve_solver_outcome_total counter\n")
+	for _, name := range sortedKeys(st.BySolver) {
+		fmt.Fprintf(&b, "dtserve_solver_outcome_total{solver=%q,outcome=\"ok\"} %d\n", name, st.BySolver[name])
+	}
+	for _, name := range sortedKeys(st.SolveErrors) {
+		fmt.Fprintf(&b, "dtserve_solver_outcome_total{solver=%q,outcome=\"error\"} %d\n", name, st.SolveErrors[name])
+	}
+
+	// Portfolio member outcomes, split from the "member|outcome" mirror key.
+	fmt.Fprintf(&b, "# HELP dtserve_portfolio_member_total Portfolio member runs by member solver and outcome (win, finish, pruned, timeout, cancelled, error).\n# TYPE dtserve_portfolio_member_total counter\n")
+	for _, key := range sortedKeys(st.MemberOutcomes) {
+		member, outcome, ok := strings.Cut(key, "|")
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "dtserve_portfolio_member_total{member=%q,outcome=%q} %d\n",
+			member, outcome, st.MemberOutcomes[key])
+	}
+
+	counter("dtserve_cache_hits_total", "Result cache hits (mirrored at item accounting, so hits+misses may momentarily trail the tier's own probe count).", st.Cache.Hits)
 	counter("dtserve_cache_misses_total", "Result cache misses.", st.Cache.Misses)
 	counter("dtserve_cache_evictions_total", "Result cache evictions.", st.Cache.Evictions)
 	gauge("dtserve_cache_entries", "Entries currently cached.", int64(st.Cache.Entries))
 	gauge("dtserve_cache_bytes", "Bytes of response bodies currently cached.", st.Cache.Bytes)
-	counter("dtserve_disk_hits_total", "Persistent disk tier hits.", st.Disk.Hits)
+	counter("dtserve_disk_hits_total", "Persistent disk tier hits (mirrored at item accounting).", st.Disk.Hits)
 	counter("dtserve_disk_misses_total", "Persistent disk tier misses.", st.Disk.Misses)
 	counter("dtserve_disk_writes_total", "Entries persisted by the disk tier's write-behind writer.", st.Disk.Writes)
 	counter("dtserve_disk_evictions_total", "Disk tier entries evicted to hold the byte budget.", st.Disk.Evictions)
@@ -149,22 +139,35 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&b, "dtserve_lane_queue_delay_ewma_seconds{lane=%q} %g\n", lane, st.Pool.Lanes[lane].QueueDelayEWMA)
 	}
 
-	cum, sum, total := s.solveLatency.snapshot()
-	fmt.Fprintf(&b, "# HELP dtserve_solve_duration_seconds Wall-clock latency of completed cold solves (queueing + solving + marshaling); count equals dtserve_solves_total.\n")
-	fmt.Fprintf(&b, "# TYPE dtserve_solve_duration_seconds histogram\n")
-	for i, ub := range solveBuckets {
-		fmt.Fprintf(&b, "dtserve_solve_duration_seconds_bucket{le=%q} %d\n", trimFloat(ub), cum[i])
+	histHeader("dtserve_lane_queue_delay_seconds", "Distribution of the lane's enqueue-to-dequeue delay.")
+	for _, lane := range laneNames(st.Pool.Lanes) {
+		st.Pool.Lanes[lane].QueueDelay.WriteProm(&b, "dtserve_lane_queue_delay_seconds",
+			fmt.Sprintf("lane=%q", lane))
 	}
-	fmt.Fprintf(&b, "dtserve_solve_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum[len(cum)-1])
-	fmt.Fprintf(&b, "dtserve_solve_duration_seconds_sum %g\n", sum)
-	fmt.Fprintf(&b, "dtserve_solve_duration_seconds_count %d\n", total)
+
+	histHeader("dtserve_solve_duration_seconds", "Wall-clock latency of completed cold solves (queueing + solving + marshaling); count tracks dtserve_solves_total.")
+	s.solveLatency.Snapshot().WriteProm(&b, "dtserve_solve_duration_seconds", "")
+
+	// Per-stage latency: every depth-0 trace stage, in pipeline order.
+	// Counts grow only for traced requests (explicit or sampled), so the
+	// distributions are samples of the same population the end-to-end
+	// histogram sees in full.
+	histHeader("dtserve_stage_duration_seconds", "Per-stage latency of traced requests, labeled by pipeline stage.")
+	for _, stage := range obs.Stages {
+		h, ok := s.stageLatency[stage]
+		if !ok {
+			continue
+		}
+		h.Snapshot().WriteProm(&b, "dtserve_stage_duration_seconds", fmt.Sprintf("stage=%q", stage))
+	}
+
+	histHeader("dtserve_disk_read_seconds", "Disk tier Get latency (hits and misses, through the fault-injection seam).")
+	s.diskRead.Snapshot().WriteProm(&b, "dtserve_disk_read_seconds", "")
+	histHeader("dtserve_disk_write_seconds", "Disk tier write-behind persist latency (temp write + fsync + rename).")
+	s.diskWrite.Snapshot().WriteProm(&b, "dtserve_disk_write_seconds", "")
+	histHeader("dtserve_stream_ttfb_seconds", "NDJSON batch time-to-first-byte: request start to the first streamed item hitting the wire.")
+	s.streamTTFB.Snapshot().WriteProm(&b, "dtserve_stream_ttfb_seconds", "")
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(b.String()))
-}
-
-// trimFloat renders a bucket bound the way Prometheus clients expect
-// ("0.005", "1", "2.5").
-func trimFloat(v float64) string {
-	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.4f", v), "0"), ".")
 }

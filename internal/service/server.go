@@ -1,11 +1,12 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/solver"
 	"repro/internal/topology"
 )
@@ -65,8 +67,20 @@ type Config struct {
 	// nil-backed tier when CacheDir is empty) and must return the tier
 	// the server should use.
 	WrapDiskTier func(DiskTier) DiskTier
-	// Logger receives one line per request; nil disables request logging.
-	Logger *log.Logger
+	// Logger receives one structured record per request (method, path,
+	// status, duration, trace ID, lane, cache tag, stage summary); nil
+	// disables request logging.
+	Logger *slog.Logger
+	// TraceSample traces one request in every TraceSample as a background
+	// profile (0 disables sampling). Requests that ask explicitly —
+	// "trace": true in the body or ?trace=1 — are always traced,
+	// regardless of the sampling rate.
+	TraceSample int
+	// TraceRecent and TraceSlowest bound the /debug/requests ring: the
+	// last TraceRecent completed traces plus the TraceSlowest slowest.
+	// <= 0 means 64 and 16.
+	TraceRecent  int
+	TraceSlowest int
 }
 
 // Server owns the solve engine, the result cache and the request counters
@@ -79,23 +93,44 @@ type Server struct {
 	eng          *engine.Engine
 	cache        *Cache
 	disk         DiskTier
-	solveLatency *histogram
+	solveLatency *obs.Histogram
+
+	// Per-stage latency histograms, keyed by obs stage name. The map is
+	// built once in New and read-only afterwards; the histograms are
+	// internally locked. Stages land here from completed traces, so the
+	// distributions describe the traced sample, not every request.
+	stageLatency map[string]*obs.Histogram
+	diskRead     *obs.Histogram // disk tier Get latency, hit or miss
+	diskWrite    *obs.Histogram // disk tier write-behind persist latency
+	streamTTFB   *obs.Histogram // NDJSON batch: first item flushed
+	sampler      obs.Sampler
+	ring         *obs.Ring
 
 	draining  atomic.Bool
 	drainCh   chan struct{} // closed by BeginDrain
 	drainOnce sync.Once
 
 	mu        sync.Mutex
-	requests  uint64             // API calls that reached a handler
-	failures  uint64             // requests answered with a non-2xx status
-	items     uint64             // schedule items answered (1 per single, N per batch)
-	solves    uint64             // solver executions (cache misses)
-	coalesced uint64             // requests that piggybacked on an in-flight solve
-	pruned    uint64             // portfolio members cancelled by the incumbent bound
-	shed      uint64             // requests refused by admission control (429)
-	cancelled uint64             // solves cancelled by their caller (client disconnect, drain)
-	bySolver  map[string]uint64  // solves by registry name
-	inflight  map[string]*flight // singleflight: one solve per cache key
+	requests  uint64            // API calls that reached a handler
+	failures  uint64            // requests answered with a non-2xx status
+	items     uint64            // schedule items answered (1 per single, N per batch)
+	solves    uint64            // solver executions (cache misses)
+	memHits   uint64            // items answered from the memory tier
+	diskHits  uint64            // items answered from the disk tier
+	coalesced uint64            // requests that piggybacked on an in-flight solve
+	pruned    uint64            // portfolio members cancelled by the incumbent bound
+	shed      uint64            // requests refused by admission control (429)
+	cancelled uint64            // solves cancelled by their caller (client disconnect, drain)
+	bySolver  map[string]uint64 // completed solves by registry name
+	// solveErrors counts solver executions that ended in an error (any
+	// non-shed failure: solver error, deadline, cancellation), by name —
+	// with bySolver these are the per-solver ok/error outcome counters.
+	solveErrors map[string]uint64
+	// memberOutcomes counts portfolio member runs keyed "member|outcome"
+	// (outcome as in machsim.MemberStat: win, finish, pruned, timeout,
+	// cancelled, error).
+	memberOutcomes map[string]uint64
+	inflight       map[string]*flight // singleflight: one solve per cache key
 }
 
 // flight is one in-flight solve that concurrent identical requests wait
@@ -137,9 +172,18 @@ type Stats struct {
 	// finishing in-flight streams and refusing new solve work.
 	Draining bool              `json:"draining"`
 	BySolver map[string]uint64 `json:"by_solver"`
-	Cache    CacheStats        `json:"cache"`
-	Disk     DiskCacheStats    `json:"disk"`
-	Pool     PoolStats         `json:"pool"`
+	// SolveErrors counts solver executions that failed (non-shed), by
+	// registry name; with BySolver these are the per-solver outcome
+	// counters /metrics exports.
+	SolveErrors map[string]uint64 `json:"solve_errors,omitempty"`
+	// MemberOutcomes counts portfolio member runs keyed "member|outcome".
+	MemberOutcomes map[string]uint64 `json:"portfolio_members,omitempty"`
+	// Traces counts completed traces retained (then possibly rotated) by
+	// the /debug/requests ring.
+	Traces uint64         `json:"traces"`
+	Cache  CacheStats     `json:"cache"`
+	Disk   DiskCacheStats `json:"disk"`
+	Pool   PoolStats      `json:"pool"`
 }
 
 // PoolStats mirrors the engine's worker and lane counters under the
@@ -185,7 +229,7 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("service: WrapDiskTier returned a nil tier")
 		}
 	}
-	return &Server{
+	s := &Server{
 		cfg: cfg,
 		eng: engine.New(engine.Config{
 			Workers:           cfg.Workers,
@@ -195,13 +239,31 @@ func New(cfg Config) (*Server, error) {
 			QueueDelayTarget:  cfg.QueueDelayTarget,
 			InteractiveWeight: cfg.InteractiveWeight,
 		}),
-		cache:        NewCache(cfg.CacheSize, cfg.CacheBytes),
-		disk:         tier,
-		drainCh:      make(chan struct{}),
-		solveLatency: newHistogram(),
-		bySolver:     make(map[string]uint64),
-		inflight:     make(map[string]*flight),
-	}, nil
+		cache:          NewCache(cfg.CacheSize, cfg.CacheBytes),
+		disk:           tier,
+		drainCh:        make(chan struct{}),
+		solveLatency:   obs.NewHistogram(obs.LatencyBuckets),
+		stageLatency:   make(map[string]*obs.Histogram, len(obs.Stages)),
+		diskRead:       obs.NewHistogram(obs.QueueBuckets),
+		diskWrite:      obs.NewHistogram(obs.QueueBuckets),
+		streamTTFB:     obs.NewHistogram(obs.LatencyBuckets),
+		ring:           obs.NewRing(cfg.TraceRecent, cfg.TraceSlowest),
+		bySolver:       make(map[string]uint64),
+		solveErrors:    make(map[string]uint64),
+		memberOutcomes: make(map[string]uint64),
+		inflight:       make(map[string]*flight),
+	}
+	for _, stage := range obs.Stages {
+		s.stageLatency[stage] = obs.NewHistogram(obs.LatencyBuckets)
+	}
+	s.sampler.SetEvery(cfg.TraceSample)
+	// Hook the concrete disk tier's write-behind latency into the metrics
+	// histogram while the concrete type is still in hand (the chaos seam
+	// above only sees the DiskTier interface).
+	if disk != nil {
+		disk.SetWriteObserver(s.diskWrite.Observe)
+	}
+	return s, nil
 }
 
 // BeginDrain puts the server into drain mode: new solve requests are
@@ -229,15 +291,38 @@ func (s *Server) Close() {
 	s.disk.Close()
 }
 
-// Stats snapshots the server counters.
+// Stats snapshots the server counters. The conservation-law counters —
+// solves, memory hits, disk hits, coalesced, items — are mirrored under
+// the server's own lock and incremented atomically with the item count
+// (account), so the law holds exactly on every snapshot: a scrape can
+// never observe an item whose classification landed in a tier counter
+// the snapshot missed. The tiers' internal hit counters are therefore
+// overridden with the mirrors; their misses/evictions/size gauges still
+// come from the tiers themselves.
 func (s *Server) Stats() Stats {
+	// Tier and engine snapshots are taken outside s.mu (they take their
+	// own locks); only the law-bound fields come from the mirrors below.
+	cs := s.cache.Stats()
+	ds := s.disk.Stats()
+	est := s.eng.Stats()
+	ring := s.ring.Snapshot()
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	by := make(map[string]uint64, len(s.bySolver))
 	for k, v := range s.bySolver {
 		by[k] = v
 	}
-	est := s.eng.Stats()
+	se := make(map[string]uint64, len(s.solveErrors))
+	for k, v := range s.solveErrors {
+		se[k] = v
+	}
+	mo := make(map[string]uint64, len(s.memberOutcomes))
+	for k, v := range s.memberOutcomes {
+		mo[k] = v
+	}
+	cs.Hits = s.memHits
+	ds.Hits = s.diskHits
 	return Stats{
 		Requests:        s.requests,
 		Failures:        s.failures,
@@ -249,8 +334,11 @@ func (s *Server) Stats() Stats {
 		Cancelled:       s.cancelled,
 		Draining:        s.draining.Load(),
 		BySolver:        by,
-		Cache:           s.cache.Stats(),
-		Disk:            s.disk.Stats(),
+		SolveErrors:     se,
+		MemberOutcomes:  mo,
+		Traces:          ring.Total,
+		Cache:           cs,
+		Disk:            ds,
 		Pool: PoolStats{
 			Workers:    est.Workers,
 			MinWorkers: est.MinWorkers,
@@ -274,7 +362,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
 	return s.logged(mux)
+}
+
+// handleDebugRequests serves the completed-trace ring — the last N
+// requests plus the K slowest, stage breakdowns and annotations included
+// — as JSON, in the spirit of x/net/trace's /debug/requests page. Traces
+// land here when sampled or explicitly requested; correlate entries with
+// response headers and log lines by span ID.
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.ring.Snapshot())
 }
 
 // httpError carries a status code with a client-safe message. retryAfter,
@@ -297,10 +395,16 @@ func badRequest(format string, args ...any) *httpError {
 // neither a success nor a server failure describes it.
 const statusClientClosedRequest = 499
 
-// statusWriter records the status code written by a handler for logging.
+// statusWriter records the status code written by a handler for logging,
+// and carries the request's trace state between the logging wrapper
+// (which owns the span ID and the trace's completion) and the handler
+// (which decides whether to trace and attaches the stages).
 type statusWriter struct {
 	http.ResponseWriter
-	status int
+	status  int
+	traceID string
+	trace   *obs.Trace // set by the handler when the request is traced
+	lane    string     // QoS lane, for the request log
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -316,23 +420,81 @@ func (w *statusWriter) Flush() {
 	}
 }
 
-// logged counts every request and, with a configured logger, prints one
-// line per call: method, path, status, duration.
+// finishTrace completes a trace: snapshot with the end-to-end total,
+// retain in the /debug/requests ring, fold the top-level stages into the
+// per-stage latency histograms, release the trace to the pool. Nil-safe;
+// returns the detached snapshot.
+func (s *Server) finishTrace(tr *obs.Trace, total time.Duration) *obs.TraceData {
+	if tr == nil {
+		return nil
+	}
+	td := tr.Snapshot(total)
+	s.ring.Add(td)
+	for _, st := range td.Stages {
+		if st.Depth != 0 {
+			continue // member sub-spans overlap solve; histograms tile
+		}
+		if h, ok := s.stageLatency[st.Stage]; ok {
+			h.Observe(time.Duration(st.DurNS))
+		}
+	}
+	obs.Release(tr)
+	return td
+}
+
+// stageSummary renders a trace's top-level stages as one compact log
+// field ("decode=84µs solve=31ms ...") in start order.
+func stageSummary(td *obs.TraceData) string {
+	var b strings.Builder
+	for _, st := range td.Stages {
+		if st.Depth != 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(st.Stage)
+		b.WriteByte('=')
+		b.WriteString(time.Duration(st.DurNS).Round(time.Microsecond).String())
+	}
+	return b.String()
+}
+
+// logged counts every request, stamps the span ID onto the response
+// (X-DTServe-Trace-Id), completes any trace the handler attached, and —
+// with a configured logger — emits one structured record per call.
 func (s *Server) logged(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK, traceID: obs.NewID()}
+		sw.Header().Set("X-DTServe-Trace-Id", sw.traceID)
 		start := time.Now()
 		next.ServeHTTP(sw, r)
+		dur := time.Since(start)
 		s.mu.Lock()
 		s.requests++
 		if sw.status >= 400 {
 			s.failures++
 		}
 		s.mu.Unlock()
+		td := s.finishTrace(sw.trace, dur)
 		if s.cfg.Logger != nil {
-			s.cfg.Logger.Printf("%s %s %d %s cache=%s",
-				r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond),
-				sw.Header().Get("X-DTServe-Cache"))
+			attrs := []slog.Attr{
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", sw.status),
+				slog.Duration("dur", dur.Round(time.Microsecond)),
+				slog.String("trace_id", sw.traceID),
+			}
+			if sw.lane != "" {
+				attrs = append(attrs, slog.String("lane", sw.lane))
+			}
+			if tag := sw.Header().Get("X-DTServe-Cache"); tag != "" {
+				attrs = append(attrs, slog.String("cache", tag))
+			}
+			if td != nil {
+				attrs = append(attrs, slog.String("stages", stageSummary(td)))
+			}
+			s.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
 		}
 	})
 }
@@ -396,7 +558,60 @@ const maxBodyBytes = 32 << 20
 // unbounded value would let one request exhaust the process.
 const maxRestarts = 64
 
+// wantsTrace reports whether the request asked for a trace block
+// explicitly: "trace": true on the wire, or ?trace=1 on the URL. The
+// RawQuery guard keeps query parsing (which allocates) off the common
+// path of requests with no query string at all.
+func wantsTrace(req *ScheduleRequest, r *http.Request) bool {
+	if req.Trace {
+		return true
+	}
+	return r.URL.RawQuery != "" && r.URL.Query().Get("trace") == "1"
+}
+
+// startTrace begins tracing a request decoded at t0 (decode finished
+// now): always when the request asked explicitly, else at the sampling
+// rate. The decode stage is recorded retroactively — the trace cannot
+// exist before the body that requests it is decoded. Returns ctx
+// unchanged when the request is not traced.
+func (s *Server) startTrace(ctx context.Context, sw *statusWriter, t0 time.Time, explicit bool) (context.Context, *obs.Trace) {
+	if !explicit && !s.sampler.Sample() {
+		return ctx, nil
+	}
+	id := obs.NewID()
+	if sw != nil {
+		id = sw.traceID
+	}
+	tr := obs.NewTrace(id, t0)
+	tr.Observe(obs.StageDecode, t0, time.Since(t0))
+	if sw != nil {
+		sw.trace = tr // logged() completes and releases it
+	}
+	return obs.With(ctx, tr), tr
+}
+
+// appendTraceBody splices a "trace" field into a marshaled response
+// envelope. The cached body bytes are never touched — the splice builds
+// a fresh buffer — so traces are per-request and never cached.
+func appendTraceBody(body []byte, td *obs.TraceData) []byte {
+	tb, err := json.Marshal(td)
+	if err != nil {
+		return body
+	}
+	trimmed := bytes.TrimRight(body, " \t\r\n")
+	if len(trimmed) < 2 || trimmed[len(trimmed)-1] != '}' {
+		return body
+	}
+	out := make([]byte, 0, len(trimmed)+len(tb)+10)
+	out = append(out, trimmed[:len(trimmed)-1]...)
+	out = append(out, `,"trace":`...)
+	out = append(out, tb...)
+	out = append(out, '}')
+	return out
+}
+
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
 	if s.draining.Load() {
 		writeError(w, errDraining())
 		return
@@ -406,23 +621,70 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequest("decode request: %v", err))
 		return
 	}
-	body, status, err := s.process(r.Context(), &req, engine.LaneInteractive)
+	sw, _ := w.(*statusWriter)
+	explicit := wantsTrace(&req, r)
+	ctx, tr := s.startTrace(r.Context(), sw, t0, explicit)
+	if sw == nil && tr != nil {
+		// No logging wrapper to complete the trace (handler invoked bare,
+		// e.g. from a test mux): finish it ourselves after responding.
+		defer func() { s.finishTrace(tr, time.Since(t0)) }()
+	}
+	body, status, err := s.process(ctx, &req, engine.LaneInteractive)
+	if sw != nil {
+		sw.lane = laneName(req.Lane, engine.LaneInteractive)
+	}
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	s.countItem()
+	s.account(status)
+	tr.Annotate("cache", status)
+	if tr != nil && explicit {
+		// The response's trace block is a mid-flight snapshot: it has
+		// every stage through marshal, while the header write and the
+		// ring/log completion land after. Total is measured here so the
+		// stage durations sum to (within the final write) the reported
+		// total.
+		body = appendTraceBody(body, tr.Snapshot(time.Since(t0)))
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-DTServe-Cache", status)
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(body)
 }
 
-// countItem records one answered schedule item (the conservation law's
-// right-hand side).
-func (s *Server) countItem() {
+// laneName resolves the wire lane field against the handler default, for
+// the request log.
+func laneName(wire string, def engine.Lane) string {
+	if wire == "" {
+		return def.String()
+	}
+	if lane, err := engine.ParseLane(wire); err == nil {
+		return lane.String()
+	}
+	return wire
+}
+
+// account records one answered schedule item together with its
+// classification — exactly one of the conservation law's left-hand
+// counters, in the same critical section as the item count, so
+//
+//	solves + mem_hits + disk_hits + coalesced == schedule_items
+//
+// holds on every snapshot, never just eventually.
+func (s *Server) account(tag string) {
 	s.mu.Lock()
 	s.items++
+	switch tag {
+	case "hit":
+		s.memHits++
+	case "disk":
+		s.diskHits++
+	case "coalesced":
+		s.coalesced++
+	case "miss":
+		s.solves++
+	}
 	s.mu.Unlock()
 }
 
@@ -444,6 +706,7 @@ func wantsNDJSON(r *http.Request) bool {
 // Without it the items are assembled into the request-ordered
 // BatchResponse envelope once all have completed.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
 	if s.draining.Load() {
 		writeError(w, errDraining())
 		return
@@ -457,6 +720,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequest("empty batch"))
 		return
 	}
+	sw, _ := w.(*statusWriter)
+	if sw != nil {
+		sw.lane = engine.LaneBatch.String()
+	}
+	queryTrace := r.URL.RawQuery != "" && r.URL.Query().Get("trace") == "1"
 	// Every member solves under one batch-scoped context: cancelling it —
 	// because the client disconnected or the server began draining —
 	// reaches each remaining member's solver through its interrupt hook,
@@ -466,12 +734,36 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	bctx, bcancel := context.WithCancel(r.Context())
 	defer bcancel()
 	n := len(batch.Requests)
+	baseID := obs.NewID()
+	if sw != nil {
+		baseID = sw.traceID
+	}
 	ch, err := engine.Fan(n, s.eng.MaxBatch(), func(i int) BatchItem {
-		body, status, err := s.process(bctx, &batch.Requests[i], engine.LaneBatch)
+		// Each member traces independently — explicit per-member flag (or
+		// the batch-wide ?trace=1), else the sampler — under a derived
+		// span ID, so a batch's members are correlated in /debug/requests
+		// by their shared prefix. Member traces complete here: the ring
+		// and stage histograms see each member as soon as it finishes,
+		// not when the whole batch does.
+		mt0 := time.Now()
+		explicit := queryTrace || batch.Requests[i].Trace
+		mctx := bctx
+		var mtr *obs.Trace
+		if explicit || s.sampler.Sample() {
+			mtr = obs.NewTrace(baseID+"-"+strconv.Itoa(i), mt0)
+			mctx = obs.With(bctx, mtr)
+		}
+		body, status, err := s.process(mctx, &batch.Requests[i], engine.LaneBatch)
 		if err != nil {
+			s.finishTrace(mtr, time.Since(mt0))
 			return BatchItem{Index: i, Error: err.Error()}
 		}
-		s.countItem()
+		s.account(status)
+		mtr.Annotate("cache", status)
+		if mtr != nil && explicit {
+			body = appendTraceBody(body, mtr.Snapshot(time.Since(mt0)))
+		}
+		s.finishTrace(mtr, time.Since(mt0))
 		return BatchItem{Index: i, Cache: status, Result: body}
 	})
 	if err != nil {
@@ -491,6 +783,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		enc := json.NewEncoder(w)
 		enc.SetEscapeHTML(false)
 		writable := true
+		first := true
 		for {
 			select {
 			case item, ok := <-ch:
@@ -511,6 +804,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				}
 				if fl != nil {
 					fl.Flush()
+				}
+				if first {
+					// Time-to-first-byte of the stream: how long the
+					// client waited before pipelining could begin.
+					s.streamTTFB.Observe(time.Since(t0))
+					first = false
 				}
 			case <-drain:
 				drain = nil
@@ -543,6 +842,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // used when the request names none: interactive for single schedule
 // calls, batch for batch members.
 func (s *Server) process(ctx context.Context, req *ScheduleRequest, defLane engine.Lane) ([]byte, string, error) {
+	tr := obs.FromContext(ctx)
+	canonStart := time.Now()
 	if req.Graph == nil {
 		return nil, "", badRequest("missing graph")
 	}
@@ -604,6 +905,12 @@ func (s *Server) process(ctx context.Context, req *ScheduleRequest, defLane engi
 	if err != nil {
 		return nil, "", fmt.Errorf("service: cache key: %w", err)
 	}
+	if tr != nil {
+		tr.Observe(obs.StageCanonicalize, canonStart, time.Since(canonStart),
+			obs.KV{Key: "solver", Val: slv.Name()}, obs.KV{Key: "lane", Val: lane.String()})
+		tr.Annotate("solver", slv.Name())
+		tr.Annotate("lane", lane.String())
+	}
 	if !req.NoCache {
 		// Singleflight: the in-flight check and the cache consult happen
 		// under one lock, ordered against the leader's cache.Put (inside
@@ -612,11 +919,15 @@ func (s *Server) process(ctx context.Context, req *ScheduleRequest, defLane engi
 		// becomes the new leader — it can never re-solve a key whose
 		// leader just finished. NoCache requests opt out — they
 		// explicitly asked for their own solve.
+		memStart := time.Now()
 		s.mu.Lock()
 		if f, ok := s.inflight[key]; ok {
 			s.mu.Unlock()
+			tr.Observe(obs.StageMemTier, memStart, time.Since(memStart))
+			sfStart := time.Now()
 			select {
 			case <-f.done:
+				tr.Observe(obs.StageSingleflight, sfStart, time.Since(sfStart))
 				if f.err != nil {
 					if isLeaderContextError(f.err) {
 						// The leader died of its own context (client
@@ -629,14 +940,12 @@ func (s *Server) process(ctx context.Context, req *ScheduleRequest, defLane engi
 					}
 					return nil, "", f.err
 				}
-				// Counted only on the successful replay: a waiter that
-				// falls through to its own solve, inherits the leader's
-				// failure, or times out below must not contribute a
-				// coalesced ride, or the conservation law (coalesced
-				// rides are answered items) would overcount.
-				s.mu.Lock()
-				s.coalesced++
-				s.mu.Unlock()
+				// The coalesced ride is counted by the handler's account()
+				// on the successful replay, never here: a waiter that falls
+				// through to its own solve, inherits the leader's failure,
+				// or times out below must not contribute one, or the
+				// conservation law (coalesced rides are answered items)
+				// would overcount.
 				return f.body, "coalesced", nil
 			case <-ctx.Done():
 				return nil, "", &httpError{status: http.StatusServiceUnavailable,
@@ -645,6 +954,7 @@ func (s *Server) process(ctx context.Context, req *ScheduleRequest, defLane engi
 		}
 		if body, ok := s.cache.Get(key); ok {
 			s.mu.Unlock()
+			tr.Observe(obs.StageMemTier, memStart, time.Since(memStart))
 			return body, "hit", nil
 		}
 		// err is pre-set so that a leader that dies without filling the
@@ -654,6 +964,7 @@ func (s *Server) process(ctx context.Context, req *ScheduleRequest, defLane engi
 			err: &httpError{status: http.StatusInternalServerError, msg: "service: in-flight solve abandoned"}}
 		s.inflight[key] = f
 		s.mu.Unlock()
+		tr.Observe(obs.StageMemTier, memStart, time.Since(memStart))
 		defer func() {
 			s.mu.Lock()
 			delete(s.inflight, key)
@@ -665,7 +976,14 @@ func (s *Server) process(ctx context.Context, req *ScheduleRequest, defLane engi
 		// onto one disk read exactly as they would onto one solve. A hit
 		// is promoted into the memory tier so the next request for this
 		// key never touches the disk.
-		if body, ok := s.disk.Get(key); ok {
+		diskStart := time.Now()
+		body, ok := s.disk.Get(key)
+		diskDur := time.Since(diskStart)
+		// Observed through the chaos seam, so injected read faults show
+		// up in the read-latency distribution like real ones.
+		s.diskRead.Observe(diskDur)
+		tr.Observe(obs.StageDiskTier, diskStart, diskDur)
+		if ok {
 			s.cache.Put(key, body)
 			f.body, f.err = body, nil
 			return body, "disk", nil
@@ -716,25 +1034,27 @@ func (s *Server) solve(ctx context.Context, slv solver.Solver, sreq solver.Reque
 	start := time.Now()
 	res, err := s.eng.Solve(ctx, engine.Job{Solver: slv, Req: sreq, Lane: lane})
 	if err != nil {
-		// A cancelled caller (client disconnect, batch drain) is a
-		// cancellation wherever it surfaced — still queued or mid-solve.
-		// Deadline expiries are deliberately not counted here: the request
-		// ran out its budget, nobody abandoned it.
-		if errors.Is(err, context.Canceled) {
-			s.mu.Lock()
-			s.cancelled++
-			s.mu.Unlock()
-		}
 		var ov *engine.OverloadError
 		if errors.As(err, &ov) {
 			// Admission control refused the job: a structured 429 telling
-			// the client when to come back.
+			// the client when to come back. Not a solver outcome — the
+			// solver never ran and the shed has its own counter.
 			s.mu.Lock()
 			s.shed++
 			s.mu.Unlock()
 			return nil, &httpError{status: http.StatusTooManyRequests,
 				msg: "service: " + err.Error(), retryAfter: ov.RetryAfter}
 		}
+		s.mu.Lock()
+		s.solveErrors[slv.Name()]++
+		// A cancelled caller (client disconnect, batch drain) is a
+		// cancellation wherever it surfaced — still queued or mid-solve.
+		// Deadline expiries are deliberately not counted here: the request
+		// ran out its budget, nobody abandoned it.
+		if errors.Is(err, context.Canceled) {
+			s.cancelled++
+		}
+		s.mu.Unlock()
 		if errors.Is(err, engine.ErrQueueTimeout) || errors.Is(err, engine.ErrClosed) {
 			// The job never ran: a capacity verdict, not a solve verdict.
 			return nil, &httpError{status: http.StatusServiceUnavailable, msg: "service: " + err.Error()}
@@ -747,6 +1067,7 @@ func (s *Server) solve(ctx context.Context, slv solver.Solver, sreq solver.Reque
 		}
 		return nil, &httpError{status: status, msg: err.Error()}
 	}
+	marshalStart := time.Now()
 	wire, err := ResultFromSim(res, req.Graph, topoName)
 	if err != nil {
 		return nil, &httpError{status: http.StatusUnprocessableEntity, msg: err.Error()}
@@ -754,6 +1075,9 @@ func (s *Server) solve(ctx context.Context, slv solver.Solver, sreq solver.Reque
 	body, err := json.Marshal(wire)
 	if err != nil {
 		return nil, &httpError{status: http.StatusInternalServerError, msg: err.Error()}
+	}
+	if tr := obs.FromContext(ctx); tr != nil {
+		tr.Observe(obs.StageMarshal, marshalStart, time.Since(marshalStart))
 	}
 
 	// A timing-dependent result — a portfolio raced against the request
@@ -768,14 +1092,17 @@ func (s *Server) solve(ctx context.Context, slv solver.Solver, sreq solver.Reque
 		// on the disk tier's writer goroutine, never on this hot path.
 		s.disk.Put(key, body)
 	}
-	// Observed only for completed solves, so the histogram count equals
-	// dtserve_solves_total and queue-timeout artifacts never pollute the
-	// latency distribution.
+	// Observed only for completed solves, so queue-timeout artifacts never
+	// pollute the latency distribution. The solves counter itself moved
+	// into account(): it increments with the item count, in one critical
+	// section, so the conservation law holds on any snapshot.
 	s.solveLatency.Observe(time.Since(start))
 	s.mu.Lock()
-	s.solves++
 	s.pruned += uint64(res.Pruned)
 	s.bySolver[slv.Name()]++
+	for _, m := range res.Members {
+		s.memberOutcomes[m.Member+"|"+m.Outcome]++
+	}
 	s.mu.Unlock()
 	return body, nil
 }

@@ -76,6 +76,13 @@ type ScheduleRequest struct {
 	Lane string `json:"lane,omitempty"`
 	// NoCache bypasses the result cache (the result is still stored).
 	NoCache bool `json:"nocache,omitempty"`
+	// Trace requests a stage-timing breakdown: the response envelope gains
+	// a "trace" block (span ID, ordered stages with start offsets and
+	// durations, annotations). Equivalent to ?trace=1 on the URL. Trace is
+	// observability, not semantics: it is excluded from the cache key, the
+	// trace block is spliced per-response, and traced bytes are never what
+	// the cache stores.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // CommOverride overrides communication parameters field by field. Fields

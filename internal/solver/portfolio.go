@@ -5,12 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/machsim"
+	"repro/internal/obs"
 )
 
 // PortfolioMembers are the solvers the portfolio races, in tie-breaking
@@ -119,7 +121,11 @@ func (portfolioSolver) Solve(ctx context.Context, req Request) (*machsim.Result,
 	popt := req.Portfolio
 
 	lb, lbErr := req.Graph.LowerBoundMakespan(req.Topo.N())
-	cctx, cancel := context.WithCancel(ctx)
+	// The race's trace writes are the portfolio's alone: member contexts
+	// are stripped so racing goroutines cannot interleave annotations —
+	// their runs come back as per-member sub-stages recorded below.
+	tr := obs.FromContext(ctx)
+	cctx, cancel := context.WithCancel(obs.With(ctx, nil))
 	defer cancel()
 
 	var inc incumbent
@@ -127,6 +133,9 @@ func (portfolioSolver) Solve(ctx context.Context, req Request) (*machsim.Result,
 	var raced atomic.Bool
 	results := make([]*machsim.Result, len(members))
 	errs := make([]error, len(members))
+	starts := make([]time.Time, len(members))
+	walls := make([]time.Duration, len(members))
+	outcomes := make([]string, len(members))
 	var wg sync.WaitGroup
 	for i, s := range members {
 		wg.Add(1)
@@ -150,15 +159,26 @@ func (portfolioSolver) Solve(ctx context.Context, req Request) (*machsim.Result,
 					return nil
 				}
 			}
+			starts[i] = time.Now()
 			results[i], errs[i] = s.Solve(mctx, r)
+			walls[i] = time.Since(starts[i])
 			if errs[i] != nil {
-				if popt.MemberTimeout > 0 && errors.Is(errs[i], context.DeadlineExceeded) && cctx.Err() == nil {
+				switch {
+				case errors.Is(errs[i], ErrPruned):
+					outcomes[i] = "pruned"
+				case popt.MemberTimeout > 0 && errors.Is(errs[i], context.DeadlineExceeded) && cctx.Err() == nil:
 					// This member lost to its own budget, not the shared
 					// deadline: a wall-clock verdict, so the race is tainted.
 					raced.Store(true)
+					outcomes[i] = "timeout"
+				case errors.Is(errs[i], context.Canceled) || errors.Is(errs[i], context.DeadlineExceeded):
+					outcomes[i] = "cancelled"
+				default:
+					outcomes[i] = "error"
 				}
 				return
 			}
+			outcomes[i] = "finish"
 			inc.offer(results[i].Makespan)
 			if lbErr == nil && results[i].Makespan <= lb+1e-9 {
 				// Store before cancel: anyone observing the cancellation
@@ -186,10 +206,29 @@ func (portfolioSolver) Solve(ctx context.Context, req Request) (*machsim.Result,
 			best = i
 		}
 	}
+	if best >= 0 {
+		outcomes[best] = "win"
+	}
+	stats := make([]machsim.MemberStat, len(members))
+	for i, s := range members {
+		stats[i] = machsim.MemberStat{Member: s.Name(), Outcome: outcomes[i], WallNS: walls[i].Nanoseconds()}
+		if results[i] != nil {
+			stats[i].Makespan = results[i].Makespan
+		}
+		if tr != nil {
+			tr.ObserveSub("portfolio:"+s.Name(), starts[i], walls[i],
+				obs.KV{Key: "outcome", Val: outcomes[i]},
+				obs.KV{Key: "makespan", Val: strconv.FormatFloat(stats[i].Makespan, 'g', -1, 64)})
+		}
+	}
 	if best < 0 {
 		return nil, fmt.Errorf("solver: every portfolio member failed: %w", errors.Join(errs...))
 	}
+	if tr != nil {
+		tr.Annotate("portfolio_winner", members[best].Name())
+	}
 	out := results[best]
+	out.Members = stats
 	out.Pruned = pruned
 	// Raced is set whenever an early cancel fired, even if every member
 	// happened to outrun the cancellation (in which case this particular

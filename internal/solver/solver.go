@@ -21,12 +21,14 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
 	"repro/internal/core"
 	"repro/internal/list"
 	"repro/internal/machsim"
+	"repro/internal/obs"
 	"repro/internal/taskgraph"
 	"repro/internal/topology"
 )
@@ -151,7 +153,38 @@ func (p policySolver) Solve(ctx context.Context, req Request) (*machsim.Result, 
 			return nil, err
 		}
 	}
-	return simulate(ctx, pol, req)
+	res, err := simulate(ctx, pol, req)
+	if err == nil {
+		if tr := obs.FromContext(ctx); tr != nil {
+			if sc, ok := pol.(*core.Scheduler); ok {
+				annotateAnneal(tr, sc)
+			}
+		}
+	}
+	return res, err
+}
+
+// annotateAnneal folds the SA scheduler's per-packet reports into solve
+// annotations: how many annealing packets ran and how much total cost
+// they burned down — the trace-level view of the paper's §6a packet
+// statistics.
+func annotateAnneal(tr *obs.Trace, sc *core.Scheduler) {
+	var moves, accepted, stages int
+	var initial, final float64
+	packets := sc.Packets()
+	for _, p := range packets {
+		moves += p.Moves
+		accepted += p.Accepted
+		stages += p.Stages
+		initial += p.InitialCost
+		final += p.FinalCost
+	}
+	tr.Annotate("sa_packets", strconv.Itoa(len(packets)))
+	tr.Annotate("anneal_stages", strconv.Itoa(stages))
+	tr.Annotate("anneal_moves", strconv.Itoa(moves))
+	tr.Annotate("anneal_accepted", strconv.Itoa(accepted))
+	tr.Annotate("initial_cost", strconv.FormatFloat(initial, 'g', -1, 64))
+	tr.Annotate("final_cost", strconv.FormatFloat(final, 'g', -1, 64))
 }
 
 // simulate runs the machine simulator with the context's cancellation
@@ -169,17 +202,29 @@ func simulate(ctx context.Context, pol machsim.Policy, req Request) (*machsim.Re
 		return ctx.Err()
 	}
 	model := machsim.Model{Graph: req.Graph, Topo: req.Topo, Comm: req.Comm}
+	var res *machsim.Result
 	if req.Arena != nil {
 		if err := req.Arena.Bind(model, opts); err != nil {
 			return nil, err
 		}
-		res, err := req.Arena.Run(pol)
+		r, err := req.Arena.Run(pol)
 		if err != nil {
 			return nil, err
 		}
-		return res.Clone(), nil
+		res = r.Clone()
+	} else {
+		var err error
+		res, err = machsim.Run(model, pol, opts)
+		if err != nil {
+			return nil, err
+		}
 	}
-	return machsim.Run(model, pol, opts)
+	if tr := obs.FromContext(ctx); tr != nil {
+		tr.Annotate("sim_epochs", strconv.Itoa(len(res.Epochs)))
+		tr.Annotate("sim_forced", strconv.Itoa(res.Forced))
+		tr.Annotate("makespan", strconv.FormatFloat(res.Makespan, 'g', -1, 64))
+	}
+	return res, nil
 }
 
 // registryMu guards registry and aliases: the built-in set is fixed, but
