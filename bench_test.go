@@ -224,6 +224,34 @@ func BenchmarkScheduleSA_NE_Hypercube(b *testing.B) {
 	}
 }
 
+// BenchmarkScheduleSA_Cooperative anneals the Newton-Euler graph with
+// restarts sharing one incumbent (the Table 2 workload shape): dominated
+// restarts abandon early at stage barriers, so the restarted solve costs
+// less than restarts× the single run while keeping the same winner. The
+// abandoned/op metric proves the incumbent rule is actually firing.
+func BenchmarkScheduleSA_Cooperative(b *testing.B) {
+	g := repro.NewtonEuler()
+	topo, err := repro.Hypercube(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	comm := repro.DefaultCommParams()
+	abandoned := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt := repro.DefaultSAOptions()
+		opt.Seed = int64(i)
+		opt.Restarts = 4
+		opt.Cooperative = true
+		_, sched, err := repro.ScheduleSA(g, topo, comm, opt, repro.SimOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		abandoned += sched.RestartsAbandoned()
+	}
+	b.ReportMetric(float64(abandoned)/float64(b.N), "abandoned/op")
+}
+
 func BenchmarkScheduleHLF_NE_Hypercube(b *testing.B) {
 	g := repro.NewtonEuler()
 	topo, err := repro.Hypercube(3)

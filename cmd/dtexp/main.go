@@ -66,6 +66,7 @@ func main() {
 		lgLane      = flag.String("lg-lane", "", "QoS lane tag on every loadgen request: interactive or batch (empty = server default)")
 		lgMemberTO  = flag.Duration("lg-member-timeout", 0, "per-member portfolio budget on every loadgen request (0 omits the field)")
 		lgTrace     = flag.Int("lg-trace", 0, "loadgen: trace every Nth request and report a per-stage latency breakdown (0 disables)")
+		lgWarm      = flag.Bool("lg-warm", false, "loadgen: pre-seed every distinct payload before the clock starts, so the run measures the pure warm-hit RPS and latency floor")
 
 		lgOverload   = flag.Bool("lg-overload", false, "run the two-phase overload scenario: unloaded interactive probes, then the same probes under a batch-lane flood")
 		lgAssertFlat = flag.Float64("lg-assert-flat", 0, "overload verdict: fail unless loaded interactive p99 <= this factor of the unloaded baseline and every shed carries Retry-After (0 = report only)")
@@ -89,7 +90,7 @@ func main() {
 		return
 	}
 	if *loadgen {
-		if err := runLoadgen(*addr, *requests, *concurrency, *distinct, *lgBatch, *lgTrace, *lgSolver, *lgCacheDir, *lgLane, *lgMemberTO); err != nil {
+		if err := runLoadgen(*addr, *requests, *concurrency, *distinct, *lgBatch, *lgTrace, *lgSolver, *lgCacheDir, *lgLane, *lgMemberTO, *lgWarm); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -209,8 +210,10 @@ func main() {
 // runs over the same dir measure the disk-hit path. A batch size > 0
 // exercises the streaming batch endpoint instead, reporting first-item
 // and last-item latency separately. traceEvery > 0 traces every Nth
-// request and reports where the time went, stage by stage.
-func runLoadgen(addr string, requests, concurrency, distinct, batch, traceEvery int, solverName, cacheDir, lane string, memberTO time.Duration) error {
+// request and reports where the time went, stage by stage. warm
+// pre-seeds every distinct payload before timing, so the reported
+// throughput and percentiles are the pure warm-hit serving floor.
+func runLoadgen(addr string, requests, concurrency, distinct, batch, traceEvery int, solverName, cacheDir, lane string, memberTO time.Duration, warm bool) error {
 	var svc *service.Server
 	if addr == "" {
 		var err error
@@ -241,6 +244,7 @@ func runLoadgen(addr string, requests, concurrency, distinct, batch, traceEvery 
 		Lane:            lane,
 		MemberTimeoutMS: int(memberTO.Milliseconds()),
 		TraceEvery:      traceEvery,
+		Warm:            warm,
 	})
 	if err != nil {
 		return err

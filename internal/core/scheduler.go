@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 
@@ -35,7 +36,48 @@ type Options struct {
 	// deterministic per-restart seeds, so they cost wall-clock time only
 	// on a loaded machine — and equal seeds still give equal schedules.
 	Restarts int
+	// Cooperative makes concurrent restarts share one incumbent best
+	// cost: restarts run their temperature stages in lockstep, publish
+	// their best to the incumbent at every stage barrier, and a restart
+	// whose best has trailed the incumbent for AbandonAfter consecutive
+	// barriers is abandoned early — less total work for an
+	// equal-or-better winner (the incumbent holder is never abandoned,
+	// so the adopted mapping is always the global best seen). All
+	// cross-restart decisions happen at seed-deterministic barriers in
+	// restart order, never by wall clock, so cooperative schedules are
+	// byte-identical at any GOMAXPROCS or worker count.
+	Cooperative bool
+	// Tempering layers parallel tempering onto cooperative restarts:
+	// restart r anneals on the base cooling schedule scaled by
+	// temperRatio^r (a temperature ladder), and after every stage
+	// adjacent live replicas attempt a Metropolis state exchange drawn
+	// from a dedicated seed-derived RNG. Exchanges move good states
+	// toward the cold end of the ladder while hot replicas keep
+	// exploring. Implies the cooperative barrier discipline; early
+	// abandonment is disabled so every rung stays live. Deterministic
+	// under the same argument as Cooperative.
+	Tempering bool
+	// AbandonAfter is the cooperative patience in stage barriers. 0
+	// means the default (5); negative disables abandonment (restarts
+	// still share the barrier schedule and incumbent).
+	AbandonAfter int
+	// Interrupt, when non-nil, is polled at every cooperative stage
+	// barrier; a non-nil error stops the anneal early (the best mapping
+	// so far is still adopted). The solver layer chains the request
+	// context into it, so a cancelled request — a portfolio loser, a
+	// disconnected client — stops burning CPU mid-anneal instead of at
+	// the next simulator event. Interrupt only fires on runs that are
+	// being discarded, so determinism of served results is unaffected.
+	Interrupt func() error
 }
+
+// temperRatio is the geometric spacing of the parallel-tempering
+// temperature ladder: replica r runs temperRatio^r hotter than the base
+// schedule.
+const temperRatio = 1.5
+
+// defaultAbandonAfter is the cooperative patience when AbandonAfter is 0.
+const defaultAbandonAfter = 5
 
 // DefaultOptions returns the configuration used for the Table 2
 // reproduction: equal weights and the default annealing engine with a
@@ -84,7 +126,13 @@ type PacketReport struct {
 	PlateauStop bool
 	// Restart is the index of the winning restart (0 for single runs).
 	Restart int
-	Trace   []TracePoint // winning restart's trace; nil unless Options.RecordTrace
+	// Abandoned counts restarts of this packet stopped early by the
+	// cooperative incumbent rule; Exchanges counts accepted
+	// parallel-tempering replica swaps. Both are zero outside
+	// cooperative mode.
+	Abandoned int
+	Exchanges int
+	Trace     []TracePoint // winning restart's trace; nil unless Options.RecordTrace
 }
 
 // Scheduler is the paper's staged simulated-annealing scheduler. It
@@ -108,6 +156,15 @@ type Scheduler struct {
 	pk   packet
 	runs []restartRun
 
+	// Cooperative-mode state: the replica-exchange RNG (re-seeded from
+	// the scheduler stream per packet), the shared barrier-completion
+	// channel, and run-level counters surfaced through
+	// RestartsAbandoned/Exchanges.
+	exchRng   *rand.Rand
+	coopDone  chan struct{}
+	abandoned int
+	exchanges int
+
 	packets []PacketReport
 }
 
@@ -119,6 +176,17 @@ type restartRun struct {
 	res   anneal.Result
 	err   error
 	trace []TracePoint
+
+	// Cooperative-mode fields: the reusable incremental anneal, its
+	// wake-up channel (true = run one stage, false = exit), whether the
+	// last Step could continue, and barrier bookkeeping. stepOK is
+	// written by the worker goroutine and read by the coordinator; the
+	// start/done channel handshake orders the accesses.
+	step    *anneal.Stepper
+	start   chan bool
+	stepOK  bool
+	stopped bool
+	lag     int
 }
 
 // NewScheduler builds an SA scheduling policy for one (graph, machine)
@@ -176,6 +244,8 @@ func (s *Scheduler) Reset(g *taskgraph.Graph, topo *topology.Topology, comm topo
 	} else {
 		s.packets = s.packets[:0]
 	}
+	s.abandoned = 0
+	s.exchanges = 0
 	return nil
 }
 
@@ -228,6 +298,12 @@ func (s *Scheduler) computeLevels() error {
 // unambiguous about the configuration that produced a result.
 func (s *Scheduler) Name() string {
 	if s.opt.Restarts > 1 {
+		switch {
+		case s.opt.Tempering:
+			return fmt.Sprintf("SA(pt r=%d)", s.opt.Restarts)
+		case s.opt.Cooperative:
+			return fmt.Sprintf("SA(coop r=%d)", s.opt.Restarts)
+		}
 		return fmt.Sprintf("SA(r=%d)", s.opt.Restarts)
 	}
 	return "SA"
@@ -235,6 +311,14 @@ func (s *Scheduler) Name() string {
 
 // Packets returns the per-packet reports accumulated so far.
 func (s *Scheduler) Packets() []PacketReport { return s.packets }
+
+// RestartsAbandoned returns the total restarts stopped early by the
+// cooperative incumbent rule across all packets since the last Reset.
+func (s *Scheduler) RestartsAbandoned() int { return s.abandoned }
+
+// Exchanges returns the total accepted parallel-tempering replica swaps
+// across all packets since the last Reset.
+func (s *Scheduler) Exchanges() int { return s.exchanges }
 
 // Assign implements machsim.Policy: form the annealing packet, anneal the
 // mapping (possibly several concurrent restarts), return the selected
@@ -266,9 +350,12 @@ func (s *Scheduler) Assign(ep *machsim.Epoch) []machsim.Assignment {
 	})
 	report := &s.packets[len(s.packets)-1]
 
-	if s.opt.Restarts <= 1 {
+	switch {
+	case s.opt.Restarts <= 1:
 		s.annealSingle(pk, aopt, report)
-	} else {
+	case s.opt.Cooperative || s.opt.Tempering:
+		s.annealCooperative(pk, aopt, report)
+	default:
 		s.annealRestarts(pk, aopt, report)
 	}
 
@@ -384,6 +471,269 @@ func (s *Scheduler) annealRestarts(pk *packet, aopt anneal.Options, report *Pack
 	report.Restart = best
 	if s.opt.RecordTrace {
 		report.Trace = append(report.Trace[:0], win.trace...)
+	}
+}
+
+// scaledCooling scales a base schedule's temperatures by a constant
+// factor — one rung of the parallel-tempering ladder.
+type scaledCooling struct {
+	base  anneal.Cooling
+	scale float64
+}
+
+func (c scaledCooling) Name() string {
+	return fmt.Sprintf("%s*%g", c.base.Name(), c.scale)
+}
+func (c scaledCooling) Temperature(stage int) float64 {
+	return c.scale * c.base.Temperature(stage)
+}
+func (c scaledCooling) Stages() int { return c.base.Stages() }
+
+// replicaTemp is the temperature replica r ran during the given stage.
+func replicaTemp(base anneal.Cooling, r, stage int) float64 {
+	t := base.Temperature(stage)
+	if r > 0 {
+		t *= math.Pow(temperRatio, float64(r))
+	}
+	return t
+}
+
+// annealCooperative is annealRestarts with a shared incumbent: every
+// restart runs as an incremental anneal (anneal.Stepper) on its own
+// worker goroutine, and all restarts synchronize after every temperature
+// stage. At the barrier the coordinator — always this goroutine, always
+// iterating in restart order — publishes the incumbent best cost,
+// abandons restarts that have trailed it for AbandonAfter consecutive
+// stages, and (in tempering mode) attempts Metropolis replica exchanges
+// from a dedicated seed-derived RNG. Because no cross-restart decision
+// ever depends on goroutine timing, the adopted schedule is byte-identical
+// to a serial execution at any GOMAXPROCS; and because the incumbent
+// holder is immune to abandonment, the winner is the same mapping a full
+// independent race would adopt whenever it is found by barrier order —
+// abandonment only prunes runs that are provably behind at the time.
+func (s *Scheduler) annealCooperative(pk *packet, aopt anneal.Options, report *PacketReport) {
+	restarts := s.opt.Restarts
+	if len(s.runs) < restarts {
+		s.runs = append(s.runs, make([]restartRun, restarts-len(s.runs))...)
+	}
+	// Seed derivation is identical to annealRestarts: per-restart seeds
+	// drawn up front, in order, from the scheduler RNG. Tempering draws
+	// one extra seed for the exchange RNG.
+	for r := 0; r < restarts; r++ {
+		s.runs[r].seed = s.rng.Int63()
+	}
+	abandonAfter := s.opt.AbandonAfter
+	if abandonAfter == 0 {
+		abandonAfter = defaultAbandonAfter
+	}
+	if s.opt.Tempering {
+		// Every rung must stay live for exchanges to percolate good
+		// states toward the cold end, so abandonment is disabled.
+		abandonAfter = -1
+		seed := s.rng.Int63()
+		if s.exchRng == nil {
+			s.exchRng = rand.New(rand.NewSource(seed))
+		} else {
+			s.exchRng.Seed(seed)
+		}
+	}
+	if cap(s.coopDone) < restarts {
+		// Capacity >= restarts: a worker can always post its barrier
+		// token without blocking, even if the coordinator is behind.
+		s.coopDone = make(chan struct{}, restarts)
+	}
+
+	// Per-restart setup mirrors annealRestarts; each restart additionally
+	// gets a (pooled) Stepper so the run can pause at stage barriers.
+	for r := 0; r < restarts; r++ {
+		run := &s.runs[r]
+		if run.rng == nil {
+			run.rng = rand.New(rand.NewSource(run.seed))
+		} else {
+			run.rng.Seed(run.seed)
+		}
+		run.pk.cloneFrom(pk)
+		if r > 0 {
+			run.pk.clearMapping()
+			if s.opt.GreedyInit {
+				run.pk.initGreedy()
+			} else {
+				run.pk.initRandom(run.rng)
+			}
+		}
+		ropt := aopt
+		ropt.RNG = run.rng
+		if s.opt.Tempering && r > 0 {
+			ropt.Cooling = scaledCooling{base: aopt.Cooling, scale: math.Pow(temperRatio, float64(r))}
+		}
+		run.trace = run.trace[:0]
+		if s.opt.RecordTrace {
+			rpk := &run.pk
+			trace := &run.trace
+			ropt.OnMove = func(mi anneal.MoveInfo) {
+				*trace = append(*trace, TracePoint{
+					Iter: mi.Move,
+					Temp: mi.Temp,
+					Fb:   rpk.Fb(),
+					Fc:   rpk.Fc(),
+					Ftot: rpk.Cost(),
+				})
+			}
+		}
+		if run.step == nil {
+			run.step = new(anneal.Stepper)
+		}
+		run.err = run.step.Reset(&run.pk, ropt)
+		run.stopped = run.err != nil
+		run.stepOK = false
+		run.lag = 0
+		if run.start == nil {
+			run.start = make(chan bool, 1)
+		}
+	}
+
+	// One worker per restart; workers only ever run one stage per wake-up
+	// and park at the barrier. All shared decisions stay on this
+	// goroutine.
+	for r := 0; r < restarts; r++ {
+		go func(run *restartRun) {
+			for <-run.start {
+				run.stepOK = run.step.Step()
+				s.coopDone <- struct{}{}
+			}
+		}(&s.runs[r])
+	}
+
+	for stage := 0; ; stage++ {
+		launched := 0
+		for r := 0; r < restarts; r++ {
+			if !s.runs[r].stopped {
+				s.runs[r].start <- true
+				launched++
+			}
+		}
+		if launched == 0 {
+			break
+		}
+		for i := 0; i < launched; i++ {
+			<-s.coopDone
+		}
+		for r := 0; r < restarts; r++ {
+			run := &s.runs[r]
+			if !run.stopped && !run.stepOK {
+				run.stopped = true
+			}
+		}
+		// Interrupt (the request context, threaded in by the solver) cuts
+		// the anneal short; the best mapping so far is still adopted and
+		// the simulator surfaces the cancellation itself. This is the one
+		// wall-clock-dependent exit, and it only fires on runs whose
+		// results are being discarded.
+		if s.opt.Interrupt != nil && s.opt.Interrupt() != nil {
+			break
+		}
+		// The shared incumbent: lowest best cost over all restarts, ties
+		// to the lowest index — the same rule that picks the final winner.
+		inc := -1
+		for r := 0; r < restarts; r++ {
+			run := &s.runs[r]
+			if run.err != nil {
+				continue
+			}
+			if inc < 0 || run.step.BestCost() < s.runs[inc].step.BestCost() {
+				inc = r
+			}
+		}
+		if inc < 0 {
+			break // every restart failed validation; nothing to anneal
+		}
+		if abandonAfter > 0 {
+			incBest := s.runs[inc].step.BestCost()
+			for r := 0; r < restarts; r++ {
+				run := &s.runs[r]
+				if run.stopped || run.err != nil || r == inc {
+					continue
+				}
+				if run.step.BestCost() > incBest {
+					run.lag++
+				} else {
+					run.lag = 0
+				}
+				if run.lag >= abandonAfter {
+					run.step.Abandon()
+					run.stopped = true
+					s.abandoned++
+					report.Abandoned++
+				}
+			}
+		}
+		if s.opt.Tempering {
+			s.exchangeReplicas(aopt.Cooling, stage, restarts, report)
+		}
+	}
+	// Park every worker permanently; stopped runs still have live workers
+	// waiting on their start channel.
+	for r := 0; r < restarts; r++ {
+		s.runs[r].start <- false
+	}
+
+	best := -1
+	for r := 0; r < restarts; r++ {
+		run := &s.runs[r]
+		if run.err != nil {
+			continue
+		}
+		run.res = run.step.Result()
+		report.Moves += run.res.Moves
+		report.Accepted += run.res.Accepted
+		report.Stages += run.res.Stages
+		if best < 0 || run.res.FinalCost < s.runs[best].res.FinalCost {
+			best = r
+		}
+	}
+	if best < 0 {
+		return // every restart failed: keep the current mapping
+	}
+	win := &s.runs[best]
+	pk.adoptMapping(&win.pk)
+	report.FinalCost = win.res.FinalCost
+	report.PlateauStop = win.res.PlateauStop
+	report.Restart = best
+	if s.opt.RecordTrace {
+		report.Trace = append(report.Trace[:0], win.trace...)
+	}
+}
+
+// exchangeReplicas attempts the parallel-tempering swap between adjacent
+// live replicas after a stage — even pairs on even stages, odd pairs on
+// odd ones, so every rung couples with both neighbours over time. The
+// Metropolis rule on the inverse-temperature gap keeps the joint ladder
+// distribution invariant; the exchange RNG is seeded from the scheduler
+// stream and consumed only here, in index order, so swap decisions are
+// identical at any worker count.
+func (s *Scheduler) exchangeReplicas(base anneal.Cooling, stage, restarts int, report *PacketReport) {
+	for r := stage % 2; r+1 < restarts; r += 2 {
+		a, b := &s.runs[r], &s.runs[r+1]
+		if a.stopped || b.stopped || a.err != nil || b.err != nil {
+			continue
+		}
+		ta := replicaTemp(base, r, stage)
+		tb := replicaTemp(base, r+1, stage)
+		if ta <= 0 || tb <= 0 {
+			continue
+		}
+		// Accept with prob min(1, exp((1/Ta - 1/Tb) * (Ea - Eb))): a
+		// better state always moves to the colder rung.
+		d := (1/ta - 1/tb) * (a.step.Cost() - b.step.Cost())
+		if d < 0 && s.exchRng.Float64() >= math.Exp(d) {
+			continue
+		}
+		a.pk.swapCurrent(&b.pk)
+		ca, cb := a.step.Cost(), b.step.Cost()
+		a.step.SetCost(cb)
+		b.step.SetCost(ca)
+		s.exchanges++
+		report.Exchanges++
 	}
 }
 

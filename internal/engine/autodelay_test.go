@@ -1,0 +1,200 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// feedDelays folds synthetic enqueue-to-dequeue delays into a lane's
+// counters, standing in for what next() observes when dequeuing.
+func feedDelays(e *Engine, lane Lane, d time.Duration, n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i := 0; i < n; i++ {
+		e.lanes[lane].observeDelay(d)
+	}
+}
+
+// TestRetuneDerivesTargetFromObservedDelays drives the tuner directly
+// (no ticker) and checks the derived target is a headroom multiple of
+// the observed p95, clamped, and surfaced through Stats.
+func TestRetuneDerivesTargetFromObservedDelays(t *testing.T) {
+	eng := New(Config{Workers: 1, QueueDelayAuto: true})
+	defer eng.Close()
+
+	// 30 observations around 10ms: they land in the (5ms, 10ms] bucket,
+	// so the windowed p95 interpolates inside it and the derived target
+	// is 4×p95 ∈ (20ms, 40ms].
+	feedDelays(eng, LaneInteractive, 9*time.Millisecond, 30)
+	eng.retuneDelayTargets()
+
+	eng.mu.Lock()
+	target := eng.lanes[LaneInteractive].autoTarget
+	eng.mu.Unlock()
+	if target <= 20*time.Millisecond || target > 40*time.Millisecond {
+		t.Fatalf("auto target = %v, want in (20ms, 40ms]", target)
+	}
+	st := eng.Stats()
+	if got := st.Lanes["interactive"].QueueDelayTargetNS; got != int64(target) {
+		t.Fatalf("Stats target = %dns, want %dns", got, int64(target))
+	}
+	// The batch lane saw nothing: no derived target, and with no static
+	// fallback its effective target stays 0 (depth-only shedding).
+	if got := st.Lanes["batch"].QueueDelayTargetNS; got != 0 {
+		t.Fatalf("idle batch lane target = %dns, want 0", got)
+	}
+}
+
+// TestRetuneWindowingAndAdaptation checks the window semantics: a pass
+// with too few new samples keeps the current target, and a burst of much
+// slower traffic moves the target up via the EWMA — old observations do
+// not anchor it forever.
+func TestRetuneWindowingAndAdaptation(t *testing.T) {
+	eng := New(Config{Workers: 1, QueueDelayAuto: true})
+	defer eng.Close()
+
+	feedDelays(eng, LaneBatch, 9*time.Millisecond, 40)
+	eng.retuneDelayTargets()
+	eng.mu.Lock()
+	first := eng.lanes[LaneBatch].autoTarget
+	eng.mu.Unlock()
+	if first == 0 {
+		t.Fatal("no target derived from first window")
+	}
+
+	// Quiet pass: fewer than delayTuneMinCount new samples → unchanged.
+	feedDelays(eng, LaneBatch, 400*time.Millisecond, delayTuneMinCount-1)
+	eng.retuneDelayTargets()
+	eng.mu.Lock()
+	quiet := eng.lanes[LaneBatch].autoTarget
+	eng.mu.Unlock()
+	if quiet != first {
+		t.Fatalf("quiet pass moved target %v -> %v", first, quiet)
+	}
+
+	// Slow burst: the windowed p95 jumps, the EWMA follows, the target
+	// rises. (The quiet pass advanced the window baseline, so these
+	// samples are the whole new window.)
+	feedDelays(eng, LaneBatch, 400*time.Millisecond, 100)
+	eng.retuneDelayTargets()
+	eng.mu.Lock()
+	adapted := eng.lanes[LaneBatch].autoTarget
+	eng.mu.Unlock()
+	if adapted <= first {
+		t.Fatalf("target did not adapt upward: %v -> %v", first, adapted)
+	}
+}
+
+// TestRetuneClampsTarget pins both clamp edges: microsecond delays still
+// yield at least the 5ms floor (no shedding storms on a healthy idle
+// service), and delays past the histogram's last bound cap at 1s.
+func TestRetuneClampsTarget(t *testing.T) {
+	eng := New(Config{Workers: 1, QueueDelayAuto: true})
+	defer eng.Close()
+
+	feedDelays(eng, LaneInteractive, 20*time.Microsecond, 50)
+	feedDelays(eng, LaneBatch, 3*time.Second, 50)
+	eng.retuneDelayTargets()
+
+	eng.mu.Lock()
+	fast, slow := eng.lanes[LaneInteractive].autoTarget, eng.lanes[LaneBatch].autoTarget
+	eng.mu.Unlock()
+	if fast != delayTargetFloor {
+		t.Fatalf("fast lane target = %v, want floor %v", fast, delayTargetFloor)
+	}
+	if slow != delayTargetCeil {
+		t.Fatalf("slow lane target = %v, want ceiling %v", slow, delayTargetCeil)
+	}
+}
+
+// TestEffectiveDelayTargetPrecedence pins the fallback order: static
+// config until the tuner derives a value, the derived value once it
+// exists, and never the derived value when auto mode is off.
+func TestEffectiveDelayTargetPrecedence(t *testing.T) {
+	eng := New(Config{Workers: 1, QueueDelayTarget: 25 * time.Millisecond, QueueDelayAuto: true})
+	defer eng.Close()
+
+	eng.mu.Lock()
+	if got := eng.effectiveDelayTargetLocked(LaneBatch); got != 25*time.Millisecond {
+		eng.mu.Unlock()
+		t.Fatalf("pre-derivation target = %v, want static 25ms", got)
+	}
+	eng.lanes[LaneBatch].autoTarget = 80 * time.Millisecond
+	if got := eng.effectiveDelayTargetLocked(LaneBatch); got != 80*time.Millisecond {
+		eng.mu.Unlock()
+		t.Fatalf("post-derivation target = %v, want auto 80ms", got)
+	}
+	eng.delayAuto = false
+	if got := eng.effectiveDelayTargetLocked(LaneBatch); got != 25*time.Millisecond {
+		eng.mu.Unlock()
+		t.Fatalf("auto-off target = %v, want static 25ms", got)
+	}
+	eng.mu.Unlock()
+}
+
+// TestAdmissionUsesAutoTarget fabricates an aged queue head and checks
+// admission control sheds against the derived target, not the (absent)
+// static one.
+func TestAdmissionUsesAutoTarget(t *testing.T) {
+	eng := New(Config{Workers: 1, QueueDelayAuto: true})
+	defer eng.Close()
+
+	eng.mu.Lock()
+	eng.lanes[LaneBatch].autoTarget = 10 * time.Millisecond
+	eng.queues[LaneBatch] = append(eng.queues[LaneBatch],
+		&task{lane: LaneBatch, enq: time.Now().Add(-50 * time.Millisecond)})
+	ov := eng.admitLocked(LaneBatch, time.Now())
+	eng.queues[LaneBatch] = nil // drop the fake task before workers see it
+	eng.mu.Unlock()
+
+	if ov == nil {
+		t.Fatal("aged head past auto target not shed")
+	}
+	if !errors.Is(ov, ErrOverloaded) {
+		t.Fatalf("shed error %v does not match ErrOverloaded", ov)
+	}
+	if ov.QueueDelay < 10*time.Millisecond {
+		t.Fatalf("overload detail = %+v", ov)
+	}
+}
+
+// TestWindowQuantile exercises the bucket-delta estimator on synthetic
+// cumulative snapshots: interpolation inside a bucket, the prev-baseline
+// subtraction, and the +Inf clamp.
+func TestWindowQuantile(t *testing.T) {
+	snap := obs.HistSnapshot{
+		Bounds: []float64{0.001, 0.01, 0.1},
+		// 10 obs ≤1ms, 80 in (1ms,10ms], 10 in (10ms,100ms], 0 past.
+		Cum:   []uint64{10, 90, 100, 100},
+		Count: 100,
+	}
+	prev := []uint64{0, 0, 0, 0}
+	// p50 rank 50 lands in the (1ms,10ms] bucket: 40 of its 80 → 1+0.5*9 = 5.5ms.
+	if got := windowQuantile(snap, prev, 0.5); got < 0.0054 || got > 0.0056 {
+		t.Fatalf("p50 = %v, want ~0.0055", got)
+	}
+	// p95 rank 95 lands in the (10ms,100ms] bucket.
+	if got := windowQuantile(snap, prev, 0.95); got <= 0.01 || got > 0.1 {
+		t.Fatalf("p95 = %v, want in (0.01, 0.1]", got)
+	}
+
+	// With the first 90 observations as baseline, the window is only the
+	// 10 slow ones: every quantile sits in the (10ms,100ms] bucket.
+	prev = []uint64{10, 90, 90, 90}
+	if got := windowQuantile(snap, prev, 0.5); got <= 0.01 || got > 0.1 {
+		t.Fatalf("windowed p50 = %v, want in (0.01, 0.1]", got)
+	}
+
+	// Observations past the last bound clamp to it.
+	over := obs.HistSnapshot{
+		Bounds: []float64{0.001, 0.01, 0.1},
+		Cum:    []uint64{0, 0, 0, 50},
+		Count:  50,
+	}
+	if got := windowQuantile(over, []uint64{0, 0, 0, 0}, 0.95); got != 0.1 {
+		t.Fatalf("+Inf-bucket p95 = %v, want clamp to 0.1", got)
+	}
+}

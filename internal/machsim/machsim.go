@@ -204,6 +204,11 @@ type Result struct {
 	// WallNS is wall-clock and therefore excluded from the cached wire
 	// body; the service folds it into metrics and traces instead.
 	Members []MemberStat
+	// RestartsAbandoned counts SA restarts stopped early by the
+	// cooperative incumbent rule (core.Options.Cooperative). Unlike
+	// Pruned, abandonment is decided at seed-deterministic stage barriers
+	// — never by wall clock — so results with abandonment stay cacheable.
+	RestartsAbandoned int
 }
 
 // MemberStat is one portfolio member's run record.

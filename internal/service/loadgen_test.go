@@ -76,6 +76,37 @@ func TestLoadGenShedRetriesExhausted(t *testing.T) {
 	}
 }
 
+// TestLoadGenWarmMode runs warm mode against a real server: seeding
+// solves every distinct key before the clock, so every timed request is
+// answered from cache — zero warm misses and a hit count equal to the
+// request count.
+func TestLoadGenWarmMode(t *testing.T) {
+	_, ts := newTestServer(t, Config{CacheSize: 64})
+	report, err := LoadGen(LoadGenConfig{
+		URL:         ts.URL,
+		Requests:    12,
+		Concurrency: 3,
+		Distinct:    3,
+		Solver:      "hlf",
+		Warm:        true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Errors != 0 {
+		t.Fatalf("errors = %d, want 0", report.Errors)
+	}
+	if !report.Warm || report.WarmSeeded != 3 {
+		t.Fatalf("warm = %v seeded = %d, want true/3", report.Warm, report.WarmSeeded)
+	}
+	if report.WarmMisses != 0 {
+		t.Fatalf("warm misses = %d, want 0 — seeding should have covered every timed key", report.WarmMisses)
+	}
+	if got := report.CacheHits + report.DiskHits + report.Coalesced; got != report.Requests {
+		t.Fatalf("cache-served = %d of %d timed requests, want all", got, report.Requests)
+	}
+}
+
 // TestLoadGenTraceBreakdown runs the generator against a real server with
 // trace sampling on: every other request is traced and the report's
 // per-stage table reflects the request pipeline.

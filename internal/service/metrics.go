@@ -60,6 +60,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("dtserve_solves_total", "Solver executions (cache misses that ran a solver).", st.Solves)
 	counter("dtserve_coalesced_total", "Requests answered by piggybacking on an identical in-flight solve.", st.Coalesced)
 	counter("dtserve_portfolio_pruned_total", "Portfolio members cancelled mid-run by the incumbent bound.", st.PortfolioPruned)
+	counter("dtserve_restarts_abandoned_total", "Cooperative SA restarts abandoned early for lagging the shared incumbent (seed-deterministic).", st.RestartsAbandoned)
 	counter("dtserve_shed_total", "Requests refused by admission control with a 429 (lane depth or queue-delay budget exhausted).", st.Shed)
 	counter("dtserve_cancelled_total", "Solves cancelled by their caller going away (client disconnect, drain).", st.Cancelled)
 	counter("dtserve_traces_total", "Completed request traces recorded to the /debug/requests ring.", st.Traces)
@@ -137,6 +138,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "# HELP dtserve_lane_queue_delay_ewma_seconds Moving average of the lane's enqueue-to-dequeue delay.\n# TYPE dtserve_lane_queue_delay_ewma_seconds gauge\n")
 	for _, lane := range laneNames(st.Pool.Lanes) {
 		fmt.Fprintf(&b, "dtserve_lane_queue_delay_ewma_seconds{lane=%q} %g\n", lane, st.Pool.Lanes[lane].QueueDelayEWMA)
+	}
+	fmt.Fprintf(&b, "# HELP dtserve_lane_queue_delay_target_seconds Queue-delay shedding target in force for the lane (auto-derived when -queue-delay-target auto, else static; 0 means depth-only shedding).\n# TYPE dtserve_lane_queue_delay_target_seconds gauge\n")
+	for _, lane := range laneNames(st.Pool.Lanes) {
+		fmt.Fprintf(&b, "dtserve_lane_queue_delay_target_seconds{lane=%q} %g\n", lane, float64(st.Pool.Lanes[lane].QueueDelayTargetNS)/1e9)
 	}
 
 	histHeader("dtserve_lane_queue_delay_seconds", "Distribution of the lane's enqueue-to-dequeue delay.")

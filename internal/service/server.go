@@ -19,6 +19,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/solver"
+	"repro/internal/taskgraph"
 	"repro/internal/topology"
 )
 
@@ -37,6 +38,12 @@ type Config struct {
 	// job has waited longer than this (429 + Retry-After). 0 disables
 	// delay-based shedding.
 	QueueDelayTarget time.Duration
+	// QueueDelayAuto derives each lane's shedding target from its own
+	// observed p95 queue delay (EWMA-smoothed, headroom-multiplied,
+	// clamped) instead of the static QueueDelayTarget — see
+	// engine.Config.QueueDelayAuto. QueueDelayTarget then only serves as
+	// the fallback before the first derivation.
+	QueueDelayAuto bool
 	// InteractiveWeight is the weighted-dequeue ratio between the
 	// interactive and batch lanes; <= 0 means the engine default (4).
 	InteractiveWeight int
@@ -111,17 +118,20 @@ type Server struct {
 	drainOnce sync.Once
 
 	mu        sync.Mutex
-	requests  uint64            // API calls that reached a handler
-	failures  uint64            // requests answered with a non-2xx status
-	items     uint64            // schedule items answered (1 per single, N per batch)
-	solves    uint64            // solver executions (cache misses)
-	memHits   uint64            // items answered from the memory tier
-	diskHits  uint64            // items answered from the disk tier
-	coalesced uint64            // requests that piggybacked on an in-flight solve
-	pruned    uint64            // portfolio members cancelled by the incumbent bound
-	shed      uint64            // requests refused by admission control (429)
-	cancelled uint64            // solves cancelled by their caller (client disconnect, drain)
-	bySolver  map[string]uint64 // completed solves by registry name
+	requests  uint64 // API calls that reached a handler
+	failures  uint64 // requests answered with a non-2xx status
+	items     uint64 // schedule items answered (1 per single, N per batch)
+	solves    uint64 // solver executions (cache misses)
+	memHits   uint64 // items answered from the memory tier
+	diskHits  uint64 // items answered from the disk tier
+	coalesced uint64 // requests that piggybacked on an in-flight solve
+	pruned    uint64 // portfolio members cancelled by the incumbent bound
+	// restartsAbandoned counts SA restarts stopped early by the
+	// cooperative incumbent rule across all completed solves.
+	restartsAbandoned uint64
+	shed              uint64            // requests refused by admission control (429)
+	cancelled         uint64            // solves cancelled by their caller (client disconnect, drain)
+	bySolver          map[string]uint64 // completed solves by registry name
 	// solveErrors counts solver executions that ended in an error (any
 	// non-shed failure: solver error, deadline, cancellation), by name —
 	// with bySolver these are the per-solver ok/error outcome counters.
@@ -159,6 +169,10 @@ type Stats struct {
 	// PortfolioPruned counts portfolio members cancelled mid-run because
 	// their own makespan lower bound exceeded the incumbent best.
 	PortfolioPruned uint64 `json:"portfolio_pruned"`
+	// RestartsAbandoned counts cooperative SA restarts stopped early
+	// because they lagged the shared incumbent (core.Options.Cooperative).
+	// Deterministic per seed, unlike the wall-clock portfolio pruning.
+	RestartsAbandoned uint64 `json:"restarts_abandoned"`
 	// Shed counts requests refused by admission control with a 429: a
 	// QoS lane's queue-depth or queue-delay budget was exhausted. Shed
 	// requests never become schedule items, so they sit outside the
@@ -237,6 +251,7 @@ func New(cfg Config) (*Server, error) {
 			MaxBatch:          cfg.MaxBatch,
 			QueueDepth:        cfg.QueueDepth,
 			QueueDelayTarget:  cfg.QueueDelayTarget,
+			QueueDelayAuto:    cfg.QueueDelayAuto,
 			InteractiveWeight: cfg.InteractiveWeight,
 		}),
 		cache:          NewCache(cfg.CacheSize, cfg.CacheBytes),
@@ -324,21 +339,22 @@ func (s *Server) Stats() Stats {
 	cs.Hits = s.memHits
 	ds.Hits = s.diskHits
 	return Stats{
-		Requests:        s.requests,
-		Failures:        s.failures,
-		Items:           s.items,
-		Solves:          s.solves,
-		Coalesced:       s.coalesced,
-		PortfolioPruned: s.pruned,
-		Shed:            s.shed,
-		Cancelled:       s.cancelled,
-		Draining:        s.draining.Load(),
-		BySolver:        by,
-		SolveErrors:     se,
-		MemberOutcomes:  mo,
-		Traces:          ring.Total,
-		Cache:           cs,
-		Disk:            ds,
+		Requests:          s.requests,
+		Failures:          s.failures,
+		Items:             s.items,
+		Solves:            s.solves,
+		Coalesced:         s.coalesced,
+		PortfolioPruned:   s.pruned,
+		RestartsAbandoned: s.restartsAbandoned,
+		Shed:              s.shed,
+		Cancelled:         s.cancelled,
+		Draining:          s.draining.Load(),
+		BySolver:          by,
+		SolveErrors:       se,
+		MemberOutcomes:    mo,
+		Traces:            ring.Total,
+		Cache:             cs,
+		Disk:              ds,
 		Pool: PoolStats{
 			Workers:    est.Workers,
 			MinWorkers: est.MinWorkers,
@@ -562,7 +578,7 @@ const maxRestarts = 64
 // explicitly: "trace": true on the wire, or ?trace=1 on the URL. The
 // RawQuery guard keeps query parsing (which allocates) off the common
 // path of requests with no query string at all.
-func wantsTrace(req *ScheduleRequest, r *http.Request) bool {
+func wantsTrace(req *rawRequest, r *http.Request) bool {
 	if req.Trace {
 		return true
 	}
@@ -616,7 +632,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errDraining())
 		return
 	}
-	var req ScheduleRequest
+	var req rawRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
 		writeError(w, badRequest("decode request: %v", err))
 		return
@@ -711,7 +727,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errDraining())
 		return
 	}
-	var batch BatchRequest
+	var batch rawBatch
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&batch); err != nil {
 		writeError(w, badRequest("decode batch: %v", err))
 		return
@@ -832,6 +848,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, BatchResponse{Items: items})
 }
 
+// canonScratch is the fused decode path's per-request scratch: a
+// reusable streaming canonicalizer plus the cache-key document buffer.
+// Pooled, so warm hits allocate no per-request decode state beyond what
+// encoding/json itself needs.
+type canonScratch struct {
+	c   taskgraph.Canonicalizer
+	buf []byte
+}
+
+var canonPool = sync.Pool{New: func() any { return new(canonScratch) }}
+
 // process turns one wire request into marshaled result bytes: validate,
 // consult the content-addressed cache tiers fastest-first (memory, then
 // the persistent disk tier — a disk hit is promoted into memory),
@@ -841,11 +868,29 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // obtained: "hit", "disk", "miss" or "coalesced". defLane is the QoS lane
 // used when the request names none: interactive for single schedule
 // calls, batch for batch members.
-func (s *Server) process(ctx context.Context, req *ScheduleRequest, defLane engine.Lane) ([]byte, string, error) {
+//
+// The graph arrives as raw bytes and is decoded by the fused
+// canonicalizer: one pass yields the canonical form and fingerprint the
+// cache key hashes, so a warm hit is bounded by that pass plus the
+// response write — no *Graph is built and no canonical re-marshal
+// happens. The solver-ready Graph materializes inside the cold closure,
+// which only runs on a genuine miss (or an explicit nocache solve).
+func (s *Server) process(ctx context.Context, req *rawRequest, defLane engine.Lane) ([]byte, string, error) {
 	tr := obs.FromContext(ctx)
 	canonStart := time.Now()
-	if req.Graph == nil {
+	if len(req.Graph) == 0 || string(req.Graph) == "null" {
 		return nil, "", badRequest("missing graph")
+	}
+	// Graph errors precede the other validations, exactly as they did
+	// when the body decode materialized (and validated) the graph before
+	// process ever ran — and they carry the same messages. Acyclicity is
+	// the one check the canonicalizer defers to materialization: a cyclic
+	// graph misses every tier (nothing cyclic was ever cached) and is
+	// rejected by the cold closure with the unchanged wrapped message.
+	scratch := canonPool.Get().(*canonScratch)
+	defer canonPool.Put(scratch)
+	if err := scratch.c.Parse(req.Graph); err != nil {
+		return nil, "", badRequest("decode request: %v", err)
 	}
 	if req.Topo == "" {
 		return nil, "", badRequest("missing topo spec")
@@ -891,19 +936,35 @@ func (s *Server) process(ctx context.Context, req *ScheduleRequest, defLane engi
 		return nil, "", badRequest("restarts %d out of range [0,%d]", req.Restarts, maxRestarts)
 	}
 	saOpt.Restarts = req.Restarts
+	saOpt.Cooperative = req.Cooperative
+	saOpt.Tempering = req.Tempering
 	if err := saOpt.Validate(); err != nil {
 		return nil, "", badRequest("%v", err)
 	}
 
-	sreq := solver.Request{Graph: req.Graph, Topo: topo, Comm: comm, SA: saOpt}
-	sreq.Portfolio.MemberTimeout = time.Duration(req.MemberTimeoutMS) * time.Millisecond
-	if err := sreq.Validate(); err != nil {
-		return nil, "", badRequest("%v", err)
-	}
-
-	key, err := cacheKey(req.Graph, topo.Name(), comm, slv.Name(), saOpt, req.TimeoutMS, req.MemberTimeoutMS)
+	key, buf, err := fusedKey(&scratch.c, scratch.buf,
+		makeKeyOptions(topo.Name(), comm, slv.Name(), saOpt, req.TimeoutMS, req.MemberTimeoutMS))
+	scratch.buf = buf
 	if err != nil {
 		return nil, "", fmt.Errorf("service: cache key: %w", err)
+	}
+
+	// cold materializes the graph and runs the solver — the only path
+	// that pays for a *Graph. It runs at most once per process call (as
+	// flight leader, as a waiter retrying a leader's context death, or
+	// for a nocache solve), always within this frame, so borrowing the
+	// pooled canonicalizer is safe.
+	cold := func(ctx context.Context) ([]byte, error) {
+		g, err := scratch.c.Graph()
+		if err != nil {
+			return nil, badRequest("decode request: %v", err)
+		}
+		sreq := solver.Request{Graph: g, Topo: topo, Comm: comm, SA: saOpt}
+		sreq.Portfolio.MemberTimeout = time.Duration(req.MemberTimeoutMS) * time.Millisecond
+		if err := sreq.Validate(); err != nil {
+			return nil, badRequest("%v", err)
+		}
+		return s.solve(ctx, slv, sreq, req.TimeoutMS, topo.Name(), key, lane)
 	}
 	if tr != nil {
 		tr.Observe(obs.StageCanonicalize, canonStart, time.Since(canonStart),
@@ -935,7 +996,7 @@ func (s *Server) process(ctx context.Context, req *ScheduleRequest, defLane engi
 						// about the leader's connection, not this
 						// waiter's. Solve independently under our own
 						// context instead of propagating it.
-						body, err := s.solve(ctx, slv, sreq, req, topo.Name(), key, lane)
+						body, err := cold(ctx)
 						return body, "miss", err
 					}
 					return nil, "", f.err
@@ -988,11 +1049,11 @@ func (s *Server) process(ctx context.Context, req *ScheduleRequest, defLane engi
 			f.body, f.err = body, nil
 			return body, "disk", nil
 		}
-		body, err := s.solve(ctx, slv, sreq, req, topo.Name(), key, lane)
+		body, err := cold(ctx)
 		f.body, f.err = body, err
 		return body, "miss", err
 	}
-	body, err := s.solve(ctx, slv, sreq, req, topo.Name(), key, lane)
+	body, err := cold(ctx)
 	return body, "miss", err
 }
 
@@ -1016,12 +1077,12 @@ func isLeaderContextError(err error) bool {
 // solver its owned simulator arena and pooled scheduler), marshals the
 // wire result, records the solve latency, and stores cacheable bodies.
 func (s *Server) solve(ctx context.Context, slv solver.Solver, sreq solver.Request,
-	req *ScheduleRequest, topoName, key string, lane engine.Lane) ([]byte, error) {
+	timeoutMS int, topoName, key string, lane engine.Lane) ([]byte, error) {
 
 	deadlined := false
-	if req.TimeoutMS > 0 {
+	if timeoutMS > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(timeoutMS)*time.Millisecond)
 		defer cancel()
 		deadlined = true
 	} else if s.cfg.DefaultTimeout > 0 {
@@ -1068,7 +1129,7 @@ func (s *Server) solve(ctx context.Context, slv solver.Solver, sreq solver.Reque
 		return nil, &httpError{status: status, msg: err.Error()}
 	}
 	marshalStart := time.Now()
-	wire, err := ResultFromSim(res, req.Graph, topoName)
+	wire, err := ResultFromSim(res, sreq.Graph, topoName)
 	if err != nil {
 		return nil, &httpError{status: http.StatusUnprocessableEntity, msg: err.Error()}
 	}
@@ -1099,6 +1160,7 @@ func (s *Server) solve(ctx context.Context, slv solver.Solver, sreq solver.Reque
 	s.solveLatency.Observe(time.Since(start))
 	s.mu.Lock()
 	s.pruned += uint64(res.Pruned)
+	s.restartsAbandoned += uint64(res.RestartsAbandoned)
 	s.bySolver[slv.Name()]++
 	for _, m := range res.Members {
 		s.memberOutcomes[m.Member+"|"+m.Outcome]++

@@ -66,6 +66,40 @@ func BenchmarkServeMemoryHit(b *testing.B) {
 	}
 }
 
+// BenchmarkWarmHitHTTP: the warm-hit floor without the loopback-TCP tax —
+// the request goes straight into the HTTP handler with an in-process
+// recorder, so the number is decode + fused canonicalize/key + memory-tier
+// get + response write. This is the path the zero-copy wire work bounds:
+// allocations here are the request's true steady-state cost.
+func BenchmarkWarmHitHTTP(b *testing.B) {
+	svc, err := New(Config{CacheSize: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+	h := svc.Handler()
+	payload := benchPayload(b, false)
+	warm := httptest.NewRequest(http.MethodPost, "/v1/schedule", bytes.NewReader(payload))
+	wrec := httptest.NewRecorder()
+	h.ServeHTTP(wrec, warm)
+	if wrec.Code != http.StatusOK {
+		b.Fatalf("warmup status %d: %s", wrec.Code, wrec.Body.String())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/schedule", bytes.NewReader(payload))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+		if got := rec.Header().Get("X-DTServe-Cache"); got != "hit" {
+			b.Fatalf("cache status %q, want \"hit\"", got)
+		}
+	}
+}
+
 // BenchmarkServeDiskHit: warm key answered from the persistent tier
 // (memory tier disabled so every request reads, verifies and decodes the
 // on-disk entry).

@@ -63,6 +63,15 @@ type ScheduleRequest struct {
 	Wb *float64 `json:"wb,omitempty"`
 	// Restarts anneals each packet this many times (0/1 = single run).
 	Restarts int `json:"restarts,omitempty"`
+	// Cooperative makes the SA restarts share one incumbent best cost:
+	// restarts publish improvements at stage barriers and dominated
+	// restarts are abandoned early. Winner-preserving and deterministic
+	// for a fixed seed, so cooperative results cache like plain ones.
+	Cooperative bool `json:"cooperative,omitempty"`
+	// Tempering runs the restarts as a parallel-tempering ladder
+	// (epoch-synchronized replica exchange) instead of independent
+	// chains; implies cooperative barriers. Deterministic per seed.
+	Tempering bool `json:"tempering,omitempty"`
 	// TimeoutMS bounds the solve wall-clock; 0 means the server default.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
 	// MemberTimeoutMS bounds each portfolio member's solve individually
@@ -119,6 +128,34 @@ func (o *CommOverride) apply(p topology.CommParams) topology.CommParams {
 // BatchRequest is the wire form of POST /v1/schedule/batch.
 type BatchRequest struct {
 	Requests []ScheduleRequest `json:"requests"`
+}
+
+// rawRequest is the handler-side decode form of ScheduleRequest: the
+// graph stays as raw bytes so the fused path (taskgraph.Canonicalizer)
+// can build the canonical form and hash the cache key in one pass over
+// them, materializing a *Graph only on a cache miss. Field set and tags
+// must mirror ScheduleRequest exactly.
+type rawRequest struct {
+	Graph           json.RawMessage `json:"graph"`
+	Topo            string          `json:"topo"`
+	Comm            *CommOverride   `json:"comm,omitempty"`
+	NoComm          bool            `json:"nocomm,omitempty"`
+	Solver          string          `json:"solver,omitempty"`
+	Seed            int64           `json:"seed,omitempty"`
+	Wb              *float64        `json:"wb,omitempty"`
+	Restarts        int             `json:"restarts,omitempty"`
+	Cooperative     bool            `json:"cooperative,omitempty"`
+	Tempering       bool            `json:"tempering,omitempty"`
+	TimeoutMS       int             `json:"timeout_ms,omitempty"`
+	MemberTimeoutMS int             `json:"member_timeout_ms,omitempty"`
+	Lane            string          `json:"lane,omitempty"`
+	NoCache         bool            `json:"nocache,omitempty"`
+	Trace           bool            `json:"trace,omitempty"`
+}
+
+// rawBatch is the handler-side decode form of BatchRequest.
+type rawBatch struct {
+	Requests []rawRequest `json:"requests"`
 }
 
 // BatchItem is one element of a batch response: exactly one of Result or
@@ -210,21 +247,70 @@ func cacheKey(g *taskgraph.Graph, topoName string, comm topology.CommParams,
 		return "", err
 	}
 	key := struct {
-		Graph         json.RawMessage     `json:"graph"`
-		Topo          string              `json:"topo"`
-		Comm          topology.CommParams `json:"comm"`
-		Solver        string              `json:"solver"`
-		Seed          int64               `json:"seed"`
-		Wb            float64             `json:"wb"`
-		Wc            float64             `json:"wc"`
-		Restarts      int                 `json:"restarts"`
-		Timeout       int                 `json:"timeout_ms"`
-		MemberTimeout int                 `json:"member_timeout_ms,omitempty"`
-	}{graphJSON, topoName, comm, solverName, sa.Seed, sa.Wb, sa.Wc, sa.Restarts, timeoutMS, memberTimeoutMS}
+		Graph json.RawMessage `json:"graph"`
+		keyOptions
+	}{graphJSON, makeKeyOptions(topoName, comm, solverName, sa, timeoutMS, memberTimeoutMS)}
 	data, err := json.Marshal(key)
 	if err != nil {
 		return "", err
 	}
 	sum := sha256.Sum256(data)
 	return fmt.Sprintf("%016x-%s", g.Fingerprint(), hex.EncodeToString(sum[:16])), nil
+}
+
+// keyOptions is the option block of the cache-key document: every knob
+// that can change a result's bytes, in one fixed field order shared by
+// cacheKey and the fused streaming path so both derive identical keys.
+// The cooperative/tempering flags sit last with omitempty, so every key
+// minted before they existed is byte-stable.
+type keyOptions struct {
+	Topo          string              `json:"topo"`
+	Comm          topology.CommParams `json:"comm"`
+	Solver        string              `json:"solver"`
+	Seed          int64               `json:"seed"`
+	Wb            float64             `json:"wb"`
+	Wc            float64             `json:"wc"`
+	Restarts      int                 `json:"restarts"`
+	Timeout       int                 `json:"timeout_ms"`
+	MemberTimeout int                 `json:"member_timeout_ms,omitempty"`
+	Cooperative   bool                `json:"cooperative,omitempty"`
+	Tempering     bool                `json:"tempering,omitempty"`
+}
+
+func makeKeyOptions(topoName string, comm topology.CommParams,
+	solverName string, sa core.Options, timeoutMS, memberTimeoutMS int) keyOptions {
+	return keyOptions{
+		Topo:          topoName,
+		Comm:          comm,
+		Solver:        solverName,
+		Seed:          sa.Seed,
+		Wb:            sa.Wb,
+		Wc:            sa.Wc,
+		Restarts:      sa.Restarts,
+		Timeout:       timeoutMS,
+		MemberTimeout: memberTimeoutMS,
+		Cooperative:   sa.Cooperative,
+		Tempering:     sa.Tempering,
+	}
+}
+
+// fusedKey derives cacheKey's exact string from a parsed Canonicalizer
+// without materializing a *Graph or re-marshaling it. The canonical
+// graph bytes are spliced verbatim into the key document — they are
+// already compact, HTML-escaped encoding/json output, which is exactly
+// how json.Marshal embeds a RawMessage — so the hashed bytes are
+// byte-identical to cacheKey's, and so is the key. buf is the caller's
+// scratch (reused across requests); the possibly-grown slice is
+// returned alongside the key.
+func fusedKey(c *taskgraph.Canonicalizer, buf []byte, opt keyOptions) (string, []byte, error) {
+	tail, err := json.Marshal(opt)
+	if err != nil {
+		return "", buf, err
+	}
+	buf = append(buf[:0], `{"graph":`...)
+	buf = c.AppendCanonicalJSON(buf)
+	buf = append(buf, ',')
+	buf = append(buf, tail[1:]...) // tail is "{...}": splice its fields after the graph
+	sum := sha256.Sum256(buf)
+	return fmt.Sprintf("%016x-%s", c.Fingerprint(), hex.EncodeToString(sum[:16])), buf, nil
 }

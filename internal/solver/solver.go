@@ -138,6 +138,15 @@ func (p policySolver) Solve(ctx context.Context, req Request) (*machsim.Result, 
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
+	if p.name == "sa" && (req.SA.Cooperative || req.SA.Tempering) && req.SA.Interrupt == nil {
+		// Thread the request context into the cooperative stage barrier:
+		// a cancelled request — a pruned portfolio member, a disconnected
+		// client, a lost engine race — stops annealing at the next
+		// barrier instead of finishing the packet. Abandonment itself
+		// stays seed-deterministic; only cancelled (discarded) runs ever
+		// observe this hook firing.
+		req.SA.Interrupt = ctx.Err
+	}
 	var pol machsim.Policy
 	if p.name == "sa" && req.Sched != nil {
 		// The caller-owned scheduler arena replaces the per-solve
@@ -155,8 +164,11 @@ func (p policySolver) Solve(ctx context.Context, req Request) (*machsim.Result, 
 	}
 	res, err := simulate(ctx, pol, req)
 	if err == nil {
-		if tr := obs.FromContext(ctx); tr != nil {
-			if sc, ok := pol.(*core.Scheduler); ok {
+		if sc, ok := pol.(*core.Scheduler); ok {
+			// res is a detached clone, so folding scheduler-side counters
+			// into it never races with arena reuse.
+			res.RestartsAbandoned = sc.RestartsAbandoned()
+			if tr := obs.FromContext(ctx); tr != nil {
 				annotateAnneal(tr, sc)
 			}
 		}
@@ -183,6 +195,12 @@ func annotateAnneal(tr *obs.Trace, sc *core.Scheduler) {
 	tr.Annotate("anneal_stages", strconv.Itoa(stages))
 	tr.Annotate("anneal_moves", strconv.Itoa(moves))
 	tr.Annotate("anneal_accepted", strconv.Itoa(accepted))
+	if n := sc.RestartsAbandoned(); n > 0 {
+		tr.Annotate("restarts_abandoned", strconv.Itoa(n))
+	}
+	if n := sc.Exchanges(); n > 0 {
+		tr.Annotate("replica_exchanges", strconv.Itoa(n))
+	}
 	tr.Annotate("initial_cost", strconv.FormatFloat(initial, 'g', -1, 64))
 	tr.Annotate("final_cost", strconv.FormatFloat(final, 'g', -1, 64))
 }

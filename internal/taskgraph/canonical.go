@@ -1,0 +1,308 @@
+package taskgraph
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"unicode/utf8"
+)
+
+// Canonicalizer fuses request decoding with canonicalization: one Parse
+// pass over a graph's wire JSON yields the canonical form (tasks
+// ID-sorted, edges (from,to)-sorted with duplicates merged), the
+// structural fingerprint, and — only if the caller still needs one — the
+// materialized *Graph. The served warm path uses it to compute a cache
+// key without Graph.CanonicalJSON's decode-then-re-marshal round trip:
+// AppendCanonicalJSON emits bytes that are guaranteed byte-identical to
+// CanonicalJSON of the decoded graph, and Fingerprint matches
+// Graph.Fingerprint, so keys derived from either path are interchangeable.
+//
+// A Canonicalizer is reusable: Parse resets all state, and steady-state
+// reuse (e.g. from a sync.Pool) allocates only what encoding/json itself
+// needs. It is not safe for concurrent use.
+type Canonicalizer struct {
+	jg    jsonGraph  // decoded wire form; Tasks ID-sorted, Edges in input order
+	canon []jsonEdge // canonical edge list: (from,to)-sorted, duplicates merged
+	fp    uint64
+}
+
+// Parse decodes and validates one graph document, leaving the canonical
+// form ready for AppendCanonicalJSON/Fingerprint/Graph. It applies the
+// exact validation sequence of Graph.UnmarshalJSON — decode, dense task
+// IDs, then per-edge endpoint/self-loop/volume checks in input order —
+// and returns errors with identical messages, so callers that previously
+// decoded into a *Graph surface unchanged errors to their clients.
+// Acyclicity is the one check deferred to Graph: the canonical bytes and
+// fingerprint are well-defined for cyclic inputs, and the served cache
+// path only materializes a Graph on a miss.
+func (c *Canonicalizer) Parse(data []byte) error {
+	// Zero the reused backing arrays up to capacity: json.Unmarshal
+	// decodes into existing elements without clearing them, so a stale
+	// "name" or "bits" from the previous document would leak into this
+	// one wherever the new document omits the field.
+	tasks := c.jg.Tasks[:cap(c.jg.Tasks)]
+	for i := range tasks {
+		tasks[i] = jsonTask{}
+	}
+	edges := c.jg.Edges[:cap(c.jg.Edges)]
+	for i := range edges {
+		edges[i] = jsonEdge{}
+	}
+	c.jg.Name = ""
+	c.jg.Tasks = tasks[:0]
+	c.jg.Edges = edges[:0]
+	c.canon = c.canon[:0]
+	c.fp = 0
+	if err := json.Unmarshal(data, &c.jg); err != nil {
+		// Match json.Unmarshal into a *Graph exactly: its validity
+		// pre-scan reports syntax errors bare, before Graph.UnmarshalJSON
+		// (whose "taskgraph: decode:" wrapper applies to everything else)
+		// ever runs.
+		var syn *json.SyntaxError
+		if errors.As(err, &syn) {
+			return err
+		}
+		return fmt.Errorf("taskgraph: decode: %w", err)
+	}
+	tasks = c.jg.Tasks
+	sort.Slice(tasks, func(i, j int) bool { return tasks[i].ID < tasks[j].ID })
+	for i := range tasks {
+		if tasks[i].ID != i {
+			return fmt.Errorf("taskgraph: decode: task IDs not dense (got %d at position %d)", tasks[i].ID, i)
+		}
+	}
+	n := len(tasks)
+	for _, e := range c.jg.Edges {
+		// Mirrors Graph.AddEdge's checks (and their order) exactly.
+		if e.From < 0 || e.From >= n || e.To < 0 || e.To >= n {
+			return fmt.Errorf("taskgraph: decode: taskgraph: edge (%d,%d): unknown task", e.From, e.To)
+		}
+		if e.From == e.To {
+			return fmt.Errorf("taskgraph: decode: taskgraph: self-loop on task %d", e.From)
+		}
+		if e.Bits < 0 {
+			return fmt.Errorf("taskgraph: decode: taskgraph: edge (%d,%d): negative volume %g", e.From, e.To, e.Bits)
+		}
+	}
+	// Canonical edge order: stable-sort a copy by (from, to) and merge
+	// duplicates by accumulating volumes. Stability preserves arrival
+	// order within a duplicate group, so the float sum associates exactly
+	// like repeated AddEdge calls — merged volumes are bit-identical to
+	// the decoded graph's.
+	c.canon = append(c.canon, c.jg.Edges...)
+	sort.SliceStable(c.canon, func(i, j int) bool {
+		if c.canon[i].From != c.canon[j].From {
+			return c.canon[i].From < c.canon[j].From
+		}
+		return c.canon[i].To < c.canon[j].To
+	})
+	w := 0
+	for _, e := range c.canon {
+		if w > 0 && c.canon[w-1].From == e.From && c.canon[w-1].To == e.To {
+			c.canon[w-1].Bits += e.Bits
+			continue
+		}
+		c.canon[w] = e
+		w++
+	}
+	c.canon = c.canon[:w]
+	c.fp = c.fingerprint()
+	return nil
+}
+
+// fnv64Offset and fnv64Prime are the FNV-1a parameters of hash/fnv,
+// inlined so fingerprinting allocates nothing.
+const (
+	fnv64Offset uint64 = 14695981039346656037
+	fnv64Prime  uint64 = 1099511628211
+)
+
+func fnv1aU64(h, v uint64) uint64 {
+	// Big-endian byte order, matching Graph.Fingerprint's
+	// binary.BigEndian.PutUint64 + fnv.Write.
+	for shift := 56; shift >= 0; shift -= 8 {
+		h ^= v >> shift & 0xFF
+		h *= fnv64Prime
+	}
+	return h
+}
+
+// fingerprint replicates Graph.Fingerprint over the canonical form: task
+// count, clamped loads in ID order, then (from, to, bits) per canonical
+// edge.
+func (c *Canonicalizer) fingerprint() uint64 {
+	h := fnv1aU64(fnv64Offset, uint64(len(c.jg.Tasks)))
+	for _, t := range c.jg.Tasks {
+		load := t.Load
+		if load < 0 {
+			load = 0
+		}
+		h = fnv1aU64(h, math.Float64bits(load))
+	}
+	for _, e := range c.canon {
+		h = fnv1aU64(h, uint64(e.From))
+		h = fnv1aU64(h, uint64(e.To))
+		h = fnv1aU64(h, math.Float64bits(e.Bits))
+	}
+	return h
+}
+
+// Fingerprint returns the parsed graph's structural fingerprint, equal to
+// Graph.Fingerprint of the materialized graph.
+func (c *Canonicalizer) Fingerprint() uint64 { return c.fp }
+
+// NumTasks returns the parsed graph's task count.
+func (c *Canonicalizer) NumTasks() int { return len(c.jg.Tasks) }
+
+// AppendCanonicalJSON appends the canonical compact JSON encoding to dst
+// and returns the extended slice. The bytes are identical to
+// Graph.CanonicalJSON of the materialized graph: same structure, same
+// encoding/json number and string formats (HTML-escaped), same null
+// spellings for empty task/edge lists.
+func (c *Canonicalizer) AppendCanonicalJSON(dst []byte) []byte {
+	dst = append(dst, `{"name":`...)
+	dst = appendJSONString(dst, c.jg.Name)
+	dst = append(dst, `,"tasks":`...)
+	if len(c.jg.Tasks) == 0 {
+		dst = append(dst, "null"...)
+	} else {
+		dst = append(dst, '[')
+		for i, t := range c.jg.Tasks {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = append(dst, `{"id":`...)
+			dst = strconv.AppendInt(dst, int64(t.ID), 10)
+			if t.Name != "" {
+				dst = append(dst, `,"name":`...)
+				dst = appendJSONString(dst, t.Name)
+			}
+			dst = append(dst, `,"load":`...)
+			load := t.Load
+			if load < 0 {
+				load = 0 // AddTask's clamp
+			}
+			dst = appendJSONFloat(dst, load)
+			dst = append(dst, '}')
+		}
+		dst = append(dst, ']')
+	}
+	dst = append(dst, `,"edges":`...)
+	if len(c.canon) == 0 {
+		dst = append(dst, "null"...)
+	} else {
+		dst = append(dst, '[')
+		for i, e := range c.canon {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = append(dst, `{"from":`...)
+			dst = strconv.AppendInt(dst, int64(e.From), 10)
+			dst = append(dst, `,"to":`...)
+			dst = strconv.AppendInt(dst, int64(e.To), 10)
+			dst = append(dst, `,"bits":`...)
+			dst = appendJSONFloat(dst, e.Bits)
+			dst = append(dst, '}')
+		}
+		dst = append(dst, ']')
+	}
+	return append(dst, '}')
+}
+
+// Graph materializes the parsed document as a *Graph, exactly as
+// Graph.UnmarshalJSON would have: tasks added in ID order, edges in input
+// order (so adjacency iteration order — and therefore downstream float
+// summation order — is unchanged), then a full Validate for the deferred
+// acyclicity check.
+func (c *Canonicalizer) Graph() (*Graph, error) {
+	fresh := New(c.jg.Name)
+	for _, t := range c.jg.Tasks {
+		fresh.AddTask(t.Name, t.Load)
+	}
+	for _, e := range c.jg.Edges {
+		if err := fresh.AddEdge(TaskID(e.From), TaskID(e.To), e.Bits); err != nil {
+			return nil, fmt.Errorf("taskgraph: decode: %w", err)
+		}
+	}
+	if err := fresh.Validate(); err != nil {
+		return nil, fmt.Errorf("taskgraph: decode: %w", err)
+	}
+	return fresh, nil
+}
+
+const jsonHex = "0123456789abcdef"
+
+// appendJSONString appends s as an encoding/json string literal with the
+// default HTML escaping — byte-identical to json.Marshal(s).
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if b >= 0x20 && b != '"' && b != '\\' && b != '<' && b != '>' && b != '&' {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '\\', '"':
+				dst = append(dst, '\\', b)
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				dst = append(dst, '\\', 'u', '0', '0', jsonHex[b>>4], jsonHex[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, `\ufffd`...)
+			i += size
+			start = i
+			continue
+		}
+		// U+2028 and U+2029 are valid JSON but break JavaScript string
+		// literals; encoding/json escapes them.
+		if r == '\u2028' || r == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', jsonHex[r&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}
+
+// appendJSONFloat appends f in encoding/json's float64 format: shortest
+// round-trip representation, 'f' form except for very small or very large
+// magnitudes, with the exponent's leading zero trimmed. Inputs come from
+// parsed JSON numbers, so NaN and infinities cannot occur.
+func appendJSONFloat(dst []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		// Trim "e-09" to "e-9", as encoding/json does.
+		if n := len(dst); n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst
+}

@@ -1,6 +1,7 @@
 package taskgraph
 
 import (
+	"bytes"
 	"encoding/json"
 	"testing"
 )
@@ -30,6 +31,51 @@ func FuzzUnmarshalJSON(f *testing.F) {
 		var again Graph
 		if err := json.Unmarshal(out, &again); err != nil {
 			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}
+
+// FuzzCanonicalizerMatchesUnmarshal holds the streaming canonicalizer to
+// the Graph.UnmarshalJSON contract on arbitrary input: identical
+// accept/reject decisions with identical error text, and on accept,
+// canonical bytes equal to CanonicalJSON and an equal fingerprint.
+func FuzzCanonicalizerMatchesUnmarshal(f *testing.F) {
+	g, _ := ForkJoin("seed", 3, 5, 1, 40)
+	data, _ := json.Marshal(g)
+	f.Add(data)
+	f.Add([]byte(`{"name":"x","tasks":[{"id":1,"load":1},{"id":0,"load":2}],"edges":[{"from":1,"to":0,"bits":40},{"from":1,"to":0,"bits":2}]}`))
+	f.Add([]byte(`{"name":"<& >","tasks":[{"id":0,"name":"�","load":1e-7}],"edges":null}`))
+	f.Add([]byte(`{"tasks":[{"id":0,"load":1},{"id":1,"load":1}],"edges":[{"from":0,"to":1,"bits":1},{"from":1,"to":0,"bits":1}]}`))
+	f.Add([]byte(`not json`))
+	var c Canonicalizer
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var decoded Graph
+		refErr := json.Unmarshal(data, &decoded)
+		err := c.Parse(data)
+		if err == nil {
+			_, err = c.Graph()
+		}
+		if refErr != nil {
+			if err == nil {
+				t.Fatalf("canonicalizer accepted input UnmarshalJSON rejects: %v", refErr)
+			}
+			if err.Error() != refErr.Error() {
+				t.Fatalf("error mismatch:\ncanonicalizer %q\nunmarshal     %q", err, refErr)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("canonicalizer rejected input UnmarshalJSON accepts: %v", err)
+		}
+		want, werr := decoded.CanonicalJSON()
+		if werr != nil {
+			return // NaN/Inf can't come from JSON, but stay defensive
+		}
+		if got := c.AppendCanonicalJSON(nil); !bytes.Equal(got, want) {
+			t.Fatalf("canonical bytes differ:\nstreamed %s\nwant     %s", got, want)
+		}
+		if c.Fingerprint() != decoded.Fingerprint() {
+			t.Fatalf("fingerprint %#x != graph %#x", c.Fingerprint(), decoded.Fingerprint())
 		}
 	})
 }
