@@ -1,0 +1,85 @@
+// Command dtcached is the fleet-shared remote cache daemon: a
+// byte-budgeted LRU of content-addressed schedule results behind the
+// length-prefixed get/put protocol in internal/remotecache.
+//
+//	dtcached -addr :7070 -max-bytes 268435456
+//
+// dtserve replicas point -remote-addr at it and slot it into their tier
+// ladder as memory → disk → remote → solve. Values are opaque sealed
+// bytes (the replicas checksum on read), keys are the replicas' SHA-256
+// content addresses, and a key's bytes are immutable — so the daemon
+// needs no invalidation protocol and any replica may fill any key.
+// SIGINT/SIGTERM close the listener and sever connections (every
+// response is a single write, so no frame is ever truncated), then exit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/remotecache"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":7070", "listen address")
+		maxBytes = flag.Int64("max-bytes", 0, "value byte budget, LRU-evicted past it (0 = 256 MiB)")
+		idle     = flag.Duration("idle-timeout", 0, "close connections idle longer than this (0 = 5m)")
+		quiet    = flag.Bool("quiet", false, "disable connection/error logging")
+		version  = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+
+	if *version {
+		fmt.Printf("dtcached %s (%s)\n", buildinfo.Version, buildinfo.GoVersion())
+		return
+	}
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	cfg := remotecache.ServerConfig{MaxBytes: *maxBytes, IdleTimeout: *idle}
+	if !*quiet {
+		cfg.Logger = logger
+	}
+	srv := remotecache.NewServer(cfg)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Error("listen", "err", err)
+		os.Exit(1)
+	}
+	logger.Info("listening", "addr", ln.Addr().String(), "version", buildinfo.Version,
+		"max_bytes", *maxBytes)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if err != nil {
+			logger.Error("serve", "err", err)
+			os.Exit(1)
+		}
+	case <-sig:
+	}
+
+	st := srv.Stats()
+	logger.Info("draining", "entries", st.Entries, "bytes", st.Bytes,
+		"hits", st.Hits, "misses", st.Misses)
+	done := make(chan struct{})
+	go func() { srv.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		logger.Error("shutdown timed out")
+		os.Exit(1)
+	}
+}

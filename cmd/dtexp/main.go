@@ -33,6 +33,7 @@ import (
 	"repro/internal/buildinfo"
 	"repro/internal/chaos"
 	"repro/internal/expt"
+	"repro/internal/proxy"
 	"repro/internal/service"
 	"repro/internal/solver"
 )
@@ -67,6 +68,7 @@ func main() {
 		lgMemberTO  = flag.Duration("lg-member-timeout", 0, "per-member portfolio budget on every loadgen request (0 omits the field)")
 		lgTrace     = flag.Int("lg-trace", 0, "loadgen: trace every Nth request and report a per-stage latency breakdown (0 disables)")
 		lgWarm      = flag.Bool("lg-warm", false, "loadgen: pre-seed every distinct payload before the clock starts, so the run measures the pure warm-hit RPS and latency floor")
+		lgFleet     = flag.Int("lg-fleet", 0, "loadgen: > 0 starts an in-process fleet of this many dtserve replicas behind dtcached + dtproxy and drives the proxy; reports the fleet-wide RPS and the per-replica hit/solve split (ignores -addr and -lg-cache-dir)")
 
 		lgOverload   = flag.Bool("lg-overload", false, "run the two-phase overload scenario: unloaded interactive probes, then the same probes under a batch-lane flood")
 		lgAssertFlat = flag.Float64("lg-assert-flat", 0, "overload verdict: fail unless loaded interactive p99 <= this factor of the unloaded baseline and every shed carries Retry-After (0 = report only)")
@@ -90,6 +92,12 @@ func main() {
 		return
 	}
 	if *loadgen {
+		if *lgFleet > 0 {
+			if err := runFleetLoadgen(*lgFleet, *requests, *concurrency, *distinct, *lgBatch, *lgSolver, *lgLane, *lgWarm); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
 		if err := runLoadgen(*addr, *requests, *concurrency, *distinct, *lgBatch, *lgTrace, *lgSolver, *lgCacheDir, *lgLane, *lgMemberTO, *lgWarm); err != nil {
 			log.Fatal(err)
 		}
@@ -255,6 +263,57 @@ func runLoadgen(addr string, requests, concurrency, distinct, batch, traceEvery 
 		fmt.Printf("  server: %d solves for %d requests (memory: %d hits, %d misses, %d entries; disk: %d hits, %d writes)\n",
 			st.Solves, st.Requests, st.Cache.Hits, st.Cache.Misses, st.Cache.Entries, st.Disk.Hits, st.Disk.Writes)
 	}
+	return nil
+}
+
+// runFleetLoadgen drives an in-process fleet — n dtserve replicas behind
+// a shared dtcached and a dtproxy front — through the proxy, then prints
+// the fleet-wide report plus the per-replica hit/solve split. Hedging is
+// disabled so every solve in the split is a routing decision, not a
+// duplicated race; with -lg-warm the timed numbers are the fleet's pure
+// warm-hit serving floor, including remote-tier hits where routing moved
+// a key's follow-up traffic across replicas.
+func runFleetLoadgen(n, requests, concurrency, distinct, batch int, solverName, lane string, warm bool) error {
+	fleet, err := service.RunFleet(service.FleetConfig{
+		Replicas: n,
+		Server:   service.Config{CacheSize: 4096},
+		Proxy:    proxy.Config{HedgeDelay: -1},
+	})
+	if err != nil {
+		return err
+	}
+	defer fleet.Close()
+	fmt.Printf("loadgen: in-process fleet: %d replicas behind dtproxy %s (dtcached %s)\n",
+		n, fleet.ProxyURL, fleet.CachedAddr)
+
+	report, err := service.LoadGen(service.LoadGenConfig{
+		URL:         fleet.ProxyURL,
+		Requests:    requests,
+		Concurrency: concurrency,
+		Distinct:    distinct,
+		Batch:       batch,
+		Solver:      solverName,
+		Lane:        lane,
+		Warm:        warm,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(report)
+
+	fs := fleet.Stats()
+	fmt.Printf("  fleet: %d solves for %d items (memory: %d, disk: %d, remote: %d, coalesced: %d)\n",
+		fs.Solves, fs.Items, fs.MemHits, fs.DiskHits, fs.RemoteHits, fs.Coalesced)
+	for i, st := range fs.PerReplica {
+		fmt.Printf("    replica %d  %6d items  %6d solves  %6d mem  %6d disk  %6d remote  %6d coalesced\n",
+			i, st.Items, st.Solves, st.Cache.Hits, st.Disk.Hits, st.Remote.Hits, st.Coalesced)
+		if err := service.CheckLaw(st); err != nil {
+			return fmt.Errorf("replica %d: %w", i, err)
+		}
+	}
+	ps := fleet.Proxy.Stats()
+	fmt.Printf("    proxy      %6d requests  %6d rerouted  %6d hedges (%d won)  %6d unrouted\n",
+		ps.Requests, ps.Reroutes, ps.Hedges, ps.HedgeWins, ps.Unrouted)
 	return nil
 }
 

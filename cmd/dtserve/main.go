@@ -14,7 +14,9 @@
 // produce byte-identical responses; completed results are memoized in a
 // content-addressed LRU cache (cache status in the X-DTServe-Cache
 // header), optionally backed by a persistent disk tier (-cache-dir) so
-// a restarted server replays its warm set without re-solving.
+// a restarted server replays its warm set without re-solving, and by a
+// fleet-shared remote tier (-remote-addr, a dtcached daemon) so one
+// replica's cold solve becomes every other replica's warm hit.
 // SIGINT/SIGTERM put the server in draining mode (healthz reports 503,
 // new work is refused with 503 + Retry-After) and flush in-flight
 // streams — and the disk tier's write-behind queue — before exiting.
@@ -65,6 +67,8 @@ func main() {
 		cacheBytes  = flag.Int64("cache-bytes", 0, "result cache byte budget (0 = 256 MiB)")
 		cacheDir    = flag.String("cache-dir", "", "persistent disk cache directory: restarts keep the warm set (empty disables)")
 		diskBytes   = flag.Int64("disk-cache-bytes", 0, "disk cache byte budget (0 = 1 GiB)")
+		remoteAddr  = flag.String("remote-addr", "", "dtcached daemon host:port, the fleet-shared remote cache tier (empty disables)")
+		remoteTO    = flag.Duration("remote-timeout", 0, "remote tier round-trip budget; slower consults degrade to a miss (0 = 250ms)")
 		solverDef   = flag.String("solver", "sa", "default solver for requests that name none")
 		timeout     = flag.Duration("timeout", 0, "default per-request solve timeout (0 = none)")
 		maxBatch    = flag.Int("max-batch", 256, "maximum requests per batch call")
@@ -109,6 +113,8 @@ func main() {
 		CacheBytes:        *cacheBytes,
 		CacheDir:          *cacheDir,
 		DiskCacheBytes:    *diskBytes,
+		RemoteAddr:        *remoteAddr,
+		RemoteTimeout:     *remoteTO,
 		DefaultSolver:     *solverDef,
 		DefaultTimeout:    *timeout,
 		MaxBatch:          *maxBatch,
@@ -138,6 +144,11 @@ func main() {
 		if ccfg.DiskErrRate > 0 || ccfg.DiskDelay > 0 {
 			cfg.WrapDiskTier = func(under service.DiskTier) service.DiskTier {
 				return chaos.NewTier(under, ccfg)
+			}
+		}
+		if ccfg.RemoteErrRate > 0 || ccfg.RemoteDelay > 0 {
+			cfg.WrapRemoteTier = func(under service.RemoteTier) service.RemoteTier {
+				return chaos.NewRemoteTier(under, ccfg)
 			}
 		}
 		if ccfg.SolverErrRate > 0 || ccfg.SolverDelay > 0 {
@@ -196,12 +207,17 @@ func main() {
 	if *cacheDir != "" {
 		diskNote = *cacheDir
 	}
+	remoteNote := "off"
+	if *remoteAddr != "" {
+		remoteNote = *remoteAddr
+	}
 	logger.Info("listening",
 		"addr", *addr,
 		"version", buildinfo.Version,
 		"default_solver", cfg.DefaultSolver,
 		"cache_entries", *cacheSize,
 		"disk_tier", diskNote,
+		"remote_tier", remoteNote,
 		"trace_sample", *traceSample,
 	)
 

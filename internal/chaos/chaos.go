@@ -1,22 +1,24 @@
 // Package chaos is the fault-injection harness for the scheduling
-// service: it wraps the persistent disk tier and any solver with
-// deterministic, seeded fault injectors, so tests — and a dtserve
-// operator via the -chaos flag — can prove the service degrades
-// gracefully instead of hoping it does.
+// service: it wraps the persistent disk tier, the fleet-shared remote
+// tier and any solver with deterministic, seeded fault injectors, so
+// tests — and a dtserve operator via the -chaos flag — can prove the
+// service degrades gracefully instead of hoping it does.
 //
-// The harness is plain Go behind public seams (service.Config.WrapDiskTier
-// for the tier, solver.Register for the flaky solver); no build tags, so
-// the injection code itself is compiled and vetted on every build and the
-// production binary pays a single nil-check when chaos is off.
+// The harness is plain Go behind public seams
+// (service.Config.WrapDiskTier / WrapRemoteTier for the tiers,
+// solver.Register for the flaky solver); no build tags, so the injection
+// code itself is compiled and vetted on every build and the production
+// binary pays a single nil-check when chaos is off.
 //
 // Invariants the service must keep under any injected fault:
 //
-//   - a disk-tier read fault degrades to a cache miss: the request falls
-//     back to a solve and answers 200 with byte-identical results;
-//   - injected tier faults surface in the disk tier's Errors counter, so
+//   - a disk- or remote-tier read fault degrades to a cache miss: the
+//     request falls back to a solve and answers 200 with byte-identical
+//     results;
+//   - injected tier faults surface in that tier's Errors counter, so
 //     operators see the failure rate in /statsz and /metrics;
-//   - the conservation law solves + cache.hits + disk.hits + coalesced ==
-//     schedule_items holds, fault or no fault;
+//   - the conservation law solves + cache.hits + disk.hits + remote.hits
+//   - coalesced == schedule_items holds, fault or no fault;
 //   - a flaky solver failure is an ordinary structured error to exactly
 //     the requests it hit — never a panic, never a poisoned cache entry.
 package chaos
@@ -53,6 +55,14 @@ type Config struct {
 	DiskErrRate float64
 	// DiskDelay is added to every disk-tier Get, modeling a slow disk.
 	DiskDelay time.Duration
+	// RemoteErrRate is the probability a remote-tier Get or Put is
+	// faulted, modeling a flaky dtcached daemon or network: a faulted Get
+	// reports a miss, a faulted Put drops the publish. Both are counted
+	// in the tier's Errors.
+	RemoteErrRate float64
+	// RemoteDelay is added to every remote-tier Get, modeling a slow or
+	// distant daemon.
+	RemoteDelay time.Duration
 	// SolverErrRate is the probability a wrapped solver's Solve fails
 	// with an ErrInjected-wrapped error.
 	SolverErrRate float64
@@ -89,7 +99,7 @@ func ParseSpec(spec string) (Config, error) {
 				return cfg, fmt.Errorf("chaos: seed %q: %v", v, err)
 			}
 			cfg.Seed = n
-		case "disk-err", "solver-err", "solver-jitter":
+		case "disk-err", "remote-err", "solver-err", "solver-jitter":
 			r, err := strconv.ParseFloat(v, 64)
 			if err != nil || !(r >= 0 && r <= 1) { // NaN fails both comparisons
 				return cfg, fmt.Errorf("chaos: rate %s=%q out of [0,1]", k, v)
@@ -97,23 +107,28 @@ func ParseSpec(spec string) (Config, error) {
 			switch k {
 			case "disk-err":
 				cfg.DiskErrRate = r
+			case "remote-err":
+				cfg.RemoteErrRate = r
 			case "solver-err":
 				cfg.SolverErrRate = r
 			case "solver-jitter":
 				cfg.SolverJitter = r
 			}
-		case "disk-delay", "solver-delay":
+		case "disk-delay", "remote-delay", "solver-delay":
 			d, err := time.ParseDuration(v)
 			if err != nil || d < 0 {
 				return cfg, fmt.Errorf("chaos: delay %s=%q: want a non-negative duration", k, v)
 			}
-			if k == "disk-delay" {
+			switch k {
+			case "disk-delay":
 				cfg.DiskDelay = d
-			} else {
+			case "remote-delay":
+				cfg.RemoteDelay = d
+			default:
 				cfg.SolverDelay = d
 			}
 		default:
-			return cfg, fmt.Errorf("chaos: unknown key %q (want seed, disk-err, disk-delay, solver-err, solver-delay, solver-jitter)", k)
+			return cfg, fmt.Errorf("chaos: unknown key %q (want seed, disk-err, disk-delay, remote-err, remote-delay, solver-err, solver-delay, solver-jitter)", k)
 		}
 	}
 	return cfg, nil
@@ -208,6 +223,73 @@ func (t *Tier) Close() { t.under.Close() }
 
 // Injected returns the injected read and write fault counts.
 func (t *Tier) Injected() (gets, puts uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.getFaults, t.putFaults
+}
+
+// RemoteTier wraps the service's fleet-shared remote tier with fault
+// injection, the same contract as Tier over the disk tier: a faulted Get
+// reports a miss (the ladder falls through to the local solve), a
+// faulted Put drops the publish, and both fold into the tier's Errors
+// stat. It plugs into service.Config.WrapRemoteTier.
+type RemoteTier struct {
+	under service.RemoteTier
+	cfg   Config
+	roll  *roller
+
+	mu        sync.Mutex
+	getFaults uint64
+	putFaults uint64
+}
+
+// NewRemoteTier wraps under with fault injection per cfg.
+func NewRemoteTier(under service.RemoteTier, cfg Config) *RemoteTier {
+	return &RemoteTier{under: under, cfg: cfg, roll: newRoller(cfg.Seed)}
+}
+
+// Get consults the wrapped tier, injecting latency and faults.
+func (t *RemoteTier) Get(key string) ([]byte, bool) {
+	if t.cfg.RemoteDelay > 0 {
+		time.Sleep(t.cfg.RemoteDelay)
+	}
+	if t.roll.roll(t.cfg.RemoteErrRate) {
+		t.mu.Lock()
+		t.getFaults++
+		t.mu.Unlock()
+		return nil, false
+	}
+	return t.under.Get(key)
+}
+
+// Put forwards to the wrapped tier unless a write fault fires.
+func (t *RemoteTier) Put(key string, val []byte) {
+	if t.roll.roll(t.cfg.RemoteErrRate) {
+		t.mu.Lock()
+		t.putFaults++
+		t.mu.Unlock()
+		return
+	}
+	t.under.Put(key, val)
+}
+
+// Stats reports the wrapped tier's stats with the injected faults folded
+// in, exactly as the service experienced them: every fault is an error
+// and a faulted read is also a miss.
+func (t *RemoteTier) Stats() service.RemoteCacheStats {
+	st := t.under.Stats()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st.Errors += t.getFaults + t.putFaults
+	st.Misses += t.getFaults
+	return st
+}
+
+// Close closes the wrapped tier.
+func (t *RemoteTier) Close() { t.under.Close() }
+
+// Injected returns the injected read and write fault counts.
+func (t *RemoteTier) Injected() (gets, puts uint64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.getFaults, t.putFaults

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/programs"
+	"repro/internal/remotecache"
 	"repro/internal/service"
 	"repro/internal/solver"
 	"repro/internal/taskgraph"
@@ -84,9 +86,9 @@ func post(t *testing.T, url string, body []byte) (*http.Response, []byte) {
 // checkLaw asserts the conservation law on a stats snapshot.
 func checkLaw(t *testing.T, st service.Stats) {
 	t.Helper()
-	if got := st.Solves + st.Cache.Hits + st.Disk.Hits + st.Coalesced; got != st.Items {
-		t.Fatalf("conservation law broken: solves %d + mem %d + disk %d + coalesced %d = %d != items %d",
-			st.Solves, st.Cache.Hits, st.Disk.Hits, st.Coalesced, got, st.Items)
+	if got := st.Solves + st.Cache.Hits + st.Disk.Hits + st.Remote.Hits + st.Coalesced; got != st.Items {
+		t.Fatalf("conservation law broken: solves %d + mem %d + disk %d + remote %d + coalesced %d = %d != items %d",
+			st.Solves, st.Cache.Hits, st.Disk.Hits, st.Remote.Hits, st.Coalesced, got, st.Items)
 	}
 }
 
@@ -294,4 +296,136 @@ func TestFlakySolverDeterministicBySeed(t *testing.T) {
 	if same {
 		t.Fatal("different seeds produced identical 24-call fault patterns (suspicious)")
 	}
+}
+
+// startCached runs an in-process dtcached on loopback for remote-tier
+// chaos tests.
+func startCached(t *testing.T) (*remotecache.Server, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := remotecache.NewServer(remotecache.ServerConfig{})
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return srv, ln.Addr().String()
+}
+
+// TestRemoteFaultFallsBackToSolve mirrors the disk proof for the remote
+// tier: a warm dtcached entry whose reads are all faulted (and slowed)
+// answers 200 with the byte-identical body via a fresh solve, the faults
+// land in the remote tier's Errors, and the conservation law holds.
+func TestRemoteFaultFallsBackToSolve(t *testing.T) {
+	cached, addr := startCached(t)
+	body := payload(t, "FFT", 2024)
+
+	// Warm the daemon with a healthy replica, then stop it (Close drains
+	// the write-behind publish queue).
+	svc1, err := service.New(service.Config{CacheSize: 64, DefaultSolver: "hlf", RemoteAddr: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(svc1.Handler())
+	resp, want := post(t, ts1.URL+"/v1/schedule", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm solve: %d %s", resp.StatusCode, want)
+	}
+	ts1.Close()
+	svc1.Close()
+	if cached.Stats().Entries == 0 {
+		t.Fatal("warm replica published nothing to the daemon")
+	}
+
+	// A fresh replica with every remote read faulted: cold memory, cold
+	// disk, a daemon that has the answer but cannot deliver it — the
+	// request must degrade to a fresh solve, not an error.
+	var tier *RemoteTier
+	svc2, err := service.New(service.Config{
+		CacheSize: 64, DefaultSolver: "hlf", RemoteAddr: addr,
+		WrapRemoteTier: func(under service.RemoteTier) service.RemoteTier {
+			tier = NewRemoteTier(under, Config{RemoteErrRate: 1, RemoteDelay: time.Millisecond, Seed: 3})
+			return tier
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(svc2.Handler())
+	defer ts2.Close()
+	defer svc2.Close()
+
+	resp, got := post(t, ts2.URL+"/v1/schedule", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("faulted-remote solve: %d %s", resp.StatusCode, got)
+	}
+	if resp.Header.Get("X-DTServe-Cache") != "miss" {
+		t.Fatalf("faulted remote read reported cache=%q, want miss", resp.Header.Get("X-DTServe-Cache"))
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("fallback solve body differs from the healthy body (determinism broken)")
+	}
+
+	gets, _ := tier.Injected()
+	if gets == 0 {
+		t.Fatal("no remote read fault was injected")
+	}
+	st := svc2.Stats()
+	if st.Remote.Errors < gets {
+		t.Fatalf("remote errors %d do not include the %d injected faults", st.Remote.Errors, gets)
+	}
+	if st.Remote.Hits != 0 {
+		t.Fatalf("faulted tier reported %d hits", st.Remote.Hits)
+	}
+	checkLaw(t, st)
+}
+
+// TestRemoteDaemonDownDegrades points a replica at a dead dtcached
+// address: every request still answers 200 (the tier degrades to counted
+// misses), the dial failures surface in Remote.Errors, and the law holds.
+func TestRemoteDaemonDownDegrades(t *testing.T) {
+	// Grab a loopback port and release it: a valid address nobody serves.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+
+	svc, err := service.New(service.Config{
+		CacheSize: 64, DefaultSolver: "hlf",
+		RemoteAddr: deadAddr, RemoteTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	defer svc.Close()
+
+	var first []byte
+	for i := 0; i < 3; i++ {
+		resp, got := post(t, ts.URL+"/v1/schedule", payload(t, "NE", int64(500+i)))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d with dead daemon: %d %s", i, resp.StatusCode, got)
+		}
+		if i == 0 {
+			first = got
+		}
+	}
+	// The same key again: served from memory, the dead daemon never
+	// consulted on the hit path.
+	resp, again := post(t, ts.URL+"/v1/schedule", payload(t, "NE", 500))
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(again, first) {
+		t.Fatalf("warm replay with dead daemon: %d, identical=%v", resp.StatusCode, bytes.Equal(again, first))
+	}
+
+	st := svc.Stats()
+	if st.Remote.Errors == 0 {
+		t.Fatal("dead daemon produced no remote errors")
+	}
+	if st.Remote.Hits != 0 {
+		t.Fatalf("dead daemon produced %d remote hits", st.Remote.Hits)
+	}
+	checkLaw(t, st)
 }

@@ -46,9 +46,14 @@ const (
 	StageMemTier      = "mem_tier"
 	StageSingleflight = "singleflight"
 	StageDiskTier     = "disk_tier"
+	StageRemoteTier   = "remote_tier"
 	StageQueue        = "engine_queue"
 	StageSolve        = "solve"
 	StageMarshal      = "marshal"
+
+	// Proxy-side stages, recorded by dtproxy rather than dtserve.
+	StageProxyRoute = "proxy_route"
+	StageHedge      = "hedge"
 )
 
 // Stages lists every top-level stage name in hot-path order — the order
@@ -56,8 +61,11 @@ const (
 // duration histograms.
 var Stages = []string{
 	StageDecode, StageCanonicalize, StageMemTier, StageSingleflight,
-	StageDiskTier, StageQueue, StageSolve, StageMarshal,
+	StageDiskTier, StageRemoteTier, StageQueue, StageSolve, StageMarshal,
 }
+
+// ProxyStages lists the dtproxy-side stage names in request order.
+var ProxyStages = []string{StageProxyRoute, StageHedge}
 
 // KV is one key=value annotation on a trace or a stage.
 type KV struct {

@@ -1,0 +1,216 @@
+package proxy
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func names(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+	}
+	return out
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"a", "b", "a"}, 8); err == nil {
+		t.Error("duplicate replica accepted")
+	}
+	r, err := NewRing([]string{"solo"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Nodes() != 1 || r.Owner(12345) != 0 {
+		t.Fatalf("single-node ring: nodes=%d owner=%d", r.Nodes(), r.Owner(12345))
+	}
+}
+
+// TestRingDeterministic: equal inputs build equal rings — ownership must
+// not depend on process, map order, or anything else unstable, or two
+// dtproxy instances would route the same key to different replicas.
+func TestRingDeterministic(t *testing.T) {
+	a, err := NewRing(names(5), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(names(5), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		h := rng.Uint64()
+		if a.Owner(h) != b.Owner(h) {
+			t.Fatalf("hash %#x: owners diverge between identical rings", h)
+		}
+	}
+}
+
+// TestRingBalance enforces the imbalance bound the default vnode count
+// is chosen for: across many keys, the most loaded replica carries at
+// most 2× the mean share at 128 vnodes.
+func TestRingBalance(t *testing.T) {
+	for _, nodes := range []int{2, 3, 5, 8} {
+		r, err := NewRing(names(nodes), 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const keys = 200000
+		counts := make([]int, nodes)
+		rng := rand.New(rand.NewSource(42))
+		for i := 0; i < keys; i++ {
+			counts[r.Owner(MixFingerprint(rng.Uint64()))]++
+		}
+		mean := float64(keys) / float64(nodes)
+		for node, c := range counts {
+			if ratio := float64(c) / mean; ratio > 2.0 {
+				t.Errorf("%d nodes: replica %d owns %.2fx the mean share (counts %v)", nodes, node, ratio, counts)
+			}
+			if c == 0 {
+				t.Errorf("%d nodes: replica %d owns no keys", nodes, node)
+			}
+		}
+	}
+}
+
+// TestRingMinimalMovement: growing the fleet from N to N+1 replicas may
+// move keys only TO the new replica — any key that stays on an old
+// replica must keep its old owner — and the moved fraction is about
+// 1/(N+1), not a reshuffle.
+func TestRingMinimalMovement(t *testing.T) {
+	const n = 4
+	before, err := NewRing(names(n), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRing(names(n+1), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 100000
+	moved := 0
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < keys; i++ {
+		h := MixFingerprint(rng.Uint64())
+		was, is := before.Owner(h), after.Owner(h)
+		if was == is {
+			continue
+		}
+		if is != n {
+			t.Fatalf("hash %#x moved from replica %d to old replica %d; joins must only move keys to the joiner", h, was, is)
+		}
+		moved++
+	}
+	frac := float64(moved) / keys
+	ideal := 1.0 / float64(n+1)
+	if frac < ideal/2 || frac > ideal*2 {
+		t.Errorf("join moved %.1f%% of keys, want about %.1f%%", 100*frac, 100*ideal)
+	}
+
+	// Leave is the mirror image: removing a replica may only move the
+	// leaver's keys, spread across the survivors.
+	movedOnLeave := 0
+	rng = rand.New(rand.NewSource(7))
+	for i := 0; i < keys; i++ {
+		h := MixFingerprint(rng.Uint64())
+		was, is := after.Owner(h), before.Owner(h)
+		if was == is {
+			continue
+		}
+		if was != n {
+			t.Fatalf("hash %#x owned by surviving replica %d moved on leave", h, was)
+		}
+		movedOnLeave++
+	}
+	if movedOnLeave != moved {
+		t.Errorf("leave moved %d keys, join moved %d; the transitions must mirror", movedOnLeave, moved)
+	}
+}
+
+// TestRingSequence: the preference order holds distinct replicas, starts
+// at the owner, and is capped by both max and the fleet size.
+func TestRingSequence(t *testing.T) {
+	r, err := NewRing(names(4), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		h := rng.Uint64()
+		seq := r.Sequence(h, nil, 4)
+		if len(seq) != 4 {
+			t.Fatalf("sequence length %d, want 4", len(seq))
+		}
+		if seq[0] != r.Owner(h) {
+			t.Fatalf("sequence head %d != owner %d", seq[0], r.Owner(h))
+		}
+		seen := map[int]bool{}
+		for _, node := range seq {
+			if node < 0 || node >= 4 || seen[node] {
+				t.Fatalf("bad sequence %v", seq)
+			}
+			seen[node] = true
+		}
+		if short := r.Sequence(h, nil, 2); len(short) != 2 || short[0] != seq[0] || short[1] != seq[1] {
+			t.Fatalf("capped sequence %v disagrees with prefix of %v", short, seq)
+		}
+		if over := r.Sequence(h, nil, 99); len(over) != 4 {
+			t.Fatalf("max beyond fleet size returned %d entries", len(over))
+		}
+	}
+}
+
+// TestRingManyNodes exercises the >64-replica path (map-based dedup).
+func TestRingManyNodes(t *testing.T) {
+	r, err := NewRing(names(70), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := r.Sequence(12345, nil, 70)
+	if len(seq) != 70 {
+		t.Fatalf("sequence covered %d of 70 replicas", len(seq))
+	}
+	seen := map[int]bool{}
+	for _, n := range seq {
+		if seen[n] {
+			t.Fatalf("duplicate replica %d in sequence", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestMixFingerprint(t *testing.T) {
+	if MixFingerprint(1) == MixFingerprint(2) {
+		t.Error("adjacent fingerprints collide after mixing")
+	}
+	if MixFingerprint(42) != MixFingerprint(42) {
+		t.Error("mixing is not deterministic")
+	}
+	// Sequential fingerprints must land all over the ring, not clump:
+	// check the mixed values' top bytes spread across the space.
+	buckets := make([]int, 16)
+	for i := uint64(0); i < 16000; i++ {
+		buckets[MixFingerprint(i)>>60]++
+	}
+	for b, c := range buckets {
+		if c == 0 {
+			t.Errorf("bucket %d empty: sequential inputs do not diffuse", b)
+		}
+	}
+}
+
+func BenchmarkRingOwner(b *testing.B) {
+	r, err := NewRing(names(8), 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Owner(MixFingerprint(uint64(i)))
+	}
+}

@@ -1,0 +1,181 @@
+package remotecache
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// ClientConfig tunes the replica-side client.
+type ClientConfig struct {
+	// Addr is the daemon's host:port. Required.
+	Addr string
+	// Timeout bounds one dial-plus-round-trip. <= 0 means 250ms — the
+	// remote tier sits between a disk miss and a solve that costs
+	// milliseconds to seconds, so a slow daemon must degrade to a miss
+	// quickly rather than stall the ladder.
+	Timeout time.Duration
+	// PoolSize caps idle pooled connections. <= 0 means 4.
+	PoolSize int
+}
+
+// ErrCorrupt is returned by Get when the daemon answered with bytes
+// that fail the seal check; the caller must treat it as a miss.
+var ErrCorrupt = errors.New("remotecache: value failed checksum")
+
+// Client is a pooled, deadline-guarded client for one daemon. It is
+// safe for concurrent use; each op checks a connection out of the pool
+// (dialing on empty) and returns it only after a clean round trip.
+type Client struct {
+	cfg ClientConfig
+
+	mu     sync.Mutex
+	idle   []net.Conn
+	closed bool
+}
+
+// NewClient returns a client; no connection is made until the first op.
+func NewClient(cfg ClientConfig) *Client {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 250 * time.Millisecond
+	}
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = 4
+	}
+	return &Client{cfg: cfg}
+}
+
+// Get fetches and opens the sealed value for key. ok reports a verified
+// hit. A checksum failure returns (nil, false, ErrCorrupt): counted by
+// the caller, never served.
+func (c *Client) Get(key string) (body []byte, ok bool, err error) {
+	status, val, err := c.roundTrip(OpGet, key, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	switch status {
+	case StatusHit:
+		body, ok := Open(val)
+		if !ok {
+			return nil, false, ErrCorrupt
+		}
+		return body, true, nil
+	case StatusMiss:
+		return nil, false, nil
+	case StatusError:
+		return nil, false, fmt.Errorf("remotecache: daemon error: %s", val)
+	default:
+		return nil, false, fmt.Errorf("%w (unexpected status %q for get)", ErrFrame, string(status))
+	}
+}
+
+// Put seals body and stores it under key.
+func (c *Client) Put(key string, body []byte) error {
+	status, val, err := c.roundTrip(OpPut, key, Seal(body))
+	if err != nil {
+		return err
+	}
+	switch status {
+	case StatusOK:
+		return nil
+	case StatusError:
+		return fmt.Errorf("remotecache: daemon error: %s", val)
+	default:
+		return fmt.Errorf("%w (unexpected status %q for put)", ErrFrame, string(status))
+	}
+}
+
+// Stats fetches the daemon's counters.
+func (c *Client) Stats() (ServerStats, error) {
+	status, val, err := c.roundTrip(OpStats, "", nil)
+	if err != nil {
+		return ServerStats{}, err
+	}
+	switch status {
+	case StatusStats:
+		var st ServerStats
+		if err := json.Unmarshal(val, &st); err != nil {
+			return ServerStats{}, fmt.Errorf("remotecache: stats decode: %w", err)
+		}
+		return st, nil
+	case StatusError:
+		return ServerStats{}, fmt.Errorf("remotecache: daemon error: %s", val)
+	default:
+		return ServerStats{}, fmt.Errorf("%w (unexpected status %q for stats)", ErrFrame, string(status))
+	}
+}
+
+// Close drops pooled connections. In-flight ops finish on their own
+// checked-out connections.
+func (c *Client) Close() {
+	c.mu.Lock()
+	idle := c.idle
+	c.idle = nil
+	c.closed = true
+	c.mu.Unlock()
+	for _, conn := range idle {
+		conn.Close()
+	}
+}
+
+func (c *Client) roundTrip(op byte, key string, val []byte) (byte, []byte, error) {
+	deadline := time.Now().Add(c.cfg.Timeout)
+	conn, err := c.checkout(deadline)
+	if err != nil {
+		return 0, nil, err
+	}
+	frame, err := AppendRequest(nil, op, key, val)
+	if err != nil {
+		c.checkin(conn, err)
+		return 0, nil, err
+	}
+	conn.SetDeadline(deadline)
+	if _, err := conn.Write(frame); err != nil {
+		c.checkin(conn, err)
+		return 0, nil, err
+	}
+	status, body, err := ReadResponse(conn)
+	c.checkin(conn, err)
+	if err != nil {
+		return 0, nil, err
+	}
+	return status, body, nil
+}
+
+func (c *Client) checkout(deadline time.Time) (net.Conn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("remotecache: client closed")
+	}
+	if n := len(c.idle); n > 0 {
+		conn := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return conn, nil
+	}
+	c.mu.Unlock()
+	d := net.Dialer{Deadline: deadline}
+	return d.Dial("tcp", c.cfg.Addr)
+}
+
+// checkin returns a healthy connection to the pool; one that saw any
+// error is closed, since frame alignment can no longer be trusted.
+func (c *Client) checkin(conn net.Conn, err error) {
+	if err != nil {
+		conn.Close()
+		return
+	}
+	c.mu.Lock()
+	if !c.closed && len(c.idle) < c.cfg.PoolSize {
+		c.idle = append(c.idle, conn)
+		conn = nil
+	}
+	c.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+}

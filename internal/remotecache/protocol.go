@@ -1,0 +1,210 @@
+// Package remotecache is the shared remote tier of the scheduling fleet:
+// a small daemon (cmd/dtcached) holding content-addressed response bytes
+// behind a length-prefixed get/put protocol, and the pooled client the
+// dtserve replicas slot into their tier ladder as memory → disk → remote
+// → solve. Results are deterministic bytes keyed by the SHA-256 content
+// address the service already mints, so replication needs no invalidation
+// protocol: a key's bytes are immutable, any replica may write them, and
+// every replica reads the same value.
+//
+// Integrity contract: the daemon stores values as opaque bytes, but the
+// client seals every value with a leading SHA-256 of the body and
+// verifies it on read. A flipped bit, a truncated value or a hostile
+// daemon therefore degrades to a counted miss on the reading replica —
+// corrupt bytes are never served (the same rule the disk tier enforces
+// with its on-disk checksums).
+//
+// Wire protocol (all integers big-endian):
+//
+//	request:  op(1) | keyLen(2) | valLen(4) | key | val
+//	response: status(1) | valLen(4) | val
+//
+// Ops: 'G' get (valLen 0), 'P' put, 'S' stats (keyLen and valLen 0).
+// Statuses: 'H' hit (val = sealed value), 'M' miss, 'O' put accepted,
+// 'T' stats (val = JSON ServerStats), 'E' error (val = message).
+// Lengths are validated against MaxKeyLen/MaxValueLen before any
+// allocation, so a hostile frame yields a structured error, never a
+// panic or an attacker-sized buffer.
+package remotecache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Protocol ops.
+const (
+	OpGet   = byte('G')
+	OpPut   = byte('P')
+	OpStats = byte('S')
+)
+
+// Response statuses.
+const (
+	StatusHit   = byte('H')
+	StatusMiss  = byte('M')
+	StatusOK    = byte('O')
+	StatusStats = byte('T')
+	StatusError = byte('E')
+)
+
+// MaxKeyLen bounds the key field. Content addresses are 49 bytes
+// ("%016x-" + 32 hex chars); the headroom keeps the protocol usable for
+// other addressing schemes without admitting attacker-sized keys.
+const MaxKeyLen = 256
+
+// MaxValueLen bounds the value field: the service's own request bodies
+// are capped at 32 MiB, responses are of the same order, and the seal
+// header adds sha256.Size. A frame announcing more is rejected before
+// any allocation.
+const MaxValueLen = 32<<20 + sha256.Size
+
+// reqHeaderLen and respHeaderLen are the fixed-size frame prefixes.
+const (
+	reqHeaderLen  = 1 + 2 + 4
+	respHeaderLen = 1 + 4
+)
+
+// ErrFrame marks every malformed-frame error, so callers can tell a
+// protocol violation (close the connection) from an I/O error
+// (errors.Is on both works through the wrapping).
+var ErrFrame = errors.New("remotecache: malformed frame")
+
+// ErrTooLarge marks frames whose declared lengths exceed the protocol
+// bounds. It wraps ErrFrame.
+var ErrTooLarge = fmt.Errorf("%w: length exceeds protocol bound", ErrFrame)
+
+// AppendRequest frames one request onto dst and returns the extended
+// slice. It validates lengths, so a caller cannot emit a frame the other
+// side must reject.
+func AppendRequest(dst []byte, op byte, key string, val []byte) ([]byte, error) {
+	if len(key) > MaxKeyLen {
+		return dst, fmt.Errorf("%w (key %d > %d)", ErrTooLarge, len(key), MaxKeyLen)
+	}
+	if len(val) > MaxValueLen {
+		return dst, fmt.Errorf("%w (value %d > %d)", ErrTooLarge, len(val), MaxValueLen)
+	}
+	var hdr [reqHeaderLen]byte
+	hdr[0] = op
+	binary.BigEndian.PutUint16(hdr[1:3], uint16(len(key)))
+	binary.BigEndian.PutUint32(hdr[3:7], uint32(len(val)))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, key...)
+	dst = append(dst, val...)
+	return dst, nil
+}
+
+// ReadRequest reads one request frame. Lengths are validated against the
+// protocol bounds before the key or value is allocated, so hostile
+// frames cost at most the fixed header read. Returns (op, key, val);
+// errors wrap ErrFrame for protocol violations, or are plain I/O errors.
+func ReadRequest(r io.Reader) (op byte, key string, val []byte, err error) {
+	var hdr [reqHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, "", nil, err
+	}
+	op = hdr[0]
+	switch op {
+	case OpGet, OpPut, OpStats:
+	default:
+		return 0, "", nil, fmt.Errorf("%w (unknown op 0x%02x)", ErrFrame, op)
+	}
+	keyLen := int(binary.BigEndian.Uint16(hdr[1:3]))
+	valLen := int(binary.BigEndian.Uint32(hdr[3:7]))
+	if keyLen > MaxKeyLen {
+		return 0, "", nil, fmt.Errorf("%w (key %d > %d)", ErrTooLarge, keyLen, MaxKeyLen)
+	}
+	if valLen > MaxValueLen {
+		return 0, "", nil, fmt.Errorf("%w (value %d > %d)", ErrTooLarge, valLen, MaxValueLen)
+	}
+	if op != OpPut && valLen != 0 {
+		return 0, "", nil, fmt.Errorf("%w (op %q carries a value)", ErrFrame, string(op))
+	}
+	if op != OpPut && op != OpGet && keyLen != 0 {
+		return 0, "", nil, fmt.Errorf("%w (op %q carries a key)", ErrFrame, string(op))
+	}
+	if (op == OpGet || op == OpPut) && keyLen == 0 {
+		return 0, "", nil, fmt.Errorf("%w (op %q with empty key)", ErrFrame, string(op))
+	}
+	buf := make([]byte, keyLen+valLen)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, "", nil, err
+	}
+	return op, string(buf[:keyLen]), buf[keyLen:], nil
+}
+
+// AppendResponse frames one response onto dst.
+func AppendResponse(dst []byte, status byte, val []byte) ([]byte, error) {
+	if len(val) > MaxValueLen {
+		return dst, fmt.Errorf("%w (value %d > %d)", ErrTooLarge, len(val), MaxValueLen)
+	}
+	var hdr [respHeaderLen]byte
+	hdr[0] = status
+	binary.BigEndian.PutUint32(hdr[1:5], uint32(len(val)))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, val...)
+	return dst, nil
+}
+
+// ReadResponse reads one response frame, with the same bounded-allocation
+// discipline as ReadRequest.
+func ReadResponse(r io.Reader) (status byte, val []byte, err error) {
+	var hdr [respHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	status = hdr[0]
+	switch status {
+	case StatusHit, StatusMiss, StatusOK, StatusStats, StatusError:
+	default:
+		return 0, nil, fmt.Errorf("%w (unknown status 0x%02x)", ErrFrame, status)
+	}
+	valLen := int(binary.BigEndian.Uint32(hdr[1:5]))
+	if valLen > MaxValueLen {
+		return 0, nil, fmt.Errorf("%w (value %d > %d)", ErrTooLarge, valLen, MaxValueLen)
+	}
+	switch status {
+	case StatusMiss, StatusOK:
+		if valLen != 0 {
+			return 0, nil, fmt.Errorf("%w (status %q carries a value)", ErrFrame, string(status))
+		}
+	}
+	if valLen == 0 {
+		return status, nil, nil
+	}
+	val = make([]byte, valLen)
+	if _, err := io.ReadFull(r, val); err != nil {
+		return 0, nil, err
+	}
+	return status, val, nil
+}
+
+// Seal prefixes body with its SHA-256, producing the value the client
+// stores. The daemon never interprets it; Open on the reading side is
+// what detects corruption, wherever it happened.
+func Seal(body []byte) []byte {
+	out := make([]byte, sha256.Size+len(body))
+	sum := sha256.Sum256(body)
+	copy(out, sum[:])
+	copy(out[sha256.Size:], body)
+	return out
+}
+
+// Open verifies a sealed value and returns the body; ok is false for
+// truncated or checksum-mismatched data. The returned body aliases val.
+func Open(val []byte) (body []byte, ok bool) {
+	if len(val) < sha256.Size {
+		return nil, false
+	}
+	body = val[sha256.Size:]
+	sum := sha256.Sum256(body)
+	for i := range sum {
+		if sum[i] != val[i] {
+			return nil, false
+		}
+	}
+	return body, true
+}

@@ -1,0 +1,252 @@
+package remotecache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	cases := []struct {
+		op  byte
+		key string
+		val []byte
+	}{
+		{OpGet, "k", nil},
+		{OpGet, strings.Repeat("a", MaxKeyLen), nil},
+		{OpPut, "key-1", []byte("value bytes")},
+		{OpPut, "k", []byte{}},
+		{OpStats, "", nil},
+	}
+	for _, tc := range cases {
+		frame, err := AppendRequest(nil, tc.op, tc.key, tc.val)
+		if err != nil {
+			t.Fatalf("append op %c: %v", tc.op, err)
+		}
+		op, key, val, err := ReadRequest(bytes.NewReader(frame))
+		if err != nil {
+			t.Fatalf("read op %c: %v", tc.op, err)
+		}
+		if op != tc.op || key != tc.key || !bytes.Equal(val, tc.val) {
+			t.Fatalf("round trip %c/%q: got %c/%q/%q", tc.op, tc.key, op, key, val)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	cases := []struct {
+		status byte
+		val    []byte
+	}{
+		{StatusHit, []byte("sealed")},
+		{StatusMiss, nil},
+		{StatusOK, nil},
+		{StatusStats, []byte(`{"gets":1}`)},
+		{StatusError, []byte("boom")},
+	}
+	for _, tc := range cases {
+		frame, err := AppendResponse(nil, tc.status, tc.val)
+		if err != nil {
+			t.Fatalf("append status %c: %v", tc.status, err)
+		}
+		status, val, err := ReadResponse(bytes.NewReader(frame))
+		if err != nil {
+			t.Fatalf("read status %c: %v", tc.status, err)
+		}
+		if status != tc.status || !bytes.Equal(val, tc.val) {
+			t.Fatalf("round trip %c: got %c/%q", tc.status, status, val)
+		}
+	}
+}
+
+// TestHostileFramesRejected: every malformed frame must yield an
+// ErrFrame-wrapped error — never a panic, never a partial success —
+// and oversized declarations must be rejected from the header alone,
+// before any allocation or body read.
+func TestHostileFramesRejected(t *testing.T) {
+	hdr := func(op byte, keyLen uint16, valLen uint32) []byte {
+		b := make([]byte, reqHeaderLen)
+		b[0] = op
+		binary.BigEndian.PutUint16(b[1:3], keyLen)
+		binary.BigEndian.PutUint32(b[3:7], valLen)
+		return b
+	}
+	cases := []struct {
+		name  string
+		frame []byte
+	}{
+		{"unknown op", hdr('X', 1, 0)},
+		{"oversized key", hdr(OpGet, MaxKeyLen+1, 0)},
+		{"oversized value", hdr(OpPut, 1, MaxValueLen+1)},
+		{"get with value", hdr(OpGet, 1, 1)},
+		{"stats with key", hdr(OpStats, 1, 0)},
+		{"stats with value", hdr(OpStats, 0, 4)},
+		{"get with empty key", hdr(OpGet, 0, 0)},
+		{"put with empty key", hdr(OpPut, 0, 4)},
+		{"max uint32 value", hdr(OpPut, 1, 1<<32-1)},
+	}
+	for _, tc := range cases {
+		// The header alone must be decisive: no case above may block
+		// reading a body, so a reader that stops at the header proves the
+		// reject happened before any allocation-sized read.
+		_, _, _, err := ReadRequest(bytes.NewReader(tc.frame))
+		if !errors.Is(err, ErrFrame) {
+			t.Errorf("%s: err = %v, want ErrFrame", tc.name, err)
+		}
+	}
+
+	// Truncated frames are I/O errors (unexpected EOF), not ErrFrame —
+	// the peer died, it did not speak garbage.
+	valid, _ := AppendRequest(nil, OpPut, "key", []byte("value"))
+	for cut := 1; cut < len(valid); cut++ {
+		_, _, _, err := ReadRequest(bytes.NewReader(valid[:cut]))
+		if err == nil {
+			t.Fatalf("truncated frame at %d accepted", cut)
+		}
+		if errors.Is(err, ErrFrame) && cut >= reqHeaderLen {
+			t.Fatalf("truncated body at %d misreported as a protocol violation: %v", cut, err)
+		}
+	}
+
+	// Response side: unknown status, oversized value, value on a
+	// valueless status.
+	rhdr := func(status byte, valLen uint32) []byte {
+		b := make([]byte, respHeaderLen)
+		b[0] = status
+		binary.BigEndian.PutUint32(b[1:5], valLen)
+		return b
+	}
+	for _, tc := range []struct {
+		name  string
+		frame []byte
+	}{
+		{"unknown status", rhdr('Z', 0)},
+		{"oversized value", rhdr(StatusHit, MaxValueLen+1)},
+		{"miss with value", rhdr(StatusMiss, 1)},
+		{"ok with value", rhdr(StatusOK, 8)},
+	} {
+		_, _, err := ReadResponse(bytes.NewReader(tc.frame))
+		if !errors.Is(err, ErrFrame) {
+			t.Errorf("%s: err = %v, want ErrFrame", tc.name, err)
+		}
+	}
+}
+
+func TestAppendRejectsOversized(t *testing.T) {
+	if _, err := AppendRequest(nil, OpGet, strings.Repeat("k", MaxKeyLen+1), nil); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized key accepted: %v", err)
+	}
+	if _, err := AppendRequest(nil, OpPut, "k", make([]byte, MaxValueLen+1)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized value accepted: %v", err)
+	}
+	if _, err := AppendResponse(nil, StatusHit, make([]byte, MaxValueLen+1)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized response accepted: %v", err)
+	}
+}
+
+func TestSealOpen(t *testing.T) {
+	for _, body := range [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("abc"), 1000)} {
+		sealed := Seal(body)
+		if len(sealed) != sha256.Size+len(body) {
+			t.Fatalf("sealed length %d, want %d", len(sealed), sha256.Size+len(body))
+		}
+		got, ok := Open(sealed)
+		if !ok || !bytes.Equal(got, body) {
+			t.Fatalf("open(seal(%q)) = %q, %v", body, got, ok)
+		}
+	}
+
+	// Every single-bit flip anywhere in the sealed value must be caught.
+	sealed := Seal([]byte("the schedule result bytes"))
+	for i := range sealed {
+		mut := append([]byte(nil), sealed...)
+		mut[i] ^= 0x80
+		if _, ok := Open(mut); ok {
+			t.Fatalf("bit flip at byte %d went undetected", i)
+		}
+	}
+	// Every truncation too.
+	for cut := 0; cut < len(sealed); cut++ {
+		if _, ok := Open(sealed[:cut]); ok {
+			t.Fatalf("truncation to %d bytes went undetected", cut)
+		}
+	}
+}
+
+// FuzzReadRequest feeds arbitrary bytes to the request reader: it must
+// never panic and every non-I/O failure must be a structured ErrFrame.
+func FuzzReadRequest(f *testing.F) {
+	seed, _ := AppendRequest(nil, OpPut, "some-key", []byte("some-value"))
+	f.Add(seed)
+	get, _ := AppendRequest(nil, OpGet, "k", nil)
+	f.Add(get)
+	stats, _ := AppendRequest(nil, OpStats, "", nil)
+	f.Add(stats)
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		op, key, val, err := ReadRequest(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrFrame) && !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("unstructured error %v", err)
+			}
+			return
+		}
+		// An accepted frame must re-encode to a prefix of the input.
+		out, aerr := AppendRequest(nil, op, key, val)
+		if aerr != nil {
+			t.Fatalf("accepted frame refuses to re-encode: %v", aerr)
+		}
+		if !bytes.HasPrefix(data, out) {
+			t.Fatalf("re-encoded frame is not a prefix of the input")
+		}
+	})
+}
+
+// FuzzReadResponse is the response-side twin.
+func FuzzReadResponse(f *testing.F) {
+	hit, _ := AppendResponse(nil, StatusHit, Seal([]byte("v")))
+	f.Add(hit)
+	miss, _ := AppendResponse(nil, StatusMiss, nil)
+	f.Add(miss)
+	f.Add([]byte{})
+	f.Add([]byte{'E', 0, 0, 0, 3, 'b', 'a', 'd'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		status, val, err := ReadResponse(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrFrame) && !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("unstructured error %v", err)
+			}
+			return
+		}
+		out, aerr := AppendResponse(nil, status, val)
+		if aerr != nil {
+			t.Fatalf("accepted frame refuses to re-encode: %v", aerr)
+		}
+		if !bytes.HasPrefix(data, out) {
+			t.Fatalf("re-encoded frame is not a prefix of the input")
+		}
+	})
+}
+
+// FuzzSealOpen: Open must never panic and must accept exactly the values
+// Seal produces.
+func FuzzSealOpen(f *testing.F) {
+	f.Add([]byte("body"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if body, ok := Open(data); ok {
+			// Anything Open accepts must re-seal to the identical bytes.
+			if !bytes.Equal(Seal(body), data) {
+				t.Fatal("Open accepted a value Seal would not produce")
+			}
+		}
+		if got, ok := Open(Seal(data)); !ok || !bytes.Equal(got, data) {
+			t.Fatal("Seal/Open round trip failed")
+		}
+	})
+}

@@ -1,0 +1,257 @@
+package remotecache
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+func startServer(t *testing.T, cfg ServerConfig) (*Server, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(cfg)
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return srv, ln.Addr().String()
+}
+
+func TestClientServerRoundTrip(t *testing.T) {
+	srv, addr := startServer(t, ServerConfig{})
+	c := NewClient(ClientConfig{Addr: addr})
+	defer c.Close()
+
+	if _, ok, err := c.Get("absent"); err != nil || ok {
+		t.Fatalf("cold get: ok=%v err=%v, want miss", ok, err)
+	}
+	body := []byte("deterministic schedule result")
+	if err := c.Put("key-1", body); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := c.Get("key-1")
+	if err != nil || !ok || !bytes.Equal(got, body) {
+		t.Fatalf("warm get: %q ok=%v err=%v", got, ok, err)
+	}
+
+	// The same pooled connection serves many round trips.
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("loop-%d", i)
+		if err := c.Put(key, []byte(key)); err != nil {
+			t.Fatal(err)
+		}
+		got, ok, err := c.Get(key)
+		if err != nil || !ok || string(got) != key {
+			t.Fatalf("key %d: %q ok=%v err=%v", i, got, ok, err)
+		}
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Puts != 21 || st.Hits != 21 || st.Misses != 1 {
+		t.Fatalf("daemon stats %+v, want 21 puts / 21 hits / 1 miss", st)
+	}
+	if local := srv.Stats(); local != st {
+		t.Fatalf("wire stats %+v != local stats %+v", st, local)
+	}
+}
+
+func TestServerFirstWriteWins(t *testing.T) {
+	_, addr := startServer(t, ServerConfig{})
+	c := NewClient(ClientConfig{Addr: addr})
+	defer c.Close()
+
+	if err := c.Put("k", []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("k", []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, _ := c.Get("k")
+	if !ok || string(got) != "first" {
+		t.Fatalf("got %q, want the first write to win", got)
+	}
+}
+
+func TestServerEvictsLRU(t *testing.T) {
+	// Values are ~1KiB sealed; a 4KiB budget holds only a few.
+	srv, addr := startServer(t, ServerConfig{MaxBytes: 4 << 10})
+	c := NewClient(ClientConfig{Addr: addr})
+	defer c.Close()
+
+	val := bytes.Repeat([]byte("v"), 1<<10)
+	for i := 0; i < 8; i++ {
+		if err := c.Put(fmt.Sprintf("k%d", i), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := srv.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("no eviction despite exceeding the byte budget")
+	}
+	if st.Bytes > st.MaxBytes {
+		t.Fatalf("stored bytes %d exceed the budget %d", st.Bytes, st.MaxBytes)
+	}
+	// The newest key survives, the oldest is gone.
+	if _, ok, _ := c.Get("k7"); !ok {
+		t.Fatal("most recent key was evicted")
+	}
+	if _, ok, _ := c.Get("k0"); ok {
+		t.Fatal("least recent key survived a full LRU sweep")
+	}
+}
+
+// TestServerBadFrame: a protocol violation gets a StatusError response
+// with a message, is counted, and costs the connection — but not the
+// daemon.
+func TestServerBadFrame(t *testing.T) {
+	srv, addr := startServer(t, ServerConfig{})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Unknown op 'X' with a plausible header.
+	if _, err := conn.Write([]byte{'X', 0, 1, 0, 0, 0, 0, 'k'}); err != nil {
+		t.Fatal(err)
+	}
+	status, msg, err := ReadResponse(conn)
+	if err != nil || status != StatusError || len(msg) == 0 {
+		t.Fatalf("bad frame answer: status %c, msg %q, err %v", status, msg, err)
+	}
+	// The connection is then closed server-side.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, _, err := ReadResponse(conn); err == nil {
+		t.Fatal("connection stayed open after a protocol violation")
+	}
+	if st := srv.Stats(); st.BadFrames != 1 {
+		t.Fatalf("bad frames = %d, want 1", st.BadFrames)
+	}
+
+	// The daemon still serves a well-behaved client.
+	c := NewClient(ClientConfig{Addr: addr})
+	defer c.Close()
+	if err := c.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := c.Get("k"); !ok || err != nil {
+		t.Fatalf("daemon unhealthy after bad frame: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestClientDetectsCorruption: a daemon (or network) that hands back
+// damaged sealed bytes yields ErrCorrupt, never a body.
+func TestClientDetectsCorruption(t *testing.T) {
+	_, addr := startServer(t, ServerConfig{})
+
+	// Plant a damaged sealed value via a raw connection.
+	sealed := Seal([]byte("honest body"))
+	sealed[len(sealed)-1] ^= 0xff
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, _ := AppendRequest(nil, OpPut, "poisoned", sealed)
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	if status, _, err := ReadResponse(conn); err != nil || status != StatusOK {
+		t.Fatalf("raw put: %c %v", status, err)
+	}
+	conn.Close()
+
+	c := NewClient(ClientConfig{Addr: addr})
+	defer c.Close()
+	body, ok, err := c.Get("poisoned")
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+	if ok || body != nil {
+		t.Fatalf("corrupt value was served: %q ok=%v", body, ok)
+	}
+}
+
+func TestClientDeadDaemon(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	c := NewClient(ClientConfig{Addr: addr, Timeout: 100 * time.Millisecond})
+	defer c.Close()
+	start := time.Now()
+	if _, ok, err := c.Get("k"); err == nil || ok {
+		t.Fatalf("dead daemon get: ok=%v err=%v, want error", ok, err)
+	}
+	if d := time.Since(start); d > 3*time.Second {
+		t.Fatalf("dead-daemon get took %s; the timeout is not bounding the dial", d)
+	}
+	if err := c.Put("k", []byte("v")); err == nil {
+		t.Fatal("dead daemon put succeeded")
+	}
+}
+
+func TestStatsOverWire(t *testing.T) {
+	srv, addr := startServer(t, ServerConfig{MaxBytes: 1 << 20})
+	c := NewClient(ClientConfig{Addr: addr})
+	defer c.Close()
+	if err := c.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 1 || st.MaxBytes != 1<<20 {
+		t.Fatalf("wire stats %+v", st)
+	}
+	// And the JSON shape is stable for operators scripting against it.
+	raw, err := json.Marshal(srv.Stats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"gets", "puts", "hits", "misses", "evictions", "bad_frames", "conns", "entries", "bytes", "max_bytes"} {
+		if !bytes.Contains(raw, []byte(`"`+field+`"`)) {
+			t.Errorf("stats JSON lacks %q: %s", field, raw)
+		}
+	}
+}
+
+// BenchmarkRemoteGet: one warm get over the wire — frame write, daemon
+// lookup, sealed read-back and checksum verify on a pooled connection.
+// This is the per-request price a replica pays to consult dtcached.
+func BenchmarkRemoteGet(b *testing.B) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := NewServer(ServerConfig{})
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	c := NewClient(ClientConfig{Addr: ln.Addr().String()})
+	defer c.Close()
+	val := bytes.Repeat([]byte("schedule-bytes!!"), 256) // 4 KiB, a typical response
+	if err := c.Put("bench-key", val); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, ok, err := c.Get("bench-key")
+		if err != nil || !ok || len(got) != len(val) {
+			b.Fatalf("get: ok=%v err=%v len=%d", ok, err, len(got))
+		}
+	}
+}

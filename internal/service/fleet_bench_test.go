@@ -1,0 +1,52 @@
+package service
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"testing"
+
+	"repro/internal/proxy"
+)
+
+// BenchmarkFleetWarmHit: the fleet-wide warm-hit floor — one request
+// through dtproxy (fingerprint route) into the owning replica's memory
+// tier. Relative to BenchmarkWarmHitHTTP this adds the proxy's zero-copy
+// canonicalize/route step and one real loopback HTTP hop; it is the
+// per-request cost ceiling of scaling out.
+func BenchmarkFleetWarmHit(b *testing.B) {
+	fleet, err := RunFleet(FleetConfig{
+		Replicas: 2,
+		Server:   Config{CacheSize: 64},
+		Proxy:    proxy.Config{HedgeDelay: -1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fleet.Close()
+
+	payload := benchPayload(b, false)
+	client := &http.Client{}
+	post := func() {
+		resp, err := client.Post(fleet.ProxyURL+"/v1/schedule", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	post() // warm: the owner solves once; every timed request is a hit
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		post()
+	}
+	b.StopTimer()
+	if fs := fleet.Stats(); fs.Solves != 1 {
+		b.Fatalf("fleet solved %d times during a warm-hit benchmark", fs.Solves)
+	}
+}

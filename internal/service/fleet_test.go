@@ -1,0 +1,366 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/proxy"
+)
+
+func runTestFleet(t *testing.T, cfg FleetConfig) *Fleet {
+	t.Helper()
+	f, err := RunFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+	return f
+}
+
+// postOK fires one schedule call and fails the test on any non-200.
+func postOK(t *testing.T, url string, payload []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, body := post(t, url+"/v1/schedule", payload)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	return resp, body
+}
+
+// TestFleetSingleflightAcrossReplicas is the scale-out acceptance test:
+// K distinct keys, each requested concurrently through dtproxy across a
+// 3-replica fleet, must cost exactly K solves fleet-wide — consistent
+// hashing lands each key's singleflight leadership on one node, and the
+// shared remote tier replays the result everywhere else byte-for-byte.
+func TestFleetSingleflightAcrossReplicas(t *testing.T) {
+	f := runTestFleet(t, FleetConfig{
+		Replicas: 3,
+		Server:   Config{CacheSize: 64},
+		// Exact-solve-count assertions and hedging are mutually exclusive
+		// by design: a fired hedge may duplicate a cold solve.
+		Proxy: proxy.Config{HedgeDelay: -1},
+	})
+
+	const K = 6
+	const perKey = 4
+	payloads := make([][]byte, K)
+	for i := range payloads {
+		seed := int64(100 + i)
+		payloads[i] = wireRequest(t, "FFT", func(r *ScheduleRequest) { r.Seed = seed })
+	}
+
+	// Fire every key's requests concurrently: the proxy must route all
+	// perKey copies of key i to the same replica, where they coalesce.
+	bodies := make([][]byte, K*perKey)
+	var wg sync.WaitGroup
+	for i := 0; i < K; i++ {
+		for j := 0; j < perKey; j++ {
+			wg.Add(1)
+			go func(i, j int) {
+				defer wg.Done()
+				resp, err := http.Post(f.ProxyURL+"/v1/schedule", "application/json",
+					bytes.NewReader(payloads[i]))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				defer resp.Body.Close()
+				var buf bytes.Buffer
+				buf.ReadFrom(resp.Body)
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("key %d copy %d: status %d: %s", i, j, resp.StatusCode, buf.String())
+					return
+				}
+				if resp.Header.Get("X-DTProxy-Replica") == "" {
+					t.Errorf("key %d copy %d: missing X-DTProxy-Replica", i, j)
+				}
+				bodies[i*perKey+j] = buf.Bytes()
+			}(i, j)
+		}
+	}
+	wg.Wait()
+	for i := 0; i < K; i++ {
+		for j := 1; j < perKey; j++ {
+			if !bytes.Equal(bodies[i*perKey], bodies[i*perKey+j]) {
+				t.Fatalf("key %d: copy %d differs from copy 0 via the proxy", i, j)
+			}
+		}
+	}
+
+	fs := f.Stats()
+	if fs.Solves != K {
+		t.Fatalf("fleet solves = %d, want exactly %d (one per distinct key); per-replica: %+v",
+			fs.Solves, K, perReplicaSolves(fs))
+	}
+
+	// Every replica must now answer every key byte-identically when hit
+	// directly — non-owners from the shared remote tier (their first
+	// sight of the key), owners from memory.
+	remoteTagged := 0
+	for i := 0; i < K; i++ {
+		for r, rep := range f.Replicas {
+			resp, body := postOK(t, rep.URL, payloads[i])
+			if !bytes.Equal(body, bodies[i*perKey]) {
+				t.Fatalf("key %d on replica %d: body differs from the proxy answer", i, r)
+			}
+			switch tag := resp.Header.Get("X-DTServe-Cache"); tag {
+			case "hit", "disk", "remote", "coalesced":
+				if tag == "remote" {
+					remoteTagged++
+				}
+			default:
+				t.Fatalf("key %d on replica %d: unexpected cache tag %q (a direct replay must not re-solve)", i, r, tag)
+			}
+		}
+	}
+	if remoteTagged == 0 {
+		t.Fatal("no direct replay was served from the remote tier; the fleet-shared cache is not being consulted")
+	}
+
+	// The extended conservation law must hold on every replica's /statsz
+	// scrape, and no further solves may have happened.
+	for r, rep := range f.Replicas {
+		st := getStats(t, rep.URL)
+		if err := CheckLaw(st); err != nil {
+			t.Errorf("replica %d: %v", r, err)
+		}
+		if st.Remote.Enabled != true {
+			t.Errorf("replica %d: remote tier not enabled in /statsz", r)
+		}
+	}
+	if fs := f.Stats(); fs.Solves != K {
+		t.Fatalf("fleet solves grew to %d after warm replays, want %d", fs.Solves, K)
+	}
+	if fs := f.Stats(); fs.RemoteHits == 0 {
+		t.Fatal("fleet remote hits = 0 after cross-replica replays")
+	}
+}
+
+func perReplicaSolves(fs FleetStats) []uint64 {
+	out := make([]uint64, len(fs.PerReplica))
+	for i, st := range fs.PerReplica {
+		out[i] = st.Solves
+	}
+	return out
+}
+
+// TestFleetKillRerouteReadmit proves the proxy's failure path: kill the
+// replica that owns a key, watch it get ejected, verify the key still
+// answers byte-identically through the proxy (rerouted to a survivor,
+// replayed from the shared remote tier — no extra solve), then restart
+// the replica and watch readmission.
+func TestFleetKillRerouteReadmit(t *testing.T) {
+	f := runTestFleet(t, FleetConfig{
+		Replicas: 2,
+		Server:   Config{CacheSize: 64},
+		Proxy: proxy.Config{
+			HedgeDelay:     -1,
+			HealthInterval: 20 * time.Millisecond,
+			HealthTimeout:  500 * time.Millisecond,
+			FailAfter:      2,
+			ReadmitAfter:   2,
+		},
+	})
+
+	payload := wireRequest(t, "MM", func(r *ScheduleRequest) { r.Seed = 7 })
+	resp, want := postOK(t, f.ProxyURL, payload)
+	owner := trimURL(resp.Header.Get("X-DTProxy-Replica"))
+	ownerIdx := -1
+	for i, rep := range f.Replicas {
+		if rep.URL == owner {
+			ownerIdx = i
+		}
+	}
+	if ownerIdx < 0 {
+		t.Fatalf("X-DTProxy-Replica %q names no fleet member", owner)
+	}
+
+	// The survivor replays from the remote tier; the write-behind publish
+	// is asynchronous, so wait for the daemon to hold the value before
+	// killing the owner.
+	waitFor(t, 5*time.Second, "remote tier publish", func() bool {
+		return f.Cached.Stats().Entries > 0
+	})
+
+	if err := f.StopReplica(ownerIdx); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "owner ejection", func() bool {
+		return !f.Proxy.Stats().Healthy[owner]
+	})
+
+	resp, got := postOK(t, f.ProxyURL, payload)
+	if !bytes.Equal(got, want) {
+		t.Fatal("rerouted answer differs from the pre-kill answer")
+	}
+	if rep := trimURL(resp.Header.Get("X-DTProxy-Replica")); rep == owner {
+		t.Fatalf("request was routed to the ejected replica %s", rep)
+	}
+	if tag := resp.Header.Get("X-DTServe-Cache"); tag != "remote" {
+		t.Fatalf("survivor served tag %q, want \"remote\" (shared-tier replay, not a re-solve)", tag)
+	}
+
+	if err := f.RestartReplica(ownerIdx); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "owner readmission", func() bool {
+		return f.Proxy.Stats().Healthy[owner]
+	})
+
+	pst := f.Proxy.Stats()
+	if pst.Ejections == 0 {
+		t.Error("proxy recorded no ejection")
+	}
+	if pst.Readmissions == 0 {
+		t.Error("proxy recorded no readmission")
+	}
+	// The same key keeps routing to its ring owner once readmitted.
+	resp, got = postOK(t, f.ProxyURL, payload)
+	if !bytes.Equal(got, want) {
+		t.Fatal("post-readmission answer differs")
+	}
+	if rep := trimURL(resp.Header.Get("X-DTProxy-Replica")); rep != owner {
+		t.Fatalf("post-readmission request routed to %s, want the readmitted owner %s", rep, owner)
+	}
+
+	fs := f.Stats()
+	if fs.Solves != 1 {
+		t.Fatalf("fleet solves = %d across the kill/reroute/readmit cycle, want 1", fs.Solves)
+	}
+	for r, st := range fs.PerReplica {
+		if err := CheckLaw(st); err != nil {
+			t.Errorf("replica %d: %v", r, err)
+		}
+	}
+}
+
+// TestFleetAllReplicasDown exercises the proxy's empty-candidate path:
+// with every replica stopped the proxy answers 503 with Retry-After and
+// counts the request as unrouted, and its own /healthz degrades.
+func TestFleetAllReplicasDown(t *testing.T) {
+	f := runTestFleet(t, FleetConfig{
+		Replicas: 2,
+		Server:   Config{CacheSize: 8},
+		Proxy: proxy.Config{
+			HedgeDelay:     -1,
+			HealthInterval: 20 * time.Millisecond,
+			HealthTimeout:  250 * time.Millisecond,
+			FailAfter:      2,
+		},
+	})
+	for i := range f.Replicas {
+		if err := f.StopReplica(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 5*time.Second, "fleet-wide ejection", func() bool {
+		st := f.Proxy.Stats()
+		for _, h := range st.Healthy {
+			if h {
+				return false
+			}
+		}
+		return true
+	})
+
+	payload := wireRequest(t, "NE", nil)
+	resp, body := post(t, f.ProxyURL+"/v1/schedule", payload)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d with no healthy replicas, want 503: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 carries no Retry-After")
+	}
+	if st := f.Proxy.Stats(); st.Unrouted == 0 {
+		t.Error("unrouted counter not incremented")
+	}
+
+	hz, err := http.Get(f.ProxyURL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("proxy /healthz = %d with no healthy replicas, want 503", hz.StatusCode)
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestFleetBatchThroughProxy routes a streamed batch through the proxy:
+// the whole batch lands on one replica (routed by its first member), the
+// NDJSON body arrives intact, and the law holds everywhere after.
+func TestFleetBatchThroughProxy(t *testing.T) {
+	f := runTestFleet(t, FleetConfig{
+		Replicas: 2,
+		Server:   Config{CacheSize: 64},
+		Proxy:    proxy.Config{HedgeDelay: -1},
+	})
+
+	single := wireRequest(t, "GJ", func(r *ScheduleRequest) { r.Seed = 41 })
+	var sr ScheduleRequest
+	mustUnmarshal(t, single, &sr)
+	batch := mustMarshal(t, BatchRequest{Requests: []ScheduleRequest{sr, sr, sr}})
+
+	req, err := http.NewRequest(http.MethodPost, f.ProxyURL+"/v1/schedule/batch", bytes.NewReader(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", "application/x-ndjson")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d: %s", resp.StatusCode, buf.String())
+	}
+	if resp.Header.Get("X-DTProxy-Replica") == "" {
+		t.Error("batch response missing X-DTProxy-Replica")
+	}
+	if n := bytes.Count(bytes.TrimSpace(buf.Bytes()), []byte("\n")) + 1; n != 3 {
+		t.Fatalf("streamed %d NDJSON items, want 3", n)
+	}
+	fs := f.Stats()
+	if fs.Solves != 1 {
+		t.Fatalf("fleet solves = %d for a 3-member identical batch, want 1", fs.Solves)
+	}
+	for r, st := range fs.PerReplica {
+		if err := CheckLaw(st); err != nil {
+			t.Errorf("replica %d: %v", r, err)
+		}
+	}
+}
+
+func mustMarshal(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func mustUnmarshal(t *testing.T, data []byte, v any) {
+	t.Helper()
+	if err := json.Unmarshal(data, v); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -76,6 +76,7 @@ type LoadGenReport struct {
 	Errors     int           `json:"errors"`
 	CacheHits  int           `json:"cache_hits"`
 	DiskHits   int           `json:"disk_hits"`
+	RemoteHits int           `json:"remote_hits"`
 	Coalesced  int           `json:"coalesced"`
 	Elapsed    time.Duration `json:"elapsed_ns"`
 	Throughput float64       `json:"requests_per_second"`
@@ -129,8 +130,8 @@ type LatencySummary struct {
 // String renders the report for terminals.
 func (r *LoadGenReport) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "loadgen: %d requests, %d errors, %d memory hits, %d disk hits, %d coalesced\n",
-		r.Requests, r.Errors, r.CacheHits, r.DiskHits, r.Coalesced)
+	fmt.Fprintf(&b, "loadgen: %d requests, %d errors, %d memory hits, %d disk hits, %d remote hits, %d coalesced\n",
+		r.Requests, r.Errors, r.CacheHits, r.DiskHits, r.RemoteHits, r.Coalesced)
 	if r.Warm {
 		fmt.Fprintf(&b, "  warm mode   %d keys pre-seeded before the clock; %d timed misses — throughput/latency below are the pure warm-hit floor\n",
 			r.WarmSeeded, r.WarmMisses)
@@ -282,7 +283,7 @@ func LoadGen(cfg LoadGenConfig) (*LoadGenReport, error) {
 	latencies := make([]time.Duration, cfg.Requests)
 	firstLat := make([]time.Duration, cfg.Requests)
 	lastLat := make([]time.Duration, cfg.Requests)
-	var errCount, hitCount, diskCount, coalCount, itemCount atomic.Int64
+	var errCount, hitCount, diskCount, remoteCount, coalCount, itemCount atomic.Int64
 	var shedCount, retryCount atomic.Int64
 	stages := newStageCollector()
 
@@ -290,7 +291,7 @@ func LoadGen(cfg LoadGenConfig) (*LoadGenReport, error) {
 	_ = engine.ParallelFor(cfg.Concurrency, cfg.Requests, func(i int, _ *engine.Worker) error {
 		if cfg.Batch > 0 {
 			fireBatch(client, base, batches[i%len(batches)], i,
-				latencies, firstLat, lastLat, &errCount, &hitCount, &diskCount, &coalCount, &itemCount, &shedCount)
+				latencies, firstLat, lastLat, &errCount, &hitCount, &diskCount, &remoteCount, &coalCount, &itemCount, &shedCount)
 			return nil
 		}
 		wantTrace := cfg.TraceEvery > 0 && i%cfg.TraceEvery == 0
@@ -344,7 +345,7 @@ func LoadGen(cfg LoadGenConfig) (*LoadGenReport, error) {
 			resp.Body.Close()
 			latencies[i] = time.Since(t0)
 		}
-		countCacheTag(resp.Header.Get("X-DTServe-Cache"), &hitCount, &diskCount, &coalCount)
+		countCacheTag(resp.Header.Get("X-DTServe-Cache"), &hitCount, &diskCount, &remoteCount, &coalCount)
 		return nil
 	})
 	elapsed := time.Since(start)
@@ -356,6 +357,7 @@ func LoadGen(cfg LoadGenConfig) (*LoadGenReport, error) {
 		Errors:     int(errCount.Load()),
 		CacheHits:  int(hitCount.Load()),
 		DiskHits:   int(diskCount.Load()),
+		RemoteHits: int(remoteCount.Load()),
 		Coalesced:  int(coalCount.Load()),
 		Elapsed:    elapsed,
 		Throughput: float64(cfg.Requests) / elapsed.Seconds(),
@@ -369,7 +371,7 @@ func LoadGen(cfg LoadGenConfig) (*LoadGenReport, error) {
 	if cfg.Warm {
 		report.Warm = true
 		report.WarmSeeded = warmSeeded
-		served := report.CacheHits + report.DiskHits + report.Coalesced
+		served := report.CacheHits + report.DiskHits + report.RemoteHits + report.Coalesced
 		answered := report.Requests - report.Errors
 		if cfg.Batch > 0 {
 			answered = report.Items
@@ -506,7 +508,7 @@ func (c *stageCollector) summarize() (int, []StageBreakdown) {
 // completes.
 func fireBatch(client *http.Client, base string, payload []byte, i int,
 	latencies, firstLat, lastLat []time.Duration,
-	errCount, hitCount, diskCount, coalCount, itemCount, shedCount *atomic.Int64) {
+	errCount, hitCount, diskCount, remoteCount, coalCount, itemCount, shedCount *atomic.Int64) {
 
 	t0 := time.Now()
 	req, err := http.NewRequest(http.MethodPost, base+"/v1/schedule/batch", bytes.NewReader(payload))
@@ -552,7 +554,7 @@ func fireBatch(client *http.Client, base string, payload []byte, i int,
 			continue
 		}
 		itemCount.Add(1)
-		countCacheTag(item.Cache, hitCount, diskCount, coalCount)
+		countCacheTag(item.Cache, hitCount, diskCount, remoteCount, coalCount)
 	}
 	if err := sc.Err(); err != nil {
 		errCount.Add(1)
@@ -561,12 +563,14 @@ func fireBatch(client *http.Client, base string, payload []byte, i int,
 }
 
 // countCacheTag buckets one cache status tag into the hit counters.
-func countCacheTag(tag string, hit, disk, coal *atomic.Int64) {
+func countCacheTag(tag string, hit, disk, remote, coal *atomic.Int64) {
 	switch tag {
 	case "hit":
 		hit.Add(1)
 	case "disk":
 		disk.Add(1)
+	case "remote":
+		remote.Add(1)
 	case "coalesced":
 		coal.Add(1)
 	}

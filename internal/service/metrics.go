@@ -109,6 +109,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("dtserve_disk_errors_total", "Corrupt/stale entries detected and deleted, plus failed or dropped writes.", st.Disk.Errors)
 	gauge("dtserve_disk_entries", "Entries currently on disk.", int64(st.Disk.Entries))
 	gauge("dtserve_disk_bytes", "On-disk bytes (entry headers included).", st.Disk.Bytes)
+	remoteEnabled := int64(0)
+	if st.Remote.Enabled {
+		remoteEnabled = 1
+	}
+	gauge("dtserve_remote_enabled", "1 when a shared remote cache tier (dtcached) is configured.", remoteEnabled)
+	counter("dtserve_remote_hits_total", "Shared remote tier hits (mirrored at item accounting).", st.Remote.Hits)
+	counter("dtserve_remote_misses_total", "Shared remote tier misses (errors degrade to counted misses).", st.Remote.Misses)
+	counter("dtserve_remote_puts_total", "Results published to the shared remote tier by the write-behind writer.", st.Remote.Puts)
+	counter("dtserve_remote_errors_total", "Remote tier failures: network/daemon errors, checksum mismatches, dropped writes — every one degraded, none served.", st.Remote.Errors)
+	counter("dtserve_remote_corrupt_total", "Remote values that failed the client-side checksum and were refused.", st.Remote.Corrupt)
 	gauge("dtserve_pool_workers", "Current solver pool size (adaptive).", int64(st.Pool.Workers))
 	gauge("dtserve_pool_min_workers", "Adaptive pool floor.", int64(st.Pool.MinWorkers))
 	gauge("dtserve_pool_max_workers", "Adaptive pool ceiling.", int64(st.Pool.MaxWorkers))
@@ -170,6 +180,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.diskRead.Snapshot().WriteProm(&b, "dtserve_disk_read_seconds", "")
 	histHeader("dtserve_disk_write_seconds", "Disk tier write-behind persist latency (temp write + fsync + rename).")
 	s.diskWrite.Snapshot().WriteProm(&b, "dtserve_disk_write_seconds", "")
+	histHeader("dtserve_remote_read_seconds", "Remote tier Get latency (hits, misses and degraded errors, through the fault-injection seam).")
+	s.remoteRead.Snapshot().WriteProm(&b, "dtserve_remote_read_seconds", "")
 	histHeader("dtserve_stream_ttfb_seconds", "NDJSON batch time-to-first-byte: request start to the first streamed item hitting the wire.")
 	s.streamTTFB.Snapshot().WriteProm(&b, "dtserve_stream_ttfb_seconds", "")
 

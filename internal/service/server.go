@@ -74,6 +74,23 @@ type Config struct {
 	// nil-backed tier when CacheDir is empty) and must return the tier
 	// the server should use.
 	WrapDiskTier func(DiskTier) DiskTier
+	// RemoteAddr points at a dtcached daemon shared by the replica fleet;
+	// the server consults it between a disk miss and a cold solve
+	// (memory → disk → remote → solve) and promotes remote hits into the
+	// local tiers. Empty disables the tier (the prior behavior).
+	RemoteAddr string
+	// RemoteTimeout bounds one remote round trip (dial included); <= 0
+	// means the remotecache client default (250ms). The tier degrades to
+	// a counted miss on timeout — it can slow a cold solve by at most
+	// this much and can never fail one.
+	RemoteTimeout time.Duration
+	// WrapRemoteTier, when non-nil, wraps the remote tier exactly as
+	// WrapDiskTier wraps the disk tier — the chaos seam, and the hook
+	// in-process fleet tests use to substitute a fake daemon. The wrapper
+	// receives a no-op nil-backed tier when RemoteAddr is empty; a
+	// non-nil wrapped tier enables the remote rung even without an
+	// address.
+	WrapRemoteTier func(RemoteTier) RemoteTier
 	// Logger receives one structured record per request (method, path,
 	// status, duration, trace ID, lane, cache tag, stage summary); nil
 	// disables request logging.
@@ -100,6 +117,8 @@ type Server struct {
 	eng          *engine.Engine
 	cache        *Cache
 	disk         DiskTier
+	remote       RemoteTier
+	remoteOn     bool // a real remote rung exists; gates the remote_tier stage
 	solveLatency *obs.Histogram
 
 	// Per-stage latency histograms, keyed by obs stage name. The map is
@@ -109,6 +128,7 @@ type Server struct {
 	stageLatency map[string]*obs.Histogram
 	diskRead     *obs.Histogram // disk tier Get latency, hit or miss
 	diskWrite    *obs.Histogram // disk tier write-behind persist latency
+	remoteRead   *obs.Histogram // remote tier Get latency, hit or miss
 	streamTTFB   *obs.Histogram // NDJSON batch: first item flushed
 	sampler      obs.Sampler
 	ring         *obs.Ring
@@ -117,15 +137,16 @@ type Server struct {
 	drainCh   chan struct{} // closed by BeginDrain
 	drainOnce sync.Once
 
-	mu        sync.Mutex
-	requests  uint64 // API calls that reached a handler
-	failures  uint64 // requests answered with a non-2xx status
-	items     uint64 // schedule items answered (1 per single, N per batch)
-	solves    uint64 // solver executions (cache misses)
-	memHits   uint64 // items answered from the memory tier
-	diskHits  uint64 // items answered from the disk tier
-	coalesced uint64 // requests that piggybacked on an in-flight solve
-	pruned    uint64 // portfolio members cancelled by the incumbent bound
+	mu         sync.Mutex
+	requests   uint64 // API calls that reached a handler
+	failures   uint64 // requests answered with a non-2xx status
+	items      uint64 // schedule items answered (1 per single, N per batch)
+	solves     uint64 // solver executions (cache misses)
+	memHits    uint64 // items answered from the memory tier
+	diskHits   uint64 // items answered from the disk tier
+	remoteHits uint64 // items answered from the shared remote tier
+	coalesced  uint64 // requests that piggybacked on an in-flight solve
+	pruned     uint64 // portfolio members cancelled by the incumbent bound
 	// restartsAbandoned counts SA restarts stopped early by the
 	// cooperative incumbent rule across all completed solves.
 	restartsAbandoned uint64
@@ -154,12 +175,14 @@ type flight struct {
 
 // Stats is the /statsz payload. The counters obey the conservation law
 //
-//	solves + cache.hits + disk.hits + coalesced == schedule_items
+//	solves + cache.hits + disk.hits + remote.hits + coalesced == schedule_items
 //
 // every answered schedule item — one per /v1/schedule call, one per batch
 // member — is exactly one of: a solver execution, a memory hit, a disk
-// hit, or a ride on an identical in-flight solve. (For workloads of only
-// single schedule calls, schedule_items equals the successful requests.)
+// hit, a shared remote-tier hit, or a ride on an identical in-flight
+// solve. (For workloads of only single schedule calls, schedule_items
+// equals the successful requests; without a remote tier, remote.hits is
+// identically zero and the law reduces to the historical four-term form.)
 type Stats struct {
 	Requests  uint64 `json:"requests"`
 	Failures  uint64 `json:"failures"`
@@ -197,7 +220,11 @@ type Stats struct {
 	Traces uint64         `json:"traces"`
 	Cache  CacheStats     `json:"cache"`
 	Disk   DiskCacheStats `json:"disk"`
-	Pool   PoolStats      `json:"pool"`
+	// Remote is the shared dtcached tier consulted between a disk miss
+	// and a cold solve; Remote.Hits is law-bound and mirrored like the
+	// other tiers'.
+	Remote RemoteCacheStats `json:"remote"`
+	Pool   PoolStats        `json:"pool"`
 }
 
 // PoolStats mirrors the engine's worker and lane counters under the
@@ -243,6 +270,22 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("service: WrapDiskTier returned a nil tier")
 		}
 	}
+	// The remote tier travels the same way: a nil *RemoteCache is the
+	// valid no-op tier, and the chaos/test seam wraps the interface. The
+	// rung is "on" — and the remote_tier trace stage recorded — only when
+	// something real sits behind it, so single-node deployments keep
+	// their exact historical stage taxonomy.
+	var remote *RemoteCache
+	if cfg.RemoteAddr != "" {
+		remote = NewRemoteCache(cfg.RemoteAddr, cfg.RemoteTimeout)
+	}
+	var remoteTier RemoteTier = remote
+	if cfg.WrapRemoteTier != nil {
+		remoteTier = cfg.WrapRemoteTier(remoteTier)
+		if remoteTier == nil {
+			return nil, fmt.Errorf("service: WrapRemoteTier returned a nil tier")
+		}
+	}
 	s := &Server{
 		cfg: cfg,
 		eng: engine.New(engine.Config{
@@ -256,11 +299,14 @@ func New(cfg Config) (*Server, error) {
 		}),
 		cache:          NewCache(cfg.CacheSize, cfg.CacheBytes),
 		disk:           tier,
+		remote:         remoteTier,
+		remoteOn:       cfg.RemoteAddr != "" || cfg.WrapRemoteTier != nil,
 		drainCh:        make(chan struct{}),
 		solveLatency:   obs.NewHistogram(obs.LatencyBuckets),
 		stageLatency:   make(map[string]*obs.Histogram, len(obs.Stages)),
 		diskRead:       obs.NewHistogram(obs.QueueBuckets),
 		diskWrite:      obs.NewHistogram(obs.QueueBuckets),
+		remoteRead:     obs.NewHistogram(obs.QueueBuckets),
 		streamTTFB:     obs.NewHistogram(obs.LatencyBuckets),
 		ring:           obs.NewRing(cfg.TraceRecent, cfg.TraceSlowest),
 		bySolver:       make(map[string]uint64),
@@ -298,12 +344,14 @@ func (s *Server) BeginDrain() {
 // Draining reports whether BeginDrain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// Close stops the solve engine and drains the disk tier's write-behind
-// queue, so every result accepted for persistence is durable before
-// Close returns. In-flight solves finish first.
+// Close stops the solve engine and drains the disk and remote tiers'
+// write-behind queues, so every result accepted for persistence has been
+// written (or counted as a failed write) before Close returns. In-flight
+// solves finish first.
 func (s *Server) Close() {
 	s.eng.Close()
 	s.disk.Close()
+	s.remote.Close()
 }
 
 // Stats snapshots the server counters. The conservation-law counters —
@@ -319,6 +367,7 @@ func (s *Server) Stats() Stats {
 	// own locks); only the law-bound fields come from the mirrors below.
 	cs := s.cache.Stats()
 	ds := s.disk.Stats()
+	rs := s.remote.Stats()
 	est := s.eng.Stats()
 	ring := s.ring.Snapshot()
 
@@ -338,6 +387,7 @@ func (s *Server) Stats() Stats {
 	}
 	cs.Hits = s.memHits
 	ds.Hits = s.diskHits
+	rs.Hits = s.remoteHits
 	return Stats{
 		Requests:          s.requests,
 		Failures:          s.failures,
@@ -355,6 +405,7 @@ func (s *Server) Stats() Stats {
 		Traces:            ring.Total,
 		Cache:             cs,
 		Disk:              ds,
+		Remote:            rs,
 		Pool: PoolStats{
 			Workers:    est.Workers,
 			MinWorkers: est.MinWorkers,
@@ -685,7 +736,7 @@ func laneName(wire string, def engine.Lane) string {
 // classification — exactly one of the conservation law's left-hand
 // counters, in the same critical section as the item count, so
 //
-//	solves + mem_hits + disk_hits + coalesced == schedule_items
+//	solves + mem_hits + disk_hits + remote_hits + coalesced == schedule_items
 //
 // holds on every snapshot, never just eventually.
 func (s *Server) account(tag string) {
@@ -696,6 +747,8 @@ func (s *Server) account(tag string) {
 		s.memHits++
 	case "disk":
 		s.diskHits++
+	case "remote":
+		s.remoteHits++
 	case "coalesced":
 		s.coalesced++
 	case "miss":
@@ -861,13 +914,13 @@ var canonPool = sync.Pool{New: func() any { return new(canonScratch) }}
 
 // process turns one wire request into marshaled result bytes: validate,
 // consult the content-addressed cache tiers fastest-first (memory, then
-// the persistent disk tier — a disk hit is promoted into memory),
-// collapse onto an identical in-flight solve when one exists
-// (singleflight), and otherwise run the named solver on the worker pool
-// and store the bytes in every tier. The string reports how the body was
-// obtained: "hit", "disk", "miss" or "coalesced". defLane is the QoS lane
-// used when the request names none: interactive for single schedule
-// calls, batch for batch members.
+// the persistent disk tier, then the fleet-shared remote tier — each hit
+// promoted into the tiers above it), collapse onto an identical in-flight
+// solve when one exists (singleflight), and otherwise run the named
+// solver on the worker pool and store the bytes in every tier. The string
+// reports how the body was obtained: "hit", "disk", "remote", "miss" or
+// "coalesced". defLane is the QoS lane used when the request names none:
+// interactive for single schedule calls, batch for batch members.
 //
 // The graph arrives as raw bytes and is decoded by the fused
 // canonicalizer: one pass yields the canonical form and fingerprint the
@@ -1049,6 +1102,26 @@ func (s *Server) process(ctx context.Context, req *rawRequest, defLane engine.La
 			f.body, f.err = body, nil
 			return body, "disk", nil
 		}
+		// Remote consult, still as the flight leader: one network round
+		// trip per fleet-cold key per replica, coalesced for everyone
+		// behind it. A hit is promoted into both local tiers so the next
+		// request never leaves the process; every failure mode inside the
+		// tier degrades to a counted miss. The stage is recorded only when
+		// a remote rung actually exists, so single-node traces keep their
+		// historical shape.
+		if s.remoteOn {
+			remoteStart := time.Now()
+			body, ok = s.remote.Get(key)
+			remoteDur := time.Since(remoteStart)
+			s.remoteRead.Observe(remoteDur)
+			tr.Observe(obs.StageRemoteTier, remoteStart, remoteDur)
+			if ok {
+				s.cache.Put(key, body)
+				s.disk.Put(key, body)
+				f.body, f.err = body, nil
+				return body, "remote", nil
+			}
+		}
 		body, err := cold(ctx)
 		f.body, f.err = body, err
 		return body, "miss", err
@@ -1149,9 +1222,13 @@ func (s *Server) solve(ctx context.Context, slv solver.Solver, sreq solver.Reque
 	// results are memoized.
 	if !(deadlined && slv.Name() == "portfolio") && !res.Raced {
 		s.cache.Put(key, body)
-		// Persist through the write-behind queue: the disk write happens
-		// on the disk tier's writer goroutine, never on this hot path.
+		// Persist through the write-behind queues: the disk write happens
+		// on the disk tier's writer goroutine and the remote publish on
+		// the remote tier's, never on this hot path. Publishing to the
+		// shared daemon is what turns this replica's cold solve into
+		// every other replica's "remote" hit.
 		s.disk.Put(key, body)
+		s.remote.Put(key, body)
 	}
 	// Observed only for completed solves, so queue-timeout artifacts never
 	// pollute the latency distribution. The solves counter itself moved

@@ -2,10 +2,11 @@
 // taskgraph + topology + communication parameters on the wire, routes
 // each request through the solver registry on the shared solve engine
 // (internal/engine — worker-owned simulator arenas and pooled SA
-// schedulers), and memoizes completed results in a two-tier
+// schedulers), and memoizes completed results in a tiered
 // content-addressed cache — an in-memory LRU backed by an optional
-// persistent disk tier, so a restarted server replays its warm set
-// byte-identically without re-solving.
+// persistent disk tier and an optional fleet-shared remote tier
+// (dtcached), so a restarted server replays its warm set byte-identically
+// without re-solving and a replica fleet shares one warm set.
 //
 // Endpoints:
 //
@@ -160,8 +161,9 @@ type rawBatch struct {
 
 // BatchItem is one element of a batch response: exactly one of Result or
 // Error is set. Index names the request the item answers, and Cache
-// reports how the body was obtained ("hit", "disk", "coalesced" or
-// "miss") — the per-item analogue of the X-DTServe-Cache header. In the
+// reports how the body was obtained ("hit", "disk", "remote",
+// "coalesced" or "miss") — the per-item analogue of the X-DTServe-Cache
+// header. In the
 // buffered BatchResponse the items are already request-ordered; in the
 // NDJSON stream they arrive in completion order and Index is how clients
 // reassemble them.
