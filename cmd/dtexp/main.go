@@ -68,6 +68,7 @@ func main() {
 		lgMemberTO  = flag.Duration("lg-member-timeout", 0, "per-member portfolio budget on every loadgen request (0 omits the field)")
 		lgTrace     = flag.Int("lg-trace", 0, "loadgen: trace every Nth request and report a per-stage latency breakdown (0 disables)")
 		lgWarm      = flag.Bool("lg-warm", false, "loadgen: pre-seed every distinct payload before the clock starts, so the run measures the pure warm-hit RPS and latency floor")
+		lgDelta     = flag.Bool("lg-delta", false, "loadgen: solve each distinct payload once for its content address, then drive /v1/schedule/delta edits against those bases and report how many answers warm-started")
 		lgFleet     = flag.Int("lg-fleet", 0, "loadgen: > 0 starts an in-process fleet of this many dtserve replicas behind dtcached + dtproxy and drives the proxy; reports the fleet-wide RPS and the per-replica hit/solve split (ignores -addr and -lg-cache-dir)")
 
 		lgOverload   = flag.Bool("lg-overload", false, "run the two-phase overload scenario: unloaded interactive probes, then the same probes under a batch-lane flood")
@@ -98,7 +99,7 @@ func main() {
 			}
 			return
 		}
-		if err := runLoadgen(*addr, *requests, *concurrency, *distinct, *lgBatch, *lgTrace, *lgSolver, *lgCacheDir, *lgLane, *lgMemberTO, *lgWarm); err != nil {
+		if err := runLoadgen(*addr, *requests, *concurrency, *distinct, *lgBatch, *lgTrace, *lgSolver, *lgCacheDir, *lgLane, *lgMemberTO, *lgWarm, *lgDelta); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -221,7 +222,7 @@ func main() {
 // request and reports where the time went, stage by stage. warm
 // pre-seeds every distinct payload before timing, so the reported
 // throughput and percentiles are the pure warm-hit serving floor.
-func runLoadgen(addr string, requests, concurrency, distinct, batch, traceEvery int, solverName, cacheDir, lane string, memberTO time.Duration, warm bool) error {
+func runLoadgen(addr string, requests, concurrency, distinct, batch, traceEvery int, solverName, cacheDir, lane string, memberTO time.Duration, warm, delta bool) error {
 	var svc *service.Server
 	if addr == "" {
 		var err error
@@ -253,6 +254,7 @@ func runLoadgen(addr string, requests, concurrency, distinct, batch, traceEvery 
 		MemberTimeoutMS: int(memberTO.Milliseconds()),
 		TraceEvery:      traceEvery,
 		Warm:            warm,
+		Delta:           delta,
 	})
 	if err != nil {
 		return err
@@ -262,6 +264,10 @@ func runLoadgen(addr string, requests, concurrency, distinct, batch, traceEvery 
 		st := svc.Stats()
 		fmt.Printf("  server: %d solves for %d requests (memory: %d hits, %d misses, %d entries; disk: %d hits, %d writes)\n",
 			st.Solves, st.Requests, st.Cache.Hits, st.Cache.Misses, st.Cache.Entries, st.Disk.Hits, st.Disk.Writes)
+		if delta {
+			fmt.Printf("  server: %d warm-started solves, %d annealing stages saved\n",
+				st.WarmHits, st.WarmEpochsSaved)
+		}
 	}
 	return nil
 }

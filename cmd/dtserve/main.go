@@ -70,6 +70,9 @@ func main() {
 		remoteAddr  = flag.String("remote-addr", "", "dtcached daemon host:port, the fleet-shared remote cache tier (empty disables)")
 		remoteTO    = flag.Duration("remote-timeout", 0, "remote tier round-trip budget; slower consults degrade to a miss (0 = 250ms)")
 		solverDef   = flag.String("solver", "sa", "default solver for requests that name none")
+		warm        = flag.Bool("warm", false, "warm-start SA requests that miss every cache tier from the nearest cached solve (similarity index); /v1/schedule/delta warms regardless")
+		warmMaxDist = flag.Float64("warm-max-distance", 0, "maximum sketch distance for index-picked warm seeds (0 = 0.5)")
+		simIndex    = flag.Int("sim-index", 0, "similarity index capacity in entries (0 = 4096)")
 		timeout     = flag.Duration("timeout", 0, "default per-request solve timeout (0 = none)")
 		maxBatch    = flag.Int("max-batch", 256, "maximum requests per batch call")
 		chaosSpec   = flag.String("chaos", "", "fault-injection spec, e.g. 'disk-err=0.2,disk-delay=2ms,solver-err=0.05,seed=7' (empty disables)")
@@ -116,6 +119,9 @@ func main() {
 		RemoteAddr:        *remoteAddr,
 		RemoteTimeout:     *remoteTO,
 		DefaultSolver:     *solverDef,
+		WarmStart:         *warm,
+		WarmMaxDistance:   *warmMaxDist,
+		SimIndexSize:      *simIndex,
 		DefaultTimeout:    *timeout,
 		MaxBatch:          *maxBatch,
 		TraceSample:       *traceSample,
@@ -218,6 +224,7 @@ func main() {
 		"cache_entries", *cacheSize,
 		"disk_tier", diskNote,
 		"remote_tier", remoteNote,
+		"warm_start", *warm,
 		"trace_sample", *traceSample,
 	)
 

@@ -408,6 +408,59 @@ func (pk *packet) initGreedy() {
 	}
 }
 
+// initWarm seeds the mapping from a whole-graph task→processor assignment
+// (taskgraph.ProjectAssignment's output, indexed by task ID, −1 meaning
+// unseeded): every candidate whose seed processor is idle in this packet
+// keeps its placement, and the remaining slots fill with the unseeded
+// candidates in HLF order — exactly initGreedy's rule restricted to the
+// leftover tasks and slots. Deterministic, no RNG draw.
+func (pk *packet) initWarm(assign []int) {
+	k := pk.nSelect()
+	placed := 0
+	for i, t := range pk.tasks {
+		if placed >= k {
+			break
+		}
+		want := assign[t]
+		if want < 0 {
+			continue
+		}
+		for j, p := range pk.procs {
+			if p == want && pk.taskAt[j] < 0 {
+				pk.place(i, j)
+				placed++
+				break
+			}
+		}
+	}
+	if placed >= k {
+		return
+	}
+	idx := grow(pk.idxScratch, len(pk.tasks))
+	pk.idxScratch = idx
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return pk.level[idx[a]] > pk.level[idx[b]] })
+	j := 0
+	for _, i := range idx {
+		if placed >= k {
+			break
+		}
+		if pk.procOf[i] >= 0 {
+			continue
+		}
+		for ; j < len(pk.taskAt); j++ {
+			if pk.taskAt[j] < 0 {
+				pk.place(i, j)
+				placed++
+				j++
+				break
+			}
+		}
+	}
+}
+
 // initRandom fills the processor slots with uniformly random candidates.
 // The inside-out Fisher-Yates below consumes the RNG exactly like
 // rand.Perm but fills the reusable index scratch instead of allocating.

@@ -69,6 +69,37 @@ type Options struct {
 	// the next simulator event. Interrupt only fires on runs that are
 	// being discarded, so determinism of served results is unaffected.
 	Interrupt func() error
+	// Bound, when non-nil, is polled at every cooperative stage barrier
+	// with the current assignment epoch's simulation time — a monotone
+	// lower bound on this run's final makespan. A non-nil error stops the
+	// anneal early, exactly like Interrupt. The solver portfolio threads
+	// machsim.Options.Bound through here, so a racing SA member that can
+	// no longer beat the incumbent best stops mid-anneal instead of
+	// finishing the packet and waiting for the simulator's next event-
+	// batch poll to kill it. Like Interrupt, it only ever fires on runs
+	// whose results are being discarded.
+	Bound func(now float64) error
+	// Warm seeds every packet from a previously solved assignment and
+	// starts the cooling schedule late (scaled by the seed's structural
+	// distance): the cache-as-a-prior mode. Candidates whose seed
+	// processor is idle in the packet keep their placement; the rest fill
+	// by HLF order. Warm runs stay byte-deterministic for a fixed (Seed,
+	// Warm) pair, and the annealer's keep-best snapshot guarantees each
+	// packet's final cost never exceeds its seeded initial cost.
+	Warm *WarmStart
+}
+
+// WarmStart carries a warm-start seed into the scheduler.
+type WarmStart struct {
+	// Assignment[t] is the seed processor for task t, or −1 for tasks the
+	// seed does not place (taskgraph.ProjectAssignment's output). It must
+	// cover every task of the graph (len == NumTasks) to take effect.
+	Assignment []int
+	// Distance is the structural distance between the seed's graph and
+	// this one, in [0, 1]. Near 0 skips most of the cooling schedule
+	// (small perturbations need only the cold tail of the anneal); near 1
+	// degrades to an almost-cold run.
+	Distance float64
 }
 
 // temperRatio is the geometric spacing of the parallel-tempering
@@ -165,6 +196,14 @@ type Scheduler struct {
 	abandoned int
 	exchanges int
 
+	// Warm-start state: warmOK is whether Options.Warm is usable for this
+	// binding (covers every task), warmSaved totals the cooling stages
+	// skipped across packets, and epochTime is the current assignment
+	// epoch's simulation clock for the Bound barrier poll.
+	warmOK    bool
+	warmSaved int
+	epochTime float64
+
 	packets []PacketReport
 }
 
@@ -246,6 +285,9 @@ func (s *Scheduler) Reset(g *taskgraph.Graph, topo *topology.Topology, comm topo
 	}
 	s.abandoned = 0
 	s.exchanges = 0
+	s.warmOK = opt.Warm != nil && len(opt.Warm.Assignment) == g.NumTasks()
+	s.warmSaved = 0
+	s.epochTime = 0
 	return nil
 }
 
@@ -320,6 +362,12 @@ func (s *Scheduler) RestartsAbandoned() int { return s.abandoned }
 // across all packets since the last Reset.
 func (s *Scheduler) Exchanges() int { return s.exchanges }
 
+// WarmSavedStages returns the total cooling stages skipped by the
+// warm-start temperature offset across all packets since the last Reset —
+// the annealing epochs the warm seed saved relative to a cold run of the
+// same schedule. Zero outside warm mode.
+func (s *Scheduler) WarmSavedStages() int { return s.warmSaved }
+
 // Assign implements machsim.Policy: form the annealing packet, anneal the
 // mapping (possibly several concurrent restarts), return the selected
 // placements.
@@ -329,13 +377,22 @@ func (s *Scheduler) Assign(ep *machsim.Epoch) []machsim.Assignment {
 	}
 	pk := &s.pk
 	pk.reset(ep.Ready, ep.Idle, ep.Sim.ProcOf, s.levels, s.topo, s.comm, s.g, s.opt.Wb, s.opt.Wc)
-	if s.opt.GreedyInit {
-		pk.initGreedy()
-	} else {
-		pk.initRandom(s.rng)
-	}
+	s.epochTime = ep.Time
+	s.initPacket(pk, s.rng)
 
 	aopt := s.fillAnnealDefaults(len(pk.tasks), len(pk.procs))
+	if s.warmOK {
+		// Seeded packets resume the cooling schedule near its cold end:
+		// the seed is already a near-solution, so the exploratory hot
+		// stages would only undo it (keep-best would recover, but burn the
+		// moves for nothing). The skip scales with the seed's structural
+		// distance and is deterministic, so warm results cache like cold
+		// ones.
+		if skip := warmSkipStages(aopt.Cooling.Stages(), s.opt.Warm.Distance); skip > 0 {
+			aopt.Cooling = offsetCooling{base: aopt.Cooling, skip: skip}
+			s.warmSaved += skip
+		}
+	}
 	// Append first and fill the slice element in place: a local PacketReport
 	// whose address crosses into annealSingle/annealRestarts escapes to the
 	// heap on every epoch.
@@ -418,14 +475,12 @@ func (s *Scheduler) annealRestarts(pk *packet, aopt anneal.Options, report *Pack
 			}
 			run.pk.cloneFrom(pk)
 			if r > 0 {
-				// Fresh independent initial mapping for the retry; restart 0
-				// keeps the packet's original init.
+				// Fresh initial mapping for the retry; restart 0 keeps the
+				// packet's original init. Warm runs re-seed every restart
+				// from the same warm assignment (their RNG streams diverge
+				// from move one).
 				run.pk.clearMapping()
-				if s.opt.GreedyInit {
-					run.pk.initGreedy()
-				} else {
-					run.pk.initRandom(run.rng)
-				}
+				s.initPacket(&run.pk, run.rng)
 			}
 			ropt := aopt
 			ropt.RNG = run.rng
@@ -473,6 +528,64 @@ func (s *Scheduler) annealRestarts(pk *packet, aopt anneal.Options, report *Pack
 		report.Trace = append(report.Trace[:0], win.trace...)
 	}
 }
+
+// initPacket fills a freshly reset (or cleared) packet's initial mapping
+// according to the scheduler options: the warm seed when one is active,
+// else HLF-greedy or random. All three are deterministic for a fixed RNG
+// stream position.
+func (s *Scheduler) initPacket(pk *packet, rng *rand.Rand) {
+	switch {
+	case s.warmOK:
+		pk.initWarm(s.opt.Warm.Assignment)
+	case s.opt.GreedyInit:
+		pk.initGreedy()
+	default:
+		pk.initRandom(rng)
+	}
+}
+
+// warmSkipFrac is the fraction of the cooling schedule a zero-distance
+// warm seed skips; warmMinStages is the cold tail every warm run keeps so
+// the seed is still polished locally.
+const (
+	warmSkipFrac  = 0.9
+	warmMinStages = 6
+)
+
+// warmSkipStages returns how many leading cooling stages a warm run at the
+// given structural distance skips out of stages total.
+func warmSkipStages(stages int, distance float64) int {
+	if distance < 0 {
+		distance = 0
+	}
+	if distance > 1 {
+		distance = 1
+	}
+	skip := int(float64(stages) * warmSkipFrac * (1 - distance))
+	if skip > stages-warmMinStages {
+		skip = stages - warmMinStages
+	}
+	if skip < 0 {
+		skip = 0
+	}
+	return skip
+}
+
+// offsetCooling drops the first skip stages of a base schedule: stage k
+// runs at the base's temperature for stage k+skip. A warm-started anneal
+// uses it to resume the schedule near its cold end.
+type offsetCooling struct {
+	base anneal.Cooling
+	skip int
+}
+
+func (c offsetCooling) Name() string {
+	return fmt.Sprintf("%s+%d", c.base.Name(), c.skip)
+}
+func (c offsetCooling) Temperature(stage int) float64 {
+	return c.base.Temperature(stage + c.skip)
+}
+func (c offsetCooling) Stages() int { return c.base.Stages() - c.skip }
 
 // scaledCooling scales a base schedule's temperatures by a constant
 // factor — one rung of the parallel-tempering ladder.
@@ -555,11 +668,7 @@ func (s *Scheduler) annealCooperative(pk *packet, aopt anneal.Options, report *P
 		run.pk.cloneFrom(pk)
 		if r > 0 {
 			run.pk.clearMapping()
-			if s.opt.GreedyInit {
-				run.pk.initGreedy()
-			} else {
-				run.pk.initRandom(run.rng)
-			}
+			s.initPacket(&run.pk, run.rng)
 		}
 		ropt := aopt
 		ropt.RNG = run.rng
@@ -630,6 +739,15 @@ func (s *Scheduler) annealCooperative(pk *packet, aopt anneal.Options, report *P
 		// wall-clock-dependent exit, and it only fires on runs whose
 		// results are being discarded.
 		if s.opt.Interrupt != nil && s.opt.Interrupt() != nil {
+			break
+		}
+		// The portfolio's incumbent bound, polled at anneal granularity:
+		// the epoch's simulation clock only advances, so once it exceeds
+		// the incumbent best this run cannot win — stop annealing now
+		// instead of finishing the packet and letting the simulator's next
+		// event-batch poll abort the run. Same wall-clock caveat (and the
+		// same discarded-runs-only guarantee) as Interrupt.
+		if s.opt.Bound != nil && s.opt.Bound(s.epochTime) != nil {
 			break
 		}
 		// The shared incumbent: lowest best cost over all restarts, ties

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/anneal"
+	"repro/internal/taskgraph"
+	"repro/internal/topology"
+)
+
+func TestWarmSkipStages(t *testing.T) {
+	cases := []struct {
+		stages int
+		dist   float64
+		want   int
+	}{
+		{60, 0, 54},   // full 90% skip, 6-stage tail remains
+		{60, 1, 0},    // maximal distance: no skip
+		{60, 0.5, 27}, // linear in (1 - distance)
+		{8, 0, 2},     // clamp: warmMinStages must remain
+		{4, 0, 0},     // schedule shorter than the tail: no skip
+		{60, -3, 54},  // distance clamps into [0, 1]
+		{60, 2.5, 0},  // ditto above 1
+		{0, 0, 0},     // degenerate schedule
+	}
+	for _, c := range cases {
+		if got := warmSkipStages(c.stages, c.dist); got != c.want {
+			t.Errorf("warmSkipStages(%d, %g) = %d, want %d", c.stages, c.dist, got, c.want)
+		}
+	}
+}
+
+func TestOffsetCooling(t *testing.T) {
+	base := anneal.Linear{T0: 1, NumStages: 10}
+	oc := offsetCooling{base: base, skip: 4}
+	if oc.Stages() != 6 {
+		t.Errorf("Stages() = %d, want 6", oc.Stages())
+	}
+	for k := 0; k < oc.Stages(); k++ {
+		if got, want := oc.Temperature(k), base.Temperature(k+4); got != want {
+			t.Errorf("Temperature(%d) = %g, want base(%d) = %g", k, got, k+4, want)
+		}
+	}
+	prev := oc.Temperature(0)
+	for k := 1; k < oc.Stages(); k++ {
+		if oc.Temperature(k) > prev {
+			t.Errorf("offset schedule increased at stage %d", k)
+		}
+		prev = oc.Temperature(k)
+	}
+}
+
+// TestWarmKeepBestPerturbed is the warm-start contract test: across 100
+// randomly perturbed graphs, a warm solve seeded from the base graph's
+// cold assignment must never end a packet above its seeded initial cost
+// (the annealer's keep-best snapshot), and must actually skip cooling
+// stages.
+func TestWarmKeepBestPerturbed(t *testing.T) {
+	topo, err := topology.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm := topology.DefaultCommParams()
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 100; i++ {
+		g, err := taskgraph.GnpDAG(fmt.Sprintf("g%d", i), 24, 0.12, 1, 10, 10, 200, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := DefaultOptions()
+		opt.Seed = int64(i)
+		res, _ := runSA(t, g, topo, comm, opt)
+
+		// Perturb one task's load and re-solve warm from the cold mapping.
+		pg := g.Clone()
+		victim := taskgraph.TaskID(i % pg.NumTasks())
+		pg.SetLoad(victim, pg.Load(victim)*1.5+1)
+		wopt := DefaultOptions()
+		wopt.Seed = int64(i)
+		wopt.Warm = &WarmStart{
+			Assignment: taskgraph.ProjectAssignment(res.Proc, pg.NumTasks(), topo.N()),
+			Distance:   0.05,
+		}
+		wres, wsched := runSA(t, pg, topo, comm, wopt)
+		if wres.Makespan <= 0 || wres.Forced != 0 {
+			t.Fatalf("graph %d: warm run invalid: %+v", i, wres)
+		}
+		for _, p := range wsched.Packets() {
+			if p.FinalCost > p.InitialCost+1e-9 {
+				t.Errorf("graph %d: packet at %g ended above its seed: %g > %g",
+					i, p.Time, p.FinalCost, p.InitialCost)
+			}
+		}
+		if wsched.WarmSavedStages() == 0 {
+			t.Errorf("graph %d: warm run skipped no cooling stages", i)
+		}
+	}
+}
+
+// TestWarmDeterministic: a warm solve is byte-deterministic for a fixed
+// (seed, warm assignment) pair — same mapping, same makespan, same packet
+// reports — including under concurrent cooperative restarts.
+func TestWarmDeterministic(t *testing.T) {
+	g, err := taskgraph.ForkJoin("fj", 12, 10, 1, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := topology.Hypercube(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm := topology.DefaultCommParams()
+
+	cold := DefaultOptions()
+	cold.Seed = 7
+	res, _ := runSA(t, g, topo, comm, cold)
+	seed := taskgraph.ProjectAssignment(res.Proc, g.NumTasks(), topo.N())
+
+	for _, restarts := range []int{1, 3} {
+		warm := DefaultOptions()
+		warm.Seed = 7
+		warm.Restarts = restarts
+		warm.Cooperative = restarts > 1
+		warm.Warm = &WarmStart{Assignment: seed, Distance: 0.1}
+		a, _ := runSA(t, g, topo, comm, warm)
+		b, _ := runSA(t, g, topo, comm, warm)
+		if a.Makespan != b.Makespan {
+			t.Errorf("restarts=%d: warm makespan not deterministic: %g vs %g",
+				restarts, a.Makespan, b.Makespan)
+		}
+		for task := range a.Proc {
+			if a.Proc[task] != b.Proc[task] {
+				t.Errorf("restarts=%d: task %d placed on %d then %d",
+					restarts, task, a.Proc[task], b.Proc[task])
+				break
+			}
+		}
+	}
+}
+
+// TestWarmIgnoredWhenAssignmentShort: a warm seed that does not cover the
+// whole graph is ignored (the run behaves exactly cold) rather than
+// half-applied.
+func TestWarmIgnoredWhenAssignmentShort(t *testing.T) {
+	g, err := taskgraph.ForkJoin("fj", 8, 10, 1, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := topology.Ring(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm := topology.DefaultCommParams()
+	cold := DefaultOptions()
+	cold.Seed = 5
+	cres, _ := runSA(t, g, topo, comm, cold)
+
+	short := DefaultOptions()
+	short.Seed = 5
+	short.Warm = &WarmStart{Assignment: make([]int, g.NumTasks()-1), Distance: 0}
+	sres, sched := runSA(t, g, topo, comm, short)
+	if sres.Makespan != cres.Makespan {
+		t.Errorf("short warm seed changed the solve: %g vs cold %g",
+			sres.Makespan, cres.Makespan)
+	}
+	if sched.WarmSavedStages() != 0 {
+		t.Errorf("short warm seed skipped %d stages, want 0", sched.WarmSavedStages())
+	}
+}
+
+// TestWarmEpochsSavedRatio pins the headline perf claim: a one-task edit
+// to a solved 100-task graph, re-solved warm from the cached assignment,
+// runs at least 5x fewer annealing stages than the cold solve of the
+// same edited graph.
+func TestWarmEpochsSavedRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g, err := taskgraph.GnpDAG("big", 100, 0.06, 1, 10, 10, 400, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := topology.Hypercube(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm := topology.DefaultCommParams()
+
+	base := DefaultOptions()
+	base.Seed = 11
+	bres, _ := runSA(t, g, topo, comm, base)
+
+	edited := g.Clone()
+	edited.SetLoad(0, edited.Load(0)+5)
+
+	cold := DefaultOptions()
+	cold.Seed = 11
+	_, csched := runSA(t, edited, topo, comm, cold)
+
+	warm := DefaultOptions()
+	warm.Seed = 11
+	warm.Warm = &WarmStart{
+		Assignment: taskgraph.ProjectAssignment(bres.Proc, edited.NumTasks(), topo.N()),
+		Distance:   0.02,
+	}
+	_, wsched := runSA(t, edited, topo, comm, warm)
+
+	coldStages, warmStages := 0, 0
+	for _, p := range csched.Packets() {
+		coldStages += p.Stages
+	}
+	for _, p := range wsched.Packets() {
+		warmStages += p.Stages
+	}
+	if warmStages == 0 || coldStages == 0 {
+		t.Fatalf("no annealing stages recorded: cold=%d warm=%d", coldStages, warmStages)
+	}
+	if coldStages < 5*warmStages {
+		t.Errorf("warm ran %d stages vs cold %d: less than the 5x saving floor",
+			warmStages, coldStages)
+	}
+	if saved := wsched.WarmSavedStages(); saved == 0 {
+		t.Error("warm run reported zero stages saved")
+	}
+}

@@ -103,6 +103,13 @@ type Options struct {
 	// the run with that error. The solver portfolio uses it to cancel a
 	// member whose own bound already exceeds the incumbent best result.
 	Bound func(now float64) error
+	// Publish, when non-nil, is called exactly once with the final
+	// makespan the moment every task has finished — before result
+	// assembly, statistics or cloning. The solver portfolio uses it to
+	// publish a member's completed makespan into the shared incumbent as
+	// early as possible, tightening the other members' Bound while they
+	// are still running.
+	Publish func(makespan float64)
 }
 
 // IntervalKind classifies Gantt intervals.
@@ -209,6 +216,16 @@ type Result struct {
 	// Pruned, abandonment is decided at seed-deterministic stage barriers
 	// — never by wall clock — so results with abandonment stay cacheable.
 	RestartsAbandoned int
+	// WarmEpochsSaved counts the annealing (cooling) stages the SA
+	// scheduler skipped because the solve was warm-started from a cached
+	// assignment (core.Options.Warm), summed over packets. Deterministic
+	// for a fixed (seed, warm seed), so warm results stay cacheable.
+	WarmEpochsSaved int
+	// BoundUpdates counts successful tightenings of the portfolio's
+	// shared incumbent bound during the race that produced this result:
+	// each one is a completed member publishing a makespan that strictly
+	// improved the bound the still-running members prune against.
+	BoundUpdates int
 }
 
 // MemberStat is one portfolio member's run record.

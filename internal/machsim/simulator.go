@@ -368,6 +368,18 @@ func (s *Simulator) Run(p Policy) (*Result, error) {
 			return nil, err
 		}
 	}
+	if s.opts.Publish != nil {
+		// The schedule is final here — every task has a finish time that
+		// can no longer move — so the makespan is publishable before the
+		// result bookkeeping (stats, Gantt sort, cloning) runs.
+		m := 0.0
+		for _, f := range s.finishAt {
+			if f > m {
+				m = f
+			}
+		}
+		s.opts.Publish(m)
+	}
 	return s.result(p), nil
 }
 

@@ -47,6 +47,7 @@ const (
 	StageSingleflight = "singleflight"
 	StageDiskTier     = "disk_tier"
 	StageRemoteTier   = "remote_tier"
+	StageWarmSeed     = "warm_seed"
 	StageQueue        = "engine_queue"
 	StageSolve        = "solve"
 	StageMarshal      = "marshal"
@@ -61,7 +62,8 @@ const (
 // duration histograms.
 var Stages = []string{
 	StageDecode, StageCanonicalize, StageMemTier, StageSingleflight,
-	StageDiskTier, StageRemoteTier, StageQueue, StageSolve, StageMarshal,
+	StageDiskTier, StageRemoteTier, StageWarmSeed, StageQueue, StageSolve,
+	StageMarshal,
 }
 
 // ProxyStages lists the dtproxy-side stage names in request order.

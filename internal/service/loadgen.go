@@ -68,6 +68,13 @@ type LoadGenConfig struct {
 	// requests that still missed — nonzero means eviction or a seeding
 	// failure polluted the measurement.
 	Warm bool
+	// Delta switches the run to the online-rescheduling endpoint: each
+	// distinct payload is solved once (untimed) to obtain its content
+	// address, then the timed run posts /v1/schedule/delta calls that edit
+	// one task's load against those bases. DeltaWarm in the report counts
+	// responses that carried an X-DTServe-Warm header, i.e. were actually
+	// answered by a warm-started (or warm-cached) solve.
+	Delta bool
 }
 
 // LoadGenReport summarizes a load generation run.
@@ -101,6 +108,13 @@ type LoadGenReport struct {
 	Warm       bool `json:"warm,omitempty"`
 	WarmSeeded int  `json:"warm_seeded,omitempty"`
 	WarmMisses int  `json:"warm_misses,omitempty"`
+	// Delta mode only: Delta records that the timed phase hit the
+	// rescheduling endpoint, DeltaBases how many base solves seeded it,
+	// and DeltaWarm how many timed responses were warm-started (carried
+	// X-DTServe-Warm).
+	Delta      bool `json:"delta,omitempty"`
+	DeltaBases int  `json:"delta_bases,omitempty"`
+	DeltaWarm  int  `json:"delta_warm,omitempty"`
 	// Batch mode only: per-call latency to the first streamed item vs the
 	// last. Zero batch size leaves them nil.
 	Batch     int             `json:"batch,omitempty"`
@@ -138,6 +152,10 @@ func (r *LoadGenReport) String() string {
 	}
 	if r.Batch > 0 {
 		fmt.Fprintf(&b, "  batch mode  %d items per streamed batch call (%d items total)\n", r.Batch, r.Items)
+	}
+	if r.Delta {
+		fmt.Fprintf(&b, "  delta mode  %d bases seeded; %d of %d timed responses warm-started\n",
+			r.DeltaBases, r.DeltaWarm, r.Requests-r.Errors)
 	}
 	fmt.Fprintf(&b, "  wall time   %12s\n", r.Elapsed.Round(time.Millisecond))
 	fmt.Fprintf(&b, "  throughput  %12.1f req/s\n", r.Throughput)
@@ -260,6 +278,10 @@ func LoadGen(cfg LoadGenConfig) (*LoadGenReport, error) {
 		}
 	}
 
+	if cfg.Delta && cfg.Batch > 0 {
+		return nil, fmt.Errorf("loadgen: delta mode and batch mode are mutually exclusive")
+	}
+
 	base := strings.TrimSuffix(cfg.URL, "/")
 	client := &http.Client{Timeout: cfg.RequestTimeout}
 	warmSeeded := 0
@@ -280,11 +302,46 @@ func LoadGen(cfg LoadGenConfig) (*LoadGenReport, error) {
 			warmSeeded++
 		}
 	}
+	// Delta mode: solve each distinct payload once (untimed, sequential)
+	// to obtain its content address, then pre-marshal one delta payload
+	// per base — a single set_load edit, so the edited graph is a true
+	// near-miss of its base.
+	var deltas [][]byte
+	deltaBases := 0
+	if cfg.Delta {
+		deltas = make([][]byte, cfg.Distinct)
+		for i, p := range payloads {
+			resp, err := client.Post(base+"/v1/schedule", "application/json", bytes.NewReader(p))
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: delta base %d: %w", i, err)
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return nil, fmt.Errorf("loadgen: delta base %d: status %d", i, resp.StatusCode)
+			}
+			addr := resp.Header.Get("X-DTServe-Address")
+			if addr == "" {
+				return nil, fmt.Errorf("loadgen: delta base %d: no X-DTServe-Address header (server too old?)", i)
+			}
+			load := 2.0 + 0.25*float64(i)
+			body, err := json.Marshal(DeltaRequest{
+				Base:  addr,
+				Edits: []DeltaEdit{{Op: "set_load", Task: 0, Load: &load}},
+				Lane:  cfg.Lane,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: %w", err)
+			}
+			deltas[i] = body
+			deltaBases++
+		}
+	}
 	latencies := make([]time.Duration, cfg.Requests)
 	firstLat := make([]time.Duration, cfg.Requests)
 	lastLat := make([]time.Duration, cfg.Requests)
 	var errCount, hitCount, diskCount, remoteCount, coalCount, itemCount atomic.Int64
-	var shedCount, retryCount atomic.Int64
+	var shedCount, retryCount, deltaWarmCount atomic.Int64
 	stages := newStageCollector()
 
 	start := time.Now()
@@ -295,15 +352,20 @@ func LoadGen(cfg LoadGenConfig) (*LoadGenReport, error) {
 			return nil
 		}
 		wantTrace := cfg.TraceEvery > 0 && i%cfg.TraceEvery == 0
+		endpoint := base + "/v1/schedule"
 		payload := payloads[i%len(payloads)]
-		if wantTrace {
+		if cfg.Delta {
+			endpoint = base + "/v1/schedule/delta"
+			payload = deltas[i%len(deltas)]
+			wantTrace = false
+		} else if wantTrace {
 			payload = traced[i%len(traced)]
 		}
 		t0 := time.Now()
 		var resp *http.Response
 		for attempt := 0; ; attempt++ {
 			var err error
-			resp, err = client.Post(base+"/v1/schedule", "application/json", bytes.NewReader(payload))
+			resp, err = client.Post(endpoint, "application/json", bytes.NewReader(payload))
 			if err != nil {
 				errCount.Add(1)
 				latencies[i] = time.Since(t0)
@@ -346,6 +408,9 @@ func LoadGen(cfg LoadGenConfig) (*LoadGenReport, error) {
 			latencies[i] = time.Since(t0)
 		}
 		countCacheTag(resp.Header.Get("X-DTServe-Cache"), &hitCount, &diskCount, &remoteCount, &coalCount)
+		if cfg.Delta && resp.Header.Get("X-DTServe-Warm") != "" {
+			deltaWarmCount.Add(1)
+		}
 		return nil
 	})
 	elapsed := time.Since(start)
@@ -368,6 +433,11 @@ func LoadGen(cfg LoadGenConfig) (*LoadGenReport, error) {
 		Retries:    int(retryCount.Load()),
 	}
 	report.Traced, report.Stages = stages.summarize()
+	if cfg.Delta {
+		report.Delta = true
+		report.DeltaBases = deltaBases
+		report.DeltaWarm = int(deltaWarmCount.Load())
+	}
 	if cfg.Warm {
 		report.Warm = true
 		report.WarmSeeded = warmSeeded

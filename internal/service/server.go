@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -91,6 +92,21 @@ type Config struct {
 	// non-nil wrapped tier enables the remote rung even without an
 	// address.
 	WrapRemoteTier func(RemoteTier) RemoteTier
+	// WarmStart lets plain /v1/schedule SA requests that miss every exact
+	// tier consult the similarity index and warm-start from the nearest
+	// cached solve. Off by default: a warm-started result's bytes differ
+	// (legitimately) from the cold solve's, so the opt-in is explicit.
+	// /v1/schedule/delta warms independently of this flag — its base is
+	// named by the client.
+	WarmStart bool
+	// WarmMaxDistance bounds the sketch distance at which the similarity
+	// index may seed a warm start; <= 0 means 0.5. Delta requests name
+	// their base explicitly and are exempt.
+	WarmMaxDistance float64
+	// SimIndexSize bounds the similarity index entries; <= 0 means 4096.
+	// The index fills from cacheable SA solves regardless of WarmStart
+	// (it also resolves delta bases), and persists in CacheDir.
+	SimIndexSize int
 	// Logger receives one structured record per request (method, path,
 	// status, duration, trace ID, lane, cache tag, stage summary); nil
 	// disables request logging.
@@ -119,6 +135,7 @@ type Server struct {
 	disk         DiskTier
 	remote       RemoteTier
 	remoteOn     bool // a real remote rung exists; gates the remote_tier stage
+	sim          *SimIndex
 	solveLatency *obs.Histogram
 
 	// Per-stage latency histograms, keyed by obs stage name. The map is
@@ -137,6 +154,17 @@ type Server struct {
 	drainCh   chan struct{} // closed by BeginDrain
 	drainOnce sync.Once
 
+	// Parsed-topology memo. Building a topology computes all-pairs
+	// routes — on the warm-hit path that was ~half of all allocations,
+	// paid before the cache could even answer. Topologies are immutable
+	// after construction (portfolio members already share one across
+	// goroutines), so requests can share the parsed value. Bounded:
+	// specs are client-controlled, and an unbounded memo keyed by
+	// attacker-chosen strings is a memory leak; overflow parses
+	// per-request exactly as before.
+	topoMu     sync.RWMutex
+	topoBySpec map[string]*topology.Topology
+
 	mu         sync.Mutex
 	requests   uint64 // API calls that reached a handler
 	failures   uint64 // requests answered with a non-2xx status
@@ -150,9 +178,20 @@ type Server struct {
 	// restartsAbandoned counts SA restarts stopped early by the
 	// cooperative incumbent rule across all completed solves.
 	restartsAbandoned uint64
-	shed              uint64            // requests refused by admission control (429)
-	cancelled         uint64            // solves cancelled by their caller (client disconnect, drain)
-	bySolver          map[string]uint64 // completed solves by registry name
+	// warmHits counts solver executions seeded from a cached near-miss
+	// assignment (the similarity index or an explicit delta base). Warm
+	// solves are solves — they stay inside the conservation law's solves
+	// term; this is the sub-count of how many were warm.
+	warmHits uint64
+	// warmEpochsSaved sums the annealing stages warm starts skipped.
+	warmEpochsSaved uint64
+	// boundUpdates counts portfolio incumbent-bound tightenings: completed
+	// members publishing makespans that strictly improved the bound the
+	// still-running members prune against.
+	boundUpdates uint64
+	shed         uint64            // requests refused by admission control (429)
+	cancelled    uint64            // solves cancelled by their caller (client disconnect, drain)
+	bySolver     map[string]uint64 // completed solves by registry name
 	// solveErrors counts solver executions that ended in an error (any
 	// non-shed failure: solver error, deadline, cancellation), by name —
 	// with bySolver these are the per-solver ok/error outcome counters.
@@ -171,6 +210,27 @@ type flight struct {
 	done chan struct{}
 	body []byte
 	err  error
+	// addr is the content address the leader's body landed under — the
+	// warm key when the leader warm-started, else the plain key — so
+	// coalesced waiters report the same X-DTServe-Address.
+	addr string
+	// warm/warmDist mirror the leader's warm verdict for waiters' headers.
+	warm     bool
+	warmDist float64
+}
+
+// procMeta carries per-request facts between process and its handler
+// beyond the cache tag. warmBase/noWarm are inputs (the delta endpoint
+// naming its seeding base, or refusing one); key/warm/warmDist are
+// outputs: the content address the body is retrievable under and, when
+// the solve was warm-started, the sketch distance of its seed.
+type procMeta struct {
+	warmBase string // seed from exactly this cached address (delta)
+	noWarm   bool   // disable warm seeding even when the server enables it
+
+	key      string
+	warm     bool
+	warmDist float64
 }
 
 // Stats is the /statsz payload. The counters obey the conservation law
@@ -196,6 +256,18 @@ type Stats struct {
 	// because they lagged the shared incumbent (core.Options.Cooperative).
 	// Deterministic per seed, unlike the wall-clock portfolio pruning.
 	RestartsAbandoned uint64 `json:"restarts_abandoned"`
+	// WarmHits counts solver executions warm-started from a cached
+	// near-miss assignment. Warm solves remain solves under the
+	// conservation law; this is the warm sub-count.
+	WarmHits uint64 `json:"warm_hits"`
+	// WarmEpochsSaved sums the annealing stages skipped by warm starts.
+	WarmEpochsSaved uint64 `json:"warm_epochs_saved"`
+	// PortfolioBoundUpdates counts shared-incumbent tightenings during
+	// portfolio races: completed members publishing makespans that
+	// improved the bound still-running members prune against.
+	PortfolioBoundUpdates uint64 `json:"portfolio_bound_updates"`
+	// SimIndexEntries is the similarity index's current size.
+	SimIndexEntries int `json:"sim_index_entries"`
 	// Shed counts requests refused by admission control with a 429: a
 	// QoS lane's queue-depth or queue-delay budget was exhausted. Shed
 	// requests never become schedule items, so they sit outside the
@@ -309,10 +381,20 @@ func New(cfg Config) (*Server, error) {
 		remoteRead:     obs.NewHistogram(obs.QueueBuckets),
 		streamTTFB:     obs.NewHistogram(obs.LatencyBuckets),
 		ring:           obs.NewRing(cfg.TraceRecent, cfg.TraceSlowest),
+		sim:            NewSimIndex(cfg.SimIndexSize),
 		bySolver:       make(map[string]uint64),
 		solveErrors:    make(map[string]uint64),
 		memberOutcomes: make(map[string]uint64),
 		inflight:       make(map[string]*flight),
+		topoBySpec:     make(map[string]*topology.Topology),
+	}
+	if cfg.CacheDir != "" {
+		// The similarity index persists beside the disk tier so a restarted
+		// server warm-starts against its previous working set. Load failures
+		// only cost warmth, never availability.
+		if err := s.sim.Load(s.simIndexPath()); err != nil && cfg.Logger != nil {
+			cfg.Logger.Warn("sim index load failed", "err", err)
+		}
 	}
 	for _, stage := range obs.Stages {
 		s.stageLatency[stage] = obs.NewHistogram(obs.LatencyBuckets)
@@ -352,6 +434,17 @@ func (s *Server) Close() {
 	s.eng.Close()
 	s.disk.Close()
 	s.remote.Close()
+	if s.cfg.CacheDir != "" {
+		if err := s.sim.Save(s.simIndexPath()); err != nil && s.cfg.Logger != nil {
+			s.cfg.Logger.Warn("sim index save failed", "err", err)
+		}
+	}
+}
+
+// simIndexPath is the similarity index's persistence file, beside the
+// disk tier's entries.
+func (s *Server) simIndexPath() string {
+	return filepath.Join(s.cfg.CacheDir, "simindex.json")
 }
 
 // Stats snapshots the server counters. The conservation-law counters —
@@ -389,23 +482,27 @@ func (s *Server) Stats() Stats {
 	ds.Hits = s.diskHits
 	rs.Hits = s.remoteHits
 	return Stats{
-		Requests:          s.requests,
-		Failures:          s.failures,
-		Items:             s.items,
-		Solves:            s.solves,
-		Coalesced:         s.coalesced,
-		PortfolioPruned:   s.pruned,
-		RestartsAbandoned: s.restartsAbandoned,
-		Shed:              s.shed,
-		Cancelled:         s.cancelled,
-		Draining:          s.draining.Load(),
-		BySolver:          by,
-		SolveErrors:       se,
-		MemberOutcomes:    mo,
-		Traces:            ring.Total,
-		Cache:             cs,
-		Disk:              ds,
-		Remote:            rs,
+		Requests:              s.requests,
+		Failures:              s.failures,
+		Items:                 s.items,
+		Solves:                s.solves,
+		Coalesced:             s.coalesced,
+		PortfolioPruned:       s.pruned,
+		RestartsAbandoned:     s.restartsAbandoned,
+		WarmHits:              s.warmHits,
+		WarmEpochsSaved:       s.warmEpochsSaved,
+		PortfolioBoundUpdates: s.boundUpdates,
+		SimIndexEntries:       s.sim.Len(),
+		Shed:                  s.shed,
+		Cancelled:             s.cancelled,
+		Draining:              s.draining.Load(),
+		BySolver:              by,
+		SolveErrors:           se,
+		MemberOutcomes:        mo,
+		Traces:                ring.Total,
+		Cache:                 cs,
+		Disk:                  ds,
+		Remote:                rs,
 		Pool: PoolStats{
 			Workers:    est.Workers,
 			MinWorkers: est.MinWorkers,
@@ -425,6 +522,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
 	mux.HandleFunc("POST /v1/schedule/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/schedule/delta", s.handleDelta)
 	mux.HandleFunc("GET /v1/solvers", s.handleSolvers)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
@@ -696,7 +794,8 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		// e.g. from a test mux): finish it ourselves after responding.
 		defer func() { s.finishTrace(tr, time.Since(t0)) }()
 	}
-	body, status, err := s.process(ctx, &req, engine.LaneInteractive)
+	meta := &procMeta{}
+	body, status, err := s.process(ctx, &req, engine.LaneInteractive, meta)
 	if sw != nil {
 		sw.lane = laneName(req.Lane, engine.LaneInteractive)
 	}
@@ -714,8 +813,23 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		// total.
 		body = appendTraceBody(body, tr.Snapshot(time.Since(t0)))
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("X-DTServe-Cache", status)
+	writeResult(w, body, status, meta)
+}
+
+// writeResult writes a successful schedule/delta response: the body plus
+// the cache tag, the content address (the base handle clients pass to
+// /v1/schedule/delta), and — for warm-started solves — the sketch
+// distance of the seed.
+func writeResult(w http.ResponseWriter, body []byte, status string, meta *procMeta) {
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("X-DTServe-Cache", status)
+	if meta.key != "" {
+		h.Set("X-DTServe-Address", meta.key)
+	}
+	if meta.warm {
+		h.Set("X-DTServe-Warm", strconv.FormatFloat(meta.warmDist, 'g', -1, 64))
+	}
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(body)
 }
@@ -822,7 +936,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			mtr = obs.NewTrace(baseID+"-"+strconv.Itoa(i), mt0)
 			mctx = obs.With(bctx, mtr)
 		}
-		body, status, err := s.process(mctx, &batch.Requests[i], engine.LaneBatch)
+		body, status, err := s.process(mctx, &batch.Requests[i], engine.LaneBatch, nil)
 		if err != nil {
 			s.finishTrace(mtr, time.Since(mt0))
 			return BatchItem{Index: i, Error: err.Error()}
@@ -913,6 +1027,34 @@ type canonScratch struct {
 var canonPool = sync.Pool{New: func() any { return new(canonScratch) }}
 
 // process turns one wire request into marshaled result bytes: validate,
+// maxTopoMemo bounds the parsed-topology memo; real deployments use a
+// handful of specs, so overflow means someone is enumerating them.
+const maxTopoMemo = 64
+
+// parseTopo resolves a topology spec through the per-server memo: the
+// spec's first appearance pays the full parse (routing tables included),
+// every later request shares the immutable parsed value.
+func (s *Server) parseTopo(spec string) (*topology.Topology, error) {
+	s.topoMu.RLock()
+	topo, ok := s.topoBySpec[spec]
+	s.topoMu.RUnlock()
+	if ok {
+		return topo, nil
+	}
+	topo, err := cliutil.ParseTopology(spec)
+	if err != nil {
+		return nil, err
+	}
+	s.topoMu.Lock()
+	if have, ok := s.topoBySpec[spec]; ok {
+		topo = have // lost a parse race; converge on one shared value
+	} else if len(s.topoBySpec) < maxTopoMemo {
+		s.topoBySpec[spec] = topo
+	}
+	s.topoMu.Unlock()
+	return topo, nil
+}
+
 // consult the content-addressed cache tiers fastest-first (memory, then
 // the persistent disk tier, then the fleet-shared remote tier — each hit
 // promoted into the tiers above it), collapse onto an identical in-flight
@@ -928,7 +1070,10 @@ var canonPool = sync.Pool{New: func() any { return new(canonScratch) }}
 // response write — no *Graph is built and no canonical re-marshal
 // happens. The solver-ready Graph materializes inside the cold closure,
 // which only runs on a genuine miss (or an explicit nocache solve).
-func (s *Server) process(ctx context.Context, req *rawRequest, defLane engine.Lane) ([]byte, string, error) {
+func (s *Server) process(ctx context.Context, req *rawRequest, defLane engine.Lane, meta *procMeta) ([]byte, string, error) {
+	if meta == nil {
+		meta = &procMeta{}
+	}
 	tr := obs.FromContext(ctx)
 	canonStart := time.Now()
 	if len(req.Graph) == 0 || string(req.Graph) == "null" {
@@ -958,7 +1103,7 @@ func (s *Server) process(ctx context.Context, req *rawRequest, defLane engine.La
 	if req.MemberTimeoutMS < 0 {
 		return nil, "", badRequest("member_timeout_ms %d is negative", req.MemberTimeoutMS)
 	}
-	topo, err := cliutil.ParseTopology(req.Topo)
+	topo, err := s.parseTopo(req.Topo)
 	if err != nil {
 		return nil, "", badRequest("%v", err)
 	}
@@ -995,12 +1140,13 @@ func (s *Server) process(ctx context.Context, req *rawRequest, defLane engine.La
 		return nil, "", badRequest("%v", err)
 	}
 
-	key, buf, err := fusedKey(&scratch.c, scratch.buf,
-		makeKeyOptions(topo.Name(), comm, slv.Name(), saOpt, req.TimeoutMS, req.MemberTimeoutMS))
+	kopt := makeKeyOptions(topo.Name(), comm, slv.Name(), saOpt, req.TimeoutMS, req.MemberTimeoutMS)
+	key, buf, err := fusedKey(&scratch.c, scratch.buf, kopt)
 	scratch.buf = buf
 	if err != nil {
 		return nil, "", fmt.Errorf("service: cache key: %w", err)
 	}
+	meta.key = key
 
 	// cold materializes the graph and runs the solver — the only path
 	// that pays for a *Graph. It runs at most once per process call (as
@@ -1017,7 +1163,17 @@ func (s *Server) process(ctx context.Context, req *rawRequest, defLane engine.La
 		if err := sreq.Validate(); err != nil {
 			return nil, badRequest("%v", err)
 		}
-		return s.solve(ctx, slv, sreq, req.TimeoutMS, topo.Name(), key, lane)
+		// SA solves feed the similarity index (when cacheable): the entry
+		// carries the sketch, the canonical graph bytes and the cold option
+		// block, everything a later near-miss or delta edit needs to seed
+		// from this result.
+		var idx *simEntry
+		if s.sim != nil && slv.Name() == "sa" && !req.NoCache {
+			idx = &simEntry{Topo: kopt.Topo, Spec: req.Topo, Sketch: scratch.c.Sketch(),
+				Graph: scratch.c.AppendCanonicalJSON(nil), Opt: kopt,
+				NumTasks: scratch.c.NumTasks()}
+		}
+		return s.solve(ctx, slv, sreq, req.TimeoutMS, topo.Name(), key, lane, idx)
 	}
 	if tr != nil {
 		tr.Observe(obs.StageCanonicalize, canonStart, time.Since(canonStart),
@@ -1060,6 +1216,10 @@ func (s *Server) process(ctx context.Context, req *rawRequest, defLane engine.La
 				// or times out below must not contribute one, or the
 				// conservation law (coalesced rides are answered items)
 				// would overcount.
+				if f.addr != "" {
+					meta.key = f.addr
+				}
+				meta.warm, meta.warmDist = f.warm, f.warmDist
 				return f.body, "coalesced", nil
 			case <-ctx.Done():
 				return nil, "", &httpError{status: http.StatusServiceUnavailable,
@@ -1099,7 +1259,7 @@ func (s *Server) process(ctx context.Context, req *rawRequest, defLane engine.La
 		tr.Observe(obs.StageDiskTier, diskStart, diskDur)
 		if ok {
 			s.cache.Put(key, body)
-			f.body, f.err = body, nil
+			f.body, f.err, f.addr = body, nil, key
 			return body, "disk", nil
 		}
 		// Remote consult, still as the flight leader: one network round
@@ -1118,12 +1278,22 @@ func (s *Server) process(ctx context.Context, req *rawRequest, defLane engine.La
 			if ok {
 				s.cache.Put(key, body)
 				s.disk.Put(key, body)
-				f.body, f.err = body, nil
+				f.body, f.err, f.addr = body, nil, key
 				return body, "remote", nil
 			}
 		}
+		// Every exact tier missed: before paying for a cold solve, try to
+		// warm-start from a cached near-miss (or the delta endpoint's
+		// explicit base). The warm path answers the flight too, so
+		// coalesced waiters replay the warm bytes and headers.
+		if body, tag, handled, werr := s.warmAttempt(ctx, scratch, req, kopt, key,
+			meta, topo, comm, saOpt, slv, lane); handled {
+			f.body, f.err = body, werr
+			f.addr, f.warm, f.warmDist = meta.key, meta.warm, meta.warmDist
+			return body, tag, werr
+		}
 		body, err := cold(ctx)
-		f.body, f.err = body, err
+		f.body, f.err, f.addr = body, err, key
 		return body, "miss", err
 	}
 	body, err := cold(ctx)
@@ -1149,8 +1319,11 @@ func isLeaderContextError(err error) bool {
 // solve runs one cold request on the engine (whose worker hands the
 // solver its owned simulator arena and pooled scheduler), marshals the
 // wire result, records the solve latency, and stores cacheable bodies.
+// idx, when non-nil, is the similarity-index entry to register when the
+// body is cached (the entry's Key is stamped with the storage key here,
+// so warm solves index under their warm address).
 func (s *Server) solve(ctx context.Context, slv solver.Solver, sreq solver.Request,
-	timeoutMS int, topoName, key string, lane engine.Lane) ([]byte, error) {
+	timeoutMS int, topoName, key string, lane engine.Lane, idx *simEntry) ([]byte, error) {
 
 	deadlined := false
 	if timeoutMS > 0 {
@@ -1229,6 +1402,12 @@ func (s *Server) solve(ctx context.Context, slv solver.Solver, sreq solver.Reque
 		// every other replica's "remote" hit.
 		s.disk.Put(key, body)
 		s.remote.Put(key, body)
+		// Index cached bodies only: a similarity entry whose body is in no
+		// tier can seed nothing.
+		if idx != nil {
+			idx.Key = key
+			s.sim.Add(*idx)
+		}
 	}
 	// Observed only for completed solves, so queue-timeout artifacts never
 	// pollute the latency distribution. The solves counter itself moved
@@ -1238,6 +1417,11 @@ func (s *Server) solve(ctx context.Context, slv solver.Solver, sreq solver.Reque
 	s.mu.Lock()
 	s.pruned += uint64(res.Pruned)
 	s.restartsAbandoned += uint64(res.RestartsAbandoned)
+	s.boundUpdates += uint64(res.BoundUpdates)
+	if sreq.SA.Warm != nil {
+		s.warmHits++
+		s.warmEpochsSaved += uint64(res.WarmEpochsSaved)
+	}
 	s.bySolver[slv.Name()]++
 	for _, m := range res.Members {
 		s.memberOutcomes[m.Member+"|"+m.Outcome]++

@@ -1,0 +1,109 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/taskgraph"
+)
+
+// BenchmarkWarmStartDelta is the headline number for warm-start
+// incremental solving: a one-task edit to an already-solved 100-task
+// graph, re-solved through POST /v1/schedule/delta. The cold sub-bench
+// solves each edit from scratch ("nowarm"); the warm sub-bench seeds from
+// the base's cached assignment and resumes the cooling schedule near its
+// end. Every iteration uses a fresh load value, so nothing is answered
+// from the exact-match tiers — the gap measured is solver work, which is
+// what warm starting shaves.
+func BenchmarkWarmStartDelta(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	g, err := taskgraph.GnpDAG("big", 100, 0.06, 1, 10, 10, 400, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	newServer := func(b *testing.B) (*Server, *httptest.Server, string) {
+		b.Helper()
+		svc, err := New(Config{CacheSize: 4096})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(svc.Handler())
+		b.Cleanup(func() {
+			ts.Close()
+			svc.Close()
+		})
+		body, err := json.Marshal(ScheduleRequest{Graph: g, Topo: "hypercube:3", Solver: "sa", Seed: 11})
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/schedule", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("base solve status %d", resp.StatusCode)
+		}
+		addr := resp.Header.Get("X-DTServe-Address")
+		if addr == "" {
+			b.Fatal("no base address")
+		}
+		return svc, ts, addr
+	}
+	deltaPayload := func(b *testing.B, base string, load float64, nowarm bool) []byte {
+		b.Helper()
+		body, err := json.Marshal(DeltaRequest{
+			Base:   base,
+			Edits:  []DeltaEdit{{Op: "set_load", Task: 0, Load: &load}},
+			NoWarm: nowarm,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return body
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		_, ts, addr := newServer(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			load := 2.0 + 0.001*float64(i)
+			resp, err := http.Post(ts.URL+"/v1/schedule/delta", "application/json",
+				bytes.NewReader(deltaPayload(b, addr, load, true)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		svc, ts, addr := newServer(b)
+		before := svc.Stats()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			load := 2.0 + 0.001*float64(i)
+			resp, err := http.Post(ts.URL+"/v1/schedule/delta", "application/json",
+				bytes.NewReader(deltaPayload(b, addr, load, false)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+		}
+		b.StopTimer()
+		after := svc.Stats()
+		if hits := after.WarmHits - before.WarmHits; hits != uint64(b.N) {
+			b.Fatalf("warm hits %d, want %d — the bench is not measuring warm solves", hits, b.N)
+		}
+		b.ReportMetric(float64(after.WarmEpochsSaved-before.WarmEpochsSaved)/float64(b.N), "stages-saved/op")
+	})
+}

@@ -277,6 +277,12 @@ type keyOptions struct {
 	MemberTimeout int                 `json:"member_timeout_ms,omitempty"`
 	Cooperative   bool                `json:"cooperative,omitempty"`
 	Tempering     bool                `json:"tempering,omitempty"`
+	// WarmSeed separates warm-started results from cold ones: a warm solve
+	// anneals from a projected cached assignment under a shortened cooling
+	// schedule, so its bytes legitimately differ from the cold solve of the
+	// same request. The field holds the seeding base address plus the sketch
+	// distance; cold keys leave it empty and stay byte-stable.
+	WarmSeed string `json:"warm_seed,omitempty"`
 }
 
 func makeKeyOptions(topoName string, comm topology.CommParams,

@@ -82,15 +82,16 @@ func (inc *incumbent) init() { inc.bits.Store(math.Float64bits(math.Inf(1))) }
 
 func (inc *incumbent) best() float64 { return math.Float64frombits(inc.bits.Load()) }
 
-// offer lowers the incumbent to m if m is better (CAS-min).
-func (inc *incumbent) offer(m float64) {
+// offer lowers the incumbent to m if m is better (CAS-min) and reports
+// whether it actually tightened the bound.
+func (inc *incumbent) offer(m float64) bool {
 	for {
 		old := inc.bits.Load()
 		if m >= math.Float64frombits(old) {
-			return
+			return false
 		}
 		if inc.bits.CompareAndSwap(old, math.Float64bits(m)) {
-			return
+			return true
 		}
 	}
 }
@@ -131,6 +132,7 @@ func (portfolioSolver) Solve(ctx context.Context, req Request) (*machsim.Result,
 	var inc incumbent
 	inc.init()
 	var raced atomic.Bool
+	var boundUpdates atomic.Int64
 	results := make([]*machsim.Result, len(members))
 	errs := make([]error, len(members))
 	starts := make([]time.Time, len(members))
@@ -158,6 +160,15 @@ func (portfolioSolver) Solve(ctx context.Context, req Request) (*machsim.Result,
 					}
 					return nil
 				}
+				// Publish the member's makespan into the incumbent the moment
+				// its simulation completes — before result assembly — so the
+				// other members' Bound (and the SA member's cooperative stage
+				// barrier) tighten as early as possible.
+				r.Sim.Publish = func(m float64) {
+					if inc.offer(m) {
+						boundUpdates.Add(1)
+					}
+				}
 			}
 			starts[i] = time.Now()
 			results[i], errs[i] = s.Solve(mctx, r)
@@ -179,7 +190,12 @@ func (portfolioSolver) Solve(ctx context.Context, req Request) (*machsim.Result,
 				return
 			}
 			outcomes[i] = "finish"
-			inc.offer(results[i].Makespan)
+			// Members whose solvers bypass machsim's Publish hook (e.g.
+			// "optimal") still feed the incumbent here; for the rest this is
+			// a no-op repeat of the Publish-time offer.
+			if inc.offer(results[i].Makespan) {
+				boundUpdates.Add(1)
+			}
 			if lbErr == nil && results[i].Makespan <= lb+1e-9 {
 				// Store before cancel: anyone observing the cancellation
 				// also sees that an early cancel (not the deadline) fired.
@@ -230,6 +246,13 @@ func (portfolioSolver) Solve(ctx context.Context, req Request) (*machsim.Result,
 	out := results[best]
 	out.Members = stats
 	out.Pruned = pruned
+	// How many times the shared bound tightened is a timing fact like the
+	// member stats: the service folds it into counters, never into cached
+	// bodies.
+	out.BoundUpdates = int(boundUpdates.Load())
+	if tr != nil && out.BoundUpdates > 0 {
+		tr.Annotate("portfolio_bound_updates", strconv.Itoa(out.BoundUpdates))
+	}
 	// Raced is set whenever an early cancel fired, even if every member
 	// happened to outrun the cancellation (in which case this particular
 	// outcome was the deterministic best-of-all): whether a member gets

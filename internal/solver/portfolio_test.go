@@ -230,3 +230,22 @@ func TestErrPrunedDetectable(t *testing.T) {
 		t.Fatalf("err = %v, want ErrPruned through the machsim wrapper", err)
 	}
 }
+
+// TestPortfolioBoundUpdates: every member makespan that strictly improves
+// the shared incumbent counts as a bound update. The first finisher
+// always tightens the bound from +Inf, so any healthy race reports at
+// least one; a deliberately worse second member must not add more.
+func TestPortfolioBoundUpdates(t *testing.T) {
+	swapMembers(t, []string{"hlf", "sa"})
+	req := portfolioTestRequest(t)
+	res, err := Solve(context.Background(), "portfolio", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BoundUpdates < 1 {
+		t.Fatalf("BoundUpdates = %d, want >= 1 (first finisher tightens +Inf)", res.BoundUpdates)
+	}
+	if res.BoundUpdates > len(PortfolioMembers) {
+		t.Fatalf("BoundUpdates = %d exceeds member count %d", res.BoundUpdates, len(PortfolioMembers))
+	}
+}

@@ -147,6 +147,13 @@ func (p policySolver) Solve(ctx context.Context, req Request) (*machsim.Result, 
 		// observe this hook firing.
 		req.SA.Interrupt = ctx.Err
 	}
+	if p.name == "sa" && req.Sim.Bound != nil && req.SA.Bound == nil {
+		// Thread the simulator's incumbent-bound hook into the cooperative
+		// stage barrier too: a portfolio SA member whose epoch clock has
+		// fallen past the incumbent best stops mid-anneal instead of
+		// finishing the packet and dying at the next event-batch poll.
+		req.SA.Bound = req.Sim.Bound
+	}
 	var pol machsim.Policy
 	if p.name == "sa" && req.Sched != nil {
 		// The caller-owned scheduler arena replaces the per-solve
@@ -168,6 +175,7 @@ func (p policySolver) Solve(ctx context.Context, req Request) (*machsim.Result, 
 			// res is a detached clone, so folding scheduler-side counters
 			// into it never races with arena reuse.
 			res.RestartsAbandoned = sc.RestartsAbandoned()
+			res.WarmEpochsSaved = sc.WarmSavedStages()
 			if tr := obs.FromContext(ctx); tr != nil {
 				annotateAnneal(tr, sc)
 			}
@@ -200,6 +208,9 @@ func annotateAnneal(tr *obs.Trace, sc *core.Scheduler) {
 	}
 	if n := sc.Exchanges(); n > 0 {
 		tr.Annotate("replica_exchanges", strconv.Itoa(n))
+	}
+	if n := sc.WarmSavedStages(); n > 0 {
+		tr.Annotate("warm_epochs_saved", strconv.Itoa(n))
 	}
 	tr.Annotate("initial_cost", strconv.FormatFloat(initial, 'g', -1, 64))
 	tr.Annotate("final_cost", strconv.FormatFloat(final, 'g', -1, 64))

@@ -27,6 +27,7 @@ type Canonicalizer struct {
 	jg    jsonGraph  // decoded wire form; Tasks ID-sorted, Edges in input order
 	canon []jsonEdge // canonical edge list: (from,to)-sorted, duplicates merged
 	fp    uint64
+	sk    Sketch
 }
 
 // Parse decodes and validates one graph document, leaving the canonical
@@ -109,7 +110,18 @@ func (c *Canonicalizer) Parse(data []byte) error {
 		w++
 	}
 	c.canon = c.canon[:w]
+	// The fingerprint and the minhash sketch ride the same canonical pass:
+	// both are pure functions of the task and merged-edge lists already in
+	// hand, so the zero-copy wire path gains similarity lookups without a
+	// second traversal or any allocation (the sketch is a value array).
 	c.fp = c.fingerprint()
+	c.sk.Reset()
+	for _, t := range c.jg.Tasks {
+		c.sk.Add(taskShingle(t.ID, t.Load))
+	}
+	for _, e := range c.canon {
+		c.sk.Add(edgeShingle(e.From, e.To, e.Bits))
+	}
 	return nil
 }
 
@@ -156,6 +168,10 @@ func (c *Canonicalizer) Fingerprint() uint64 { return c.fp }
 
 // NumTasks returns the parsed graph's task count.
 func (c *Canonicalizer) NumTasks() int { return len(c.jg.Tasks) }
+
+// Sketch returns the parsed graph's structural minhash sketch, equal to
+// Graph.Sketch of the materialized graph.
+func (c *Canonicalizer) Sketch() Sketch { return c.sk }
 
 // AppendCanonicalJSON appends the canonical compact JSON encoding to dst
 // and returns the extended slice. The bytes are identical to

@@ -1,0 +1,107 @@
+package taskgraph
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+// randomSketchGraph builds a random DAG with n tasks and roughly 2n edges.
+func randomSketchGraph(rng *rand.Rand, n int) *Graph {
+	g := New("sketch")
+	for i := 0; i < n; i++ {
+		g.AddTask("", 1+rng.Float64()*9)
+	}
+	for k := 0; k < 2*n; k++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a // edges go low→high: always acyclic
+		}
+		g.MustAddEdge(TaskID(a), TaskID(b), float64(rng.Intn(500)))
+	}
+	return g
+}
+
+// TestSketchCanonicalizerParity proves the zero-copy wire path and the
+// materialized Graph compute identical sketches, including for inputs with
+// shuffled task order, duplicate edges and negative loads (clamped).
+func TestSketchCanonicalizerParity(t *testing.T) {
+	docs := []string{
+		`{"name":"p","tasks":[{"id":0,"load":2},{"id":1,"load":3}],"edges":[{"from":0,"to":1,"bits":8}]}`,
+		`{"name":"q","tasks":[{"id":1,"load":3},{"id":0,"load":2}],"edges":[{"from":0,"to":1,"bits":5},{"from":0,"to":1,"bits":3}]}`,
+		`{"name":"r","tasks":[{"id":0,"load":-4},{"id":1,"load":0}],"edges":null}`,
+		`{"name":"","tasks":null,"edges":null}`,
+	}
+	var c Canonicalizer
+	for _, doc := range docs {
+		if err := c.Parse([]byte(doc)); err != nil {
+			t.Fatalf("Parse(%s): %v", doc, err)
+		}
+		var g Graph
+		if err := json.Unmarshal([]byte(doc), &g); err != nil {
+			t.Fatalf("Unmarshal(%s): %v", doc, err)
+		}
+		if got, want := c.Sketch(), g.Sketch(); got != want {
+			t.Errorf("sketch mismatch for %s:\ncanonicalizer %v\ngraph         %v", doc, got[:4], want[:4])
+		}
+	}
+	// The first two documents are the same canonical graph (task order
+	// shuffled, duplicate edge volumes merged): equal sketches required.
+	if err := c.Parse([]byte(docs[0])); err != nil {
+		t.Fatal(err)
+	}
+	s0 := c.Sketch()
+	if err := c.Parse([]byte(docs[1])); err != nil {
+		t.Fatal(err)
+	}
+	if s1 := c.Sketch(); s0 != s1 {
+		t.Errorf("canonically equal graphs sketch differently")
+	}
+}
+
+// TestSketchDistance checks the locality property the similarity index
+// depends on: a one-task edit moves the sketch a little, an unrelated
+// graph moves it (nearly) all the way.
+func TestSketchDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		g := randomSketchGraph(rng, 100)
+		base := g.Sketch()
+		if d := base.Distance(base); d != 0 {
+			t.Fatalf("self distance = %g, want 0", d)
+		}
+
+		// One-task edit: add a task and one edge into it.
+		edited := g.Clone()
+		nt := edited.AddTask("extra", 5)
+		edited.MustAddEdge(0, nt, 100)
+		if d := base.Distance(edited.Sketch()); d > 0.25 {
+			t.Errorf("trial %d: one-task edit distance = %g, want small (<= 0.25)", trial, d)
+		}
+
+		other := randomSketchGraph(rand.New(rand.NewSource(int64(1000+trial))), 100)
+		if d := base.Distance(other.Sketch()); d < 0.75 {
+			t.Errorf("trial %d: unrelated graph distance = %g, want near 1", trial, d)
+		}
+	}
+}
+
+func TestProjectAssignment(t *testing.T) {
+	seed := []int{3, 0, -1, 9, 2}
+	got := ProjectAssignment(seed, 7, 4)
+	want := []int{3, 0, -1, -1, 2, -1, -1} // 9 out of proc range; tasks 5,6 new
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("out[%d] = %d, want %d (full: %v)", i, got[i], want[i], got)
+		}
+	}
+	if out := ProjectAssignment(nil, 3, 2); out[0] != -1 || out[1] != -1 || out[2] != -1 {
+		t.Fatalf("nil seed projection = %v, want all -1", out)
+	}
+}

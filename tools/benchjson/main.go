@@ -102,17 +102,85 @@ func baseName(name string) string {
 // Regression describes one guarded benchmark that got worse.
 type Regression struct {
 	Name   string
-	Metric string // "ns/op" or "allocs/op"
-	Old    float64
+	Metric string  // "ns/op", "allocs/op", "missing", or a custom metric (floors)
+	Old    float64 // baseline value — or the required floor
 	New    float64
+	kind   string // "" (baseline compare), "floor", "floor-missing"
 }
 
 func (r Regression) String() string {
-	if r.Metric == "missing" {
+	switch {
+	case r.kind == "floor":
+		return fmt.Sprintf("%s: %s = %.6g below the required floor %.6g",
+			r.Name, r.Metric, r.New, r.Old)
+	case r.kind == "floor-missing":
+		return fmt.Sprintf("%s: benchmark or metric %q missing from this run (floor unenforceable; renamed?)",
+			r.Name, r.Metric)
+	case r.Metric == "missing":
 		return fmt.Sprintf("%s: guarded baseline benchmark absent from this run (renamed or deleted? update the baseline)", r.Name)
 	}
 	return fmt.Sprintf("%s: %s regressed %.6g -> %.6g (%+.1f%%)",
 		r.Name, r.Metric, r.Old, r.New, 100*(r.New-r.Old)/r.Old)
+}
+
+// metricFloor is one "name:metric:min" requirement from -metric-floor:
+// the named benchmark must report the custom metric at or above min.
+// Unlike the baseline compare, floors assert an absolute capability —
+// e.g. that warm-started delta solves keep saving annealing stages — so
+// they hold even when the baseline itself drifts.
+type metricFloor struct {
+	name   string
+	metric string
+	min    float64
+}
+
+// parseMetricFloors parses a comma-separated -metric-floor value.
+// Benchmark names and metric units may contain "/" but never ":", so the
+// triple splits unambiguously.
+func parseMetricFloors(spec string) ([]metricFloor, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []metricFloor
+	for _, part := range strings.Split(spec, ",") {
+		f := strings.Split(part, ":")
+		if len(f) != 3 || f[0] == "" || f[1] == "" {
+			return nil, fmt.Errorf("bad floor %q (want name:metric:min)", part)
+		}
+		min, err := strconv.ParseFloat(f[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad floor %q: %v", part, err)
+		}
+		out = append(out, metricFloor{name: f[0], metric: f[1], min: min})
+	}
+	return out, nil
+}
+
+// checkFloors verifies every -metric-floor requirement against the fresh
+// results. A missing benchmark or metric fails the floor — otherwise a
+// rename would silently disable the guard.
+func checkFloors(results []Result, floors []metricFloor) []Regression {
+	var regs []Regression
+	for _, fl := range floors {
+		found := false
+		for _, r := range results {
+			if baseName(r.Name) != fl.name {
+				continue
+			}
+			found = true
+			v, ok := r.Metrics[fl.metric]
+			if !ok {
+				regs = append(regs, Regression{Name: fl.name, Metric: fl.metric, kind: "floor-missing"})
+			} else if v < fl.min {
+				regs = append(regs, Regression{Name: fl.name, Metric: fl.metric, Old: fl.min, New: v, kind: "floor"})
+			}
+			break
+		}
+		if !found {
+			regs = append(regs, Regression{Name: fl.name, Metric: fl.metric, kind: "floor-missing"})
+		}
+	}
+	return regs
 }
 
 // compare checks the guarded benchmarks of new against old. A benchmark
@@ -156,7 +224,7 @@ func compare(old, new []Result, guard *regexp.Regexp, nsTolerance, allocToleranc
 	return regs
 }
 
-func run(in io.Reader, out, errOut io.Writer, comparePath, guardExpr string, nsTol, allocTol float64) int {
+func run(in io.Reader, out, errOut io.Writer, comparePath, guardExpr string, nsTol, allocTol float64, floorSpec string) int {
 	results := []Result{} // encode as [] rather than null when empty
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -175,30 +243,38 @@ func run(in io.Reader, out, errOut io.Writer, comparePath, guardExpr string, nsT
 		fmt.Fprintf(errOut, "benchjson: %v\n", err)
 		return 1
 	}
-	if comparePath == "" {
-		return 0
-	}
-	data, err := os.ReadFile(comparePath)
+	floors, err := parseMetricFloors(floorSpec)
 	if err != nil {
-		fmt.Fprintf(errOut, "benchjson: baseline: %v\n", err)
+		fmt.Fprintf(errOut, "benchjson: -metric-floor: %v\n", err)
 		return 1
 	}
-	var baseline Document
-	if err := json.Unmarshal(data, &baseline); err != nil {
-		fmt.Fprintf(errOut, "benchjson: baseline %s: %v\n", comparePath, err)
-		return 1
-	}
-	var guard *regexp.Regexp
-	if guardExpr != "" {
-		guard, err = regexp.Compile(guardExpr)
+	regs := checkFloors(results, floors)
+	if comparePath != "" {
+		data, err := os.ReadFile(comparePath)
 		if err != nil {
-			fmt.Fprintf(errOut, "benchjson: -guard: %v\n", err)
+			fmt.Fprintf(errOut, "benchjson: baseline: %v\n", err)
 			return 1
 		}
+		var baseline Document
+		if err := json.Unmarshal(data, &baseline); err != nil {
+			fmt.Fprintf(errOut, "benchjson: baseline %s: %v\n", comparePath, err)
+			return 1
+		}
+		var guard *regexp.Regexp
+		if guardExpr != "" {
+			guard, err = regexp.Compile(guardExpr)
+			if err != nil {
+				fmt.Fprintf(errOut, "benchjson: -guard: %v\n", err)
+				return 1
+			}
+		}
+		regs = append(regs, compare(baseline.Benchmarks, results, guard, nsTol, allocTol)...)
 	}
-	regs := compare(baseline.Benchmarks, results, guard, nsTol, allocTol)
+	if comparePath == "" && len(floors) == 0 {
+		return 0
+	}
 	if len(regs) == 0 {
-		fmt.Fprintf(errOut, "benchjson: no regressions against %s\n", comparePath)
+		fmt.Fprintf(errOut, "benchjson: no regressions\n")
 		return 0
 	}
 	for _, r := range regs {
@@ -212,6 +288,7 @@ func main() {
 	guardExpr := flag.String("guard", "", "regexp restricting which benchmarks are guarded (default: all present in the baseline)")
 	nsTol := flag.Float64("ns-tolerance", 0.25, "allowed fractional ns/op growth before failing; <= 0 disables the wall-clock check")
 	allocTol := flag.Float64("alloc-tolerance", 0, "allowed absolute allocs/op growth before failing")
+	floorSpec := flag.String("metric-floor", "", "comma-separated name:metric:min floors a run must meet (e.g. 'BenchmarkWarmStartDelta/warm:stages-saved/op:2000')")
 	flag.Parse()
-	os.Exit(run(os.Stdin, os.Stdout, os.Stderr, *comparePath, *guardExpr, *nsTol, *allocTol))
+	os.Exit(run(os.Stdin, os.Stdout, os.Stderr, *comparePath, *guardExpr, *nsTol, *allocTol, *floorSpec))
 }

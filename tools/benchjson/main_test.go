@@ -136,7 +136,7 @@ func TestRunCompareEndToEnd(t *testing.T) {
 	}
 	in := strings.NewReader("BenchmarkA-4 \t 1 \t 900 ns/op \t 100 B/op \t 5 allocs/op\n")
 	var out, errOut bytes.Buffer
-	if code := run(in, &out, &errOut, baseline, "", 0.25, 0); code != 0 {
+	if code := run(in, &out, &errOut, baseline, "", 0.25, 0, ""); code != 0 {
 		t.Fatalf("clean run exited %d: %s", code, errOut.String())
 	}
 	var doc Document
@@ -147,7 +147,7 @@ func TestRunCompareEndToEnd(t *testing.T) {
 	in = strings.NewReader("BenchmarkA-4 \t 1 \t 900 ns/op \t 100 B/op \t 6 allocs/op\n")
 	out.Reset()
 	errOut.Reset()
-	if code := run(in, &out, &errOut, baseline, "", 0.25, 0); code != 1 {
+	if code := run(in, &out, &errOut, baseline, "", 0.25, 0, ""); code != 1 {
 		t.Fatalf("alloc regression not fatal: %s", errOut.String())
 	}
 	if !strings.Contains(errOut.String(), "REGRESSION") {
@@ -168,5 +168,66 @@ func TestCompareFlagsMissingGuardedBenchmark(t *testing.T) {
 	}
 	if !strings.Contains(regs[0].String(), "absent") {
 		t.Errorf("missing-benchmark message unclear: %s", regs[0])
+	}
+}
+
+func TestParseMetricFloors(t *testing.T) {
+	floors, err := parseMetricFloors("BenchmarkWarmStartDelta/warm:stages-saved/op:2000,BenchmarkX:items/op:1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(floors) != 2 || floors[0].name != "BenchmarkWarmStartDelta/warm" ||
+		floors[0].metric != "stages-saved/op" || floors[0].min != 2000 ||
+		floors[1].min != 1.5 {
+		t.Fatalf("parsed floors wrong: %+v", floors)
+	}
+	for _, bad := range []string{"noseparators", "a:b", "a:b:notanumber", ":m:1", "n::1"} {
+		if _, err := parseMetricFloors(bad); err == nil {
+			t.Errorf("bad floor spec %q accepted", bad)
+		}
+	}
+}
+
+func TestCheckFloors(t *testing.T) {
+	results := []Result{
+		{Name: "BenchmarkWarm/warm-4", Metrics: map[string]float64{"stages-saved/op": 4400}},
+		{Name: "BenchmarkLow-4", Metrics: map[string]float64{"stages-saved/op": 10}},
+		{Name: "BenchmarkNoMetric-4"},
+	}
+	if regs := checkFloors(results, []metricFloor{{name: "BenchmarkWarm/warm", metric: "stages-saved/op", min: 2000}}); len(regs) != 0 {
+		t.Fatalf("met floor flagged: %v", regs)
+	}
+	regs := checkFloors(results, []metricFloor{
+		{name: "BenchmarkLow", metric: "stages-saved/op", min: 2000},
+		{name: "BenchmarkNoMetric", metric: "stages-saved/op", min: 1},
+		{name: "BenchmarkAbsent", metric: "stages-saved/op", min: 1},
+	})
+	if len(regs) != 3 {
+		t.Fatalf("want 3 floor failures, got %v", regs)
+	}
+	if !strings.Contains(regs[0].String(), "below the required floor") {
+		t.Errorf("floor message unclear: %s", regs[0])
+	}
+	for _, r := range regs[1:] {
+		if !strings.Contains(r.String(), "missing") {
+			t.Errorf("missing-metric message unclear: %s", r)
+		}
+	}
+}
+
+func TestRunMetricFloorEndToEnd(t *testing.T) {
+	in := strings.NewReader("BenchmarkWarmStartDelta/warm-4 \t 10 \t 900 ns/op \t 4435 stages-saved/op\n")
+	var out, errOut bytes.Buffer
+	if code := run(in, &out, &errOut, "", "", 0.25, 0, "BenchmarkWarmStartDelta/warm:stages-saved/op:2000"); code != 0 {
+		t.Fatalf("met floor exited %d: %s", code, errOut.String())
+	}
+	in = strings.NewReader("BenchmarkWarmStartDelta/warm-4 \t 10 \t 900 ns/op \t 100 stages-saved/op\n")
+	out.Reset()
+	errOut.Reset()
+	if code := run(in, &out, &errOut, "", "", 0.25, 0, "BenchmarkWarmStartDelta/warm:stages-saved/op:2000"); code != 1 {
+		t.Fatalf("broken floor not fatal: %s", errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "REGRESSION") {
+		t.Fatalf("no regression report: %s", errOut.String())
 	}
 }
